@@ -1,0 +1,112 @@
+// E1-E4: reproduces Figure 1 (circuit, TSG, timing diagrams), Figure 2b
+// (unfolding) and the Example 3 / Example 4 timing-simulation tables.
+//
+// Paper: Nielsen & Kishinevsky, DAC'94, Sections II-IV.
+#include <iostream>
+
+#include "circuit/extraction.h"
+#include "circuit/netlist_io.h"
+#include "circuit/waveform.h"
+#include "core/event_initiated.h"
+#include "core/timing_simulation.h"
+#include "gen/oscillator.h"
+#include "sg/sg_io.h"
+#include "sg/unfolding.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tsg;
+
+std::string opt_str(const std::optional<rational>& v)
+{
+    return v ? v->str() : "-";
+}
+
+void print_example3(const signal_graph& sg)
+{
+    const unfolding unf(sg, 2);
+    const timing_simulation_result sim = simulate_timing(unf);
+
+    const char* events[] = {"e-", "f-", "a+", "b+", "c+", "a-", "b-", "c-"};
+    const int paper[] = {0, 3, 2, 4, 6, 8, 7, 11};
+
+    text_table t;
+    t.set_header({"event", "t(paper)", "t(ours)"});
+    for (std::size_t i = 0; i < 8; ++i)
+        t.add_row({std::string(events[i]) + ".0", std::to_string(paper[i]),
+                   opt_str(sim.at(unf, sg.event_by_name(events[i]), 0))});
+    const char* second[] = {"a+", "b+", "c+"};
+    const int paper2[] = {13, 12, 16};
+    for (std::size_t i = 0; i < 3; ++i)
+        t.add_row({std::string(second[i]) + ".1", std::to_string(paper2[i]),
+                   opt_str(sim.at(unf, sg.event_by_name(second[i]), 1))});
+
+    std::cout << "== Example 3: timing simulation t(event) ==\n" << t.str() << "\n";
+
+    text_table avg;
+    avg.set_header({"i", "sigma(a+_i) paper", "ours"});
+    const char* paper_avg[] = {"2", "13/2", "23/3", "33/4", "43/5", "53/6"};
+    const unfolding unf6(sg, 6);
+    const timing_simulation_result sim6 = simulate_timing(unf6);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        avg.add_row({std::to_string(i), paper_avg[i],
+                     opt_str(sim6.average_distance(unf6, sg.event_by_name("a+"), i))});
+    std::cout << "== Section II: average occurrence distances of a+ (asymptote 10) ==\n"
+              << avg.str() << "\n";
+}
+
+void print_example4(const signal_graph& sg)
+{
+    const unfolding unf(sg, 2);
+    const initiated_simulation_result sim = simulate_from_event(unf, sg.event_by_name("b+"), 0);
+
+    const char* events[] = {"b+", "c+", "a-", "b-", "c-"};
+    const int paper[] = {0, 2, 4, 3, 7};
+    text_table t;
+    t.set_header({"event", "t_b+0(paper)", "t_b+0(ours)"});
+    for (std::size_t i = 0; i < 5; ++i)
+        t.add_row({std::string(events[i]) + ".0", std::to_string(paper[i]),
+                   opt_str(sim.at(unf, sg.event_by_name(events[i]), 0))});
+    const char* second[] = {"a+", "b+", "c+"};
+    const int paper2[] = {9, 8, 12};
+    for (std::size_t i = 0; i < 3; ++i)
+        t.add_row({std::string(second[i]) + ".1", std::to_string(paper2[i]),
+                   opt_str(sim.at(unf, sg.event_by_name(second[i]), 1))});
+    std::cout << "== Example 4: b+0-initiated timing simulation ==\n" << t.str() << "\n";
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "============================================================\n"
+              << " E1-E4 | Figure 1 / Figure 2 / Examples 3-4 reproduction\n"
+              << " Nielsen & Kishinevsky, DAC'94 — C-element oscillator\n"
+              << "============================================================\n\n";
+
+    const parsed_circuit circuit = c_oscillator_circuit();
+    std::cout << "== Figure 1a: circuit ==\n" << write_circuit(circuit) << "\n";
+
+    const extraction_result extracted = extract_signal_graph(circuit.nl, circuit.initial);
+    std::cout << "== Figure 2c: extracted Timed Signal Graph ==\n"
+              << write_sg(extracted.graph, "oscillator") << "\n";
+
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf2(sg, 2);
+    std::cout << "== Figure 2b: unfolding, 2 periods ==\n"
+              << "instances: " << unf2.dag().node_count()
+              << "  arcs: " << unf2.dag().arc_count()
+              << "  initial instances (I_u): " << unf2.initial_instances().size() << "\n\n";
+
+    print_example3(sg);
+    print_example4(sg);
+
+    waveform_options wave;
+    wave.width = 60;
+    std::cout << "== Figure 1c: timing diagram (3 periods) ==\n"
+              << render_timing_diagram(sg, 3, wave) << "\n";
+    std::cout << "== Figure 1d: a+-initiated timing diagram ==\n"
+              << render_initiated_diagram(sg, "a+", 3, wave) << "\n";
+    return 0;
+}

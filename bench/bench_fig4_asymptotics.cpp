@@ -1,0 +1,61 @@
+// E8: reproduces Figure 4 — the asymptotic behaviour of the average
+// occurrence distance delta_{e0}(e_i) for an event on a critical cycle
+// (reaches the cycle time periodically) versus an event off the critical
+// cycle (approaches it from below, never attaining it).
+//
+// Rendered as aligned series plus a coarse ASCII plot.
+#include <algorithm>
+#include <iostream>
+
+#include "core/cycle_time.h"
+#include "gen/oscillator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace tsg;
+
+    std::cout << "============================================================\n"
+              << " E8 | Figure 4: delta series on vs. off the critical cycle\n"
+              << "============================================================\n\n";
+
+    const signal_graph sg = c_oscillator_sg();
+    const cycle_time_result result = analyze_cycle_time(sg);
+    const std::uint32_t horizon = 24;
+
+    const distance_series on = initiated_distance_series(sg, sg.event_by_name("a+"), horizon);
+    const distance_series off = initiated_distance_series(sg, sg.event_by_name("b+"), horizon);
+
+    text_table t;
+    t.set_header({"periods i", "delta_a+0(a+i) [on]", "delta_b+0(b+i) [off]", "cycle time"});
+    for (std::uint32_t i = 0; i < horizon; ++i) {
+        auto str = [](const std::optional<rational>& v) {
+            return v ? format_double(v->to_double(), 4) : "-";
+        };
+        t.add_row({std::to_string(i + 1), str(on.delta[i]), str(off.delta[i]),
+                   format_double(result.cycle_time.to_double(), 4)});
+    }
+    std::cout << t.str() << "\n";
+
+    // Coarse ASCII rendering of the off-critical convergence.
+    const double lambda = result.cycle_time.to_double();
+    const double floor_value = 7.5;
+    std::cout << "off-critical series, '" << "#" << "' = value, '|' = cycle time:\n";
+    for (std::uint32_t i = 0; i < horizon; ++i) {
+        if (!off.delta[i]) continue;
+        const double v = off.delta[i]->to_double();
+        const int width = 48;
+        const int pos = std::clamp(
+            static_cast<int>((v - floor_value) / (lambda - floor_value) * (width - 1)), 0,
+            width - 1);
+        std::string line(width + 1, ' ');
+        line[pos] = '#';
+        line[width] = '|';
+        std::cout << (i + 1 < 10 ? " " : "") << i + 1 << " " << line << "\n";
+    }
+    std::cout << "\nParaphrasing Fig. 4: the on-critical event sits at the cycle time\n"
+              << "every period; the off-critical event climbs towards it and never\n"
+              << "reaches it (Proposition 8).\n";
+    return 0;
+}

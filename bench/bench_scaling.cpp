@@ -1,0 +1,134 @@
+// E11: complexity comparison (Section I / VII claims).
+//
+// The paper's algorithm runs in O(b^2 m); with b << n it behaves linearly
+// in the specification size, which is the regime the paper highlights
+// against the O(nm + n^2 log n) parametric-shortest-path bound [13].
+// These google-benchmark fixtures sweep:
+//   * Muller rings (b fixed at 4 by construction as n grows),
+//   * random marked graphs with a capped border set (b << n),
+//   * random marked graphs with an uncapped border set (b ~ n/2, the
+//     algorithm's unfavourable regime),
+// and run the three polynomial baselines on the same instances.
+#include <benchmark/benchmark.h>
+
+#include "circuit/extraction.h"
+#include "core/cycle_time.h"
+#include "gen/muller.h"
+#include "gen/random_sg.h"
+#include "gen/stack.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "ratio/lawler.h"
+
+namespace {
+
+using namespace tsg;
+
+signal_graph ring(std::uint32_t stages)
+{
+    muller_ring_options opts;
+    opts.stages = stages;
+    return muller_ring_sg(opts);
+}
+
+signal_graph random_graph(std::uint32_t events, std::uint32_t border_limit)
+{
+    random_sg_options opts;
+    opts.events = events;
+    opts.extra_arcs = events; // m = 2n
+    opts.seed = 42;
+    opts.border_limit = border_limit;
+    return random_marked_graph(opts);
+}
+
+void report_shape(benchmark::State& state, const signal_graph& sg)
+{
+    state.counters["events"] = static_cast<double>(sg.event_count());
+    state.counters["arcs"] = static_cast<double>(sg.arc_count());
+    state.counters["b"] = static_cast<double>(sg.border_events().size());
+}
+
+void BM_TimingSimulation_MullerRing(benchmark::State& state)
+{
+    const signal_graph sg = ring(static_cast<std::uint32_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(sg).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_TimingSimulation_MullerRing)->Arg(5)->Arg(25)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TimingSimulation_StackFamily(benchmark::State& state)
+{
+    stack_options opts;
+    opts.cells = static_cast<std::uint32_t>(state.range(0));
+    const signal_graph sg = stack_controller_sg(opts);
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(sg).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_TimingSimulation_StackFamily)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TimingSimulation_SmallBorder(benchmark::State& state)
+{
+    const signal_graph sg =
+        random_graph(static_cast<std::uint32_t>(state.range(0)), /*border_limit=*/4);
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(sg).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_TimingSimulation_SmallBorder)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TimingSimulation_LargeBorder(benchmark::State& state)
+{
+    const signal_graph sg =
+        random_graph(static_cast<std::uint32_t>(state.range(0)), /*border_limit=*/0);
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(sg).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_TimingSimulation_LargeBorder)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Karp_SmallBorder(benchmark::State& state)
+{
+    const ratio_problem p =
+        make_ratio_problem(random_graph(static_cast<std::uint32_t>(state.range(0)), 4));
+    for (auto _ : state) benchmark::DoNotOptimize(max_cycle_ratio_karp(p));
+}
+BENCHMARK(BM_Karp_SmallBorder)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Lawler_SmallBorder(benchmark::State& state)
+{
+    const ratio_problem p =
+        make_ratio_problem(random_graph(static_cast<std::uint32_t>(state.range(0)), 4));
+    for (auto _ : state) benchmark::DoNotOptimize(max_cycle_ratio_lawler(p).ratio);
+}
+BENCHMARK(BM_Lawler_SmallBorder)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Howard_SmallBorder(benchmark::State& state)
+{
+    const ratio_problem p =
+        make_ratio_problem(random_graph(static_cast<std::uint32_t>(state.range(0)), 4));
+    for (auto _ : state) benchmark::DoNotOptimize(max_cycle_ratio_howard(p).ratio);
+}
+BENCHMARK(BM_Howard_SmallBorder)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Extraction cost for circuit-level inputs (the Section VIII.B flow).
+void BM_Extraction_MullerRing(benchmark::State& state)
+{
+    muller_ring_options opts;
+    opts.stages = static_cast<std::uint32_t>(state.range(0));
+    const auto circuit = muller_ring_circuit(opts);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tsg::extract_signal_graph(circuit.nl, circuit.initial).graph.event_count());
+    }
+}
+BENCHMARK(BM_Extraction_MullerRing)->Arg(5)->Arg(15)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E6-E7: reproduces the Section VIII.C tables — the a+0- and b+0-initiated
+// timing simulations of the C-element oscillator over two periods, the
+// collected average occurrence distances, the cycle time, the critical
+// cycle, and the infinite b+0-initiated series that approaches lambda from
+// below (Proposition 8).
+#include <iostream>
+
+#include "core/cycle_time.h"
+#include "gen/oscillator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tsg;
+
+std::string opt_str(const std::optional<rational>& v)
+{
+    return v ? v->str() : "-";
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "============================================================\n"
+              << " E6-E7 | Section VIII.C: C-element oscillator analysis\n"
+              << "============================================================\n\n";
+
+    const signal_graph sg = c_oscillator_sg();
+    analysis_options opts;
+    opts.record_tables = true;
+    const cycle_time_result result = analyze_cycle_time(sg, opts);
+
+    // Paper rows: event / t_{a+0} / t_{b+0} over two periods.
+    struct column {
+        const char* event;
+        std::uint32_t period;
+        int paper_a;
+        int paper_b;
+    };
+    const column columns[] = {
+        {"a+", 0, 0, 0},  {"b+", 0, 0, 0},  {"c+", 0, 3, 2},   {"a-", 0, 5, 4},
+        {"b-", 0, 4, 3},  {"c-", 0, 8, 7},  {"a+", 1, 10, 9},  {"b+", 1, 9, 8},
+        {"c-", 1, 18, 17}, {"a+", 2, 20, 19}, {"b+", 2, 19, 18},
+    };
+
+    const border_run* a_run = nullptr;
+    const border_run* b_run = nullptr;
+    for (const border_run& run : result.runs) {
+        if (sg.event(run.origin).name == "a+") a_run = &run;
+        if (sg.event(run.origin).name == "b+") b_run = &run;
+    }
+
+    text_table t;
+    t.set_header({"event", "t_a+0 paper", "t_a+0 ours", "t_b+0 paper", "t_b+0 ours"});
+    for (const column& c : columns) {
+        const event_id e = sg.event_by_name(c.event);
+        // The paper prints 0 for unreached (concurrent/earlier) events.
+        auto ours = [&](const border_run* run) {
+            const auto v = run->times.at(c.period).at(e);
+            return v ? v->str() : "0";
+        };
+        t.add_row({std::string(c.event) + "." + std::to_string(c.period),
+                   std::to_string(c.paper_a), ours(a_run), std::to_string(c.paper_b),
+                   ours(b_run)});
+    }
+    std::cout << "== Event-initiated simulations over 2 periods ==\n" << t.str() << "\n";
+
+    text_table deltas;
+    deltas.set_header({"origin", "delta(i=1) paper", "ours", "delta(i=2) paper", "ours",
+                       "on critical cycle"});
+    deltas.add_row({"a+", "10", opt_str(a_run->deltas[0]), "10", opt_str(a_run->deltas[1]),
+                    a_run->critical ? "yes" : "no"});
+    deltas.add_row({"b+", "8", opt_str(b_run->deltas[0]), "9", opt_str(b_run->deltas[1]),
+                    b_run->critical ? "yes" : "no"});
+    std::cout << "== Collected average occurrence distances ==\n" << deltas.str() << "\n";
+
+    std::cout << "cycle time = " << result.cycle_time.str() << "   [paper: 10]\n";
+    std::cout << "critical cycle = ";
+    for (std::size_t i = 0; i < result.critical_cycle_events.size(); ++i)
+        std::cout << (i ? " -> " : "") << sg.event(result.critical_cycle_events[i]).name;
+    std::cout << "\n  [paper Example 6/Section II: a+ c+ a- c- (length 10); the cycle\n"
+              << "   printed in Section VIII.C, a+ c+ b- c-, has length 8 under the\n"
+              << "   Figure 2c delays — a typo in the paper; see EXPERIMENTS.md]\n\n";
+
+    // E7: infinite b+0-initiated series.
+    const distance_series series = initiated_distance_series(sg, sg.event_by_name("b+"), 12);
+    text_table inf;
+    inf.set_header({"i", "delta_b+0(b+i)", "as decimal"});
+    const char* paper_vals[] = {"8", "9", "28/3", "19/2", "48/5"};
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        std::string note = i < 5 ? std::string(" [paper: ") + paper_vals[i] + "]" : "";
+        inf.add_row({std::to_string(i + 1), opt_str(series.delta[i]) + note,
+                     series.delta[i] ? format_double(series.delta[i]->to_double(), 4) : "-"});
+    }
+    std::cout << "== Off-critical series (Prop. 8): approaches 10 from below ==\n"
+              << inf.str();
+    return 0;
+}

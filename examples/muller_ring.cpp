@@ -1,0 +1,71 @@
+// Muller ring exploration (the paper's Section VIII.D workload): sweep the
+// ring size and the number of data tokens and watch the cycle time respond
+// — the classic throughput/occupancy trade-off of self-timed rings.
+//
+// Usage: muller_ring [max_stages]        (default 12)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cycle_time.h"
+#include "gen/muller.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv)
+{
+    using namespace tsg;
+
+    std::uint32_t max_stages = 12;
+    if (argc > 1) max_stages = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    if (max_stages < 5) max_stages = 5;
+
+    // Part 1: the paper's instance.
+    {
+        const signal_graph sg = muller_ring_sg();
+        const cycle_time_result r = analyze_cycle_time(sg);
+        std::cout << "paper instance (5 stages, 1 token): cycle time = "
+                  << r.cycle_time.str() << " ~ "
+                  << format_double(r.cycle_time.to_double(), 4) << "  [paper: 20/3]\n\n";
+    }
+
+    // Part 2: size sweep with one token.
+    text_table size_sweep;
+    size_sweep.set_header({"stages", "events", "arcs", "b", "cycle time", "~"});
+    for (std::uint32_t n = 5; n <= max_stages; ++n) {
+        muller_ring_options opts;
+        opts.stages = n;
+        const signal_graph sg = muller_ring_sg(opts);
+        const cycle_time_result r = analyze_cycle_time(sg);
+        size_sweep.add_row({std::to_string(n), std::to_string(sg.event_count()),
+                            std::to_string(sg.arc_count()),
+                            std::to_string(r.border_count), r.cycle_time.str(),
+                            format_double(r.cycle_time.to_double(), 3)});
+    }
+    std::cout << "== one token, growing ring ==\n" << size_sweep.str() << "\n";
+
+    // Part 3: token sweep on a fixed ring — throughput peaks at moderate
+    // occupancy and degrades when the ring is too empty or too full.
+    const std::uint32_t n = max_stages;
+    text_table token_sweep;
+    token_sweep.set_header({"tokens", "cycle time", "~", "throughput (tokens/time)"});
+    for (std::uint32_t k = 1; k <= n / 2; ++k) {
+        muller_ring_options opts;
+        opts.stages = n;
+        for (std::uint32_t j = 0; j < k; ++j)
+            opts.high_stages.push_back(j * (n / k)); // spread tokens evenly
+        try {
+            const signal_graph sg = muller_ring_sg(opts);
+            const cycle_time_result r = analyze_cycle_time(sg);
+            const double throughput = static_cast<double>(k) / r.cycle_time.to_double();
+            token_sweep.add_row({std::to_string(k), r.cycle_time.str(),
+                                 format_double(r.cycle_time.to_double(), 3),
+                                 format_double(throughput, 4)});
+        } catch (const error& e) {
+            // Overfull rings can deadlock; report instead of aborting.
+            token_sweep.add_row({std::to_string(k), "-", "-", e.what()});
+        }
+    }
+    std::cout << "== " << n << "-stage ring, varying token count ==\n"
+              << token_sweep.str();
+    return 0;
+}

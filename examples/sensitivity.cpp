@@ -1,0 +1,89 @@
+// Design exploration on top of the analysis: per-arc criticality and slack.
+//
+// For every arc of a Timed Signal Graph this example asks two questions a
+// designer cares about:
+//   * criticality — does the arc lie on a critical cycle (so that speeding
+//     it up can improve the cycle time)?
+//   * slack — by how much can its delay grow before the cycle time moves?
+// Both fall out of repeated cycle-time analyses; with O(b^2 m) per run the
+// whole report costs O(b^2 m^2), comfortably interactive for gate-level
+// graphs.
+#include <iostream>
+
+#include "core/cycle_time.h"
+#include "gen/oscillator.h"
+#include "sg/signal_graph.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tsg;
+
+/// Rebuilds `sg` with arc `target` carrying delay `delay`.
+signal_graph with_arc_delay(const signal_graph& sg, arc_id target, const rational& delay)
+{
+    signal_graph out;
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        const event_info& info = sg.event(e);
+        out.add_event(info.name, info.signal, info.pol);
+    }
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        out.add_arc(arc.from, arc.to, a == target ? delay : arc.delay, arc.marked,
+                    arc.disengageable);
+    }
+    out.finalize();
+    return out;
+}
+
+/// Largest extra delay on `a` that keeps the cycle time unchanged
+/// (binary search over integers, capped).
+rational arc_slack(const signal_graph& sg, arc_id a, const rational& lambda)
+{
+    const rational base = sg.arc(a).delay;
+    std::int64_t lo = 0;
+    std::int64_t hi = 1;
+    const std::int64_t cap = 1'000'000;
+    while (hi < cap &&
+           analyze_cycle_time(with_arc_delay(sg, a, base + rational(hi))).cycle_time ==
+               lambda)
+        hi *= 2;
+    if (hi >= cap) return rational(cap); // effectively unbounded
+    while (lo + 1 < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (analyze_cycle_time(with_arc_delay(sg, a, base + rational(mid))).cycle_time ==
+            lambda)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return rational(lo);
+}
+
+} // namespace
+
+int main()
+{
+    const signal_graph sg = c_oscillator_sg();
+    const cycle_time_result reference = analyze_cycle_time(sg);
+    std::cout << "oscillator cycle time: " << reference.cycle_time.str() << "\n\n";
+
+    std::vector<bool> on_critical(sg.arc_count(), false);
+    for (const arc_id a : reference.critical_cycle_arcs) on_critical[a] = true;
+
+    text_table t;
+    t.set_header({"arc", "delay", "on critical cycle", "slack (before lambda moves)"});
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        // One-shot arcs only shape the start-up; skip them in the report.
+        if (sg.event(arc.from).kind != event_kind::repetitive) continue;
+        const rational slack = arc_slack(sg, a, reference.cycle_time);
+        t.add_row({sg.event(arc.from).name + " -> " + sg.event(arc.to).name,
+                   arc.delay.str(), on_critical[a] ? "yes" : "no", slack.str()});
+    }
+    std::cout << t.str() << "\n";
+    std::cout << "Reading: arcs on the critical cycle have zero slack — any extra\n"
+              << "delay there lengthens the cycle time immediately; the b-branch\n"
+              << "arcs tolerate their printed slack before becoming critical.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Command-line analyzer: read a .tsg (Timed Signal Graph) or .circuit file
+// and print the full performance report — the shape of a tool a user of
+// this library would actually ship.
+//
+// Usage:
+//   tsg_tool                      analyze the built-in demo graph
+//   tsg_tool model.tsg            analyze a Timed Signal Graph file
+//   tsg_tool model.circuit        extract from a circuit, then analyze
+//   tsg_tool --report [file]      emit the full markdown report instead
+#include <iostream>
+#include <string>
+
+#include "circuit/extraction.h"
+#include "circuit/netlist_io.h"
+#include "core/cycle_time.h"
+#include "core/report.h"
+#include "gen/oscillator.h"
+#include "sg/sg_io.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tsg;
+
+void report(const signal_graph& sg)
+{
+    std::cout << "model: " << sg.event_count() << " events, " << sg.arc_count()
+              << " arcs, " << sg.token_count() << " tokens\n";
+    std::cout << "  repetitive: " << sg.repetitive_events().size()
+              << ", initial: " << sg.initial_events().size()
+              << ", transient: " << sg.transient_events().size() << "\n";
+
+    if (sg.repetitive_events().empty()) {
+        std::cout << "graph is acyclic — nothing oscillates, cycle time undefined\n";
+        return;
+    }
+
+    const cycle_time_result result = analyze_cycle_time(sg);
+    std::cout << "border events (cut set): ";
+    for (const event_id e : sg.border_events()) std::cout << sg.event(e).name << " ";
+    std::cout << "\n\ncycle time = " << result.cycle_time.str();
+    if (!result.cycle_time.is_integer())
+        std::cout << " ~ " << format_double(result.cycle_time.to_double(), 4);
+    std::cout << "\ncritical cycle (epsilon = " << result.critical_occurrence_period
+              << "): ";
+    for (std::size_t i = 0; i < result.critical_cycle_events.size(); ++i)
+        std::cout << (i ? " -> " : "") << sg.event(result.critical_cycle_events[i]).name;
+    std::cout << "\n\n";
+
+    text_table t;
+    t.set_header({"border event", "collected deltas", "critical"});
+    for (const border_run& run : result.runs) {
+        std::string deltas;
+        for (const auto& d : run.deltas) deltas += (d ? d->str() : "-") + std::string(" ");
+        t.add_row({sg.event(run.origin).name, deltas, run.critical ? "yes" : "no"});
+    }
+    std::cout << t.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        bool markdown = false;
+        std::vector<std::string> args(argv + 1, argv + argc);
+        if (!args.empty() && args[0] == "--report") {
+            markdown = true;
+            args.erase(args.begin());
+        }
+        if (markdown) {
+            const signal_graph sg = args.empty() ? c_oscillator_sg() : load_sg(args[0]);
+            std::cout << performance_report_markdown(sg);
+            return 0;
+        }
+        if (argc < 2) {
+            std::cout << "(no input file — analyzing the built-in Figure 2c demo; pass a\n"
+                      << " .tsg or .circuit file to analyze your own model)\n\n";
+            report(c_oscillator_sg());
+            return 0;
+        }
+        const std::string path = argv[1];
+        if (path.size() > 8 && path.substr(path.size() - 8) == ".circuit") {
+            const parsed_circuit circuit = load_circuit(path);
+            std::cout << "extracting Signal Graph from circuit '" << circuit.name
+                      << "'...\n";
+            const extraction_result extracted =
+                extract_signal_graph(circuit.nl, circuit.initial);
+            report(extracted.graph);
+        } else {
+            report(load_sg(path));
+        }
+    } catch (const error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Interleaving state-space exploration and semimodularity checking.
+//
+// A circuit is speed-independent only if an excited gate stays excited
+// until it fires: no other transition may "steal" its excitation.  This
+// module explores the reachable binary state space under the interleaving
+// semantics (fire one excited signal at a time) and reports any state in
+// which firing one signal disables another — a semimodularity violation,
+// which also rules out distributivity.  The paper's reference [9] performs
+// this analysis (plus extraction) in the TRASPEC tool; here it backs the
+// extractor with an exactness check and provides negative diagnostics for
+// hazard-ridden circuits.
+#ifndef TSG_CIRCUIT_EXPLORER_H
+#define TSG_CIRCUIT_EXPLORER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace tsg {
+
+struct exploration_result {
+    std::size_t state_count = 0;   ///< reachable states visited
+    bool semimodular = true;       ///< no excitation was ever disabled
+    bool complete = true;          ///< false when max_states was hit
+    std::vector<std::string> violations; ///< human-readable witnesses
+};
+
+/// Explores all reachable states from `initial` (environment stimuli fire
+/// like gates: each pending input toggle is an excitation).  Stops after
+/// `max_states` distinct states.
+[[nodiscard]] exploration_result explore_state_space(const netlist& nl,
+                                                     const circuit_state& initial,
+                                                     std::size_t max_states = 1u << 20);
+
+/// Signals excited in `state` (gates plus pending input stimuli):
+/// `pending_inputs[i]` aligns with nl.stimuli().
+[[nodiscard]] std::vector<signal_id> excited_signals(const netlist& nl,
+                                                     const circuit_state& state,
+                                                     const std::vector<bool>& pending_inputs);
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_EXPLORER_H

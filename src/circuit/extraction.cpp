@@ -1,0 +1,622 @@
+#include "circuit/extraction.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tsg {
+
+namespace {
+
+constexpr std::int64_t no_occurrence = -1;
+
+struct occurrence {
+    signal_id signal = invalid_signal;
+    bool new_value = false;
+    /// (cause occurrence id, pin delay); causes from constant signals (never
+    /// fired) are omitted — they are satisfied by the initial state forever.
+    std::vector<std::pair<std::int64_t, rational>> causes;
+};
+
+/// The deterministic cumulative simulation engine.
+class cumulative_simulation {
+public:
+    cumulative_simulation(const netlist& nl, const circuit_state& initial)
+        : nl_(nl), state_(initial), last_occ_(nl.signal_count(), no_occurrence),
+          in_queue_(nl.signal_count(), false), pending_(nl.stimuli().size(), true)
+    {
+        // Fair deterministic ready queue: stimuli first, then excited gates.
+        for (const signal_id s : nl.stimuli()) enqueue(s);
+        for (signal_id s = 0; s < nl.signal_count(); ++s)
+            if (gate_excited(nl_, state_, s)) enqueue(s);
+    }
+
+    [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+    [[nodiscard]] const std::vector<occurrence>& occurrences() const { return occs_; }
+
+    /// Configuration key for period detection: values + pending stimuli +
+    /// queue contents in order.
+    [[nodiscard]] std::string configuration_key() const
+    {
+        std::string key;
+        key.reserve(state_.size() + pending_.size() + queue_.size() * 4 + 2);
+        for (std::size_t i = 0; i < state_.size(); ++i)
+            key.push_back(state_.value(static_cast<signal_id>(i)) ? '1' : '0');
+        key.push_back('|');
+        for (const bool p : pending_) key.push_back(p ? '1' : '0');
+        key.push_back('|');
+        for (const signal_id s : queue_) {
+            key.push_back(static_cast<char>(s & 0xff));
+            key.push_back(static_cast<char>((s >> 8) & 0xff));
+            key.push_back(static_cast<char>((s >> 16) & 0xff));
+            key.push_back(static_cast<char>((s >> 24) & 0xff));
+        }
+        return key;
+    }
+
+    /// Fires the next ready transition and records its occurrence.
+    void step()
+    {
+        ensure(!queue_.empty(), "cumulative_simulation: step on idle circuit");
+        const signal_id s = queue_.front();
+        queue_.pop_front();
+        in_queue_[s] = false;
+
+        occurrence occ;
+        occ.signal = s;
+
+        const gate* g = nl_.driver(s);
+        if (g == nullptr) {
+            // Environment stimulus: one toggle, no causes.
+            const auto& stimuli = nl_.stimuli();
+            bool was_pending = false;
+            for (std::size_t i = 0; i < stimuli.size(); ++i) {
+                if (stimuli[i] == s && pending_[i]) {
+                    pending_[i] = false;
+                    was_pending = true;
+                    break;
+                }
+            }
+            require(was_pending, "extract_signal_graph: spurious input firing");
+            occ.new_value = !state_.value(s);
+        } else {
+            require(gate_excited(nl_, state_, s),
+                    "extract_signal_graph: excitation of '" + nl_.signal_name(s) +
+                        "' was withdrawn — circuit is not semimodular");
+            occ.new_value = !state_.value(s);
+            occ.causes = identify_causes(*g);
+        }
+
+        state_.toggle(s);
+        last_occ_[s] = static_cast<std::int64_t>(occs_.size());
+        occs_.push_back(std::move(occ));
+
+        // Requeue everything newly excited among s and its fanout outputs.
+        refresh(s);
+        for (const std::uint32_t gi : nl_.fanout(s)) refresh(nl_.gates()[gi].output);
+    }
+
+private:
+    void enqueue(signal_id s)
+    {
+        if (in_queue_[s]) return;
+        queue_.push_back(s);
+        in_queue_[s] = true;
+    }
+
+    void refresh(signal_id s)
+    {
+        if (!in_queue_[s] && gate_excited(nl_, state_, s)) enqueue(s);
+    }
+
+    /// AND-cause identification for an excited gate (output value v about to
+    /// become !v): a pin is *necessary* when flipping its value alone
+    /// removes the excitation; the necessary pins must also be jointly
+    /// *sufficient* (excitation regardless of the other pins), otherwise
+    /// the behaviour is OR-causal and the circuit is not distributive.
+    std::vector<std::pair<std::int64_t, rational>> identify_causes(const gate& g)
+    {
+        const bool v = state_.value(g.output);
+        const std::size_t fanin = g.inputs.size();
+
+        std::array<bool, max_gate_fanin> values{};
+        for (std::size_t i = 0; i < fanin; ++i) values[i] = state_.value(g.inputs[i].signal);
+        const std::span<const bool> view(values.data(), fanin);
+
+        std::vector<std::size_t> necessary;
+        std::vector<std::size_t> free_pins;
+        for (std::size_t i = 0; i < fanin; ++i) {
+            values[i] = !values[i];
+            const bool still_excited = gate_next_value(g.kind, view, v) != v;
+            values[i] = !values[i];
+            if (!still_excited)
+                necessary.push_back(i);
+            else
+                free_pins.push_back(i);
+        }
+
+        // Joint sufficiency over all assignments of the non-necessary pins.
+        require(free_pins.size() <= 20,
+                "extract_signal_graph: too many non-essential pins on gate '" +
+                    nl_.signal_name(g.output) + "'");
+        const std::size_t combos = static_cast<std::size_t>(1) << free_pins.size();
+        for (std::size_t mask = 0; mask < combos; ++mask) {
+            for (std::size_t j = 0; j < free_pins.size(); ++j)
+                values[free_pins[j]] = (mask >> j) & 1;
+            const bool excited = gate_next_value(g.kind, view, v) != v;
+            if (!excited)
+                throw error("extract_signal_graph: transition of '" +
+                            nl_.signal_name(g.output) +
+                            "' is OR-causal — circuit is not distributive");
+        }
+        for (std::size_t i = 0; i < fanin; ++i) values[i] = state_.value(g.inputs[i].signal);
+
+        std::vector<std::pair<std::int64_t, rational>> causes;
+        for (const std::size_t i : necessary) {
+            const pin& p = g.inputs[i];
+            if (last_occ_[p.signal] == no_occurrence) continue; // initial value, no event
+            // The output is about to become !v; pick the matching pin delay.
+            causes.emplace_back(last_occ_[p.signal], p.delay_for(!v));
+        }
+        return causes;
+    }
+
+    const netlist& nl_;
+    circuit_state state_;
+    std::vector<std::int64_t> last_occ_;
+    std::vector<bool> in_queue_;
+    std::vector<bool> pending_;
+    std::deque<signal_id> queue_;
+    std::vector<occurrence> occs_;
+};
+
+[[nodiscard]] std::int64_t floor_div(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+}
+
+/// Everything needed to fold the verified periodic window into a Signal
+/// Graph.
+class folder {
+public:
+    folder(const netlist& nl, const std::vector<occurrence>& occs, std::size_t start,
+           std::size_t period)
+        : nl_(nl), occs_(occs), start_(start), period_(period)
+    {
+    }
+
+    signal_graph fold()
+    {
+        index_signals();
+        create_repetitive_events();
+        create_transient_events();
+        add_window_arcs();
+        add_prefix_arcs();
+        graph_.finalize();
+        return std::move(graph_);
+    }
+
+private:
+    struct signal_stats {
+        bool repetitive = false;       ///< occurs inside the window
+        std::int64_t first_window_sindex = 0; ///< per-signal index of first window occ
+        std::int64_t window_count = 0; ///< occurrences inside the window
+        std::int64_t per_period = 0;   ///< events per folded period
+    };
+
+    void index_signals()
+    {
+        sindex_.assign(occs_.size(), 0);
+        std::vector<std::int64_t> counter(nl_.signal_count(), 0);
+        for (std::size_t o = 0; o < occs_.size(); ++o)
+            sindex_[o] = counter[occs_[o].signal]++;
+
+        stats_.assign(nl_.signal_count(), signal_stats{});
+        window_of_signal_.assign(nl_.signal_count(), {});
+        for (std::size_t o = start_; o < start_ + period_; ++o) {
+            signal_stats& st = stats_[occs_[o].signal];
+            if (!st.repetitive) {
+                st.repetitive = true;
+                st.first_window_sindex = sindex_[o];
+            }
+            ++st.window_count;
+            window_of_signal_[occs_[o].signal].push_back(o);
+        }
+
+        // The configuration window may span several behavioural periods
+        // (the ready queue rotates through equivalent cuts).  Fold at the
+        // finest granularity whose per-event cause structure is uniform:
+        // try refinement factors f from the largest common divisor of the
+        // per-signal occurrence counts downward; f divides every count and
+        // each event then occurs window_count / f times in the window.
+        std::int64_t g = 0;
+        for (const signal_stats& st : stats_)
+            if (st.repetitive) g = std::gcd(g, st.window_count);
+        if (g == 0) g = 1; // no repetitive signals at all (acyclic fold)
+
+        bool refined = false;
+        for (std::int64_t f = g; f >= 1; --f) {
+            if (g % f != 0) continue;
+            if (try_refinement(f)) {
+                refined = true;
+                break;
+            }
+        }
+        require(refined,
+                "extract_signal_graph: start-up transitions do not follow the "
+                "periodic pattern — behaviour has no initially-safe Signal Graph");
+    }
+
+    /// Attempts to fold each signal at window_count / f events per period.
+    /// On success commits per_period and inst_number_ and returns true.
+    bool try_refinement(std::int64_t f)
+    {
+        for (signal_stats& st : stats_)
+            if (st.repetitive) st.per_period = st.window_count / f;
+
+        // Slot of every occurrence of a repetitive signal, and polarity
+        // consistency between start-up and steady state.
+        std::vector<std::int64_t> slot(occs_.size(), -1);
+        for (std::size_t o = 0; o < occs_.size(); ++o) {
+            const occurrence& occ = occs_[o];
+            const signal_stats& st = stats_[occ.signal];
+            if (!st.repetitive) continue;
+            const std::int64_t rel = sindex_[o] - st.first_window_sindex;
+            slot[o] = rel - floor_div(rel, st.per_period) * st.per_period;
+            const std::size_t representative =
+                window_of_signal_[occ.signal][static_cast<std::size_t>(slot[o])];
+            if (occs_[representative].new_value != occ.new_value) return false;
+        }
+
+        // Instantiation numbers anchored at each event's true first
+        // occurrence: the marking of an arc is mu = j(target) - j(cause),
+        // independent of where the window was cut.
+        std::vector<std::int64_t> inst(occs_.size(), 0);
+        std::map<std::pair<signal_id, std::int64_t>, std::int64_t> per_event;
+        for (std::size_t o = 0; o < occs_.size(); ++o)
+            if (slot[o] >= 0) inst[o] = per_event[{occs_[o].signal, slot[o]}]++;
+
+        // Uniformity: every instance of an event inside the window must
+        // repeat the representative's cause structure (same pins/delays,
+        // same cause events, same marking), with mu in {0, 1}.
+        for (std::size_t o = start_; o < start_ + period_; ++o) {
+            const occurrence& occ = occs_[o];
+            if (slot[o] < 0) continue;
+            const std::size_t r =
+                window_of_signal_[occ.signal][static_cast<std::size_t>(slot[o])];
+            const occurrence& rep = occs_[r];
+            if (occ.causes.size() != rep.causes.size()) return false;
+            for (std::size_t k = 0; k < occ.causes.size(); ++k) {
+                const auto [c_o, d_o] = occ.causes[k];
+                const auto [c_r, d_r] = rep.causes[k];
+                if (!(d_o == d_r)) return false;
+                const auto co = static_cast<std::size_t>(c_o);
+                const auto cr = static_cast<std::size_t>(c_r);
+                const bool rep_o = slot[co] >= 0;
+                const bool rep_r = slot[cr] >= 0;
+                if (rep_o != rep_r) return false;
+                if (!rep_o) {
+                    if (co != cr) return false; // must share the one-shot cause
+                    continue;
+                }
+                if (occs_[co].signal != occs_[cr].signal || slot[co] != slot[cr])
+                    return false;
+                const std::int64_t mu = inst[o] - inst[co];
+                if (mu != inst[r] - inst[cr]) return false;
+                if (mu != 0 && mu != 1) return false;
+            }
+        }
+
+        inst_number_ = std::move(inst);
+        slot_of_ = std::move(slot);
+        return true;
+    }
+
+    /// Display name of a transition; disambiguates multiple events of the
+    /// same signal and polarity as "s.1+", "s.2+", ... (the paper's a1, a2).
+    static std::string transition_name(const std::string& signal, bool rise, std::size_t index,
+                                       std::size_t count_same_polarity)
+    {
+        std::string name = signal;
+        if (count_same_polarity > 1) name += "." + std::to_string(index + 1);
+        name += rise ? '+' : '-';
+        return name;
+    }
+
+    void create_repetitive_events()
+    {
+        event_of_window_.assign(period_, invalid_node);
+
+        // Create one event per (signal, slot), named from its
+        // representative occurrence; count same-polarity events per signal
+        // among representatives for disambiguation.
+        std::map<std::pair<signal_id, bool>, std::size_t> totals;
+        for (signal_id s = 0; s < nl_.signal_count(); ++s) {
+            const signal_stats& st = stats_[s];
+            if (!st.repetitive) continue;
+            for (std::int64_t k = 0; k < st.per_period; ++k)
+                ++totals[{s, occs_[window_of_signal_[s][static_cast<std::size_t>(k)]].new_value}];
+        }
+
+        // Create events in window order of their representatives so names
+        // read in firing order.
+        std::map<std::pair<signal_id, bool>, std::size_t> counters;
+        std::vector<event_id> event_of_slot(period_, invalid_node);
+        for (std::size_t o = start_; o < start_ + period_; ++o) {
+            const occurrence& occ = occs_[o];
+            const std::int64_t sl = slot_of_[o];
+            const std::size_t representative =
+                window_of_signal_[occ.signal][static_cast<std::size_t>(sl)];
+            if (representative != o) continue; // only the first instance creates
+            const auto key = std::make_pair(occ.signal, occ.new_value);
+            const std::size_t index = counters[key]++;
+            const std::string name = transition_name(nl_.signal_name(occ.signal),
+                                                     occ.new_value, index, totals[key]);
+            event_of_window_[o - start_] = graph_.add_event(
+                name, nl_.signal_name(occ.signal),
+                occ.new_value ? polarity::rise : polarity::fall);
+        }
+        // Non-representative window positions share their slot's event.
+        for (std::size_t o = start_; o < start_ + period_; ++o) {
+            const std::size_t representative =
+                window_of_signal_[occs_[o].signal][static_cast<std::size_t>(slot_of_[o])];
+            event_of_window_[o - start_] = event_of_window_[representative - start_];
+        }
+    }
+
+    void create_transient_events()
+    {
+        event_of_prefix_.assign(start_, invalid_node);
+
+        std::map<std::pair<signal_id, bool>, std::size_t> totals;
+        for (std::size_t o = 0; o < start_; ++o) {
+            const occurrence& occ = occs_[o];
+            if (stats_[occ.signal].repetitive) continue;
+            ++totals[{occ.signal, occ.new_value}];
+        }
+        std::map<std::pair<signal_id, bool>, std::size_t> counters;
+        for (std::size_t o = 0; o < start_; ++o) {
+            const occurrence& occ = occs_[o];
+            if (stats_[occ.signal].repetitive) continue; // earlier instantiation, not an event
+            const auto key = std::make_pair(occ.signal, occ.new_value);
+            const std::size_t index = counters[key]++;
+            const std::string name = transition_name(nl_.signal_name(occ.signal),
+                                                     occ.new_value, index, totals[key]);
+            event_of_prefix_[o] = graph_.add_event(
+                name, nl_.signal_name(occ.signal),
+                occ.new_value ? polarity::rise : polarity::fall);
+        }
+    }
+
+    /// Event of any occurrence of a repetitive signal.
+    [[nodiscard]] event_id event_of_repetitive(std::size_t o) const
+    {
+        ensure(slot_of_[o] >= 0, "folder: mapping a non-repetitive occurrence");
+        const std::size_t representative =
+            window_of_signal_[occs_[o].signal][static_cast<std::size_t>(slot_of_[o])];
+        return event_of_window_[representative - start_];
+    }
+
+    void add_window_arcs()
+    {
+        // Emit arcs once per event, from the representative occurrence
+        // (all window instances verified identical by try_refinement).
+        for (std::size_t o = start_; o < start_ + period_; ++o) {
+            const std::size_t representative =
+                window_of_signal_[occs_[o].signal][static_cast<std::size_t>(slot_of_[o])];
+            if (representative != o) continue;
+            const event_id target = event_of_window_[o - start_];
+            for (const auto& [cause, delay] : occs_[o].causes) {
+                const auto c = static_cast<std::size_t>(cause);
+                if (slot_of_[c] >= 0) {
+                    const std::int64_t mu = inst_number_[o] - inst_number_[c];
+                    ensure(mu == 0 || mu == 1,
+                           "folder: unsafe marking survived refinement check");
+                    graph_.add_arc(event_of_repetitive(c), target, delay,
+                                   /*marked=*/mu == 1,
+                                   /*disengageable=*/false);
+                } else {
+                    const event_id source = event_of_prefix_.at(c);
+                    ensure(source != invalid_node, "folder: missing transient event");
+                    graph_.add_arc(source, target, delay, /*marked=*/false,
+                                   /*disengageable=*/true);
+                }
+            }
+        }
+    }
+
+    void add_prefix_arcs()
+    {
+        for (std::size_t o = 0; o < start_; ++o) {
+            const event_id target = event_of_prefix_[o];
+            if (target == invalid_node) continue; // earlier instantiation of a repetitive event
+            for (const auto& [cause, delay] : occs_[o].causes) {
+                const auto c = static_cast<std::size_t>(cause);
+                const occurrence& cause_occ = occs_[c];
+                require(!stats_[cause_occ.signal].repetitive,
+                        "extract_signal_graph: one-shot transition of '" +
+                            nl_.signal_name(occs_[o].signal) +
+                            "' depends on repetitive '" + nl_.signal_name(cause_occ.signal) +
+                            "' — not expressible as a bounded Signal Graph");
+                const event_id source = event_of_prefix_.at(c);
+                ensure(source != invalid_node, "folder: missing transient cause event");
+                graph_.add_arc(source, target, delay, /*marked=*/false,
+                               /*disengageable=*/false);
+            }
+        }
+    }
+
+    const netlist& nl_;
+    const std::vector<occurrence>& occs_;
+    const std::size_t start_;
+    const std::size_t period_;
+
+    signal_graph graph_;
+    std::vector<std::int64_t> sindex_;
+    std::vector<std::int64_t> inst_number_;
+    std::vector<std::int64_t> slot_of_;
+    std::vector<signal_stats> stats_;
+    std::vector<std::vector<std::size_t>> window_of_signal_;
+    std::vector<event_id> event_of_window_;
+    std::vector<event_id> event_of_prefix_;
+};
+
+/// Verifies that occurrences [start, start+p) are a shifted copy of
+/// [start-p, start): same signals/values, and causes either shifted by p or
+/// pointing at the same one-shot occurrence.
+bool window_isomorphic(const std::vector<occurrence>& occs, std::size_t start, std::size_t p,
+                       const std::vector<bool>& signal_in_window)
+{
+    for (std::size_t o = start; o < start + p; ++o) {
+        const occurrence& cur = occs[o];
+        const occurrence& prev = occs[o - p];
+        if (cur.signal != prev.signal || cur.new_value != prev.new_value) return false;
+        if (cur.causes.size() != prev.causes.size()) return false;
+        for (std::size_t k = 0; k < cur.causes.size(); ++k) {
+            const auto& [c_cur, d_cur] = cur.causes[k];
+            const auto& [c_prev, d_prev] = prev.causes[k];
+            if (!(d_cur == d_prev)) return false;
+            const bool shifted = c_cur == c_prev + static_cast<std::int64_t>(p);
+            const bool shared_oneshot =
+                c_cur == c_prev &&
+                !signal_in_window[occs[static_cast<std::size_t>(c_cur)].signal];
+            if (!shifted && !shared_oneshot) return false;
+        }
+    }
+    return true;
+}
+
+/// Folds a fully settled (acyclic) behaviour: every occurrence is an event.
+signal_graph fold_acyclic(const netlist& nl, const std::vector<occurrence>& occs)
+{
+    require(!occs.empty(), "extract_signal_graph: circuit is stable — no behaviour at all");
+    folder f(nl, occs, occs.size(), 0);
+    // With an empty window every occurrence is "prefix"; reuse the folder by
+    // treating start = occs.size() and period 0.
+    return f.fold();
+}
+
+} // namespace
+
+extraction_result extract_signal_graph(const netlist& nl, const circuit_state& initial,
+                                       const extraction_options& options)
+{
+    nl.validate();
+    require(initial.size() == nl.signal_count(),
+            "extract_signal_graph: state size does not match netlist");
+
+    cumulative_simulation sim(nl, initial);
+
+    // Configuration -> occurrence count at which it was last seen.
+    std::unordered_map<std::string, std::size_t> seen;
+    seen.emplace(sim.configuration_key(), 0);
+
+    std::optional<std::size_t> window_start;
+    std::size_t window_period = 0;
+
+    while (sim.occurrences().size() < options.max_occurrences) {
+        if (sim.idle()) {
+            // The circuit settles: purely acyclic behaviour.
+            extraction_result out;
+            out.graph = fold_acyclic(nl, sim.occurrences());
+            out.periodic = false;
+            out.prefix_occurrences = static_cast<std::uint32_t>(sim.occurrences().size());
+            out.simulated_occurrences = sim.occurrences().size();
+            return out;
+        }
+        sim.step();
+
+        const std::string key = sim.configuration_key();
+        const auto it = seen.find(key);
+        const std::size_t now = sim.occurrences().size();
+        if (it != seen.end()) {
+            const std::size_t before = it->second;
+            const std::size_t p = now - before;
+            // Need one full earlier period to verify the causal shift.
+            if (before >= p) {
+                auto verify = [&](std::size_t q) {
+                    std::vector<bool> in_window(nl.signal_count(), false);
+                    for (std::size_t o = now - q; o < now; ++o)
+                        in_window[sim.occurrences()[o].signal] = true;
+                    return window_isomorphic(sim.occurrences(), now - q, q, in_window);
+                };
+                if (verify(p)) {
+                    // The configuration orbit may span several behavioural
+                    // periods (the ready queue rotates); refine to the
+                    // smallest shift-isomorphic divisor.
+                    std::vector<std::size_t> divisors;
+                    for (std::size_t d = 1; d * d <= p; ++d) {
+                        if (p % d != 0) continue;
+                        divisors.push_back(d);
+                        if (d != p / d) divisors.push_back(p / d);
+                    }
+                    std::sort(divisors.begin(), divisors.end());
+                    std::size_t q = p;
+                    for (const std::size_t d : divisors) {
+                        if (now >= 2 * d && verify(d)) {
+                            q = d;
+                            break;
+                        }
+                    }
+                    window_start = now - q;
+                    window_period = q;
+                    break;
+                }
+            }
+            it->second = now;
+        } else {
+            seen.emplace(key, now);
+        }
+    }
+
+    require(window_start.has_value(),
+            "extract_signal_graph: no periodic behaviour found within " +
+                std::to_string(options.max_occurrences) + " transitions");
+
+    folder f(nl, sim.occurrences(), *window_start, window_period);
+    extraction_result out;
+    out.graph = f.fold();
+    out.period_occurrences = static_cast<std::uint32_t>(window_period);
+    out.prefix_occurrences = static_cast<std::uint32_t>(*window_start);
+    out.simulated_occurrences = sim.occurrences().size();
+    out.periodic = true;
+    return out;
+}
+
+std::vector<timed_transition> simulate_circuit_schedule(const netlist& nl,
+                                                        const circuit_state& initial,
+                                                        std::size_t max_transitions)
+{
+    nl.validate();
+    require(initial.size() == nl.signal_count(),
+            "simulate_circuit_schedule: state size does not match netlist");
+
+    cumulative_simulation sim(nl, initial);
+    while (!sim.idle() && sim.occurrences().size() < max_transitions) sim.step();
+
+    std::vector<timed_transition> schedule;
+    std::vector<rational> time(sim.occurrences().size(), rational(0));
+    std::vector<std::uint32_t> count(nl.signal_count(), 0);
+    for (std::size_t o = 0; o < sim.occurrences().size(); ++o) {
+        const occurrence& occ = sim.occurrences()[o];
+        rational t(0);
+        for (const auto& [cause, delay] : occ.causes) {
+            const rational candidate = time[static_cast<std::size_t>(cause)] + delay;
+            if (candidate > t) t = candidate;
+        }
+        time[o] = t;
+        schedule.push_back(
+            timed_transition{occ.signal, count[occ.signal]++, occ.new_value, t});
+    }
+    return schedule;
+}
+
+} // namespace tsg

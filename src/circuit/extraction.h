@@ -1,0 +1,76 @@
+// Signal Graph extraction from a distributive circuit (the role played by
+// the TRASPEC component of FORCAGE in the paper's flow, Section VIII.B).
+//
+// Given a netlist, an initial state and the one-shot input stimuli, the
+// extractor runs a *cumulative simulation*: transitions fire one at a time
+// in a fair (FIFO) deterministic order, and for every firing the set of
+// AND-causes is identified — the input pins whose current values are each
+// individually necessary and jointly sufficient for the excitation.  A pin
+// set that is not jointly sufficient signals OR-causality, i.e. a
+// distributivity violation, and aborts extraction with a diagnostic (use
+// explore_state_space for the semimodularity witness).
+//
+// The deterministic simulation is eventually periodic; the extractor
+// detects a recurring configuration (values + pending stimuli + ready
+// queue), verifies that the causal pattern of one period is a shifted copy
+// of the previous one, and folds that period into a Signal Graph:
+//   * each occurrence in the period becomes a repetitive event;
+//   * a cause in the same period becomes a plain arc;
+//   * a cause in the previous period becomes a *marked* arc (the initial
+//     token: the first firing is already enabled by the initial state);
+//   * a cause pointing at a one-shot occurrence before the periodic regime
+//     becomes a *disengageable* arc from a transient/initial event.
+// Arc delays are the pin delays of the consuming gate.
+#ifndef TSG_CIRCUIT_EXTRACTION_H
+#define TSG_CIRCUIT_EXTRACTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+struct extraction_options {
+    /// Abort if no periodic behaviour is found within this many firings.
+    std::size_t max_occurrences = 200'000;
+};
+
+struct extraction_result {
+    signal_graph graph;                 ///< finalized Timed Signal Graph
+    std::uint32_t period_occurrences = 0; ///< transitions per detected period
+    std::uint32_t prefix_occurrences = 0; ///< transitions before the periodic regime
+    std::size_t simulated_occurrences = 0;///< total transitions simulated
+    bool periodic = true;               ///< false when the circuit settles (acyclic SG)
+};
+
+/// Extracts the Timed Signal Graph of `nl` started from `initial`.
+/// Throws tsg::error when the behaviour is not distributive (OR-causal
+/// excitation or withdrawn excitation), when the periodic regime needs
+/// markings beyond 0/1, or when no period is found within the budget.
+[[nodiscard]] extraction_result extract_signal_graph(const netlist& nl,
+                                                     const circuit_state& initial,
+                                                     const extraction_options& options = {});
+
+/// One transition of the timed circuit schedule.
+struct timed_transition {
+    signal_id signal = invalid_signal;
+    std::uint32_t index = 0; ///< k-th transition of this signal
+    bool new_value = false;
+    rational time;           ///< max over AND-causes of (cause time + pin delay)
+};
+
+/// Simulates the circuit's timed behaviour directly — transition times are
+/// computed from the identified AND-causes and the matching rise/fall pin
+/// delays, with no Signal Graph in between.  This is the independent
+/// reference the extraction is validated against: the Timed Signal Graph's
+/// timing simulation must reproduce exactly these times.
+/// Runs until the circuit settles or `max_transitions` fire.
+[[nodiscard]] std::vector<timed_transition> simulate_circuit_schedule(
+    const netlist& nl, const circuit_state& initial, std::size_t max_transitions = 1'000);
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_EXTRACTION_H

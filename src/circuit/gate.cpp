@@ -1,0 +1,96 @@
+#include "circuit/gate.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tsg {
+
+bool gate_next_value(gate_kind kind, std::span<const bool> inputs, bool current)
+{
+    require(inputs.size() >= gate_min_inputs(kind),
+            "gate_next_value: too few inputs for " + gate_kind_name(kind));
+
+    const auto all = [&](bool v) {
+        return std::all_of(inputs.begin(), inputs.end(), [v](bool b) { return b == v; });
+    };
+    const auto count_ones = [&] {
+        return static_cast<std::size_t>(std::count(inputs.begin(), inputs.end(), true));
+    };
+
+    switch (kind) {
+    case gate_kind::buf: return inputs[0];
+    case gate_kind::inv: return !inputs[0];
+    case gate_kind::and_gate: return all(true);
+    case gate_kind::or_gate: return !all(false);
+    case gate_kind::nand_gate: return !all(true);
+    case gate_kind::nor_gate: return all(false);
+    case gate_kind::xor_gate: return count_ones() % 2 == 1;
+    case gate_kind::xnor_gate: return count_ones() % 2 == 0;
+    case gate_kind::c_element:
+        if (all(true)) return true;
+        if (all(false)) return false;
+        return current;
+    case gate_kind::majority: {
+        const std::size_t ones = count_ones();
+        const std::size_t zeros = inputs.size() - ones;
+        if (ones > zeros) return true;
+        if (zeros > ones) return false;
+        return current;
+    }
+    }
+    ensure(false, "gate_next_value: unknown gate kind");
+    return false;
+}
+
+bool gate_is_state_holding(gate_kind kind) noexcept
+{
+    return kind == gate_kind::c_element || kind == gate_kind::majority;
+}
+
+std::size_t gate_min_inputs(gate_kind kind) noexcept
+{
+    switch (kind) {
+    case gate_kind::buf:
+    case gate_kind::inv: return 1;
+    case gate_kind::c_element: return 2;
+    case gate_kind::majority: return 3;
+    default: return 1;
+    }
+}
+
+std::string gate_kind_name(gate_kind kind)
+{
+    switch (kind) {
+    case gate_kind::buf: return "buf";
+    case gate_kind::inv: return "inv";
+    case gate_kind::and_gate: return "and";
+    case gate_kind::or_gate: return "or";
+    case gate_kind::nand_gate: return "nand";
+    case gate_kind::nor_gate: return "nor";
+    case gate_kind::xor_gate: return "xor";
+    case gate_kind::xnor_gate: return "xnor";
+    case gate_kind::c_element: return "c";
+    case gate_kind::majority: return "maj";
+    }
+    ensure(false, "gate_kind_name: unknown gate kind");
+    return {};
+}
+
+gate_kind parse_gate_kind(const std::string& keyword)
+{
+    if (keyword == "buf") return gate_kind::buf;
+    if (keyword == "inv" || keyword == "not") return gate_kind::inv;
+    if (keyword == "and") return gate_kind::and_gate;
+    if (keyword == "or") return gate_kind::or_gate;
+    if (keyword == "nand") return gate_kind::nand_gate;
+    if (keyword == "nor") return gate_kind::nor_gate;
+    if (keyword == "xor") return gate_kind::xor_gate;
+    if (keyword == "xnor") return gate_kind::xnor_gate;
+    if (keyword == "c" || keyword == "celement" || keyword == "c_element")
+        return gate_kind::c_element;
+    if (keyword == "maj" || keyword == "majority") return gate_kind::majority;
+    throw error("parse_gate_kind: unknown gate kind '" + keyword + "'");
+}
+
+} // namespace tsg

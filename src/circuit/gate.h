@@ -1,0 +1,47 @@
+// Gate library for speed-independent circuit models (Section VIII).
+//
+// Gates are evaluated as next-state functions: given the input values and
+// the current output value, what should the output become?  Combinational
+// gates ignore the current output; state-holding elements (the Muller
+// C-element and the majority gate) keep it when their inputs disagree.
+#ifndef TSG_CIRCUIT_GATE_H
+#define TSG_CIRCUIT_GATE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tsg {
+
+enum class gate_kind : std::uint8_t {
+    buf,       ///< 1 input
+    inv,       ///< 1 input
+    and_gate,  ///< >= 1 inputs
+    or_gate,   ///< >= 1 inputs
+    nand_gate, ///< >= 1 inputs
+    nor_gate,  ///< >= 1 inputs
+    xor_gate,  ///< >= 1 inputs (odd parity)
+    xnor_gate, ///< >= 1 inputs (even parity)
+    c_element, ///< >= 2 inputs: all 1 -> 1, all 0 -> 0, else hold
+    majority,  ///< >= 3 inputs: strict majority wins, tie holds
+};
+
+/// Next output value of a gate.  `current` matters only for state-holding
+/// kinds (c_element, majority).
+[[nodiscard]] bool gate_next_value(gate_kind kind, std::span<const bool> inputs, bool current);
+
+/// True for gates whose next value depends on the current output.
+[[nodiscard]] bool gate_is_state_holding(gate_kind kind) noexcept;
+
+/// Minimum legal fan-in for the kind.
+[[nodiscard]] std::size_t gate_min_inputs(gate_kind kind) noexcept;
+
+/// Lower-case keyword used by the netlist format ("nor", "c", "inv", ...).
+[[nodiscard]] std::string gate_kind_name(gate_kind kind);
+
+/// Inverse of gate_kind_name; throws tsg::error on unknown keywords.
+[[nodiscard]] gate_kind parse_gate_kind(const std::string& keyword);
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_GATE_H

@@ -1,0 +1,132 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tsg {
+
+signal_id netlist::add_signal(const std::string& name)
+{
+    require(!name.empty(), "netlist: signal name must not be empty");
+    require(by_name_.find(name) == by_name_.end(),
+            "netlist: duplicate signal name '" + name + "'");
+    const auto s = static_cast<signal_id>(names_.size());
+    names_.push_back(name);
+    driver_of_.push_back(-1);
+    fanout_.emplace_back();
+    by_name_.emplace(name, s);
+    return s;
+}
+
+void netlist::add_gate(gate_kind kind, signal_id output, std::vector<pin> inputs)
+{
+    require(output < signal_count(), "netlist: bad gate output signal");
+    require(driver_of_[output] == -1,
+            "netlist: signal '" + names_[output] + "' already has a driver");
+    for (const pin& p : inputs) {
+        require(p.signal < signal_count(), "netlist: bad gate input signal");
+        require(!p.rise_delay.is_negative() && !p.fall_delay.is_negative(),
+                "netlist: negative pin delay");
+    }
+    require(inputs.size() >= gate_min_inputs(kind),
+            "netlist: too few inputs for gate '" + names_[output] + "'");
+    require(inputs.size() <= max_gate_fanin,
+            "netlist: fan-in of gate '" + names_[output] + "' exceeds the supported maximum");
+
+    const auto index = static_cast<std::uint32_t>(gates_.size());
+    driver_of_[output] = static_cast<std::int32_t>(index);
+    for (const pin& p : inputs) fanout_[p.signal].push_back(index);
+    gates_.push_back(gate{kind, output, std::move(inputs)});
+}
+
+void netlist::add_gate(gate_kind kind, const std::string& output,
+                       const std::vector<std::pair<std::string, rational>>& inputs)
+{
+    std::vector<std::tuple<std::string, rational, rational>> both;
+    both.reserve(inputs.size());
+    for (const auto& [name, delay] : inputs) both.emplace_back(name, delay, delay);
+    add_gate_rf(kind, output, both);
+}
+
+void netlist::add_gate_rf(gate_kind kind, const std::string& output,
+                          const std::vector<std::tuple<std::string, rational, rational>>& inputs)
+{
+    auto resolve = [&](const std::string& name) {
+        const signal_id existing = find_signal(name);
+        return existing != invalid_signal ? existing : add_signal(name);
+    };
+    const signal_id out = resolve(output);
+    std::vector<pin> pins;
+    pins.reserve(inputs.size());
+    for (const auto& [name, rise, fall] : inputs)
+        pins.emplace_back(resolve(name), rise, fall);
+    add_gate(kind, out, std::move(pins));
+}
+
+void netlist::add_stimulus(signal_id input)
+{
+    require(input < signal_count(), "netlist: bad stimulus signal");
+    require(std::find(stimuli_.begin(), stimuli_.end(), input) == stimuli_.end(),
+            "netlist: duplicate stimulus on '" + names_[input] + "'");
+    stimuli_.push_back(input);
+}
+
+void netlist::add_stimulus(const std::string& input)
+{
+    add_stimulus(signal_by_name(input));
+}
+
+void netlist::validate() const
+{
+    require(signal_count() > 0, "netlist: empty netlist");
+    for (const signal_id s : stimuli_)
+        require(driver_of_[s] == -1,
+                "netlist: stimulus on non-input signal '" + names_[s] + "'");
+}
+
+signal_id netlist::find_signal(const std::string& name) const
+{
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? invalid_signal : it->second;
+}
+
+signal_id netlist::signal_by_name(const std::string& name) const
+{
+    const signal_id s = find_signal(name);
+    require(s != invalid_signal, "netlist: no signal named '" + name + "'");
+    return s;
+}
+
+const gate* netlist::driver(signal_id s) const
+{
+    require(s < signal_count(), "netlist: bad signal id");
+    const std::int32_t g = driver_of_[s];
+    return g < 0 ? nullptr : &gates_[static_cast<std::size_t>(g)];
+}
+
+std::vector<signal_id> netlist::primary_inputs() const
+{
+    std::vector<signal_id> out;
+    for (signal_id s = 0; s < signal_count(); ++s)
+        if (driver_of_[s] == -1) out.push_back(s);
+    return out;
+}
+
+bool next_value(const netlist& nl, const circuit_state& state, signal_id s)
+{
+    const gate* g = nl.driver(s);
+    if (g == nullptr) return state.value(s);
+    std::array<bool, max_gate_fanin> inputs{};
+    for (std::size_t i = 0; i < g->inputs.size(); ++i)
+        inputs[i] = state.value(g->inputs[i].signal);
+    return gate_next_value(g->kind, std::span<const bool>(inputs.data(), g->inputs.size()),
+                           state.value(s));
+}
+
+bool gate_excited(const netlist& nl, const circuit_state& state, signal_id s)
+{
+    if (nl.driver(s) == nullptr) return false;
+    return next_value(nl, state, s) != state.value(s);
+}
+
+} // namespace tsg

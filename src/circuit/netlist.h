@@ -1,0 +1,158 @@
+// Gate-level netlist model for asynchronous circuits.
+//
+// Signals are either primary inputs (driven by the environment) or gate
+// outputs.  Every gate input pin carries its own propagation delay to the
+// gate output — the paper assigns "a fixed propagation delay from this
+// input to the output of the gate", which is what lets a Signal Graph
+// model individual input-output characteristics of a transistor-level
+// implementation (Section VIII.A).
+//
+// The environment model is the one used throughout the paper's examples:
+// an initial state for every signal, plus an optional set of one-shot
+// input transitions released at t = 0 (the circuit of Figure 1 has input
+// e at 1 initially, falling once).
+#ifndef TSG_CIRCUIT_NETLIST_H
+#define TSG_CIRCUIT_NETLIST_H
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "util/error.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+using signal_id = std::uint32_t;
+inline constexpr signal_id invalid_signal = static_cast<signal_id>(-1);
+
+/// Maximum supported gate fan-in.  Keeps excitation analysis (which
+/// enumerates value combinations of non-essential pins) tractable.
+inline constexpr std::size_t max_gate_fanin = 24;
+
+/// A gate input pin with its pin-to-output propagation delays.  Rising and
+/// falling output transitions may propagate differently (Section VIII.A:
+/// "delays for the same signal can vary from one event to another"), so the
+/// pin carries one delay per output polarity.
+struct pin {
+    signal_id signal = invalid_signal;
+    rational rise_delay; ///< pin-to-output delay when the output rises
+    rational fall_delay; ///< pin-to-output delay when the output falls
+
+    pin() = default;
+    pin(signal_id s, rational both) : signal(s), rise_delay(both), fall_delay(both) {}
+    pin(signal_id s, rational rise, rational fall)
+        : signal(s), rise_delay(std::move(rise)), fall_delay(std::move(fall))
+    {
+    }
+
+    /// Delay seen by an output transition of the given polarity.
+    [[nodiscard]] const rational& delay_for(bool output_rises) const
+    {
+        return output_rises ? rise_delay : fall_delay;
+    }
+
+    [[nodiscard]] bool symmetric() const { return rise_delay == fall_delay; }
+};
+
+struct gate {
+    gate_kind kind = gate_kind::buf;
+    signal_id output = invalid_signal;
+    std::vector<pin> inputs;
+};
+
+class netlist {
+public:
+    netlist() = default;
+
+    /// Adds a signal; names must be unique and non-empty.
+    signal_id add_signal(const std::string& name);
+
+    /// Declares `output` to be driven by a gate.  Each signal may have at
+    /// most one driver; inputs must exist.
+    void add_gate(gate_kind kind, signal_id output, std::vector<pin> inputs);
+
+    /// Convenience: by-name form, creating signals on first use (symmetric
+    /// pin delays).
+    void add_gate(gate_kind kind, const std::string& output,
+                  const std::vector<std::pair<std::string, rational>>& inputs);
+
+    /// By-name form with per-polarity pin delays (input, rise, fall).
+    void add_gate_rf(gate_kind kind, const std::string& output,
+                     const std::vector<std::tuple<std::string, rational, rational>>& inputs);
+
+    /// Marks an input signal as toggling exactly once at t = 0.
+    void add_stimulus(signal_id input);
+    void add_stimulus(const std::string& input);
+
+    /// Validates fan-in constraints and that stimuli target primary inputs.
+    /// Must be called before analysis; idempotent.
+    void validate() const;
+
+    [[nodiscard]] std::size_t signal_count() const noexcept { return names_.size(); }
+    [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+
+    [[nodiscard]] const std::string& signal_name(signal_id s) const { return names_.at(s); }
+    [[nodiscard]] signal_id find_signal(const std::string& name) const;
+    [[nodiscard]] signal_id signal_by_name(const std::string& name) const;
+
+    /// The driving gate of a signal, or nullptr for primary inputs.
+    [[nodiscard]] const gate* driver(signal_id s) const;
+
+    [[nodiscard]] const std::vector<gate>& gates() const noexcept { return gates_; }
+
+    /// Signals with no driver.
+    [[nodiscard]] std::vector<signal_id> primary_inputs() const;
+
+    /// Inputs that toggle once at t = 0, in declaration order.
+    [[nodiscard]] const std::vector<signal_id>& stimuli() const noexcept { return stimuli_; }
+
+    /// Gates with `s` on an input pin (fanout), by gate index.
+    [[nodiscard]] const std::vector<std::uint32_t>& fanout(signal_id s) const
+    {
+        return fanout_.at(s);
+    }
+
+private:
+    std::vector<std::string> names_;
+    std::vector<gate> gates_;
+    std::vector<std::int32_t> driver_of_; ///< signal -> gate index or -1
+    std::vector<std::vector<std::uint32_t>> fanout_;
+    std::vector<signal_id> stimuli_;
+    std::unordered_map<std::string, signal_id> by_name_;
+};
+
+/// A binary valuation of every signal.
+class circuit_state {
+public:
+    circuit_state() = default;
+    explicit circuit_state(std::size_t signals) : values_(signals, false) {}
+
+    [[nodiscard]] bool value(signal_id s) const { return values_.at(s); }
+    void set(signal_id s, bool v) { values_.at(s) = v; }
+    void toggle(signal_id s) { values_.at(s) = !values_.at(s); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] const std::vector<bool>& values() const noexcept { return values_; }
+
+    friend bool operator==(const circuit_state&, const circuit_state&) = default;
+
+private:
+    std::vector<bool> values_;
+};
+
+/// Next value the driver of `s` wants to produce in `state` (primary inputs
+/// keep their value).
+[[nodiscard]] bool next_value(const netlist& nl, const circuit_state& state, signal_id s);
+
+/// True when the driving gate of `s` is excited: next_value != current.
+/// Primary inputs are never excited through this function (the environment
+/// is modelled separately).
+[[nodiscard]] bool gate_excited(const netlist& nl, const circuit_state& state, signal_id s);
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_NETLIST_H

@@ -1,0 +1,42 @@
+// Text serialization of circuits.
+//
+// Format (comments run from '#' to end of line):
+//
+//   circuit osc {
+//     input e = 1;                              # primary input, initial value
+//     gate a = nor(e delay 2, c delay 2) = 0;   # driver, pin delays, initial value
+//     gate c = c(a delay 3, b delay 2) = 0;
+//     gate f = buf(e delay 3) = 1;
+//     stimulus e;                               # e toggles once at t = 0
+//   }
+//
+// Gate kinds: buf inv and or nand nor xor xnor c maj.  Pin delays default
+// to 0.  Initial values default to 0.
+#ifndef TSG_CIRCUIT_NETLIST_IO_H
+#define TSG_CIRCUIT_NETLIST_IO_H
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace tsg {
+
+struct parsed_circuit {
+    netlist nl;
+    circuit_state initial;
+    std::string name;
+};
+
+/// Parses the textual circuit format; throws tsg::error with a line
+/// diagnostic on malformed input.
+[[nodiscard]] parsed_circuit parse_circuit(const std::string& text);
+
+/// Reads a circuit file from disk.
+[[nodiscard]] parsed_circuit load_circuit(const std::string& path);
+
+/// Serializes to the canonical textual format (round-trips with parse).
+[[nodiscard]] std::string write_circuit(const parsed_circuit& circuit);
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_NETLIST_IO_H

@@ -1,0 +1,120 @@
+#include "circuit/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/event_initiated.h"
+#include "core/timing_simulation.h"
+#include "sg/unfolding.h"
+#include "util/strings.h"
+
+namespace tsg {
+
+namespace {
+
+std::vector<transition_record> schedule_from_simulation(
+    const signal_graph& sg, const unfolding& unf,
+    const std::vector<rational>& time, const std::vector<bool>& valid)
+{
+    std::vector<transition_record> schedule;
+    for (node_id inst = 0; inst < unf.dag().node_count(); ++inst) {
+        if (!valid[inst]) continue;
+        const event_info& info = sg.event(unf.event_of(inst));
+        if (info.pol == polarity::none || info.signal.empty()) continue;
+        schedule.push_back(
+            {info.signal, info.pol == polarity::rise, time[inst].to_double()});
+    }
+    return schedule;
+}
+
+} // namespace
+
+std::string render_schedule(const std::vector<transition_record>& schedule,
+                            const waveform_options& options)
+{
+    if (schedule.empty()) return "(no transitions)\n";
+
+    // Group by signal, in order of first appearance; sort each by time.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const transition_record*>> rows;
+    for (const transition_record& t : schedule) {
+        if (rows.find(t.signal) == rows.end()) order.push_back(t.signal);
+        rows[t.signal].push_back(&t);
+    }
+    double horizon = 0.0;
+    for (const transition_record& t : schedule) horizon = std::max(horizon, t.time);
+    if (horizon <= 0.0) horizon = 1.0;
+
+    std::size_t label_width = 0;
+    for (const std::string& s : order) label_width = std::max(label_width, s.size());
+
+    const std::uint32_t width = std::max<std::uint32_t>(options.width, 8);
+    auto column = [&](double t) {
+        const auto c = static_cast<std::int64_t>(std::lround(t / horizon * (width - 1)));
+        return static_cast<std::uint32_t>(std::clamp<std::int64_t>(c, 0, width - 1));
+    };
+
+    std::ostringstream os;
+    for (const std::string& signal : order) {
+        auto& transitions = rows[signal];
+        std::sort(transitions.begin(), transitions.end(),
+                  [](const transition_record* a, const transition_record* b) {
+                      return a->time < b->time;
+                  });
+
+        // Value before the first transition is the opposite of its polarity.
+        bool level = !transitions.front()->rise;
+        std::string line(width, level ? '~' : '_');
+        for (const transition_record* t : transitions) {
+            const std::uint32_t col = column(t->time);
+            line[col] = t->rise ? '/' : '\\';
+            level = t->rise;
+            for (std::uint32_t c = col + 1; c < width; ++c) line[c] = level ? '~' : '_';
+        }
+        os << signal << std::string(label_width - signal.size(), ' ') << " " << line << "\n";
+    }
+
+    if (options.show_axis) {
+        std::string axis(width, ' ');
+        std::string labels(width + label_width + 1, ' ');
+        const int ticks = 8;
+        os << std::string(label_width, ' ') << " ";
+        for (int k = 0; k <= ticks; ++k) {
+            const std::uint32_t col = k * (width - 1) / ticks;
+            axis[col] = '|';
+        }
+        os << axis << "\n" << std::string(label_width, ' ') << " ";
+        // Leave room past the last column so the final tick label fits.
+        std::string tickrow(width + 12, ' ');
+        for (int k = 0; k <= ticks; ++k) {
+            const std::uint32_t col = k * (width - 1) / ticks;
+            const std::string label = format_double(horizon * k / ticks, 1);
+            for (std::size_t j = 0; j < label.size() && col + j < tickrow.size(); ++j)
+                tickrow[col + j] = label[j];
+        }
+        while (!tickrow.empty() && tickrow.back() == ' ') tickrow.pop_back();
+        os << tickrow << "\n";
+    }
+    return os.str();
+}
+
+std::string render_timing_diagram(const signal_graph& sg, std::uint32_t periods,
+                                  const waveform_options& options)
+{
+    const unfolding unf(sg, periods);
+    const timing_simulation_result sim = simulate_timing(unf);
+    return render_schedule(schedule_from_simulation(sg, unf, sim.time, sim.occurs), options);
+}
+
+std::string render_initiated_diagram(const signal_graph& sg, const std::string& origin_event,
+                                     std::uint32_t periods, const waveform_options& options)
+{
+    const unfolding unf(sg, periods);
+    const initiated_simulation_result sim =
+        simulate_from_event(unf, sg.event_by_name(origin_event), 0);
+    return render_schedule(schedule_from_simulation(sg, unf, sim.time, sim.reached), options);
+}
+
+} // namespace tsg

@@ -1,0 +1,48 @@
+// ASCII timing diagrams (the paper's Figure 1c/1d).
+//
+// Renders one row per signal with '_' for low, '~' for high and '/' '\\'
+// at transitions, plus a time axis.  Schedules come either from a plain
+// timing simulation of a Signal Graph or from any caller-assembled list of
+// (signal, polarity, time) records (e.g. an event-initiated simulation).
+#ifndef TSG_CIRCUIT_WAVEFORM_H
+#define TSG_CIRCUIT_WAVEFORM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+struct transition_record {
+    std::string signal;
+    bool rise = false;
+    double time = 0.0;
+};
+
+struct waveform_options {
+    std::uint32_t width = 64;  ///< columns used for the time span
+    bool show_axis = true;     ///< print a tick row below the waveforms
+};
+
+/// Renders an explicit schedule.  Signals appear in first-transition order;
+/// the value before the first transition is inferred from its polarity.
+[[nodiscard]] std::string render_schedule(const std::vector<transition_record>& schedule,
+                                          const waveform_options& options = {});
+
+/// Runs a timing simulation over `periods` periods of the unfolding of `sg`
+/// and renders every signal that carries polarity information.
+[[nodiscard]] std::string render_timing_diagram(const signal_graph& sg, std::uint32_t periods,
+                                                const waveform_options& options = {});
+
+/// Same, but for the event-initiated simulation from `origin` (instantiation
+/// 0) — the paper's Figure 1d.  Unreached instantiations are omitted.
+[[nodiscard]] std::string render_initiated_diagram(const signal_graph& sg,
+                                                   const std::string& origin_event,
+                                                   std::uint32_t periods,
+                                                   const waveform_options& options = {});
+
+} // namespace tsg
+
+#endif // TSG_CIRCUIT_WAVEFORM_H

@@ -1,0 +1,342 @@
+#include "core/cycle_time.h"
+
+#include <algorithm>
+
+#include "graph/topo.h"
+#include "sg/cut_set.h"
+
+namespace tsg {
+
+namespace {
+
+/// The repetitive core prepared for streamed per-period longest-path
+/// sweeps: arc delays/tokens by core arc id and a topological order of the
+/// token-free subgraph (acyclic by liveness).
+struct core_model {
+    signal_graph::core_view view;
+    std::vector<rational> delay;     ///< per core arc
+    std::vector<std::uint8_t> token; ///< per core arc, 0 or 1
+    std::vector<node_id> topo;       ///< token-free topological order
+};
+
+core_model build_core(const signal_graph& sg)
+{
+    core_model core;
+    core.view = sg.repetitive_core();
+    const std::size_t m = core.view.graph.arc_count();
+    core.delay.resize(m);
+    core.token.resize(m);
+    std::vector<bool> token_free(m, false);
+    for (arc_id a = 0; a < m; ++a) {
+        const arc_info& info = sg.arc(core.view.arc_original[a]);
+        core.delay[a] = info.delay;
+        core.token[a] = info.marked ? 1 : 0;
+        token_free[a] = !info.marked;
+    }
+    const auto order = topological_order_filtered(core.view.graph, token_free);
+    ensure(order.has_value(), "cycle_time: token-free core subgraph has a cycle (not live)");
+    core.topo = *order;
+    return core;
+}
+
+/// One event-initiated simulation streamed over `periods` periods.
+struct sweep_result {
+    /// t_{e0}(origin_i) for i = 0..periods; nullopt when unreached.
+    std::vector<std::optional<rational>> origin_times;
+    /// Captured matrices, flattened [period * n + node]; empty unless
+    /// requested.  pred is the arg-max core arc into (period, node).
+    std::vector<rational> time;
+    std::vector<bool> reached;
+    std::vector<arc_id> pred;
+    bool captured = false;
+};
+
+sweep_result run_sweep(const core_model& core, node_id origin, std::uint32_t periods,
+                       bool capture)
+{
+    const std::size_t n = core.view.graph.node_count();
+    sweep_result out;
+    out.origin_times.assign(periods + 1, std::nullopt);
+    out.captured = capture;
+    if (capture) {
+        out.time.assign((periods + 1) * n, rational(0));
+        out.reached.assign((periods + 1) * n, false);
+        out.pred.assign((periods + 1) * n, invalid_arc);
+    }
+
+    // Rolling rows: the previous and current period.
+    std::vector<rational> t_prev(n, rational(0));
+    std::vector<rational> t_cur(n, rational(0));
+    std::vector<bool> r_prev(n, false);
+    std::vector<bool> r_cur(n, false);
+
+    for (std::uint32_t i = 0; i <= periods; ++i) {
+        std::fill(r_cur.begin(), r_cur.end(), false);
+        std::vector<arc_id> pred_row;
+        if (capture) pred_row.assign(n, invalid_arc);
+
+        // Seed: the initiating instantiation occurs at time 0.
+        if (i == 0) {
+            t_cur[origin] = rational(0);
+            r_cur[origin] = true;
+        }
+
+        // Cross-period arcs (one token): sources live in period i-1.
+        if (i > 0) {
+            for (arc_id a = 0; a < core.view.graph.arc_count(); ++a) {
+                if (core.token[a] == 0) continue;
+                const node_id u = core.view.graph.from(a);
+                if (!r_prev[u]) continue;
+                const node_id v = core.view.graph.to(a);
+                const rational candidate = t_prev[u] + core.delay[a];
+                if (!r_cur[v] || candidate > t_cur[v]) {
+                    t_cur[v] = candidate;
+                    r_cur[v] = true;
+                    if (capture) pred_row[v] = a;
+                }
+            }
+        }
+
+        // In-period (token-free) arcs, relaxed in topological order.
+        for (const node_id v : core.topo) {
+            if (!r_cur[v]) continue;
+            for (const arc_id a : core.view.graph.out_arcs(v)) {
+                if (core.token[a] != 0) continue;
+                const node_id w = core.view.graph.to(a);
+                const rational candidate = t_cur[v] + core.delay[a];
+                if (!r_cur[w] || candidate > t_cur[w]) {
+                    t_cur[w] = candidate;
+                    r_cur[w] = true;
+                    if (capture) pred_row[w] = a;
+                }
+            }
+        }
+
+        if (r_cur[origin]) out.origin_times[i] = t_cur[origin];
+        if (capture) {
+            for (node_id v = 0; v < n; ++v) {
+                out.time[i * n + v] = t_cur[v];
+                out.reached[i * n + v] = r_cur[v];
+                out.pred[i * n + v] = pred_row[v];
+            }
+        }
+        std::swap(t_prev, t_cur);
+        std::swap(r_prev, r_cur);
+    }
+    return out;
+}
+
+/// Extracts from the unfolded critical cycle (origin_0 ~> origin_i*) a
+/// *simple* cycle whose ratio equals lambda.  The closed walk decomposes
+/// into simple cycles; their delay/token totals average to lambda and no
+/// cycle exceeds lambda (Prop. 5), so one of them attains it.
+struct peeled_cycle {
+    std::vector<arc_id> core_arcs; ///< in causal order
+};
+
+peeled_cycle peel_critical_cycle(const core_model& core, const std::vector<arc_id>& walk,
+                                 const rational& lambda)
+{
+    const std::size_t n = core.view.graph.node_count();
+    std::vector<int> stack_pos(n, -1);
+    struct entry {
+        arc_id arc;    ///< arc leading *into* node
+        node_id node;
+    };
+    std::vector<entry> stack;
+
+    const node_id start = core.view.graph.from(walk.front());
+    stack.push_back({invalid_arc, start});
+    stack_pos[start] = 0;
+
+    for (const arc_id a : walk) {
+        const node_id v = core.view.graph.to(a);
+        if (stack_pos[v] >= 0) {
+            // Closed a simple sub-cycle: stack[stack_pos[v]+1 .. end] + a.
+            rational delay(0);
+            std::int64_t tokens = 0;
+            std::vector<arc_id> arcs;
+            for (std::size_t k = static_cast<std::size_t>(stack_pos[v]) + 1; k < stack.size();
+                 ++k)
+                arcs.push_back(stack[k].arc);
+            arcs.push_back(a);
+            for (const arc_id c : arcs) {
+                delay += core.delay[c];
+                tokens += core.token[c];
+            }
+            ensure(tokens > 0, "peel_critical_cycle: token-free cycle in live graph");
+            if (delay / rational(tokens) == lambda) return {arcs};
+            // Not critical: discard the sub-cycle and continue from v.
+            while (stack.size() > static_cast<std::size_t>(stack_pos[v]) + 1) {
+                stack_pos[stack.back().node] = -1;
+                stack.pop_back();
+            }
+        } else {
+            stack.push_back({a, v});
+            stack_pos[v] = static_cast<int>(stack.size()) - 1;
+        }
+    }
+    ensure(false, "peel_critical_cycle: no simple cycle attained the cycle time");
+    return {};
+}
+
+} // namespace
+
+std::vector<event_id> cycle_time_result::critical_border_events() const
+{
+    std::vector<event_id> out;
+    for (const border_run& run : runs)
+        if (run.critical) out.push_back(run.origin);
+    return out;
+}
+
+std::size_t occurrence_period_bound(const signal_graph& sg)
+{
+    return sg.border_events().size();
+}
+
+cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_options& options)
+{
+    require(sg.finalized(), "analyze_cycle_time: graph must be finalized");
+    require(!sg.repetitive_events().empty(),
+            "analyze_cycle_time: graph has no repetitive events (acyclic — use analyze_pert)");
+
+    const core_model core = build_core(sg);
+    std::vector<event_id> border = options.origins.empty() ? sg.border_events()
+                                                           : options.origins;
+    ensure(!sg.border_events().empty(), "analyze_cycle_time: live graph with empty border set");
+    if (!options.origins.empty()) {
+        for (const event_id e : options.origins)
+            require(e < sg.event_count() && sg.is_repetitive(e),
+                    "analyze_cycle_time: custom origins must be repetitive events");
+        require(is_cut_set(sg, options.origins),
+                "analyze_cycle_time: custom origins do not form a cut set — "
+                "some cycle would never be simulated");
+    }
+
+    // Horizon: the occurrence period of any simple cycle is bounded by the
+    // *border* size (each of its tokens targets a distinct border event),
+    // so b periods always suffice — even when simulating from a smaller
+    // custom cut set.  (Proposition 6's tighter min-cut bound additionally
+    // needs safety; callers may force it through options.periods.)
+    const auto b = static_cast<std::uint32_t>(sg.border_events().size());
+    const std::uint32_t periods = options.periods > 0 ? options.periods : b;
+
+    cycle_time_result result;
+    result.border_count = border.size();
+    result.periods_used = periods;
+
+    std::optional<rational> lambda;
+    std::size_t best_run = 0;
+    std::uint32_t best_period = 0;
+
+    for (const event_id origin_event : border) {
+        const node_id origin = core.view.event_node[origin_event];
+        ensure(origin != invalid_node, "analyze_cycle_time: border event outside the core");
+
+        const sweep_result sweep = run_sweep(core, origin, periods, options.record_tables);
+
+        border_run run;
+        run.origin = origin_event;
+        run.deltas.resize(periods);
+        for (std::uint32_t i = 1; i <= periods; ++i) {
+            if (!sweep.origin_times[i]) continue;
+            const rational delta = *sweep.origin_times[i] / rational(i);
+            run.deltas[i - 1] = delta;
+            if (!run.best_delta || delta > *run.best_delta) {
+                run.best_delta = delta;
+                run.best_period = i;
+            }
+        }
+        if (run.best_delta && (!lambda || *run.best_delta > *lambda)) {
+            lambda = run.best_delta;
+            best_run = result.runs.size();
+            best_period = run.best_period;
+        }
+        if (options.record_tables) {
+            const std::size_t n = core.view.graph.node_count();
+            run.times.assign(periods + 1,
+                             std::vector<std::optional<rational>>(sg.event_count()));
+            for (std::uint32_t i = 0; i <= periods; ++i)
+                for (node_id v = 0; v < n; ++v)
+                    if (sweep.reached[i * n + v])
+                        run.times[i][core.view.node_event[v]] = sweep.time[i * n + v];
+        }
+        result.runs.push_back(std::move(run));
+    }
+
+    ensure(lambda.has_value(),
+           "analyze_cycle_time: no border simulation closed a cycle within b periods");
+    result.cycle_time = *lambda;
+    for (border_run& run : result.runs)
+        run.critical = run.best_delta && *run.best_delta == result.cycle_time;
+
+    // Backtrack the maximising run to obtain the unfolded critical cycle.
+    const event_id best_origin_event = result.runs[best_run].origin;
+    const node_id origin = core.view.event_node[best_origin_event];
+    const sweep_result sweep = run_sweep(core, origin, best_period, /*capture=*/true);
+
+    const std::size_t n = core.view.graph.node_count();
+    std::vector<arc_id> walk; // core arcs, collected backwards
+    node_id v = origin;
+    std::uint32_t period = best_period;
+    while (!(v == origin && period == 0)) {
+        const arc_id a = sweep.pred[period * n + v];
+        ensure(a != invalid_arc, "analyze_cycle_time: broken predecessor chain");
+        walk.push_back(a);
+        period -= core.token[a];
+        v = core.view.graph.from(a);
+    }
+    std::reverse(walk.begin(), walk.end());
+
+    const peeled_cycle critical = peel_critical_cycle(core, walk, result.cycle_time);
+    std::uint32_t epsilon = 0;
+    for (const arc_id a : critical.core_arcs) {
+        result.critical_cycle_events.push_back(core.view.node_event[core.view.graph.from(a)]);
+        result.critical_cycle_arcs.push_back(core.view.arc_original[a]);
+        epsilon += core.token[a];
+    }
+    result.critical_occurrence_period = epsilon;
+
+    // Rotate the cycle to start at a border event (some event after a marked
+    // arc must be on it; cosmetic, matches the paper's presentation).
+    for (std::size_t k = 0; k < result.critical_cycle_events.size(); ++k) {
+        const event_id e = result.critical_cycle_events[k];
+        if (std::find(border.begin(), border.end(), e) != border.end()) {
+            std::rotate(result.critical_cycle_events.begin(),
+                        result.critical_cycle_events.begin() + static_cast<std::ptrdiff_t>(k),
+                        result.critical_cycle_events.end());
+            std::rotate(result.critical_cycle_arcs.begin(),
+                        result.critical_cycle_arcs.begin() + static_cast<std::ptrdiff_t>(k),
+                        result.critical_cycle_arcs.end());
+            break;
+        }
+    }
+    return result;
+}
+
+distance_series initiated_distance_series(const signal_graph& sg, event_id origin,
+                                          std::uint32_t periods)
+{
+    require(sg.finalized(), "initiated_distance_series: graph must be finalized");
+    require(origin < sg.event_count(), "initiated_distance_series: bad event");
+    require(sg.is_repetitive(origin),
+            "initiated_distance_series: origin must be a repetitive event");
+
+    const core_model core = build_core(sg);
+    const node_id origin_node = core.view.event_node[origin];
+    const sweep_result sweep = run_sweep(core, origin_node, periods, /*capture=*/false);
+
+    distance_series series;
+    series.origin = origin;
+    series.t.resize(periods);
+    series.delta.resize(periods);
+    for (std::uint32_t i = 1; i <= periods; ++i) {
+        if (!sweep.origin_times[i]) continue;
+        series.t[i - 1] = sweep.origin_times[i];
+        series.delta[i - 1] = *sweep.origin_times[i] / rational(i);
+    }
+    return series;
+}
+
+} // namespace tsg

@@ -1,0 +1,123 @@
+// The paper's cycle-time algorithm (Sections VI-VII).
+//
+// Skeleton (Section VII):
+//   1. identify the border events (repetitive events with a marked in-arc —
+//      a cut set of all cycles in a live graph);
+//   2. from each of the b border events run an event-initiated timing
+//      simulation covering b periods of the unfolding;
+//   3. after each full period collect the average occurrence distance
+//      delta_{e0}(e_i) = t_{e0}(e_i) / i;
+//   4. the maximum of the collected values is the cycle time lambda
+//      (Propositions 6-7);
+//   5. backtracking the longest-path predecessors of the maximising run
+//      yields a critical cycle (Proposition 1).
+//
+// The simulations never leave the repetitive core (no repetitive event is
+// preceded by a disengageable arc), so the implementation streams them
+// period by period over the core instead of materializing the unfolding:
+// one period costs O(m), one run O(b*m), the whole analysis O(b^2*m).
+#ifndef TSG_CORE_CYCLE_TIME_H
+#define TSG_CORE_CYCLE_TIME_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// Per-border-event record of one event-initiated timing simulation.
+struct border_run {
+    event_id origin = invalid_node;
+
+    /// delta_{e0}(e_i) for i = 1..periods (index 0 holds i = 1).  nullopt
+    /// when instantiation e_i is not reached from e_0 (its cycles need more
+    /// tokens than i).
+    std::vector<std::optional<rational>> deltas;
+
+    std::optional<rational> best_delta; ///< max over deltas
+    std::uint32_t best_period = 0;      ///< arg-max i (0 when none)
+
+    /// True when this border event lies on a critical cycle: its run reached
+    /// the global cycle time (Propositions 7 and 8 make this criterion
+    /// exact).
+    bool critical = false;
+
+    /// Full simulation table t_{e0}(f_i), present only when
+    /// analysis_options::record_tables is set: times[i][f] is the occurrence
+    /// time of instantiation f_i, nullopt when unreached.  Indexed by
+    /// original event id.
+    std::vector<std::vector<std::optional<rational>>> times;
+};
+
+struct analysis_options {
+    /// Number of unfolding periods per simulation; 0 means "use the size of
+    /// the cut set", the paper's bound (Proposition 6).
+    std::uint32_t periods = 0;
+
+    /// Keep the full t_{e0}(f_i) tables on every run (costly on big graphs;
+    /// used by the paper-table reproductions).
+    bool record_tables = false;
+
+    /// Simulation origins.  Empty means "the border set", the paper's
+    /// choice.  Any other *cut set* works and shrinks the analysis when
+    /// smaller — the paper leaves minimum cut sets as an optimization; see
+    /// sg/cut_set.h.  Validated: must be repetitive events hitting every
+    /// cycle.
+    std::vector<event_id> origins;
+};
+
+struct cycle_time_result {
+    /// The cycle time lambda: maximum over simple cycles of
+    /// length(C) / occurrence-period(C).
+    rational cycle_time;
+
+    /// One critical (simple) cycle: events in causal order, starting at a
+    /// border event; critical_cycle_arcs[k] is the original arc from
+    /// critical_cycle_events[k] to critical_cycle_events[k+1 mod size].
+    std::vector<event_id> critical_cycle_events;
+    std::vector<arc_id> critical_cycle_arcs;
+
+    /// Occurrence period epsilon of the reported critical cycle (its token
+    /// count); cycle_time * epsilon == total delay of the cycle.
+    std::uint32_t critical_occurrence_period = 0;
+
+    /// One record per border event, in border_events() order.
+    std::vector<border_run> runs;
+
+    std::size_t border_count = 0;   ///< b
+    std::uint32_t periods_used = 0; ///< simulation horizon actually used
+
+    /// Border events whose runs achieved lambda (subset lying on critical
+    /// cycles).
+    [[nodiscard]] std::vector<event_id> critical_border_events() const;
+};
+
+/// Runs the full analysis.  Requirements (validated by finalize()): the
+/// graph has a strongly connected live repetitive core.  Throws tsg::error
+/// when the graph has no repetitive events (use analyze_pert instead).
+[[nodiscard]] cycle_time_result analyze_cycle_time(const signal_graph& sg,
+                                                   const analysis_options& options = {});
+
+/// The series t_{e0}(e_i) and delta_{e0}(e_i) for i = 1..periods from an
+/// arbitrary repetitive event — the data behind Figure 4 and the
+/// "asymptote from below" behaviour of off-critical events (Prop. 8).
+struct distance_series {
+    event_id origin = invalid_node;
+    std::vector<std::optional<rational>> t;     ///< t_{e0}(e_i), i = 1..periods
+    std::vector<std::optional<rational>> delta; ///< t / i
+};
+[[nodiscard]] distance_series initiated_distance_series(const signal_graph& sg,
+                                                        event_id origin,
+                                                        std::uint32_t periods);
+
+/// Upper bound on the occurrence period of any simple cycle (Proposition 6):
+/// the size of a cut set.  The border set is used, as in the paper's
+/// implementation (finding a minimum cut set is a separate optimization).
+[[nodiscard]] std::size_t occurrence_period_bound(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_CORE_CYCLE_TIME_H

@@ -1,0 +1,52 @@
+#include "core/event_initiated.h"
+
+#include "graph/longest_path.h"
+
+namespace tsg {
+
+initiated_simulation_result simulate_from(const unfolding& unf, node_id origin)
+{
+    require(origin < unf.dag().node_count(), "simulate_from: bad origin instance");
+
+    const longest_path_result lp =
+        dag_longest_paths(unf.dag(), unf.arc_delays(), {origin});
+
+    initiated_simulation_result r;
+    r.origin = origin;
+    r.time = lp.distance;
+    r.reached = lp.reached;
+    r.cause = lp.pred;
+    // Events not preceded by the origin have occurrence time 0 by definition.
+    for (node_id v = 0; v < unf.dag().node_count(); ++v)
+        if (!r.reached[v]) r.time[v] = rational(0);
+    return r;
+}
+
+initiated_simulation_result simulate_from_event(const unfolding& unf, event_id e,
+                                                std::uint32_t period)
+{
+    const node_id inst = unf.instance(e, period);
+    require(inst != invalid_node, "simulate_from_event: instantiation does not exist");
+    return simulate_from(unf, inst);
+}
+
+std::optional<rational> initiated_simulation_result::at(const unfolding& unf, event_id e,
+                                                        std::uint32_t period) const
+{
+    const node_id inst = unf.instance(e, period);
+    if (inst == invalid_node || !reached.at(inst)) return std::nullopt;
+    return time[inst];
+}
+
+std::optional<rational> initiated_simulation_result::delta(const unfolding& unf,
+                                                           std::uint32_t period) const
+{
+    const event_id e = unf.event_of(origin);
+    const std::uint32_t i = unf.period_of(origin);
+    if (period <= i) return std::nullopt;
+    const std::optional<rational> t = at(unf, e, period);
+    if (!t) return std::nullopt;
+    return *t / rational(static_cast<std::int64_t>(period) - i);
+}
+
+} // namespace tsg

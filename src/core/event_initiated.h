@@ -1,0 +1,48 @@
+// Event-initiated timing simulation (Section IV.B).
+//
+// The g-initiated simulation discards all history preceding or concurrent
+// with the initiating instantiation g: those instantiations get occurrence
+// time 0 and their outgoing arcs are neglected.  What remains is exactly
+// the longest path from g through the unfolding (Proposition 1), which is
+// the tool the cycle-time algorithm is built from: for two instantiations
+// e_i, e_j of the same event, t_{e_i}(e_j) is the length of the longest
+// unfolded cycle between them.
+#ifndef TSG_CORE_EVENT_INITIATED_H
+#define TSG_CORE_EVENT_INITIATED_H
+
+#include <optional>
+#include <vector>
+
+#include "sg/unfolding.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct initiated_simulation_result {
+    node_id origin = invalid_node;
+    std::vector<rational> time; ///< t_g(f); 0 where !reached (per the definition)
+    std::vector<bool> reached;  ///< g == f or g => f
+    std::vector<arc_id> cause;  ///< arg-max unfolding in-arc along paths from g
+
+    /// t_g(e_period), or nullopt when that instantiation is not reached
+    /// from the origin (the paper defines such values as 0; exposing the
+    /// distinction avoids mistaking "unconstrained" for "at time zero").
+    [[nodiscard]] std::optional<rational> at(const unfolding& unf, event_id e,
+                                             std::uint32_t period) const;
+
+    /// Average occurrence distance between instantiations of the initiating
+    /// event: delta_{e_i}(e_j) = t_{e_i}(e_j) / (j - i)  (Section IV.C).
+    [[nodiscard]] std::optional<rational> delta(const unfolding& unf,
+                                                std::uint32_t period) const;
+};
+
+/// Runs the g-initiated timing simulation over the explicit unfolding.
+[[nodiscard]] initiated_simulation_result simulate_from(const unfolding& unf, node_id origin);
+
+/// Convenience: origin = instantiation `period` of event `e`.
+[[nodiscard]] initiated_simulation_result simulate_from_event(const unfolding& unf, event_id e,
+                                                              std::uint32_t period = 0);
+
+} // namespace tsg
+
+#endif // TSG_CORE_EVENT_INITIATED_H

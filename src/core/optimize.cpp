@@ -1,0 +1,83 @@
+#include "core/optimize.h"
+
+#include "core/cycle_time.h"
+
+namespace tsg {
+
+namespace {
+
+/// Deep copy with one arc's delay replaced.
+signal_graph with_delay(const signal_graph& sg, arc_id target, const rational& delay)
+{
+    signal_graph out;
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        const event_info& info = sg.event(e);
+        out.add_event(info.name, info.signal, info.pol);
+    }
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        out.add_arc(arc.from, arc.to, a == target ? delay : arc.delay, arc.marked,
+                    arc.disengageable);
+    }
+    out.finalize();
+    return out;
+}
+
+} // namespace
+
+speedup_plan plan_speedup(const signal_graph& sg, const speedup_options& options)
+{
+    require(sg.finalized(), "plan_speedup: graph must be finalized");
+    require(!options.min_arc_delay.is_negative(), "plan_speedup: negative delay floor");
+
+    speedup_plan plan;
+    plan.optimized = with_delay(sg, invalid_arc, rational(0)); // plain copy
+
+    cycle_time_result analysis = analyze_cycle_time(plan.optimized);
+    plan.initial_cycle_time = analysis.cycle_time;
+
+    for (std::size_t step = 0; step < options.max_steps; ++step) {
+        if (analysis.cycle_time <= options.target) {
+            plan.target_reached = true;
+            break;
+        }
+
+        // Pick the most reducible arc on the reported critical cycle.
+        arc_id best = invalid_arc;
+        rational best_headroom(0);
+        for (const arc_id a : analysis.critical_cycle_arcs) {
+            const rational headroom =
+                plan.optimized.arc(a).delay - options.min_arc_delay;
+            if (headroom > best_headroom) {
+                best_headroom = headroom;
+                best = a;
+            }
+        }
+        if (best == invalid_arc) break; // critical cycle fully floored: stuck
+
+        // Remove just enough to bring this cycle to the target (the whole
+        // cycle needs (lambda - target) * epsilon less delay), bounded by
+        // the arc's headroom.
+        const rational needed =
+            (analysis.cycle_time - options.target) *
+            rational(static_cast<std::int64_t>(analysis.critical_occurrence_period));
+        const rational reduction = min(needed, best_headroom);
+        ensure(reduction > rational(0), "plan_speedup: non-positive reduction");
+
+        speedup_step record;
+        record.arc = best;
+        record.old_delay = plan.optimized.arc(best).delay;
+        record.new_delay = record.old_delay - reduction;
+
+        plan.optimized = with_delay(plan.optimized, best, record.new_delay);
+        analysis = analyze_cycle_time(plan.optimized);
+        record.lambda_after = analysis.cycle_time;
+        plan.steps.push_back(record);
+    }
+
+    if (analysis.cycle_time <= options.target) plan.target_reached = true;
+    plan.final_cycle_time = analysis.cycle_time;
+    return plan;
+}
+
+} // namespace tsg

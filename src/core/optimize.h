@@ -1,0 +1,52 @@
+// Greedy performance optimization: which arcs to speed up, and by how
+// much, to reach a target cycle time.
+//
+// The cycle time is the maximum cycle ratio, so only arcs on *current*
+// critical cycles are worth accelerating.  Each step picks the
+// largest-delay reducible arc of a critical cycle, removes just enough
+// delay to bring that cycle to the target (bounded below by a per-arc
+// floor modelling physical limits), and re-analyzes — other cycles may
+// take over as critical.  This is the analysis-driven optimization loop
+// of Burns' thesis (the paper's reference [2]) built on the paper's own
+// algorithm.
+#ifndef TSG_CORE_OPTIMIZE_H
+#define TSG_CORE_OPTIMIZE_H
+
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct speedup_step {
+    arc_id arc = invalid_arc;   ///< original arc accelerated in this step
+    rational old_delay;
+    rational new_delay;
+    rational lambda_after;      ///< cycle time after applying the step
+};
+
+struct speedup_plan {
+    rational initial_cycle_time;
+    rational final_cycle_time;
+    bool target_reached = false;
+    std::vector<speedup_step> steps;
+
+    /// The optimized graph (delays updated per the steps).
+    signal_graph optimized;
+};
+
+struct speedup_options {
+    rational target;             ///< desired cycle time
+    rational min_arc_delay = 0;  ///< no arc may drop below this delay
+    std::size_t max_steps = 256; ///< give up after this many accelerations
+};
+
+/// Plans delay reductions until the cycle time reaches the target, a step
+/// budget runs out, or no critical arc can be reduced any further (the
+/// target is then unreachable under the floor).
+[[nodiscard]] speedup_plan plan_speedup(const signal_graph& sg, const speedup_options& options);
+
+} // namespace tsg
+
+#endif // TSG_CORE_OPTIMIZE_H

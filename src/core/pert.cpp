@@ -1,0 +1,48 @@
+#include "core/pert.h"
+
+#include <algorithm>
+
+#include "graph/longest_path.h"
+
+namespace tsg {
+
+pert_result analyze_pert(const signal_graph& sg)
+{
+    require(sg.finalized(), "analyze_pert: graph must be finalized");
+    require(sg.repetitive_events().empty(),
+            "analyze_pert: graph has cycles — use analyze_cycle_time");
+
+    std::vector<rational> weights(sg.arc_count());
+    for (arc_id a = 0; a < sg.arc_count(); ++a) weights[a] = sg.arc(a).delay;
+
+    const longest_path_result lp =
+        dag_longest_paths(sg.structure(), weights, sg.initial_events());
+
+    pert_result r;
+    r.time = lp.distance;
+    r.occurs = lp.reached;
+
+    event_id sink = invalid_node;
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        if (!lp.reached[e]) continue;
+        if (sink == invalid_node || lp.distance[e] > r.makespan) {
+            sink = e;
+            r.makespan = lp.distance[e];
+        }
+    }
+    require(sink != invalid_node, "analyze_pert: no event is reachable");
+
+    event_id cur = sink;
+    r.critical_path.push_back(cur);
+    while (lp.pred[cur] != invalid_arc) {
+        const arc_id a = lp.pred[cur];
+        r.critical_arcs.push_back(a);
+        cur = sg.structure().from(a);
+        r.critical_path.push_back(cur);
+    }
+    std::reverse(r.critical_path.begin(), r.critical_path.end());
+    std::reverse(r.critical_arcs.begin(), r.critical_arcs.end());
+    return r;
+}
+
+} // namespace tsg

@@ -1,0 +1,28 @@
+// PERT analysis of acyclic Timed Signal Graphs (Section II notes that for
+// acyclic graphs timing simulation coincides with PERT).  Computes the
+// occurrence time of every event and the critical (longest) path.
+#ifndef TSG_CORE_PERT_H
+#define TSG_CORE_PERT_H
+
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct pert_result {
+    std::vector<rational> time;           ///< t(e) per event; valid where occurs[e]
+    std::vector<bool> occurs;             ///< event reachable from the initial events
+    rational makespan;                    ///< latest occurrence time
+    std::vector<event_id> critical_path;  ///< events realizing the makespan, causal order
+    std::vector<arc_id> critical_arcs;    ///< arcs between them
+};
+
+/// Longest-path (PERT) analysis.  Throws tsg::error when the graph contains
+/// repetitive events — cyclic graphs are the domain of analyze_cycle_time.
+[[nodiscard]] pert_result analyze_pert(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_CORE_PERT_H

@@ -1,0 +1,128 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "core/cycle_time.h"
+#include "core/pert.h"
+#include "core/slack.h"
+#include "core/transient.h"
+#include "sg/cut_set.h"
+#include "util/strings.h"
+
+namespace tsg {
+
+namespace {
+
+std::string event_list(const signal_graph& sg, const std::vector<event_id>& events)
+{
+    std::string out;
+    for (const event_id e : events) {
+        if (!out.empty()) out += ", ";
+        out += sg.event(e).name;
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+void report_acyclic(std::ostringstream& os, const signal_graph& sg)
+{
+    const pert_result pert = analyze_pert(sg);
+    os << "## PERT analysis (acyclic graph)\n\n";
+    os << "* makespan: **" << pert.makespan.str() << "**\n";
+    os << "* critical path: ";
+    for (std::size_t i = 0; i < pert.critical_path.size(); ++i)
+        os << (i ? " -> " : "") << sg.event(pert.critical_path[i]).name;
+    os << "\n";
+}
+
+} // namespace
+
+std::string performance_report_markdown(const signal_graph& sg, const report_options& options)
+{
+    require(sg.finalized(), "performance_report_markdown: graph must be finalized");
+
+    std::ostringstream os;
+    os << "# " << options.title << "\n\n";
+
+    os << "## Model\n\n";
+    os << "* events: " << sg.event_count() << " (" << sg.repetitive_events().size()
+       << " repetitive, " << sg.initial_events().size() << " initial, "
+       << sg.transient_events().size() << " transient)\n";
+    os << "* arcs: " << sg.arc_count() << ", initial tokens: " << sg.token_count() << "\n";
+
+    if (sg.repetitive_events().empty()) {
+        os << "\n";
+        report_acyclic(os, sg);
+        return os.str();
+    }
+
+    os << "* border set (" << sg.border_events().size()
+       << "): " << event_list(sg, sg.border_events()) << "\n";
+    const std::vector<event_id> greedy = greedy_cut_set(sg);
+    os << "* greedy cut set (" << greedy.size() << "): " << event_list(sg, greedy) << "\n";
+    if (options.min_cut_budget > 0) {
+        if (const auto minimum = minimum_cut_set(sg, options.min_cut_budget))
+            os << "* minimum cut set (" << minimum->size()
+               << "): " << event_list(sg, *minimum) << "\n";
+        else
+            os << "* minimum cut set: search budget exceeded\n";
+    }
+
+    const cycle_time_result analysis = analyze_cycle_time(sg);
+    os << "\n## Cycle time\n\n";
+    os << "* lambda = **" << analysis.cycle_time.str() << "**";
+    if (!analysis.cycle_time.is_integer())
+        os << " (~" << format_double(analysis.cycle_time.to_double(), 4) << ")";
+    os << "\n* critical cycle (occurrence period " << analysis.critical_occurrence_period
+       << "): ";
+    for (std::size_t i = 0; i < analysis.critical_cycle_events.size(); ++i)
+        os << (i ? " -> " : "") << sg.event(analysis.critical_cycle_events[i]).name;
+    os << "\n* critical border events: "
+       << event_list(sg, analysis.critical_border_events()) << "\n";
+
+    os << "\n| origin | collected average occurrence distances | on critical cycle |\n";
+    os << "|---|---|---|\n";
+    for (const border_run& run : analysis.runs) {
+        os << "| " << sg.event(run.origin).name << " | ";
+        for (const auto& d : run.deltas) os << (d ? d->str() : "-") << " ";
+        os << "| " << (run.critical ? "yes" : "no") << " |\n";
+    }
+
+    if (options.include_slack) {
+        const slack_result slack = analyze_slack(sg);
+        os << "\n## Arc slack (steady state)\n\n";
+        os << "| arc | delay | slack | critical |\n|---|---|---|---|\n";
+        for (arc_id a = 0; a < sg.arc_count(); ++a) {
+            if (!slack.in_core[a]) continue;
+            const arc_info& arc = sg.arc(a);
+            os << "| " << sg.event(arc.from).name << " -> " << sg.event(arc.to).name
+               << " | " << arc.delay.str() << " | " << slack.slack[a].str() << " | "
+               << (slack.arc_critical[a] ? "yes" : "") << " |\n";
+        }
+        os << "\ncriticality margin: " << slack.criticality_margin.str() << "\n";
+
+        if (options.include_schedule) {
+            os << "\n## Steady periodic schedule\n\n";
+            os << "occurrence k of each event may start at offset + k * lambda:\n\n";
+            os << "| event | offset |\n|---|---|\n";
+            for (const event_id e : sg.repetitive_events())
+                os << "| " << sg.event(e).name << " | " << slack.potential[e].str()
+                   << " |\n";
+        }
+    }
+
+    if (options.include_transient) {
+        os << "\n## Start-up transient\n\n";
+        try {
+            const transient_result transient = analyze_transient(sg);
+            os << "* timing pattern period: " << transient.pattern_period
+               << " unfolding period(s)\n";
+            os << "* settled from instantiation " << transient.settle_period
+               << " on (horizon " << transient.horizon << ")\n";
+        } catch (const error& e) {
+            os << "* not settled within the default horizon: " << e.what() << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace tsg

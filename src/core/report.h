@@ -1,0 +1,31 @@
+// One-call markdown performance report: everything the library knows about
+// a Timed Signal Graph, in a form a designer can file with a review.
+// Sections: model statistics, cut sets, cycle time and critical cycle,
+// per-origin simulation summaries, arc slacks, the steady schedule, and
+// the start-up transient.
+#ifndef TSG_CORE_REPORT_H
+#define TSG_CORE_REPORT_H
+
+#include <string>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+struct report_options {
+    std::string title = "Timed Signal Graph performance report";
+    bool include_slack = true;
+    bool include_transient = true;
+    bool include_schedule = true;
+    /// Cap on the exact minimum-cut search; 0 skips it (greedy/border only).
+    std::size_t min_cut_budget = 50'000;
+};
+
+/// Renders the full report.  Requires a finalized graph; acyclic graphs get
+/// a PERT summary instead of the cycle-time sections.
+[[nodiscard]] std::string performance_report_markdown(const signal_graph& sg,
+                                                      const report_options& options = {});
+
+} // namespace tsg
+
+#endif // TSG_CORE_REPORT_H

@@ -1,0 +1,46 @@
+#include "core/separation.h"
+
+#include "core/timing_simulation.h"
+#include "core/transient.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+
+separation_result steady_separations(const signal_graph& sg, event_id from, event_id to,
+                                     std::uint32_t max_periods)
+{
+    require(sg.finalized(), "steady_separations: graph must be finalized");
+    require(from < sg.event_count() && to < sg.event_count(),
+            "steady_separations: bad event id");
+    require(sg.is_repetitive(from) && sg.is_repetitive(to),
+            "steady_separations: both events must be repetitive");
+
+    const transient_result transient = analyze_transient(sg, max_periods);
+
+    separation_result out;
+    out.cycle_time = transient.cycle_time;
+    out.pattern_period = transient.pattern_period;
+
+    const unfolding unf(sg, transient.horizon);
+    const timing_simulation_result sim = simulate_timing(unf);
+
+    const std::uint32_t start = transient.settle_period;
+    ensure(start + transient.pattern_period <= transient.horizon,
+           "steady_separations: settled window exceeds horizon");
+
+    bool first = true;
+    for (std::uint32_t i = start; i < start + transient.pattern_period; ++i) {
+        const auto t_from = sim.at(unf, from, i);
+        const auto t_to = sim.at(unf, to, i);
+        ensure(t_from.has_value() && t_to.has_value(),
+               "steady_separations: settled instantiation missing");
+        const rational separation = *t_to - *t_from;
+        out.separations.push_back(separation);
+        if (first || separation < out.min_separation) out.min_separation = separation;
+        if (first || separation > out.max_separation) out.max_separation = separation;
+        first = false;
+    }
+    return out;
+}
+
+} // namespace tsg

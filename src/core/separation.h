@@ -1,0 +1,45 @@
+// Steady-state time separations between two events.
+//
+// After the start-up transient dies out, the separation between matching
+// instantiations of two repetitive events, t(to_i) - t(from_i), cycles
+// through a fixed pattern of epsilon values (epsilon = the timing pattern
+// period measured by analyze_transient).  This is the question designers
+// ask right after the cycle time — "how far apart do these two edges
+// settle?" — and the data behind relative-timing assumptions.
+#ifndef TSG_CORE_SEPARATION_H
+#define TSG_CORE_SEPARATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct separation_result {
+    rational cycle_time;
+    std::uint32_t pattern_period = 0; ///< epsilon of the settled pattern
+
+    /// t(to_i) - t(from_i) for one full settled pattern (epsilon entries,
+    /// starting at the settle index).
+    std::vector<rational> separations;
+
+    rational min_separation;
+    rational max_separation;
+
+    /// True when the separation is the same in every period (a fixed
+    /// relative-timing offset).
+    [[nodiscard]] bool constant() const { return min_separation == max_separation; }
+};
+
+/// Measures the settled separations between same-index instantiations of
+/// `from` and `to` (both repetitive).  Throws when the behaviour does not
+/// settle within `max_periods` (see analyze_transient).
+[[nodiscard]] separation_result steady_separations(const signal_graph& sg, event_id from,
+                                                   event_id to,
+                                                   std::uint32_t max_periods = 128);
+
+} // namespace tsg
+
+#endif // TSG_CORE_SEPARATION_H

@@ -1,0 +1,106 @@
+#include "core/slack.h"
+
+#include <algorithm>
+
+#include "core/cycle_time.h"
+#include "graph/scc.h"
+
+namespace tsg {
+
+slack_result analyze_slack(const signal_graph& sg)
+{
+    require(sg.finalized(), "analyze_slack: graph must be finalized");
+
+    slack_result out;
+    out.cycle_time = analyze_cycle_time(sg).cycle_time;
+
+    const signal_graph::core_view core = sg.repetitive_core();
+    const std::size_t n = core.graph.node_count();
+    const std::size_t m = core.graph.arc_count();
+
+    // Reduced weights w = delay - lambda * tokens; by maximality of lambda
+    // no cycle is positive, so longest-path potentials from a virtual
+    // source converge within n Bellman-Ford passes.
+    std::vector<rational> reduced(m);
+    for (arc_id a = 0; a < m; ++a) {
+        const arc_info& arc = sg.arc(core.arc_original[a]);
+        reduced[a] = arc.delay - out.cycle_time * rational(arc.marked ? 1 : 0);
+    }
+
+    std::vector<rational> v(n, rational(0));
+    for (std::size_t pass = 0; pass <= n; ++pass) {
+        bool relaxed = false;
+        for (arc_id a = 0; a < m; ++a) {
+            const rational candidate = v[core.graph.from(a)] + reduced[a];
+            if (candidate > v[core.graph.to(a)]) {
+                v[core.graph.to(a)] = candidate;
+                relaxed = true;
+            }
+        }
+        if (!relaxed) break;
+        ensure(pass < n, "analyze_slack: positive reduced cycle — lambda not maximal");
+    }
+
+    // Normalize potentials to start at zero.
+    rational lowest = v.empty() ? rational(0) : v[0];
+    for (const rational& value : v) lowest = min(lowest, value);
+    for (rational& value : v) value -= lowest;
+
+    out.slack.assign(sg.arc_count(), rational(0));
+    out.in_core.assign(sg.arc_count(), false);
+    out.arc_critical.assign(sg.arc_count(), false);
+    out.event_critical.assign(sg.event_count(), false);
+    out.potential.assign(sg.event_count(), rational(0));
+    for (node_id u = 0; u < n; ++u) out.potential[core.node_event[u]] = v[u];
+
+    // Zero-slack subgraph and its non-trivial SCCs = the critical subgraph.
+    digraph zero(n);
+    std::vector<arc_id> zero_original;
+    for (arc_id a = 0; a < m; ++a) {
+        const arc_id orig = core.arc_original[a];
+        out.in_core[orig] = true;
+        out.slack[orig] = v[core.graph.to(a)] - v[core.graph.from(a)] - reduced[a];
+        ensure(!out.slack[orig].is_negative(), "analyze_slack: negative slack");
+        if (out.slack[orig].is_zero()) {
+            zero.add_arc(core.graph.from(a), core.graph.to(a));
+            zero_original.push_back(orig);
+        }
+    }
+
+    const scc_result scc = strongly_connected_components(zero);
+    std::vector<std::uint32_t> component_size(scc.count, 0);
+    for (node_id u = 0; u < n; ++u) ++component_size[scc.component[u]];
+
+    auto node_critical = [&](node_id u) {
+        if (component_size[scc.component[u]] >= 2) return true;
+        // Singleton components are critical only with a zero-slack self-loop.
+        for (arc_id a = 0; a < zero.arc_count(); ++a)
+            if (zero.from(a) == u && zero.to(a) == u) return true;
+        return false;
+    };
+
+    for (arc_id za = 0; za < zero.arc_count(); ++za) {
+        const node_id from = zero.from(za);
+        const node_id to = zero.to(za);
+        const bool same_critical_component =
+            scc.component[from] == scc.component[to] && node_critical(from);
+        if (same_critical_component) {
+            out.arc_critical[zero_original[za]] = true;
+            out.event_critical[core.node_event[from]] = true;
+            out.event_critical[core.node_event[to]] = true;
+        }
+    }
+
+    out.criticality_margin = rational(0);
+    bool first = true;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!out.in_core[a] || out.slack[a].is_zero()) continue;
+        if (first || out.slack[a] < out.criticality_margin) {
+            out.criticality_margin = out.slack[a];
+            first = false;
+        }
+    }
+    return out;
+}
+
+} // namespace tsg

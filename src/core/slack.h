@@ -1,0 +1,62 @@
+// Slack and criticality analysis on top of the cycle time.
+//
+// Once lambda is known, give every arc the *reduced weight*
+//
+//     w(a) = delay(a) - lambda * tokens(a)
+//
+// No cycle has positive reduced weight (lambda is the maximum ratio), so
+// longest-path potentials v exist on the repetitive core.  The reduced
+// slack of an arc,
+//
+//     slack(a) = v(head) - v(tail) - w(a)  >=  0,
+//
+// measures how much extra delay the arc absorbs before it joins a critical
+// cycle: arcs with slack 0 span the *critical subgraph*, and the events on
+// its non-trivial strongly connected components are exactly the events on
+// critical cycles.  The potentials double as a *steady periodic schedule*:
+// starting event e at time v(e) + k*lambda in period k satisfies every
+// causality constraint with period lambda — the fastest static schedule.
+//
+// This is the natural "static timing analysis" companion the paper's
+// Section VIII motivates: critical cycles name the bottleneck, slacks name
+// the budget everywhere else.
+#ifndef TSG_CORE_SLACK_H
+#define TSG_CORE_SLACK_H
+
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct slack_result {
+    rational cycle_time;
+
+    /// Per original arc: reduced slack (valid where in_core[a]).  Arcs
+    /// outside the repetitive core (start-up arcs) have no steady-state
+    /// slack and are flagged out-of-core.
+    std::vector<rational> slack;
+    std::vector<bool> in_core;
+
+    /// Per original arc / event: lies on some critical cycle.
+    std::vector<bool> arc_critical;
+    std::vector<bool> event_critical;
+
+    /// Steady schedule potentials per event (valid for repetitive events):
+    /// occurrence k of event e may start at potential[e] + k * cycle_time.
+    std::vector<rational> potential;
+
+    /// Smallest positive slack — how much the most loaded non-critical arc
+    /// can absorb before a new cycle becomes critical (0 when every core
+    /// arc is critical).
+    rational criticality_margin;
+};
+
+/// Computes slacks, the critical subgraph and the steady schedule.
+/// Requires a finalized graph with a repetitive core.
+[[nodiscard]] slack_result analyze_slack(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_CORE_SLACK_H

@@ -1,0 +1,54 @@
+#include "core/timing_simulation.h"
+
+#include <algorithm>
+
+#include "graph/longest_path.h"
+
+namespace tsg {
+
+timing_simulation_result simulate_timing(const unfolding& unf)
+{
+    const longest_path_result lp =
+        dag_longest_paths(unf.dag(), unf.arc_delays(), unf.initial_instances());
+
+    timing_simulation_result r;
+    r.time = lp.distance;
+    r.occurs = lp.reached;
+    r.cause = lp.pred;
+    return r;
+}
+
+std::optional<rational> timing_simulation_result::at(const unfolding& unf, event_id e,
+                                                     std::uint32_t period) const
+{
+    const node_id inst = unf.instance(e, period);
+    if (inst == invalid_node || !occurs.at(inst)) return std::nullopt;
+    return time[inst];
+}
+
+std::optional<rational> timing_simulation_result::average_distance(const unfolding& unf,
+                                                                   event_id e,
+                                                                   std::uint32_t period) const
+{
+    const std::optional<rational> t = at(unf, e, period);
+    if (!t) return std::nullopt;
+    return *t / rational(static_cast<std::int64_t>(period) + 1);
+}
+
+std::vector<node_id> critical_chain(const unfolding& unf, const timing_simulation_result& sim,
+                                    node_id target)
+{
+    require(target < unf.dag().node_count(), "critical_chain: bad target");
+    require(sim.occurs.at(target), "critical_chain: target never occurs");
+
+    std::vector<node_id> chain{target};
+    node_id cur = target;
+    while (sim.cause.at(cur) != invalid_arc) {
+        cur = unf.dag().from(sim.cause[cur]);
+        chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+} // namespace tsg

@@ -1,0 +1,50 @@
+// Timing simulation of an unfolded Timed Signal Graph (Section IV.A).
+//
+// The occurrence time of an instantiation f is
+//
+//     t(f) = 0                                  if f in I_u
+//     t(f) = max { t(e) + delta | e -delta-> f} otherwise
+//
+// i.e. a longest-path sweep over the unfolding DAG seeded at the initial
+// instantiations.  For acyclic graphs this degenerates to PERT analysis.
+#ifndef TSG_CORE_TIMING_SIMULATION_H
+#define TSG_CORE_TIMING_SIMULATION_H
+
+#include <optional>
+#include <vector>
+
+#include "sg/unfolding.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// Result of a timing simulation over an unfolding.  Indices are unfolding
+/// instance ids.
+struct timing_simulation_result {
+    std::vector<rational> time;  ///< t(f); valid where occurs[f]
+    std::vector<bool> occurs;    ///< instantiation reachable from I_u
+    std::vector<arc_id> cause;   ///< arg-max unfolding in-arc, invalid_arc at seeds
+
+    /// t(e_period); nullopt when the instantiation does not exist or never
+    /// becomes enabled.
+    [[nodiscard]] std::optional<rational> at(const unfolding& unf, event_id e,
+                                             std::uint32_t period) const;
+
+    /// Average occurrence distance sigma(e_i) = t(e_i) / (i + 1)
+    /// (Section IV.C, first form).
+    [[nodiscard]] std::optional<rational> average_distance(const unfolding& unf, event_id e,
+                                                           std::uint32_t period) const;
+};
+
+/// Runs the timing simulation over `unf`.  O(V + E) in the unfolding size.
+[[nodiscard]] timing_simulation_result simulate_timing(const unfolding& unf);
+
+/// The chain of instantiations that determined t(target): walks `cause`
+/// links back to a seed.  Returned in causal (earliest-first) order.
+[[nodiscard]] std::vector<node_id> critical_chain(const unfolding& unf,
+                                                  const timing_simulation_result& sim,
+                                                  node_id target);
+
+} // namespace tsg
+
+#endif // TSG_CORE_TIMING_SIMULATION_H

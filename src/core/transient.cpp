@@ -1,0 +1,62 @@
+#include "core/transient.h"
+
+#include "core/cycle_time.h"
+#include "core/timing_simulation.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+
+transient_result analyze_transient(const signal_graph& sg, std::uint32_t max_periods)
+{
+    require(sg.finalized(), "analyze_transient: graph must be finalized");
+    require(!sg.repetitive_events().empty(), "analyze_transient: graph is acyclic");
+    require(max_periods >= 4, "analyze_transient: horizon too small");
+
+    transient_result out;
+    out.cycle_time = analyze_cycle_time(sg).cycle_time;
+    out.horizon = max_periods;
+
+    const unfolding unf(sg, max_periods);
+    const timing_simulation_result sim = simulate_timing(unf);
+
+    // For a candidate epsilon, the settle index of event e is the smallest
+    // K with t(e_{i+eps}) - t(e_i) == lambda*eps for all i in [K, horizon).
+    // Checking from the tail backwards gives it in one scan.
+    const auto settle_for = [&](event_id e, std::uint32_t eps) -> std::int64_t {
+        const rational step = out.cycle_time * rational(eps);
+        std::int64_t settle = -1; // -1: even the last window fails
+        for (std::int64_t i = static_cast<std::int64_t>(max_periods) - 1 - eps; i >= 0; --i) {
+            const auto t0 = sim.at(unf, e, static_cast<std::uint32_t>(i));
+            const auto t1 = sim.at(unf, e, static_cast<std::uint32_t>(i) + eps);
+            if (!t0 || !t1 || !(*t1 - *t0 == step)) return i + 1;
+            settle = i;
+        }
+        return settle < 0 ? -1 : settle;
+    };
+
+    const std::uint32_t eps_bound = static_cast<std::uint32_t>(
+        std::min<std::size_t>(sg.border_events().size(), max_periods / 2));
+    for (std::uint32_t eps = 1; eps <= eps_bound; ++eps) {
+        bool all_settle = true;
+        std::uint32_t worst = 0;
+        for (const event_id e : sg.repetitive_events()) {
+            const std::int64_t k = settle_for(e, eps);
+            // Require at least two verified windows of headroom so the
+            // "settled" claim is not an artifact of the horizon.
+            if (k < 0 || static_cast<std::uint32_t>(k) + 3u * eps >= max_periods) {
+                all_settle = false;
+                break;
+            }
+            worst = std::max(worst, static_cast<std::uint32_t>(k));
+        }
+        if (all_settle) {
+            out.pattern_period = eps;
+            out.settle_period = worst;
+            return out;
+        }
+    }
+    throw error("analyze_transient: no periodic pattern confirmed within " +
+                std::to_string(max_periods) + " periods — raise the horizon");
+}
+
+} // namespace tsg

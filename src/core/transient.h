@@ -1,0 +1,48 @@
+// Start-up transient analysis (the quasi-periodicity of Section III.B).
+//
+// Every timing simulation of a live Timed Signal Graph eventually locks
+// into a repeating pattern: there exist a pattern period epsilon (in
+// unfolding periods) and a settle index K such that
+//
+//     t(e_{i + epsilon}) = t(e_i) + lambda * epsilon     for all i >= K
+//
+// for every repetitive event e.  This module measures both: how long the
+// initial history (the disengageable arcs, the marking) perturbs the
+// schedule, and how many unfolding periods one timing pattern spans (the
+// occurrence period of the critical structure; compare the Muller ring's
+// 6,7,7 step pattern with epsilon = 3).
+#ifndef TSG_CORE_TRANSIENT_H
+#define TSG_CORE_TRANSIENT_H
+
+#include <cstdint>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct transient_result {
+    rational cycle_time;
+
+    /// Smallest pattern period epsilon >= 1 for which the relation above
+    /// holds from some index on.
+    std::uint32_t pattern_period = 0;
+
+    /// Smallest K such that every repetitive event is exactly periodic from
+    /// its K-th instantiation on (verified over the simulated horizon).
+    std::uint32_t settle_period = 0;
+
+    /// Horizon that was simulated to establish the result.
+    std::uint32_t horizon = 0;
+};
+
+/// Runs the full timing simulation over up to `max_periods` periods and
+/// extracts the pattern period and settling point.  Throws tsg::error when
+/// no periodic pattern is confirmed within the horizon (raise it for
+/// graphs with extreme transients).
+[[nodiscard]] transient_result analyze_transient(const signal_graph& sg,
+                                                 std::uint32_t max_periods = 128);
+
+} // namespace tsg
+
+#endif // TSG_CORE_TRANSIENT_H

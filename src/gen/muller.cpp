@@ -1,0 +1,138 @@
+#include "gen/muller.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "circuit/explorer.h"
+
+namespace tsg {
+
+std::string muller_stage_name(std::uint32_t stage, std::uint32_t stages)
+{
+    if (stages <= 26) return std::string(1, static_cast<char>('a' + stage));
+    return "s" + std::to_string(stage);
+}
+
+parsed_circuit muller_ring_circuit(const muller_ring_options& options)
+{
+    const std::uint32_t n = options.stages;
+    require(n >= 3, "muller_ring: need at least 3 stages");
+
+    std::vector<std::uint32_t> high = options.high_stages;
+    if (high.empty()) high.push_back(n - 1);
+    for (const std::uint32_t h : high)
+        require(h < n, "muller_ring: token stage out of range");
+    require(high.size() < n, "muller_ring: at least one stage must start low");
+
+    parsed_circuit circuit;
+    circuit.name = "muller_ring" + std::to_string(n);
+
+    std::vector<std::string> stage_names(n);
+    std::vector<std::string> inv_names(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+        stage_names[k] = muller_stage_name(k, n);
+        inv_names[k] = "i" + stage_names[k];
+    }
+
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint32_t prev = (k + n - 1) % n;
+        circuit.nl.add_gate(gate_kind::c_element, stage_names[k],
+                            {{stage_names[prev], options.c_delay},
+                             {inv_names[k], options.c_delay}});
+    }
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint32_t next = (k + 1) % n;
+        circuit.nl.add_gate(gate_kind::inv, inv_names[k],
+                            {{stage_names[next], options.inv_delay}});
+    }
+
+    circuit.initial = circuit_state(circuit.nl.signal_count());
+    std::vector<bool> stage_value(n, false);
+    for (const std::uint32_t h : high) stage_value[h] = true;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        circuit.initial.set(circuit.nl.signal_by_name(stage_names[k]), stage_value[k]);
+        circuit.initial.set(circuit.nl.signal_by_name(inv_names[k]),
+                            !stage_value[(k + 1) % n]);
+    }
+    circuit.nl.validate();
+    return circuit;
+}
+
+signal_graph muller_ring_sg(const muller_ring_options& options)
+{
+    const parsed_circuit circuit = muller_ring_circuit(options);
+    const netlist& nl = circuit.nl;
+    const std::size_t signals = nl.signal_count();
+
+    // Simulate under fair FIFO firing until every transition (signal,
+    // value) has fired at least once, recording first-firing indices.  In a
+    // safe distributive behaviour the relative order of causally related
+    // first firings is schedule-independent, so "source first fires after
+    // target" identifies exactly the arcs whose first dependency is
+    // pre-satisfied by the initial state — the marked arcs.
+    std::map<std::pair<signal_id, bool>, std::size_t> first_fire;
+    {
+        circuit_state state = circuit.initial;
+        std::deque<signal_id> queue;
+        std::vector<bool> in_queue(signals, false);
+        auto refresh = [&](signal_id s) {
+            if (!in_queue[s] && gate_excited(nl, state, s)) {
+                queue.push_back(s);
+                in_queue[s] = true;
+            }
+        };
+        for (signal_id s = 0; s < signals; ++s) refresh(s);
+        require(!queue.empty(), "muller_ring: initial state is stable (bad token placement)");
+
+        const std::size_t budget = 40 * signals + 64;
+        for (std::size_t step = 0; step < budget && first_fire.size() < 2 * signals; ++step) {
+            require(!queue.empty(), "muller_ring: deadlock before all transitions fired");
+            const signal_id s = queue.front();
+            queue.pop_front();
+            in_queue[s] = false;
+            require(gate_excited(nl, state, s),
+                    "muller_ring: withdrawn excitation (not semimodular)");
+            state.toggle(s);
+            first_fire.emplace(std::make_pair(s, state.value(s)), step);
+            refresh(s);
+            for (const std::uint32_t gi : nl.fanout(s)) refresh(nl.gates()[gi].output);
+        }
+        require(first_fire.size() == 2 * signals,
+                "muller_ring: some transition never fired (bad token placement)");
+    }
+
+    // Events and arcs follow the netlist; marking from first-lap order.
+    signal_graph sg;
+    auto event_name = [&](signal_id s, bool value) {
+        return nl.signal_name(s) + (value ? "+" : "-");
+    };
+    for (signal_id s = 0; s < signals; ++s) {
+        sg.add_event(event_name(s, true), nl.signal_name(s), polarity::rise);
+        sg.add_event(event_name(s, false), nl.signal_name(s), polarity::fall);
+    }
+    auto event_of = [&](signal_id s, bool value) {
+        return sg.event_by_name(event_name(s, value));
+    };
+
+    for (const gate& g : nl.gates()) {
+        for (const bool target_value : {true, false}) {
+            const event_id target = event_of(g.output, target_value);
+            const std::size_t target_first = first_fire.at({g.output, target_value});
+            for (const pin& p : g.inputs) {
+                // For C-elements the pin must equal the new output value;
+                // for the inverter it must be the complement.
+                const bool needed =
+                    g.kind == gate_kind::c_element ? target_value : !target_value;
+                const event_id source = event_of(p.signal, needed);
+                const bool marked = first_fire.at({p.signal, needed}) > target_first;
+                sg.add_arc(source, target, p.delay_for(target_value), marked,
+                           /*disengageable=*/false);
+            }
+        }
+    }
+    sg.finalize();
+    return sg;
+}
+
+} // namespace tsg

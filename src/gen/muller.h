@@ -1,0 +1,48 @@
+// Muller ring generator (the paper's Section VIII.D example: a Muller
+// pipeline whose ends are joined into a ring, initialized with data
+// tokens).
+//
+// Stage k holds a C-element with output s_k and inputs s_{k-1} (previous
+// stage) and inv_k, where inv_k = INV(s_{k+1}) is the feedback inverter.
+// A stage whose output starts at 1 carries a data token.  The paper's
+// instance has five stages a..e, the token in the last stage, and all
+// delays 1; its cycle time is 20/3.
+#ifndef TSG_GEN_MULLER_H
+#define TSG_GEN_MULLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist_io.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+struct muller_ring_options {
+    std::uint32_t stages = 5;
+    /// Stage indices whose C-element output starts at 1 (the data tokens);
+    /// defaults to {stages - 1}, the paper's configuration, when empty.
+    std::vector<std::uint32_t> high_stages;
+    rational c_delay = 1;   ///< every C-element pin delay
+    rational inv_delay = 1; ///< inverter pin delay
+};
+
+/// Stage output names: "a".."z" for up to 26 stages, else "s0", "s1", ...
+/// Inverter names prepend 'i' ("ia", "is12").
+[[nodiscard]] std::string muller_stage_name(std::uint32_t stage, std::uint32_t stages);
+
+/// The ring as a circuit (netlist + consistent initial state, no stimuli).
+[[nodiscard]] parsed_circuit muller_ring_circuit(const muller_ring_options& options = {});
+
+/// The ring's Timed Signal Graph, constructed directly: the arc structure
+/// follows the gate netlist and the marking is derived from one simulated
+/// lap (every transition fires exactly once per lap in a Muller ring; an
+/// arc is marked iff its source transition first fires *after* its target,
+/// i.e. the target's first firing was enabled by the initial state).
+/// Scales linearly, unlike full extraction; extraction equivalence is
+/// covered by tests.
+[[nodiscard]] signal_graph muller_ring_sg(const muller_ring_options& options = {});
+
+} // namespace tsg
+
+#endif // TSG_GEN_MULLER_H

@@ -1,0 +1,43 @@
+#include "gen/oscillator.h"
+
+#include "sg/builder.h"
+
+namespace tsg {
+
+parsed_circuit c_oscillator_circuit()
+{
+    parsed_circuit circuit;
+    circuit.name = "oscillator";
+    circuit.nl.add_signal("e");
+    circuit.nl.add_gate(gate_kind::nor_gate, "a", {{"e", 2}, {"c", 2}});
+    circuit.nl.add_gate(gate_kind::nor_gate, "b", {{"f", 1}, {"c", 1}});
+    circuit.nl.add_gate(gate_kind::c_element, "c", {{"a", 3}, {"b", 2}});
+    circuit.nl.add_gate(gate_kind::buf, "f", {{"e", 3}});
+    circuit.nl.add_stimulus("e");
+
+    circuit.initial = circuit_state(circuit.nl.signal_count());
+    circuit.initial.set(circuit.nl.signal_by_name("e"), true);
+    circuit.initial.set(circuit.nl.signal_by_name("f"), true);
+    // a, b, c start low.
+    circuit.nl.validate();
+    return circuit;
+}
+
+signal_graph c_oscillator_sg()
+{
+    return sg_builder()
+        .once_arc("e-", "a+", 2)
+        .arc("e-", "f-", 3)
+        .once_arc("f-", "b+", 1)
+        .marked_arc("c-", "a+", 2)
+        .marked_arc("c-", "b+", 1)
+        .arc("a+", "c+", 3)
+        .arc("b+", "c+", 2)
+        .arc("c+", "a-", 2)
+        .arc("c+", "b-", 1)
+        .arc("a-", "c-", 3)
+        .arc("b-", "c-", 2)
+        .build();
+}
+
+} // namespace tsg

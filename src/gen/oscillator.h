@@ -1,0 +1,31 @@
+// The paper's running example (Figure 1): a C-element oscillator built from
+// a C-element, two NOR gates and a buffer, plus its Timed Signal Graph
+// (Figure 2c).
+//
+//   a = NOR(e, c)   pins: e delay 2, c delay 2
+//   b = NOR(f, c)   pins: f delay 1, c delay 1
+//   c = C(a, b)     pins: a delay 3, b delay 2
+//   f = BUF(e)      pin:  e delay 3
+//   initial state {a, b, c, f, e} = {0, 0, 0, 1, 1}; input e falls at t = 0.
+#ifndef TSG_GEN_OSCILLATOR_H
+#define TSG_GEN_OSCILLATOR_H
+
+#include "circuit/netlist_io.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// The Figure 1a circuit with the paper's initial state and stimulus.
+[[nodiscard]] parsed_circuit c_oscillator_circuit();
+
+/// The Figure 2c Timed Signal Graph, built directly:
+///   events e-, f-, a+, b+, c+, a-, b-, c-;
+///   crossed arcs e- -> a+ (2), f- -> b+ (1); arc e- -> f- (3);
+///   dotted arcs c- -> a+ (2), c- -> b+ (1);
+///   cycle arcs a+ -> c+ (3), b+ -> c+ (2), c+ -> a- (2), c+ -> b- (1),
+///              a- -> c- (3), b- -> c- (2).
+[[nodiscard]] signal_graph c_oscillator_sg();
+
+} // namespace tsg
+
+#endif // TSG_GEN_OSCILLATOR_H

@@ -1,0 +1,59 @@
+#include "gen/random_sg.h"
+
+#include <vector>
+
+#include "util/prng.h"
+
+namespace tsg {
+
+signal_graph random_marked_graph(const random_sg_options& options)
+{
+    require(options.events >= 2, "random_marked_graph: need at least 2 events");
+    const std::uint32_t n = options.events;
+
+    prng rng(options.seed);
+
+    // Random circular order of events.
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+    std::vector<std::uint32_t> position(n);
+    for (std::uint32_t i = 0; i < n; ++i) position[order[i]] = i;
+
+    signal_graph sg;
+    for (std::uint32_t i = 0; i < n; ++i)
+        sg.add_event("v" + std::to_string(i), "", polarity::none);
+
+    auto delay = [&] { return rational(rng.uniform(0, options.max_delay)); };
+
+    // Hamiltonian cycle along the order; the wrap-around arc carries the
+    // token that keeps every cycle through it live.
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+        sg.add_arc(order[i], order[i + 1], delay(), /*marked=*/false);
+    sg.add_arc(order[n - 1], order[0], delay(), /*marked=*/true);
+
+    // Extra arcs: forward arcs are plain, backward arcs are marked.  With a
+    // border limit, backward arcs may only land near the front of the order.
+    for (std::uint32_t k = 0; k < options.extra_arcs; ++k) {
+        std::uint32_t u = 0;
+        std::uint32_t v = 0;
+        while (u == v) {
+            u = static_cast<std::uint32_t>(rng.index(n));
+            v = static_cast<std::uint32_t>(rng.index(n));
+            if (u == v) continue;
+            const bool backward = position[u] >= position[v];
+            if (backward && options.border_limit != 0 &&
+                position[v] >= options.border_limit) {
+                u = v; // reject: backward arc outside the border zone
+                continue;
+            }
+        }
+        const bool backward = position[u] >= position[v];
+        sg.add_arc(u, v, delay(), /*marked=*/backward);
+    }
+
+    sg.finalize();
+    return sg;
+}
+
+} // namespace tsg

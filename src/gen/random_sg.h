@@ -1,0 +1,38 @@
+// Random live, initially-safe, strongly connected Timed Signal Graphs for
+// property tests and scaling benchmarks.
+//
+// Construction: lay the events on a random circular order; a Hamiltonian
+// cycle along the order (with one marked closing arc) guarantees strong
+// connectivity and liveness; extra arcs are sprinkled uniformly, marked
+// exactly when they run backwards against the order — so the token-free
+// subgraph stays acyclic (liveness) and the marking stays boolean
+// (initially-safe).  The border set size is steered by restricting where
+// backward arcs may land.
+#ifndef TSG_GEN_RANDOM_SG_H
+#define TSG_GEN_RANDOM_SG_H
+
+#include <cstdint>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+struct random_sg_options {
+    std::uint32_t events = 32;
+    std::uint32_t extra_arcs = 32;     ///< arcs beyond the Hamiltonian cycle
+    std::int64_t max_delay = 10;       ///< delays uniform in [0, max_delay]
+    std::uint64_t seed = 1;
+    /// When non-zero, backward (marked) extra arcs may only target the first
+    /// `border_limit` events of the order, keeping the border set small —
+    /// the b << n regime where the paper's algorithm is near-linear.
+    std::uint32_t border_limit = 0;
+};
+
+/// Generates the graph; the result is finalized and guaranteed live,
+/// initially-safe, with a strongly connected repetitive core of exactly
+/// `events` events and `events + extra_arcs` arcs.
+[[nodiscard]] signal_graph random_marked_graph(const random_sg_options& options);
+
+} // namespace tsg
+
+#endif // TSG_GEN_RANDOM_SG_H

@@ -1,0 +1,37 @@
+// The Section VIII.B benchmark stand-in: a Signal Graph of the size the
+// paper reports for "an asynchronous stack with constant response time" —
+// 66 events and 112 arcs — used to compare analysis run time.
+//
+// The original stack netlist (from the FORCAGE distribution) is not
+// published in the paper, so this module generates a structured surrogate:
+// a ring of fork/join cells whose event/arc counts are calibrated to the
+// published instance, plus the generic knobs to scale the family up for
+// the complexity benchmarks.  See DESIGN.md ("Substitutions").
+#ifndef TSG_GEN_STACK_H
+#define TSG_GEN_STACK_H
+
+#include <cstdint>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// A ring of `cells` fork/join handshake cells.  Each cell contributes 8
+/// events (request/acknowledge rise/fall on a split/merge pair) and 14
+/// arcs; one shared interface pair closes the ring.  Delays default to the
+/// classic 4-phase latencies (forward 2, backward 1, internal 1).
+struct stack_options {
+    std::uint32_t cells = 8;
+    rational forward_delay = 2;
+    rational backward_delay = 1;
+    rational internal_delay = 1;
+};
+[[nodiscard]] signal_graph stack_controller_sg(const stack_options& options = {});
+
+/// The calibrated instance matching the paper's reported size: 66 events,
+/// 112 arcs.
+[[nodiscard]] signal_graph paper_stack_sg();
+
+} // namespace tsg
+
+#endif // TSG_GEN_STACK_H

@@ -1,0 +1,79 @@
+// Compact directed multigraph.
+//
+// Nodes and arcs are dense 32-bit indices; payloads (delays, markings, event
+// attributes) live in parallel arrays owned by the client models.  Parallel
+// arcs and self-loops are allowed — a Timed Signal Graph may connect the
+// same pair of events through arcs with different delays.
+#ifndef TSG_GRAPH_DIGRAPH_H
+#define TSG_GRAPH_DIGRAPH_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsg {
+
+using node_id = std::uint32_t;
+using arc_id = std::uint32_t;
+
+inline constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
+inline constexpr arc_id invalid_arc = std::numeric_limits<arc_id>::max();
+
+/// Directed multigraph with O(1) arc endpoint lookup and per-node in/out
+/// adjacency lists.  Nodes and arcs can only be added, never removed; the
+/// analysis algorithms all work on immutable snapshots.
+class digraph {
+public:
+    digraph() = default;
+
+    /// Creates `count` isolated nodes up front.
+    explicit digraph(std::size_t count) { add_nodes(count); }
+
+    node_id add_node()
+    {
+        out_.emplace_back();
+        in_.emplace_back();
+        return static_cast<node_id>(out_.size() - 1);
+    }
+
+    void add_nodes(std::size_t count)
+    {
+        out_.resize(out_.size() + count);
+        in_.resize(in_.size() + count);
+    }
+
+    arc_id add_arc(node_id from, node_id to)
+    {
+        require(from < node_count() && to < node_count(), "digraph::add_arc: bad endpoint");
+        const auto a = static_cast<arc_id>(tail_.size());
+        tail_.push_back(from);
+        head_.push_back(to);
+        out_[from].push_back(a);
+        in_[to].push_back(a);
+        return a;
+    }
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return tail_.size(); }
+
+    [[nodiscard]] node_id from(arc_id a) const { return tail_.at(a); }
+    [[nodiscard]] node_id to(arc_id a) const { return head_.at(a); }
+
+    [[nodiscard]] const std::vector<arc_id>& out_arcs(node_id n) const { return out_.at(n); }
+    [[nodiscard]] const std::vector<arc_id>& in_arcs(node_id n) const { return in_.at(n); }
+
+    [[nodiscard]] std::size_t out_degree(node_id n) const { return out_.at(n).size(); }
+    [[nodiscard]] std::size_t in_degree(node_id n) const { return in_.at(n).size(); }
+
+private:
+    std::vector<node_id> tail_; // arc -> source node
+    std::vector<node_id> head_; // arc -> target node
+    std::vector<std::vector<arc_id>> out_;
+    std::vector<std::vector<arc_id>> in_;
+};
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_DIGRAPH_H

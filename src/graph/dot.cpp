@@ -1,0 +1,45 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace tsg {
+
+namespace {
+
+std::string escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string to_dot(const digraph& g, const std::function<std::string(node_id)>& node_label,
+                   const std::function<std::string(arc_id)>& arc_label,
+                   const std::string& graph_name)
+{
+    std::ostringstream os;
+    os << "digraph " << graph_name << " {\n";
+    for (node_id v = 0; v < g.node_count(); ++v) {
+        os << "  n" << v;
+        if (node_label) os << " [label=\"" << escape(node_label(v)) << "\"]";
+        os << ";\n";
+    }
+    for (arc_id a = 0; a < g.arc_count(); ++a) {
+        os << "  n" << g.from(a) << " -> n" << g.to(a);
+        if (arc_label) {
+            const std::string label = arc_label(a);
+            if (!label.empty()) os << " [label=\"" << escape(label) << "\"]";
+        }
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace tsg

@@ -1,0 +1,21 @@
+// Graphviz DOT export for debugging and documentation figures.
+#ifndef TSG_GRAPH_DOT_H
+#define TSG_GRAPH_DOT_H
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace tsg {
+
+/// Renders `g` in DOT syntax.  `node_label` and `arc_label` supply display
+/// strings; pass empty functions to fall back to numeric ids / no labels.
+[[nodiscard]] std::string to_dot(const digraph& g,
+                                 const std::function<std::string(node_id)>& node_label = {},
+                                 const std::function<std::string(arc_id)>& arc_label = {},
+                                 const std::string& graph_name = "g");
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_DOT_H

@@ -1,0 +1,32 @@
+// Enumeration of all elementary (simple) cycles — Johnson's algorithm.
+//
+// Used by the exhaustive max-cycle-ratio baseline (ground truth in tests and
+// the Example 5/6 reproduction).  The number of simple cycles can be
+// exponential in the arc count, which is exactly why the paper's timing-
+// simulation algorithm exists; callers must bound the enumeration.
+#ifndef TSG_GRAPH_JOHNSON_H
+#define TSG_GRAPH_JOHNSON_H
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsg {
+
+struct cycle_enumeration {
+    /// Each cycle is the sequence of arcs traversed, starting at the cycle's
+    /// smallest-numbered node.  Parallel arcs yield distinct cycles.
+    std::vector<std::vector<arc_id>> cycles;
+    /// True when enumeration stopped early because `max_cycles` was reached.
+    bool truncated = false;
+};
+
+/// Enumerates elementary cycles of `g` (Johnson 1975), including self-loops,
+/// stopping after `max_cycles` cycles.  O((n + m)(c + 1)) for c cycles.
+[[nodiscard]] cycle_enumeration enumerate_simple_cycles(const digraph& g,
+                                                        std::size_t max_cycles = 1'000'000);
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_JOHNSON_H

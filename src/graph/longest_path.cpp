@@ -1,0 +1,107 @@
+#include "graph/longest_path.h"
+
+#include <algorithm>
+
+#include "graph/topo.h"
+
+namespace tsg {
+
+longest_path_result dag_longest_paths(const digraph& g, const std::vector<rational>& arc_weight,
+                                      const std::vector<node_id>& sources,
+                                      const std::vector<bool>* arc_kept)
+{
+    require(arc_weight.size() == g.arc_count(), "dag_longest_paths: weight size mismatch");
+
+    const auto order = arc_kept ? topological_order_filtered(g, *arc_kept)
+                                : topological_order(g);
+    require(order.has_value(), "dag_longest_paths: graph is not acyclic");
+
+    longest_path_result r;
+    r.distance.assign(g.node_count(), rational(0));
+    r.reached.assign(g.node_count(), false);
+    r.pred.assign(g.node_count(), invalid_arc);
+
+    for (const node_id s : sources) {
+        require(s < g.node_count(), "dag_longest_paths: bad source");
+        r.reached[s] = true;
+    }
+
+    for (const node_id v : *order) {
+        if (!r.reached[v]) continue;
+        for (const arc_id a : g.out_arcs(v)) {
+            if (arc_kept && !(*arc_kept)[a]) continue;
+            const node_id w = g.to(a);
+            const rational candidate = r.distance[v] + arc_weight[a];
+            if (!r.reached[w] || candidate > r.distance[w]) {
+                r.reached[w] = true;
+                r.distance[w] = candidate;
+                r.pred[w] = a;
+            }
+        }
+    }
+    return r;
+}
+
+positive_cycle_result find_positive_cycle(const digraph& g,
+                                          const std::vector<rational>& arc_weight)
+{
+    require(arc_weight.size() == g.arc_count(), "find_positive_cycle: weight size mismatch");
+
+    const std::size_t n = g.node_count();
+    positive_cycle_result result;
+    if (n == 0) return result;
+
+    // Longest-path Bellman-Ford from a virtual source connected to every
+    // node with weight 0: all distances start at 0.
+    std::vector<rational> dist(n, rational(0));
+    std::vector<arc_id> pred(n, invalid_arc);
+
+    node_id witness = invalid_node;
+    for (std::size_t pass = 0; pass < n; ++pass) {
+        bool relaxed = false;
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            const node_id u = g.from(a);
+            const node_id v = g.to(a);
+            const rational candidate = dist[u] + arc_weight[a];
+            if (candidate > dist[v]) {
+                dist[v] = candidate;
+                pred[v] = a;
+                relaxed = true;
+                witness = v;
+            }
+        }
+        if (!relaxed) return result; // converged: no positive cycle
+    }
+
+    // A relaxation occurred on the n-th pass: `witness` is reachable from a
+    // positive cycle.  Walk predecessors n steps to land inside the cycle.
+    node_id v = witness;
+    for (std::size_t i = 0; i < n; ++i) {
+        ensure(pred[v] != invalid_arc, "find_positive_cycle: broken predecessor chain");
+        v = g.from(pred[v]);
+    }
+
+    // Extract the cycle through v.
+    std::vector<arc_id> cycle;
+    node_id cur = v;
+    do {
+        const arc_id a = pred[cur];
+        ensure(a != invalid_arc, "find_positive_cycle: broken cycle chain");
+        cycle.push_back(a);
+        cur = g.from(a);
+    } while (cur != v);
+    std::reverse(cycle.begin(), cycle.end());
+
+    result.found = true;
+    result.cycle = std::move(cycle);
+    return result;
+}
+
+rational path_weight(const std::vector<arc_id>& arcs, const std::vector<rational>& arc_weight)
+{
+    rational total(0);
+    for (const arc_id a : arcs) total += arc_weight.at(a);
+    return total;
+}
+
+} // namespace tsg

@@ -1,0 +1,49 @@
+// Longest-path computations with exact rational weights.
+//
+// Two flavours are needed by the library:
+//   * DAG longest paths (PERT) — the engine behind timing simulation, which
+//     is a longest-path sweep over the (acyclic) unfolding;
+//   * Bellman-Ford positive-cycle detection — the oracle inside the Lawler
+//     binary-search baseline for maximum cycle ratio.
+#ifndef TSG_GRAPH_LONGEST_PATH_H
+#define TSG_GRAPH_LONGEST_PATH_H
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct longest_path_result {
+    std::vector<rational> distance; ///< valid only where reached[v]
+    std::vector<bool> reached;      ///< v reachable from some source
+    std::vector<arc_id> pred;       ///< arg-max in-arc, invalid_arc at sources
+};
+
+/// Single- or multi-source longest paths on a DAG.  Throws tsg::error when
+/// the graph (restricted by `arc_kept`, if given) is not acyclic.
+/// Sources start at distance 0.  O(n + m).
+[[nodiscard]] longest_path_result dag_longest_paths(
+    const digraph& g, const std::vector<rational>& arc_weight,
+    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept = nullptr);
+
+struct positive_cycle_result {
+    bool found = false;
+    std::vector<arc_id> cycle; ///< arcs of one positive-weight cycle if found
+};
+
+/// Detects whether `g` contains a directed cycle of strictly positive total
+/// weight (Bellman-Ford on longest paths from a virtual super-source).
+/// O(n * m).  When found, returns one witness cycle.
+[[nodiscard]] positive_cycle_result find_positive_cycle(const digraph& g,
+                                                        const std::vector<rational>& arc_weight);
+
+/// Sum of arc weights along a path or cycle.
+[[nodiscard]] rational path_weight(const std::vector<arc_id>& arcs,
+                                   const std::vector<rational>& arc_weight);
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_LONGEST_PATH_H

@@ -1,0 +1,40 @@
+#include "graph/reach.h"
+
+namespace tsg {
+
+namespace {
+
+std::vector<bool> bfs(const digraph& g, node_id start, bool forward)
+{
+    require(start < g.node_count(), "reachability: bad start node");
+    std::vector<bool> seen(g.node_count(), false);
+    std::vector<node_id> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+        const node_id v = queue.back();
+        queue.pop_back();
+        const auto& arcs = forward ? g.out_arcs(v) : g.in_arcs(v);
+        for (const arc_id a : arcs) {
+            const node_id next = forward ? g.to(a) : g.from(a);
+            if (!seen[next]) {
+                seen[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+std::vector<bool> reachable_from(const digraph& g, node_id source)
+{
+    return bfs(g, source, /*forward=*/true);
+}
+
+std::vector<bool> reaching_to(const digraph& g, node_id target)
+{
+    return bfs(g, target, /*forward=*/false);
+}
+
+} // namespace tsg

@@ -1,0 +1,20 @@
+// Reachability queries.
+#ifndef TSG_GRAPH_REACH_H
+#define TSG_GRAPH_REACH_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsg {
+
+/// Nodes reachable from `source` (inclusive) following arc direction.
+[[nodiscard]] std::vector<bool> reachable_from(const digraph& g, node_id source);
+
+/// Nodes from which `target` is reachable (inclusive), i.e. reachability in
+/// the reversed graph.
+[[nodiscard]] std::vector<bool> reaching_to(const digraph& g, node_id target);
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_REACH_H

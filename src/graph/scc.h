@@ -1,0 +1,41 @@
+// Strongly connected components (Tarjan, iterative).
+#ifndef TSG_GRAPH_SCC_H
+#define TSG_GRAPH_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsg {
+
+/// Result of an SCC decomposition.  Components are numbered in reverse
+/// topological order of the condensation (Tarjan's natural output order):
+/// if there is an arc from component x to component y != x then x > y.
+struct scc_result {
+    std::vector<std::uint32_t> component; ///< node -> component index
+    std::uint32_t count = 0;              ///< number of components
+
+    /// True when node n lies on some cycle: its component has more than one
+    /// node, or it carries a self-loop (checked by the caller-facing helper
+    /// below, which needs the graph).
+    [[nodiscard]] bool same(node_id a, node_id b) const
+    {
+        return component.at(a) == component.at(b);
+    }
+};
+
+/// Tarjan's algorithm; O(n + m), iterative (no recursion depth limits).
+[[nodiscard]] scc_result strongly_connected_components(const digraph& g);
+
+/// True when the whole graph is one strongly connected component (and
+/// non-empty).
+[[nodiscard]] bool is_strongly_connected(const digraph& g);
+
+/// Nodes that lie on at least one directed cycle: nodes in a component of
+/// size >= 2 plus nodes with a self-loop.
+[[nodiscard]] std::vector<bool> nodes_on_cycles(const digraph& g);
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_SCC_H

@@ -1,0 +1,51 @@
+#include "graph/topo.h"
+
+namespace tsg {
+
+namespace {
+
+std::optional<std::vector<node_id>> kahn(const digraph& g, const std::vector<bool>* arc_kept)
+{
+    const std::size_t n = g.node_count();
+    std::vector<std::uint32_t> in_degree(n, 0);
+    for (arc_id a = 0; a < g.arc_count(); ++a) {
+        if (arc_kept && !(*arc_kept)[a]) continue;
+        ++in_degree[g.to(a)];
+    }
+
+    std::vector<node_id> order;
+    order.reserve(n);
+    std::vector<node_id> ready;
+    for (node_id v = 0; v < n; ++v)
+        if (in_degree[v] == 0) ready.push_back(v);
+
+    while (!ready.empty()) {
+        const node_id v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const arc_id a : g.out_arcs(v)) {
+            if (arc_kept && !(*arc_kept)[a]) continue;
+            if (--in_degree[g.to(a)] == 0) ready.push_back(g.to(a));
+        }
+    }
+
+    if (order.size() != n) return std::nullopt; // a cycle remains
+    return order;
+}
+
+} // namespace
+
+std::optional<std::vector<node_id>> topological_order(const digraph& g)
+{
+    return kahn(g, nullptr);
+}
+
+std::optional<std::vector<node_id>> topological_order_filtered(const digraph& g,
+                                                               const std::vector<bool>& arc_kept)
+{
+    require(arc_kept.size() == g.arc_count(),
+            "topological_order_filtered: filter size mismatch");
+    return kahn(g, &arc_kept);
+}
+
+} // namespace tsg

@@ -1,0 +1,27 @@
+// Topological ordering and acyclicity tests (Kahn's algorithm).
+#ifndef TSG_GRAPH_TOPO_H
+#define TSG_GRAPH_TOPO_H
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tsg {
+
+/// A topological order of all nodes, or nullopt when the graph has a cycle.
+[[nodiscard]] std::optional<std::vector<node_id>> topological_order(const digraph& g);
+
+/// Topological order of the subgraph induced by keeping only arcs for which
+/// `arc_kept[a]` is true.  Returns nullopt when that subgraph has a cycle.
+[[nodiscard]] std::optional<std::vector<node_id>> topological_order_filtered(
+    const digraph& g, const std::vector<bool>& arc_kept);
+
+[[nodiscard]] inline bool is_acyclic(const digraph& g)
+{
+    return topological_order(g).has_value();
+}
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_TOPO_H

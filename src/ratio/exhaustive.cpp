@@ -1,0 +1,40 @@
+#include "ratio/exhaustive.h"
+
+#include "graph/johnson.h"
+
+namespace tsg {
+
+exhaustive_result max_cycle_ratio_exhaustive(const ratio_problem& p, std::size_t max_cycles)
+{
+    const cycle_enumeration enumeration = enumerate_simple_cycles(p.graph, max_cycles);
+    require(!enumeration.truncated,
+            "max_cycle_ratio_exhaustive: more than the allowed number of cycles");
+    require(!enumeration.cycles.empty(), "max_cycle_ratio_exhaustive: graph has no cycles");
+
+    exhaustive_result out;
+    bool first = true;
+    for (const auto& arcs : enumeration.cycles) {
+        cycle_listing listing;
+        listing.arcs = arcs;
+        for (const arc_id a : arcs) {
+            listing.delay += p.delay.at(a);
+            listing.transit += p.transit.at(a);
+        }
+        require(listing.transit > 0,
+                "max_cycle_ratio_exhaustive: token-free cycle (graph not live)");
+        listing.ratio = listing.delay / rational(listing.transit);
+        if (first || listing.ratio > out.ratio) out.ratio = listing.ratio;
+        first = false;
+        out.cycles.push_back(std::move(listing));
+    }
+    for (std::size_t i = 0; i < out.cycles.size(); ++i)
+        if (out.cycles[i].ratio == out.ratio) out.critical.push_back(i);
+    return out;
+}
+
+rational cycle_time_exhaustive(const signal_graph& sg, std::size_t max_cycles)
+{
+    return max_cycle_ratio_exhaustive(make_ratio_problem(sg), max_cycles).ratio;
+}
+
+} // namespace tsg

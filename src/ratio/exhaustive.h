@@ -1,0 +1,40 @@
+// Exhaustive maximum cycle ratio: enumerate every simple cycle and take the
+// best.  Exponential in the worst case (the very motivation for the paper's
+// algorithm) but exact, hence the ground truth in the test suite and the
+// engine behind the Example 5/6 reproduction.
+#ifndef TSG_RATIO_EXHAUSTIVE_H
+#define TSG_RATIO_EXHAUSTIVE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+struct cycle_listing {
+    std::vector<arc_id> arcs;  ///< problem-graph arcs in causal order
+    rational delay;            ///< total delay
+    std::int64_t transit = 0;  ///< total tokens (the occurrence period epsilon)
+    rational ratio;            ///< delay / transit
+};
+
+struct exhaustive_result {
+    rational ratio;                     ///< the maximum cycle ratio
+    std::vector<cycle_listing> cycles;  ///< every simple cycle
+    std::vector<std::size_t> critical;  ///< indices of cycles attaining the max
+};
+
+/// Enumerates all simple cycles (Johnson) and computes each ratio.  Throws
+/// tsg::error when more than `max_cycles` cycles exist — the result would
+/// not be trustworthy as ground truth.
+[[nodiscard]] exhaustive_result max_cycle_ratio_exhaustive(const ratio_problem& p,
+                                                           std::size_t max_cycles = 1'000'000);
+
+/// Convenience: the cycle time of a Signal Graph by exhaustive enumeration.
+[[nodiscard]] rational cycle_time_exhaustive(const signal_graph& sg,
+                                             std::size_t max_cycles = 1'000'000);
+
+} // namespace tsg
+
+#endif // TSG_RATIO_EXHAUSTIVE_H

@@ -1,0 +1,168 @@
+#include "ratio/howard.h"
+
+#include <algorithm>
+
+namespace tsg {
+
+namespace {
+
+struct value_determination {
+    std::vector<rational> lambda; ///< ratio of the policy cycle each node reaches
+    std::vector<rational> value;  ///< potential v(u)
+    std::vector<arc_id> best_cycle;
+    rational best_lambda;
+};
+
+/// Computes per-node cycle ratios and potentials for a fixed policy.
+value_determination determine_values(const ratio_problem& p, const std::vector<arc_id>& policy)
+{
+    const std::size_t n = p.graph.node_count();
+    value_determination out;
+    out.lambda.assign(n, rational(0));
+    out.value.assign(n, rational(0));
+
+    enum class state : std::uint8_t { unvisited, in_progress, done };
+    std::vector<state> mark(n, state::unvisited);
+
+    bool have_best = false;
+    for (node_id root = 0; root < n; ++root) {
+        if (mark[root] != state::unvisited) continue;
+
+        // Follow the policy until we meet a processed node or close a cycle.
+        std::vector<node_id> path;
+        node_id v = root;
+        while (mark[v] == state::unvisited) {
+            mark[v] = state::in_progress;
+            path.push_back(v);
+            v = p.graph.to(policy[v]);
+        }
+
+        if (mark[v] == state::in_progress) {
+            // Closed a new policy cycle starting at v.
+            const auto cycle_begin =
+                std::find(path.begin(), path.end(), v) - path.begin();
+            std::vector<arc_id> cycle_arcs;
+            rational delay(0);
+            std::int64_t tokens = 0;
+            for (std::size_t i = static_cast<std::size_t>(cycle_begin); i < path.size(); ++i) {
+                const arc_id a = policy[path[i]];
+                cycle_arcs.push_back(a);
+                delay += p.delay[a];
+                tokens += p.transit[a];
+            }
+            require(tokens > 0, "max_cycle_ratio_howard: token-free cycle (graph not live)");
+            const rational ratio = delay / rational(tokens);
+
+            // Anchor v(cycle head) = 0 and propagate backwards around the
+            // cycle; the sum of (delay - ratio*transit) around it is 0, so
+            // the assignment is consistent.
+            out.lambda[v] = ratio;
+            out.value[v] = rational(0);
+            for (std::size_t i = path.size(); i-- > static_cast<std::size_t>(cycle_begin) + 1;) {
+                const node_id u = path[i];
+                const arc_id a = policy[u];
+                const node_id succ = p.graph.to(a);
+                out.lambda[u] = ratio;
+                out.value[u] = p.delay[a] - ratio * rational(p.transit[a]) + out.value[succ];
+                mark[u] = state::done;
+            }
+            mark[v] = state::done;
+
+            if (!have_best || ratio > out.best_lambda) {
+                out.best_lambda = ratio;
+                out.best_cycle = cycle_arcs;
+                have_best = true;
+            }
+
+            // Tree prefix before the cycle.
+            for (std::size_t i = static_cast<std::size_t>(cycle_begin); i-- > 0;) {
+                const node_id u = path[i];
+                const arc_id a = policy[u];
+                const node_id succ = p.graph.to(a);
+                out.lambda[u] = out.lambda[succ];
+                out.value[u] = p.delay[a] - out.lambda[u] * rational(p.transit[a]) + out.value[succ];
+                mark[u] = state::done;
+            }
+        } else {
+            // Ran into an already-processed region: whole path is a tree.
+            for (std::size_t i = path.size(); i-- > 0;) {
+                const node_id u = path[i];
+                const arc_id a = policy[u];
+                const node_id succ = p.graph.to(a);
+                out.lambda[u] = out.lambda[succ];
+                out.value[u] = p.delay[a] - out.lambda[u] * rational(p.transit[a]) + out.value[succ];
+                mark[u] = state::done;
+            }
+        }
+    }
+    ensure(have_best, "max_cycle_ratio_howard: no policy cycle found");
+    return out;
+}
+
+} // namespace
+
+ratio_result max_cycle_ratio_howard(const ratio_problem& p)
+{
+    const std::size_t n = p.graph.node_count();
+    require(n > 0, "max_cycle_ratio_howard: empty graph");
+
+    std::vector<arc_id> policy(n, invalid_arc);
+    for (node_id v = 0; v < n; ++v) {
+        require(p.graph.out_degree(v) > 0,
+                "max_cycle_ratio_howard: dead-end node (not strongly connected)");
+        policy[v] = p.graph.out_arcs(v)[0];
+    }
+
+    const std::size_t iteration_cap = 100 * n * std::max<std::size_t>(p.graph.arc_count(), 1) + 64;
+    value_determination vd = determine_values(p, policy);
+
+    for (std::size_t iter = 0; iter < iteration_cap; ++iter) {
+        // Phase 1: ratio improvement — switch to arcs reaching cycles with
+        // strictly larger ratio.
+        bool improved = false;
+        for (node_id u = 0; u < n; ++u) {
+            for (const arc_id a : p.graph.out_arcs(u)) {
+                const node_id x = p.graph.to(a);
+                if (vd.lambda[x] > vd.lambda[p.graph.to(policy[u])]) {
+                    policy[u] = a;
+                    improved = true;
+                }
+            }
+        }
+
+        // Phase 2 (only when ratios are stable): potential improvement among
+        // arcs with equal target ratio.
+        if (!improved) {
+            for (node_id u = 0; u < n; ++u) {
+                for (const arc_id a : p.graph.out_arcs(u)) {
+                    const node_id x = p.graph.to(a);
+                    if (vd.lambda[x] != vd.lambda[u]) continue;
+                    const rational candidate =
+                        p.delay[a] - vd.lambda[u] * rational(p.transit[a]) + vd.value[x];
+                    if (candidate > vd.value[u]) {
+                        policy[u] = a;
+                        vd.value[u] = candidate; // Gauss-Seidel update
+                        improved = true;
+                    }
+                }
+            }
+        }
+
+        if (!improved) {
+            ratio_result result;
+            result.ratio = vd.best_lambda;
+            result.cycle = vd.best_cycle;
+            return result;
+        }
+        vd = determine_values(p, policy);
+    }
+    ensure(false, "max_cycle_ratio_howard: iteration cap exceeded");
+    return {};
+}
+
+rational cycle_time_howard(const signal_graph& sg)
+{
+    return max_cycle_ratio_howard(make_ratio_problem(sg)).ratio;
+}
+
+} // namespace tsg

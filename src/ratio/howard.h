@@ -1,0 +1,27 @@
+// Howard's policy iteration for the maximum cycle ratio.
+//
+// Each node selects one out-arc (a "policy"); the policy graph is
+// functional, so every node leads into exactly one policy cycle.  Value
+// determination computes, per node, the ratio of its policy cycle and a
+// potential; policy improvement first switches to arcs reaching
+// higher-ratio cycles, then (at equal ratio) to arcs with better potential.
+// On strongly connected inputs the fixed point is the maximum cycle ratio,
+// reached after remarkably few iterations in practice — the algorithm
+// family the paper's related work [8] competes with.
+#ifndef TSG_RATIO_HOWARD_H
+#define TSG_RATIO_HOWARD_H
+
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+/// Exact maximum cycle ratio with a witness cycle.  Requires a strongly
+/// connected, live problem (every cycle carries a token).
+[[nodiscard]] ratio_result max_cycle_ratio_howard(const ratio_problem& p);
+
+/// Convenience: the cycle time of a Signal Graph via Howard's iteration.
+[[nodiscard]] rational cycle_time_howard(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_RATIO_HOWARD_H

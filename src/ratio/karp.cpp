@@ -1,0 +1,95 @@
+#include "ratio/karp.h"
+
+#include <optional>
+
+#include "graph/longest_path.h"
+#include "graph/scc.h"
+
+namespace tsg {
+
+rational max_mean_cycle_karp(const digraph& g, const std::vector<rational>& weight)
+{
+    require(g.node_count() > 0, "max_mean_cycle_karp: empty graph");
+    require(weight.size() == g.arc_count(), "max_mean_cycle_karp: weight size mismatch");
+
+    const std::size_t n = g.node_count();
+
+    // D[k][v] = longest walk with exactly k arcs from the super-source
+    // (which reaches every node with weight 0).  Row-rolled storage is not
+    // possible because the final formula needs all rows.
+    std::vector<std::vector<std::optional<rational>>> dist(
+        n + 1, std::vector<std::optional<rational>>(n));
+    for (node_id v = 0; v < n; ++v) dist[0][v] = rational(0);
+
+    for (std::size_t k = 1; k <= n; ++k) {
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            const node_id u = g.from(a);
+            const node_id v = g.to(a);
+            if (!dist[k - 1][u]) continue;
+            const rational candidate = *dist[k - 1][u] + weight[a];
+            if (!dist[k][v] || candidate > *dist[k][v]) dist[k][v] = candidate;
+        }
+    }
+
+    // lambda = max_v min_{0 <= k < n} (D_n(v) - D_k(v)) / (n - k).
+    std::optional<rational> best;
+    for (node_id v = 0; v < n; ++v) {
+        if (!dist[n][v]) continue;
+        std::optional<rational> worst;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!dist[k][v]) continue;
+            const rational value =
+                (*dist[n][v] - *dist[k][v]) / rational(static_cast<std::int64_t>(n - k));
+            if (!worst || value < *worst) worst = value;
+        }
+        ensure(worst.has_value(), "max_mean_cycle_karp: row n reachable but no earlier row");
+        if (!best || *worst > *best) best = worst;
+    }
+    require(best.has_value(), "max_mean_cycle_karp: graph has no cycle");
+    return *best;
+}
+
+rational max_cycle_ratio_karp(const ratio_problem& p)
+{
+    require(is_strongly_connected(p.graph), "max_cycle_ratio_karp: graph not strongly connected");
+
+    // Collect token arcs; verify transit times are 0/1.
+    std::vector<arc_id> token_arcs;
+    std::vector<bool> token_free(p.graph.arc_count(), false);
+    for (arc_id a = 0; a < p.graph.arc_count(); ++a) {
+        require(p.transit[a] == 0 || p.transit[a] == 1,
+                "max_cycle_ratio_karp: transit times must be 0 or 1");
+        if (p.transit[a] == 1)
+            token_arcs.push_back(a);
+        else
+            token_free[a] = true;
+    }
+    require(!token_arcs.empty(), "max_cycle_ratio_karp: no tokens (graph not live)");
+
+    // Token graph: one node per token arc.
+    digraph token_graph(token_arcs.size());
+    std::vector<rational> token_weight;
+
+    for (std::size_t i = 0; i < token_arcs.size(); ++i) {
+        const arc_id pa = token_arcs[i];
+        // Longest token-free paths from the head of token arc i.
+        const longest_path_result lp = dag_longest_paths(
+            p.graph, p.delay, {p.graph.to(pa)}, &token_free);
+        for (std::size_t j = 0; j < token_arcs.size(); ++j) {
+            const arc_id qa = token_arcs[j];
+            const node_id q_tail = p.graph.from(qa);
+            if (!lp.reached[q_tail]) continue;
+            token_graph.add_arc(static_cast<node_id>(i), static_cast<node_id>(j));
+            token_weight.push_back(p.delay[pa] + lp.distance[q_tail]);
+        }
+    }
+
+    return max_mean_cycle_karp(token_graph, token_weight);
+}
+
+rational cycle_time_karp(const signal_graph& sg)
+{
+    return max_cycle_ratio_karp(make_ratio_problem(sg));
+}
+
+} // namespace tsg

@@ -1,0 +1,37 @@
+// Karp-style maximum cycle ratio via the token-graph transformation.
+//
+// Karp's 1978 algorithm computes the maximum *mean* cycle (all transit
+// times 1).  Marked graphs reduce to that case: make one vertex per token-
+// carrying arc; connect token p to token q with weight
+//
+//     W(p, q) = delay(p) + longest token-free path from head(p) to tail(q)
+//
+// (the token-free subgraph is a DAG by liveness).  Cycles of the token
+// graph correspond to cycles of the original graph, with mean weight equal
+// to the delay/token ratio.  Complexity: O(b*(n+m)) for the transformation
+// plus O(b*m_t) for Karp, where b is the token count and m_t <= b^2 —
+// attractive precisely when b is small, the same regime in which the
+// paper's O(b^2 m) algorithm shines.
+#ifndef TSG_RATIO_KARP_H
+#define TSG_RATIO_KARP_H
+
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+/// Maximum cycle ratio by token-graph + Karp.  Requires a strongly
+/// connected problem with transit times in {0, 1} and at least one token.
+/// Returns the exact ratio (no witness cycle).
+[[nodiscard]] rational max_cycle_ratio_karp(const ratio_problem& p);
+
+/// Maximum mean cycle (Karp's original problem: ratio with every transit
+/// time = 1) of an arbitrary digraph with at least one cycle.
+[[nodiscard]] rational max_mean_cycle_karp(const digraph& g,
+                                           const std::vector<rational>& weight);
+
+/// Convenience: the cycle time of a Signal Graph via Karp.
+[[nodiscard]] rational cycle_time_karp(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_RATIO_KARP_H

@@ -1,0 +1,103 @@
+#include "ratio/lawler.h"
+
+#include "graph/longest_path.h"
+
+namespace tsg {
+
+namespace {
+
+/// Any cycle of the problem graph, found by following arbitrary out-arcs
+/// until a node repeats.  Exists whenever the graph is strongly connected
+/// and non-trivial.
+std::vector<arc_id> some_cycle(const ratio_problem& p)
+{
+    const std::size_t n = p.graph.node_count();
+    require(n > 0, "max_cycle_ratio: empty graph");
+
+    std::vector<arc_id> via(n, invalid_arc); // arc used to enter each visited node
+    std::vector<bool> visited(n, false);
+    node_id v = 0;
+    visited[v] = true;
+    while (true) {
+        require(p.graph.out_degree(v) > 0, "max_cycle_ratio: dead-end node (not strongly connected)");
+        const arc_id a = p.graph.out_arcs(v)[0];
+        const node_id w = p.graph.to(a);
+        if (visited[w]) {
+            // Close the cycle from w back to w.
+            std::vector<arc_id> cycle{a};
+            node_id cur = v;
+            while (cur != w) {
+                const arc_id back = via[cur];
+                cycle.push_back(back);
+                cur = p.graph.from(back);
+            }
+            std::reverse(cycle.begin(), cycle.end());
+            return cycle;
+        }
+        via[w] = a;
+        visited[w] = true;
+        v = w;
+    }
+}
+
+std::vector<rational> parametric_weights(const ratio_problem& p, const rational& lambda)
+{
+    std::vector<rational> w(p.graph.arc_count());
+    for (arc_id a = 0; a < p.graph.arc_count(); ++a)
+        w[a] = p.delay[a] - lambda * rational(p.transit[a]);
+    return w;
+}
+
+} // namespace
+
+ratio_result max_cycle_ratio_lawler(const ratio_problem& p)
+{
+    ratio_result best;
+    best.cycle = some_cycle(p);
+    best.ratio = cycle_ratio(p, best.cycle);
+
+    // Each round either proves optimality or strictly improves lambda to
+    // another cycle's ratio; the set of cycle ratios is finite.
+    const std::size_t iteration_cap = 10 * p.graph.arc_count() * p.graph.node_count() + 64;
+    for (std::size_t iter = 0; iter < iteration_cap; ++iter) {
+        const positive_cycle_result test =
+            find_positive_cycle(p.graph, parametric_weights(p, best.ratio));
+        if (!test.found) return best;
+        const rational improved = cycle_ratio(p, test.cycle);
+        ensure(improved > best.ratio, "max_cycle_ratio_lawler: non-improving witness");
+        best.ratio = improved;
+        best.cycle = test.cycle;
+    }
+    ensure(false, "max_cycle_ratio_lawler: iteration cap exceeded");
+    return best;
+}
+
+double max_cycle_ratio_lawler_bisection(const ratio_problem& p, double tolerance)
+{
+    require(tolerance > 0, "max_cycle_ratio_lawler_bisection: tolerance must be positive");
+
+    // Lower bound: ratio of an arbitrary cycle.  Upper bound: total delay
+    // (any simple cycle has delay <= sum of all delays and >= 1 token).
+    double lo = cycle_ratio(p, some_cycle(p)).to_double();
+    rational total(0);
+    for (const rational& d : p.delay) total += d;
+    double hi = total.to_double() + 1.0;
+
+    while (hi - lo > tolerance) {
+        const double mid = lo + (hi - lo) / 2;
+        const positive_cycle_result test =
+            find_positive_cycle(p.graph, parametric_weights(p, rational::from_double(mid)));
+        if (test.found)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo + (hi - lo) / 2;
+}
+
+rational cycle_time_lawler(const signal_graph& sg)
+{
+    return max_cycle_ratio_lawler(make_ratio_problem(sg)).ratio;
+}
+
+} // namespace tsg

@@ -1,0 +1,33 @@
+// Lawler-style parametric search for the maximum cycle ratio.
+//
+// Lawler's classic scheme tests a candidate ratio lambda by asking whether
+// the graph has a positive cycle under weights  delay - lambda * transit;
+// a positive cycle proves lambda < lambda* and yields a better candidate.
+// Two variants are provided:
+//   * an exact search that tightens lambda to the ratio of each witness
+//     cycle (finitely many cycle ratios exist, so it terminates with the
+//     exact rational answer and a witness);
+//   * the textbook bisection to a caller-chosen tolerance, kept for cost
+//     comparisons in the benchmarks.
+#ifndef TSG_RATIO_LAWLER_H
+#define TSG_RATIO_LAWLER_H
+
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+/// Exact maximum cycle ratio with witness.  Requires liveness (every cycle
+/// carries a token) and at least one cycle.
+[[nodiscard]] ratio_result max_cycle_ratio_lawler(const ratio_problem& p);
+
+/// Bisection to |hi - lo| <= tolerance; returns the midpoint.  Kept for
+/// benchmark comparisons; prefer the exact variant.
+[[nodiscard]] double max_cycle_ratio_lawler_bisection(const ratio_problem& p,
+                                                      double tolerance = 1e-9);
+
+/// Convenience: the cycle time of a Signal Graph via the exact variant.
+[[nodiscard]] rational cycle_time_lawler(const signal_graph& sg);
+
+} // namespace tsg
+
+#endif // TSG_RATIO_LAWLER_H

@@ -1,0 +1,38 @@
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+ratio_problem make_ratio_problem(const signal_graph& sg)
+{
+    require(sg.finalized(), "make_ratio_problem: graph must be finalized");
+    require(!sg.repetitive_events().empty(), "make_ratio_problem: graph is acyclic");
+
+    const signal_graph::core_view core = sg.repetitive_core();
+
+    ratio_problem p;
+    p.graph = core.graph;
+    p.node_event = core.node_event;
+    p.arc_original = core.arc_original;
+    p.delay.reserve(core.arc_original.size());
+    p.transit.reserve(core.arc_original.size());
+    for (const arc_id a : core.arc_original) {
+        p.delay.push_back(sg.arc(a).delay);
+        p.transit.push_back(sg.arc(a).marked ? 1 : 0);
+    }
+    return p;
+}
+
+rational cycle_ratio(const ratio_problem& p, const std::vector<arc_id>& cycle)
+{
+    require(!cycle.empty(), "cycle_ratio: empty cycle");
+    rational delay(0);
+    std::int64_t transit = 0;
+    for (const arc_id a : cycle) {
+        delay += p.delay.at(a);
+        transit += p.transit.at(a);
+    }
+    require(transit > 0, "cycle_ratio: cycle carries no token (graph not live)");
+    return delay / rational(transit);
+}
+
+} // namespace tsg

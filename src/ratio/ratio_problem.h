@@ -1,0 +1,48 @@
+// The maximum cycle ratio problem extracted from a Signal Graph.
+//
+// The cycle time of a live Timed Signal Graph equals
+//
+//     lambda = max over simple cycles C of  delay(C) / tokens(C)
+//
+// (Section V, Propositions 4-5) — an instance of the classic maximum
+// cost-to-time-ratio cycle problem with the initial marking as transit
+// times.  This header defines the shared problem form consumed by the
+// baseline solvers (exhaustive, Karp, Lawler, Howard) that the paper cites
+// as alternatives [1, 8, 11, 13]; the solvers cross-validate the paper's
+// timing-simulation algorithm in tests and benchmarks.
+#ifndef TSG_RATIO_RATIO_PROBLEM_H
+#define TSG_RATIO_RATIO_PROBLEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct ratio_problem {
+    digraph graph;                      ///< strongly connected
+    std::vector<rational> delay;        ///< per arc, >= 0
+    std::vector<std::int64_t> transit;  ///< per arc tokens, 0 or 1 from Signal Graphs
+    std::vector<event_id> node_event;   ///< node -> originating event (may be empty)
+    std::vector<arc_id> arc_original;   ///< arc -> originating sg arc (may be empty)
+};
+
+/// Builds the ratio problem over the repetitive core of a finalized graph.
+[[nodiscard]] ratio_problem make_ratio_problem(const signal_graph& sg);
+
+struct ratio_result {
+    rational ratio;             ///< the maximum cycle ratio
+    std::vector<arc_id> cycle;  ///< witness cycle (problem-graph arcs); may be
+                                ///< empty for solvers that return the value only
+};
+
+/// delay(C) / tokens(C) of a cycle given as problem-graph arcs.  Throws when
+/// the cycle carries no token (such cycles are excluded by liveness).
+[[nodiscard]] rational cycle_ratio(const ratio_problem& p, const std::vector<arc_id>& cycle);
+
+} // namespace tsg
+
+#endif // TSG_RATIO_RATIO_PROBLEM_H

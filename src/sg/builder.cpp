@@ -1,0 +1,73 @@
+#include "sg/builder.h"
+
+namespace tsg {
+
+event_id sg_builder::resolve(const std::string& name)
+{
+    const event_id existing = graph_.find_event(name);
+    if (existing != invalid_node) return existing;
+    return graph_.add_event(name);
+}
+
+sg_builder& sg_builder::event(const std::string& name)
+{
+    resolve(name);
+    return *this;
+}
+
+sg_builder& sg_builder::arc(const std::string& from, const std::string& to, rational delay)
+{
+    return arc_ex(from, to, delay, /*marked=*/false, /*disengageable=*/false);
+}
+
+sg_builder& sg_builder::marked_arc(const std::string& from, const std::string& to,
+                                   rational delay)
+{
+    return arc_ex(from, to, delay, /*marked=*/true, /*disengageable=*/false);
+}
+
+sg_builder& sg_builder::once_arc(const std::string& from, const std::string& to, rational delay)
+{
+    return arc_ex(from, to, delay, /*marked=*/false, /*disengageable=*/true);
+}
+
+sg_builder& sg_builder::marked_once_arc(const std::string& from, const std::string& to,
+                                        rational delay)
+{
+    return arc_ex(from, to, delay, /*marked=*/true, /*disengageable=*/true);
+}
+
+sg_builder& sg_builder::arc_ex(const std::string& from, const std::string& to, rational delay,
+                               bool marked, bool disengageable)
+{
+    const event_id u = resolve(from);
+    const event_id v = resolve(to);
+    graph_.add_arc(u, v, delay, marked, disengageable);
+    return *this;
+}
+
+sg_builder& sg_builder::arc_with_tokens(const std::string& from, const std::string& to,
+                                        rational delay, std::uint32_t tokens)
+{
+    if (tokens <= 1) return arc_ex(from, to, delay, tokens == 1, false);
+
+    // Split u -> v with k tokens into k marked segments through k-1 dummies.
+    std::string prev = from;
+    for (std::uint32_t i = 1; i < tokens; ++i) {
+        const std::string dummy = "_tok" + std::to_string(dummy_counter_++);
+        arc_ex(prev, dummy, i == 1 ? delay : rational(0), /*marked=*/true, false);
+        prev = dummy;
+    }
+    return arc_ex(prev, to, rational(0), /*marked=*/true, false);
+}
+
+signal_graph sg_builder::build()
+{
+    signal_graph out = std::move(graph_);
+    graph_ = signal_graph();
+    dummy_counter_ = 0;
+    out.finalize();
+    return out;
+}
+
+} // namespace tsg

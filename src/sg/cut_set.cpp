@@ -1,0 +1,185 @@
+#include "sg/cut_set.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+#include "graph/topo.h"
+
+namespace tsg {
+
+namespace {
+
+/// Acyclicity of the core with a removal mask (by core node).
+bool acyclic_without(const digraph& core, const std::vector<bool>& removed)
+{
+    std::vector<bool> arc_kept(core.arc_count(), true);
+    for (arc_id a = 0; a < core.arc_count(); ++a)
+        if (removed[core.from(a)] || removed[core.to(a)]) arc_kept[a] = false;
+    // Removed nodes become isolated; isolated nodes never block Kahn.
+    return topological_order_filtered(core, arc_kept).has_value();
+}
+
+/// Shortest cycle (as a node list) in the core avoiding removed nodes, or
+/// empty when none exists.  BFS from every node; O(n * m).
+std::vector<node_id> shortest_cycle(const digraph& core, const std::vector<bool>& removed)
+{
+    std::vector<node_id> best;
+    const std::size_t n = core.node_count();
+    for (node_id start = 0; start < n; ++start) {
+        if (removed[start]) continue;
+        // BFS back to `start`.
+        std::vector<arc_id> via(n, invalid_arc);
+        std::vector<bool> seen(n, false);
+        std::vector<node_id> queue{start};
+        seen[start] = true;
+        std::size_t head = 0;
+        node_id closing = invalid_node;
+        arc_id closing_arc = invalid_arc;
+        while (head < queue.size() && closing == invalid_node) {
+            const node_id u = queue[head++];
+            for (const arc_id a : core.out_arcs(u)) {
+                const node_id w = core.to(a);
+                if (removed[w]) continue;
+                if (w == start) {
+                    closing = u;
+                    closing_arc = a;
+                    break;
+                }
+                if (!seen[w]) {
+                    seen[w] = true;
+                    via[w] = a;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if (closing == invalid_node) continue;
+        std::vector<node_id> cycle;
+        node_id cur = closing;
+        cycle.push_back(cur);
+        while (cur != start) {
+            ensure(via[cur] != invalid_arc, "shortest_cycle: broken BFS chain");
+            cur = core.from(via[cur]);
+            cycle.push_back(cur);
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        (void)closing_arc;
+        if (best.empty() || cycle.size() < best.size()) best = std::move(cycle);
+        if (best.size() == 1) break; // self-loop: cannot do better
+    }
+    return best;
+}
+
+struct bnb_state {
+    const digraph* core;
+    std::size_t budget;
+    std::size_t best_size;
+    std::vector<bool> best_mask;
+    bool exhausted = false;
+};
+
+void branch(bnb_state& state, std::vector<bool>& removed, std::size_t removed_count)
+{
+    if (state.budget == 0) {
+        state.exhausted = true;
+        return;
+    }
+    --state.budget;
+
+    const std::vector<node_id> cycle = shortest_cycle(*state.core, removed);
+    if (cycle.empty()) {
+        // Acyclic: the current removal set is a cut set.
+        if (removed_count < state.best_size) {
+            state.best_size = removed_count;
+            state.best_mask = removed;
+        }
+        return;
+    }
+    if (removed_count + 1 >= state.best_size) return; // cannot improve
+
+    // Every cut set hits this cycle: branch on its members.
+    for (const node_id v : cycle) {
+        removed[v] = true;
+        branch(state, removed, removed_count + 1);
+        removed[v] = false;
+        if (state.exhausted) return;
+    }
+}
+
+} // namespace
+
+bool is_cut_set(const signal_graph& sg, const std::vector<event_id>& events)
+{
+    require(sg.finalized(), "is_cut_set: graph must be finalized");
+    const signal_graph::core_view core = sg.repetitive_core();
+    std::vector<bool> removed(core.graph.node_count(), false);
+    for (const event_id e : events) {
+        require(e < sg.event_count(), "is_cut_set: bad event id");
+        const node_id u = core.event_node[e];
+        if (u != invalid_node) removed[u] = true;
+    }
+    return acyclic_without(core.graph, removed);
+}
+
+std::vector<event_id> greedy_cut_set(const signal_graph& sg)
+{
+    require(sg.finalized(), "greedy_cut_set: graph must be finalized");
+    const signal_graph::core_view core = sg.repetitive_core();
+    const std::size_t n = core.graph.node_count();
+
+    std::vector<bool> removed(n, false);
+    std::vector<event_id> cut;
+    while (!acyclic_without(core.graph, removed)) {
+        // Remove the live node with the largest in*out degree (counting
+        // only arcs between live nodes).
+        node_id best = invalid_node;
+        std::size_t best_score = 0;
+        for (node_id u = 0; u < n; ++u) {
+            if (removed[u]) continue;
+            std::size_t ins = 0;
+            std::size_t outs = 0;
+            for (const arc_id a : core.graph.in_arcs(u))
+                if (!removed[core.graph.from(a)]) ++ins;
+            for (const arc_id a : core.graph.out_arcs(u))
+                if (!removed[core.graph.to(a)]) ++outs;
+            const std::size_t score = (ins + 1) * (outs + 1);
+            if (best == invalid_node || score > best_score) {
+                best = u;
+                best_score = score;
+            }
+        }
+        ensure(best != invalid_node, "greedy_cut_set: cyclic graph with no live nodes");
+        removed[best] = true;
+        cut.push_back(core.node_event[best]);
+    }
+    std::sort(cut.begin(), cut.end());
+    return cut;
+}
+
+std::optional<std::vector<event_id>> minimum_cut_set(const signal_graph& sg,
+                                                     std::size_t node_budget)
+{
+    require(sg.finalized(), "minimum_cut_set: graph must be finalized");
+    const signal_graph::core_view core = sg.repetitive_core();
+
+    // Seed the bound with the greedy solution.
+    const std::vector<event_id> greedy = greedy_cut_set(sg);
+
+    bnb_state state;
+    state.core = &core.graph;
+    state.budget = node_budget;
+    state.best_size = greedy.size();
+    state.best_mask.assign(core.graph.node_count(), false);
+    for (const event_id e : greedy) state.best_mask[core.event_node[e]] = true;
+
+    std::vector<bool> removed(core.graph.node_count(), false);
+    branch(state, removed, 0);
+    if (state.exhausted) return std::nullopt;
+
+    std::vector<event_id> cut;
+    for (node_id u = 0; u < core.graph.node_count(); ++u)
+        if (state.best_mask[u]) cut.push_back(core.node_event[u]);
+    std::sort(cut.begin(), cut.end());
+    return cut;
+}
+
+} // namespace tsg

@@ -1,0 +1,43 @@
+// Cut sets of a Signal Graph (Section VI.A).
+//
+// A cut set is a set of events meeting every cycle of the repetitive core —
+// a feedback vertex set of the core digraph.  The paper uses the border
+// set (targets of marked arcs) because it is free, and notes that finding
+// a *minimum* cut set "is a complex optimization task" it does not attempt.
+// This module supplies that missing piece:
+//   * a greedy heuristic (fast, small-but-not-minimal sets), and
+//   * an exact branch-and-bound search (minimum FVS; exponential worst
+//     case, fine for gate-level graphs).
+// Smaller cut sets shrink the analysis: the number of event-initiated
+// simulations scales with the cut size, and for *safe* graphs the horizon
+// does too (Propositions 6-7).  analyze_cycle_time accepts a custom cut
+// set via analysis_options::origins; the default horizon stays at the
+// border-set bound, which is valid without safety.
+#ifndef TSG_SG_CUT_SET_H
+#define TSG_SG_CUT_SET_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// True when removing `events` leaves the repetitive core acyclic
+/// (i.e. `events` intersects every cycle).
+[[nodiscard]] bool is_cut_set(const signal_graph& sg, const std::vector<event_id>& events);
+
+/// Greedy cut set: repeatedly remove the event with the largest
+/// in*out degree product inside a cyclic component.  O(n * m).
+[[nodiscard]] std::vector<event_id> greedy_cut_set(const signal_graph& sg);
+
+/// Exact minimum cut set via shortest-cycle branch and bound.  Returns
+/// nullopt when the search exceeds `node_budget` branch nodes (the problem
+/// is NP-hard); gate-level graphs resolve in well under the default.
+[[nodiscard]] std::optional<std::vector<event_id>> minimum_cut_set(
+    const signal_graph& sg, std::size_t node_budget = 200'000);
+
+} // namespace tsg
+
+#endif // TSG_SG_CUT_SET_H

@@ -1,0 +1,128 @@
+#include "sg/properties.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/reach.h"
+#include "graph/topo.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+
+namespace {
+
+/// 0-1 BFS over the repetitive core with marked arcs costing 1.
+std::vector<int> token_distances(const signal_graph& sg,
+                                 const signal_graph::core_view& core, node_id source)
+{
+    std::vector<int> dist(core.graph.node_count(), -1);
+    std::deque<node_id> queue;
+    dist[source] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        const node_id v = queue.front();
+        queue.pop_front();
+        for (const arc_id a : core.graph.out_arcs(v)) {
+            const int cost = sg.arc(core.arc_original[a]).marked ? 1 : 0;
+            const node_id w = core.graph.to(a);
+            const int candidate = dist[v] + cost;
+            if (dist[w] == -1 || candidate < dist[w]) {
+                dist[w] = candidate;
+                if (cost == 0)
+                    queue.push_front(w);
+                else
+                    queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+int min_token_distance(const signal_graph& sg, event_id from, event_id to)
+{
+    const signal_graph::core_view core = sg.repetitive_core();
+    const node_id s = core.event_node.at(from);
+    const node_id t = core.event_node.at(to);
+    require(s != invalid_node && t != invalid_node,
+            "min_token_distance: events must both be repetitive");
+    return token_distances(sg, core, s)[t];
+}
+
+bool is_safe(const signal_graph& sg)
+{
+    require(sg.finalized(), "is_safe: graph must be finalized");
+    const signal_graph::core_view core = sg.repetitive_core();
+
+    // Cache distances per distinct arc head.
+    std::map<node_id, std::vector<int>> from_head;
+    for (arc_id a = 0; a < core.graph.arc_count(); ++a) {
+        const node_id head = core.graph.to(a);
+        const node_id tail = core.graph.from(a);
+        auto it = from_head.find(head);
+        if (it == from_head.end())
+            it = from_head.emplace(head, token_distances(sg, core, head)).first;
+        const int back = it->second[tail];
+        if (back < 0) return false; // not on a cycle at all (cannot happen in a strong core)
+        const int arc_tokens = sg.arc(core.arc_original[a]).marked ? 1 : 0;
+        if (arc_tokens + back != 1) return false;
+    }
+    return true;
+}
+
+signal_property_report check_signal_properties(const signal_graph& sg, std::uint32_t periods)
+{
+    require(sg.finalized(), "check_signal_properties: graph must be finalized");
+    signal_property_report report;
+
+    const unfolding unf(sg, periods);
+    const auto order = topological_order(unf.dag());
+    ensure(order.has_value(), "check_signal_properties: unfolding must be acyclic");
+    std::vector<std::uint32_t> topo_pos(unf.dag().node_count());
+    for (std::uint32_t i = 0; i < order->size(); ++i) topo_pos[(*order)[i]] = i;
+
+    // Group instantiations by signal.
+    std::map<std::string, std::vector<node_id>> by_signal;
+    for (node_id inst = 0; inst < unf.dag().node_count(); ++inst) {
+        const event_info& info = sg.event(unf.event_of(inst));
+        if (info.pol == polarity::none || info.signal.empty()) continue;
+        by_signal[info.signal].push_back(inst);
+    }
+
+    for (auto& [signal, instances] : by_signal) {
+        if (instances.size() < 2) continue;
+        std::sort(instances.begin(), instances.end(),
+                  [&](node_id a, node_id b) { return topo_pos[a] < topo_pos[b]; });
+
+        // Adjacent instantiations must be ordered by precedence; by
+        // transitivity the whole chain is then totally ordered.
+        for (std::size_t i = 0; i + 1 < instances.size(); ++i) {
+            const std::vector<bool> reach = reachable_from(unf.dag(), instances[i]);
+            if (!reach[instances[i + 1]]) {
+                report.auto_concurrency_free = false;
+                report.diagnostics.push_back(
+                    "signal '" + signal + "': concurrent transitions " +
+                    unf.instance_name(instances[i]) + " and " +
+                    unf.instance_name(instances[i + 1]));
+            }
+        }
+
+        // Polarities must alternate along the chain.
+        for (std::size_t i = 0; i + 1 < instances.size(); ++i) {
+            const polarity p0 = sg.event(unf.event_of(instances[i])).pol;
+            const polarity p1 = sg.event(unf.event_of(instances[i + 1])).pol;
+            if (p0 == p1) {
+                report.switch_over_ok = false;
+                report.diagnostics.push_back(
+                    "signal '" + signal + "': consecutive transitions " +
+                    unf.instance_name(instances[i]) + " and " +
+                    unf.instance_name(instances[i + 1]) + " have equal polarity");
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace tsg

@@ -1,0 +1,42 @@
+// Semantic property checks for Signal Graphs beyond the structural
+// validation done in finalize(): exact safety (Commoner's criterion),
+// switch-over correctness and freedom from auto-concurrency (the two
+// conditions Section VIII.A imposes for circuit implementability).
+#ifndef TSG_SG_PROPERTIES_H
+#define TSG_SG_PROPERTIES_H
+
+#include <string>
+#include <vector>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// Exact safety check for the repetitive core: a live marked graph is safe
+/// iff every arc lies on some cycle whose total token count is 1
+/// (Commoner/Holt/Even/Pnueli 1971).  Runs one 0-1 BFS per arc: O(m^2).
+[[nodiscard]] bool is_safe(const signal_graph& sg);
+
+/// Minimum number of tokens on any directed path from `from` to `to` inside
+/// the repetitive core; returns -1 when unreachable.  Token weight of a
+/// path counts the marked arcs traversed.
+[[nodiscard]] int min_token_distance(const signal_graph& sg, event_id from, event_id to);
+
+struct signal_property_report {
+    bool switch_over_ok = true;        ///< rises and falls of a signal alternate
+    bool auto_concurrency_free = true; ///< no two concurrent transitions of one signal
+    std::vector<std::string> diagnostics;
+};
+
+/// Checks switch-over correctness and auto-concurrency on `periods` periods
+/// of the unfolding.  Two instantiations of the same signal must always be
+/// ordered by precedence (no auto-concurrency), and their polarities must
+/// alternate along that order (switch-over).  Only signals with polarity
+/// information participate.  Cost grows with the unfolding size; intended
+/// as a diagnostic, not as a hot-path check.
+[[nodiscard]] signal_property_report check_signal_properties(const signal_graph& sg,
+                                                             std::uint32_t periods = 3);
+
+} // namespace tsg
+
+#endif // TSG_SG_PROPERTIES_H

@@ -1,0 +1,40 @@
+// Text serialization of Timed Signal Graphs.
+//
+// Format (comments run from '#' to end of line):
+//
+//   tsg oscillator {
+//     event e-;                        # optional explicit declaration
+//     arc e- -> a+ delay 2 once;      # disengageable ("crossed") arc
+//     arc c- -> a+ delay 2 marked;    # initial token (dot)
+//     arc a+ -> c+ delay 3;
+//   }
+//
+// Delays are rationals ("2", "5/3").  Events referenced in arcs are created
+// implicitly.  The writer emits this same canonical format, so
+// parse(write(g)) round-trips.
+#ifndef TSG_SG_SG_IO_H
+#define TSG_SG_SG_IO_H
+
+#include <string>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// Parses the textual format; throws tsg::error with a line diagnostic on
+/// malformed input.  The returned graph is finalized.
+[[nodiscard]] signal_graph parse_sg(const std::string& text);
+
+/// Reads a .tsg file from disk.  Throws tsg::error when unreadable.
+[[nodiscard]] signal_graph load_sg(const std::string& path);
+
+/// Serializes to the canonical textual format.
+[[nodiscard]] std::string write_sg(const signal_graph& sg, const std::string& name = "g");
+
+/// Graphviz DOT rendering; marked arcs are labelled with a bullet and
+/// disengageable ones with a cross, matching the paper's figures.
+[[nodiscard]] std::string sg_to_dot(const signal_graph& sg, const std::string& name = "g");
+
+} // namespace tsg
+
+#endif // TSG_SG_SG_IO_H

@@ -1,0 +1,171 @@
+// The Timed Signal Graph model of Nielsen & Kishinevsky (DAC'94, Section III).
+//
+// A Signal Graph is a tuple <A, I, ->, M, O>:
+//   A  — events (signal transitions such as a+, a-, or plain actions);
+//   I  — initial events, which occur exactly once at the start;
+//   -> — the precedence (AND-causality) relation, the arcs;
+//   M  — the initial marking, one boolean per arc (initially-safe graphs);
+//   O  — the disengageable arcs, which constrain only the first occurrence
+//        of their target (drawn "crossed" in the paper's figures).
+// Arcs additionally carry non-negative rational delays, turning the Signal
+// Graph into a *Timed* Signal Graph.
+//
+// Events are classified structurally when `finalize()` is called:
+//   * repetitive — lies on a directed cycle, occurs infinitely often (A_r);
+//   * initial    — no incoming arcs, occurs once at the origin of time (I);
+//   * transient  — occurs once, caused by initial/transient events (e.g. the
+//     buffer output f- in the paper's Figure 1).
+// `finalize()` also validates the well-formedness restrictions the paper
+// imposes (Section III.A): the repetitive core is strongly connected, every
+// cycle carries at least one initial token (liveness), no repetitive event
+// precedes a disengageable arc, and no arc leads from a repetitive event to
+// a non-repetitive one (which would make the graph unbounded).
+#ifndef TSG_SG_SIGNAL_GRAPH_H
+#define TSG_SG_SIGNAL_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// Events are identified by dense indices equal to their node ids in the
+/// underlying structure digraph.
+using event_id = node_id;
+
+/// Transition direction of an event, when it models a signal edge.
+enum class polarity : std::uint8_t {
+    rise, ///< 0 -> 1 transition, written "a+"
+    fall, ///< 1 -> 0 transition, written "a-"
+    none, ///< not a signal transition (abstract event)
+};
+
+/// Structural classification computed by signal_graph::finalize().
+enum class event_kind : std::uint8_t {
+    repetitive, ///< member of A_r: lies on a cycle
+    initial,    ///< member of I: no causes, fires once at t = 0
+    transient,  ///< fires once, downstream of initial events only
+};
+
+struct event_info {
+    std::string name;   ///< unique display name, e.g. "a+", "e-", "req.2+"
+    std::string signal; ///< owning signal ("a"); empty for abstract events
+    polarity pol = polarity::none;
+    event_kind kind = event_kind::repetitive; ///< valid after finalize()
+};
+
+struct arc_info {
+    event_id from = invalid_node;
+    event_id to = invalid_node;
+    rational delay;            ///< propagation delay, >= 0
+    bool marked = false;       ///< initial token (M)
+    bool disengageable = false;///< member of O ("crossed" arc)
+};
+
+/// Splits an event name of the form `<signal>[.index]<+|->` into signal and
+/// polarity; names without a trailing +/- yield polarity::none and an empty
+/// signal.  Examples: "a+" -> {a, rise}; "req.2-" -> {req.2, fall};
+/// "start" -> {"", none}.
+struct parsed_event_name {
+    std::string signal;
+    polarity pol = polarity::none;
+};
+[[nodiscard]] parsed_event_name parse_event_name(const std::string& name);
+
+/// A (Timed) Signal Graph.  Build it directly or through sg_builder, then
+/// call finalize() exactly once before running any analysis.
+class signal_graph {
+public:
+    signal_graph() = default;
+
+    /// Adds an event.  Signal and polarity are parsed from the name unless
+    /// supplied explicitly.  Throws on duplicate names.
+    event_id add_event(const std::string& name);
+    event_id add_event(const std::string& name, std::string signal, polarity pol);
+
+    /// Adds an arc with the given delay (>= 0), marking and disengageable
+    /// flag.  Endpoints must exist.
+    arc_id add_arc(event_id from, event_id to, rational delay, bool marked = false,
+                   bool disengageable = false);
+
+    /// Classifies events, validates the model restrictions, and freezes the
+    /// graph.  Throws tsg::error with a diagnostic when a restriction is
+    /// violated.  Must be called exactly once, after which the graph is
+    /// immutable.
+    void finalize();
+
+    [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+    // --- structure access ------------------------------------------------
+
+    [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return arcs_.size(); }
+
+    [[nodiscard]] const event_info& event(event_id e) const { return events_.at(e); }
+    [[nodiscard]] const arc_info& arc(arc_id a) const { return arcs_.at(a); }
+
+    /// The underlying digraph (nodes are event ids, arcs are arc ids).
+    [[nodiscard]] const digraph& structure() const noexcept { return structure_; }
+
+    /// Event lookup by name; returns invalid_node when absent.
+    [[nodiscard]] event_id find_event(const std::string& name) const;
+
+    /// Event lookup by name; throws tsg::error when absent.
+    [[nodiscard]] event_id event_by_name(const std::string& name) const;
+
+    // --- classification queries (require finalize()) ----------------------
+
+    [[nodiscard]] const std::vector<event_id>& repetitive_events() const;
+    [[nodiscard]] const std::vector<event_id>& initial_events() const;
+    [[nodiscard]] const std::vector<event_id>& transient_events() const;
+
+    [[nodiscard]] bool is_repetitive(event_id e) const
+    {
+        return event(e).kind == event_kind::repetitive;
+    }
+
+    /// The border set (Section VI.A): repetitive events with at least one
+    /// initially marked input arc.  For a live graph this is a cut set of
+    /// all cycles; its instantiations separate unfolding periods.
+    [[nodiscard]] const std::vector<event_id>& border_events() const;
+
+    /// Number of initially marked arcs.
+    [[nodiscard]] std::size_t token_count() const;
+
+    /// Sum of delays along a sequence of arc ids.
+    [[nodiscard]] rational path_delay(const std::vector<arc_id>& arcs) const;
+
+    /// A standalone digraph holding only the repetitive events and the arcs
+    /// between them, for the cycle-oriented baselines.
+    struct core_view {
+        digraph graph;                     ///< nodes = core events, re-indexed
+        std::vector<event_id> node_event;  ///< core node -> original event
+        std::vector<arc_id> arc_original;  ///< core arc -> original arc
+        std::vector<node_id> event_node;   ///< original event -> core node or invalid_node
+    };
+    [[nodiscard]] core_view repetitive_core() const;
+
+private:
+    void classify_events();
+    void validate();
+    void require_finalized() const;
+
+    std::vector<event_info> events_;
+    std::vector<arc_info> arcs_;
+    digraph structure_;
+    std::unordered_map<std::string, event_id> by_name_;
+
+    bool finalized_ = false;
+    std::vector<event_id> repetitive_;
+    std::vector<event_id> initial_;
+    std::vector<event_id> transient_;
+    std::vector<event_id> border_;
+};
+
+} // namespace tsg
+
+#endif // TSG_SG_SIGNAL_GRAPH_H

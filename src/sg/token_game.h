@@ -1,0 +1,54 @@
+// Token-game execution semantics of Signal Graphs (Section III.A).
+//
+// An event is enabled when every *engaged* input arc carries a token; firing
+// consumes one token per input arc and produces one per output arc.
+// Disengageable arcs stop constraining their target after the first
+// consumption, and one-shot (initial/transient) events fire at most once.
+#ifndef TSG_SG_TOKEN_GAME_H
+#define TSG_SG_TOKEN_GAME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+class token_game {
+public:
+    explicit token_game(const signal_graph& sg);
+
+    /// Tokens currently on each arc.
+    [[nodiscard]] const std::vector<std::uint32_t>& tokens() const noexcept { return tokens_; }
+
+    /// True when `e` may fire in the current marking.
+    [[nodiscard]] bool enabled(event_id e) const;
+
+    /// All currently enabled events, in ascending id order.
+    [[nodiscard]] std::vector<event_id> enabled_events() const;
+
+    /// Fires `e`; throws tsg::error when it is not enabled.
+    void fire(event_id e);
+
+    /// Number of times `e` has fired since construction/reset.
+    [[nodiscard]] std::uint64_t fire_count(event_id e) const { return fired_.at(e); }
+
+    /// Largest token count ever observed on any arc (boundedness probe).
+    [[nodiscard]] std::uint32_t max_tokens_seen() const noexcept { return max_tokens_; }
+
+    /// Restores the initial marking.
+    void reset();
+
+private:
+    [[nodiscard]] bool arc_engaged(arc_id a) const;
+
+    const signal_graph& sg_;
+    std::vector<std::uint32_t> tokens_;
+    std::vector<bool> disengaged_;
+    std::vector<std::uint64_t> fired_;
+    std::uint32_t max_tokens_ = 0;
+};
+
+} // namespace tsg
+
+#endif // TSG_SG_TOKEN_GAME_H

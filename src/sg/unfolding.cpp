@@ -1,0 +1,69 @@
+#include "sg/unfolding.h"
+
+namespace tsg {
+
+unfolding::unfolding(const signal_graph& sg, std::uint32_t periods) : sg_(sg), periods_(periods)
+{
+    require(sg.finalized(), "unfolding: graph must be finalized");
+    require(periods >= 1, "unfolding: need at least one period");
+
+    // Create instantiations.
+    by_event_.resize(sg.event_count());
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        const std::uint32_t copies =
+            sg.event(e).kind == event_kind::repetitive ? periods_ : 1;
+        for (std::uint32_t i = 0; i < copies; ++i) {
+            const node_id inst = dag_.add_node();
+            info_.push_back(instance_info{e, i});
+            by_event_[e].push_back(inst);
+        }
+    }
+
+    // Instantiate arcs.  mu is the marking (0 or 1): the token shifts the
+    // dependency one period forward.
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        const std::uint32_t mu = arc.marked ? 1 : 0;
+        const bool from_repetitive = sg.event(arc.from).kind == event_kind::repetitive;
+        const bool to_repetitive = sg.event(arc.to).kind == event_kind::repetitive;
+
+        auto link = [&](node_id src, node_id dst) {
+            dag_.add_arc(src, dst);
+            delays_.push_back(arc.delay);
+            original_.push_back(a);
+        };
+
+        if (from_repetitive && to_repetitive) {
+            for (std::uint32_t i = mu; i < periods_; ++i)
+                link(by_event_[arc.from][i - mu], by_event_[arc.to][i]);
+        } else if (!from_repetitive && to_repetitive) {
+            // One-shot source: constrains instantiation `mu` of the target
+            // (with a token, the first firing is already paid for).
+            if (mu < periods_) link(by_event_[arc.from][0], by_event_[arc.to][mu]);
+        } else if (!from_repetitive && !to_repetitive) {
+            // Both fire once.  A marked arc between one-shot events is a
+            // pre-satisfied dependency: no constraint in the unfolding.
+            if (mu == 0) link(by_event_[arc.from][0], by_event_[arc.to][0]);
+        } else {
+            ensure(false, "unfolding: repetitive -> one-shot arc survived validation");
+        }
+    }
+
+    for (node_id v = 0; v < dag_.node_count(); ++v)
+        if (dag_.in_degree(v) == 0) initial_.push_back(v);
+}
+
+node_id unfolding::instance(event_id e, std::uint32_t period) const
+{
+    const auto& copies = by_event_.at(e);
+    if (period >= copies.size()) return invalid_node;
+    return copies[period];
+}
+
+std::string unfolding::instance_name(node_id instance) const
+{
+    const instance_info& info = info_.at(instance);
+    return sg_.event(info.event).name + "." + std::to_string(info.period);
+}
+
+} // namespace tsg

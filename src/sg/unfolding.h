@@ -1,0 +1,82 @@
+// Explicit unfolding of a Signal Graph into a fixed number of periods
+// (Section III.B, Figure 2b).
+//
+// The unfolding is an acyclic process: every node is one *instantiation*
+// e_i of an event.  One-shot events (initial/transient) appear once, in
+// period 0; repetitive events appear once per period.  An arc u -> v with
+// marking mu in {0, 1} induces instantiation arcs u_{i-mu} -> v_i — the
+// initial token shifts the dependency across the period border, which is
+// why the paper calls events with marked in-arcs "border events".
+// Disengageable arcs are sourced at one-shot events (well-formedness), so
+// they appear exactly once, constraining only the first instantiation of
+// their target.
+#ifndef TSG_SG_UNFOLDING_H
+#define TSG_SG_UNFOLDING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+class unfolding {
+public:
+    /// Builds `periods` >= 1 periods of the unfolding of a finalized graph.
+    unfolding(const signal_graph& sg, std::uint32_t periods);
+
+    [[nodiscard]] const signal_graph& graph() const noexcept { return sg_; }
+    [[nodiscard]] std::uint32_t periods() const noexcept { return periods_; }
+
+    /// The unfolding DAG; nodes are instantiations, arcs carry the original
+    /// delays (see arc_delay/original_arc).
+    [[nodiscard]] const digraph& dag() const noexcept { return dag_; }
+
+    /// Instantiation e_period, or invalid_node when it does not exist (past
+    /// the horizon, or period > 0 for a one-shot event).
+    [[nodiscard]] node_id instance(event_id e, std::uint32_t period) const;
+
+    [[nodiscard]] event_id event_of(node_id instance) const { return info_.at(instance).event; }
+    [[nodiscard]] std::uint32_t period_of(node_id instance) const
+    {
+        return info_.at(instance).period;
+    }
+
+    /// Delay carried by an unfolding arc.
+    [[nodiscard]] const rational& arc_delay(arc_id a) const { return delays_.at(a); }
+    [[nodiscard]] const std::vector<rational>& arc_delays() const noexcept { return delays_; }
+
+    /// The Signal Graph arc an unfolding arc was instantiated from.
+    [[nodiscard]] arc_id original_arc(arc_id a) const { return original_.at(a); }
+
+    /// I_u — instantiations with no incoming arcs: the initial events plus
+    /// first instantiations whose in-arcs are all initially marked.
+    [[nodiscard]] const std::vector<node_id>& initial_instances() const noexcept
+    {
+        return initial_;
+    }
+
+    /// Display name "a+.2" for instantiation a+ in period 2.
+    [[nodiscard]] std::string instance_name(node_id instance) const;
+
+private:
+    struct instance_info {
+        event_id event;
+        std::uint32_t period;
+    };
+
+    const signal_graph& sg_;
+    std::uint32_t periods_;
+    digraph dag_;
+    std::vector<instance_info> info_;
+    std::vector<std::vector<node_id>> by_event_; // event -> per-period instance ids
+    std::vector<rational> delays_;
+    std::vector<arc_id> original_;
+    std::vector<node_id> initial_;
+};
+
+} // namespace tsg
+
+#endif // TSG_SG_UNFOLDING_H

@@ -1,0 +1,42 @@
+// Error types shared by the whole library.
+//
+// User-facing failures (malformed input, model-property violations that the
+// caller can provoke with bad data) throw tsg::error.  Violated internal
+// invariants throw tsg::internal_error; encountering one is a library bug.
+#ifndef TSG_UTIL_ERROR_H
+#define TSG_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace tsg {
+
+/// Base class for every exception thrown by the library on bad input or
+/// violated model properties (non-live graph, non-distributive circuit, ...).
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant of the library fails; indicates a bug
+/// in the library itself, never in caller-supplied data.
+class internal_error : public std::logic_error {
+public:
+    explicit internal_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws tsg::error with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message)
+{
+    if (!condition) throw error(message);
+}
+
+/// Throws tsg::internal_error with `message` unless `condition` holds.
+inline void ensure(bool condition, const std::string& message)
+{
+    if (!condition) throw internal_error(message);
+}
+
+} // namespace tsg
+
+#endif // TSG_UTIL_ERROR_H

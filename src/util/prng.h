@@ -1,0 +1,96 @@
+// Small deterministic PRNG (xoroshiro128++) for reproducible random model
+// generation in tests and benchmarks.  Not cryptographic.
+#ifndef TSG_UTIL_PRNG_H
+#define TSG_UTIL_PRNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsg {
+
+/// Deterministic 64-bit PRNG with a tiny state, seedable from one word.
+/// The same seed yields the same stream on every platform.
+class prng {
+public:
+    explicit prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+    {
+        // SplitMix64 seeding, recommended initialization for xoroshiro.
+        std::uint64_t z = seed;
+        s0_ = split_mix(z);
+        s1_ = split_mix(z);
+        if (s0_ == 0 && s1_ == 0) s1_ = 1; // the all-zero state is invalid
+    }
+
+    /// Next raw 64-bit value (xoroshiro128++).
+    std::uint64_t next() noexcept
+    {
+        const std::uint64_t r = rotl(s0_ + s1_, 17) + s0_;
+        const std::uint64_t t = s1_ ^ s0_;
+        s0_ = rotl(s0_, 49) ^ t ^ (t << 21);
+        s1_ = rotl(t, 28);
+        return r;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.  Throws if lo > hi.
+    std::int64_t uniform(std::int64_t lo, std::int64_t hi)
+    {
+        require(lo <= hi, "prng::uniform: empty range");
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        if (span == 0) return static_cast<std::int64_t>(next()); // full 64-bit range
+        // Rejection sampling to remove modulo bias.
+        const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+        std::uint64_t v = next();
+        while (v >= limit) v = next();
+        return lo + static_cast<std::int64_t>(v % span);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with probability p of true.
+    bool chance(double p) { return uniform01() < p; }
+
+    /// Uniformly chosen index into a container of the given size (> 0).
+    std::size_t index(std::size_t size)
+    {
+        require(size > 0, "prng::index: empty container");
+        return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(size) - 1));
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[index(i)]);
+        }
+    }
+
+private:
+    [[nodiscard]] static std::uint64_t rotl(std::uint64_t x, int k) noexcept
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    [[nodiscard]] static std::uint64_t split_mix(std::uint64_t& z) noexcept
+    {
+        z += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t r = z;
+        r = (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        r = (r ^ (r >> 27)) * 0x94d049bb133111ebULL;
+        return r ^ (r >> 31);
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace tsg
+
+#endif // TSG_UTIL_PRNG_H

@@ -1,0 +1,198 @@
+// Exact rational arithmetic over 64-bit integers.
+//
+// Cycle times of Timed Signal Graphs are ratios of delay sums to token
+// counts (e.g. the Muller ring of Section VIII.D has cycle time 20/3), so
+// the library computes them exactly instead of in floating point.  The
+// class keeps values normalized (positive denominator, gcd(num, den) == 1)
+// and performs comparisons and arithmetic through 128-bit intermediates so
+// that no intermediate overflow occurs for the magnitudes that arise in
+// timing analysis (sums of at most ~2^20 delays of magnitude <= 2^31).
+#ifndef TSG_UTIL_RATIONAL_H
+#define TSG_UTIL_RATIONAL_H
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "util/error.h"
+
+namespace tsg {
+
+/// 128-bit intermediate for overflow-free cross multiplication.
+/// (__extension__ silences -Wpedantic: __int128 is a GCC/Clang extension,
+/// available on every platform this library targets.)
+__extension__ typedef __int128 int128;
+
+/// An exact rational number num/den with int64 components, always kept in
+/// canonical form: den > 0 and gcd(|num|, den) == 1.
+class rational {
+public:
+    /// Value 0/1.
+    constexpr rational() noexcept : num_(0), den_(1) {}
+
+    /// Integer value n/1.  Intentionally implicit: delays written as plain
+    /// integer literals should convert silently, mirroring the paper's use
+    /// of integer gate delays.
+    constexpr rational(std::int64_t n) noexcept : num_(n), den_(1) {}
+
+    /// Value n/d, normalized.  Throws tsg::error if d == 0.
+    constexpr rational(std::int64_t n, std::int64_t d) : num_(n), den_(d)
+    {
+        if (den_ == 0) throw error("rational: zero denominator");
+        normalize();
+    }
+
+    [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+    [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+    [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+    [[nodiscard]] constexpr bool is_zero() const noexcept { return num_ == 0; }
+    [[nodiscard]] constexpr bool is_negative() const noexcept { return num_ < 0; }
+
+    [[nodiscard]] double to_double() const noexcept
+    {
+        return static_cast<double>(num_) / static_cast<double>(den_);
+    }
+
+    /// Nearest rational with a small denominator approximating `x`; used
+    /// when importing floating-point delays.  Throws on non-finite input.
+    [[nodiscard]] static rational from_double(double x, std::int64_t max_den = 1'000'000);
+
+    /// Parses "n", "-n", or "n/d" (optionally signed numerator).
+    /// Throws tsg::error on malformed text.
+    [[nodiscard]] static rational parse(const std::string& text);
+
+    /// Renders as "n" when integral, otherwise "n/d".
+    [[nodiscard]] std::string str() const;
+
+    constexpr rational& operator+=(const rational& o) { return assign_add(o.num_, o.den_); }
+    constexpr rational& operator-=(const rational& o) { return assign_add(-o.num_, o.den_); }
+
+    constexpr rational& operator*=(const rational& o)
+    {
+        // Cross-reduce before multiplying to keep components small.
+        const std::int64_t g1 = std::gcd(abs64(num_), o.den_);
+        const std::int64_t g2 = std::gcd(abs64(o.num_), den_);
+        num_ = checked_mul(num_ / g1, o.num_ / g2);
+        den_ = checked_mul(den_ / g2, o.den_ / g1);
+        return *this;
+    }
+
+    constexpr rational& operator/=(const rational& o)
+    {
+        if (o.num_ == 0) throw error("rational: division by zero");
+        rational inv;
+        inv.num_ = o.den_;
+        inv.den_ = o.num_;
+        if (inv.den_ < 0) { inv.num_ = -inv.num_; inv.den_ = -inv.den_; }
+        return (*this) *= inv;
+    }
+
+    friend constexpr rational operator+(rational a, const rational& b) { return a += b; }
+    friend constexpr rational operator-(rational a, const rational& b) { return a -= b; }
+    friend constexpr rational operator*(rational a, const rational& b) { return a *= b; }
+    friend constexpr rational operator/(rational a, const rational& b) { return a /= b; }
+    friend constexpr rational operator-(const rational& a)
+    {
+        rational r;
+        r.num_ = -a.num_;
+        r.den_ = a.den_;
+        return r;
+    }
+
+    friend constexpr bool operator==(const rational& a, const rational& b) noexcept
+    {
+        return a.num_ == b.num_ && a.den_ == b.den_; // canonical form
+    }
+
+    friend constexpr std::strong_ordering operator<=>(const rational& a,
+                                                      const rational& b) noexcept
+    {
+        const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+        const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+        if (lhs < rhs) return std::strong_ordering::less;
+        if (lhs > rhs) return std::strong_ordering::greater;
+        return std::strong_ordering::equal;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const rational& r);
+
+private:
+    constexpr void normalize()
+    {
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        const std::int64_t g = std::gcd(abs64(num_), den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+    }
+
+    constexpr rational& assign_add(std::int64_t on, std::int64_t od)
+    {
+        const std::int64_t g = std::gcd(den_, od);
+        const std::int64_t scale_self = od / g;
+        const std::int64_t scale_other = den_ / g;
+        const int128 n =
+            static_cast<int128>(num_) * scale_self + static_cast<int128>(on) * scale_other;
+        const int128 d = static_cast<int128>(den_) * scale_self;
+        num_ = narrow(n);
+        den_ = narrow(d);
+        normalize();
+        return *this;
+    }
+
+    [[nodiscard]] static constexpr std::int64_t abs64(std::int64_t v) noexcept
+    {
+        return v < 0 ? -v : v;
+    }
+
+    [[nodiscard]] static constexpr std::int64_t narrow(int128 v)
+    {
+        if (v > INT64_MAX || v < INT64_MIN) throw error("rational: overflow");
+        return static_cast<std::int64_t>(v);
+    }
+
+    [[nodiscard]] static constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b)
+    {
+        return narrow(static_cast<int128>(a) * b);
+    }
+
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+[[nodiscard]] constexpr rational abs(const rational& r)
+{
+    return r.is_negative() ? -r : r;
+}
+
+[[nodiscard]] constexpr rational min(const rational& a, const rational& b)
+{
+    return b < a ? b : a;
+}
+
+[[nodiscard]] constexpr rational max(const rational& a, const rational& b)
+{
+    return a < b ? b : a;
+}
+
+} // namespace tsg
+
+template <>
+struct std::hash<tsg::rational> {
+    std::size_t operator()(const tsg::rational& r) const noexcept
+    {
+        const std::size_t h1 = std::hash<std::int64_t>{}(r.num());
+        const std::size_t h2 = std::hash<std::int64_t>{}(r.den());
+        return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+};
+
+#endif // TSG_UTIL_RATIONAL_H

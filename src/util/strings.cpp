@@ -1,0 +1,58 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tsg {
+
+std::string trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::vector<std::string> split(std::string_view text, std::string_view separators)
+{
+    std::vector<std::string> pieces;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        const bool at_sep = i == text.size() || separators.find(text[i]) != std::string_view::npos;
+        if (at_sep) {
+            if (i > start) pieces.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return pieces;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view separator)
+{
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i > 0) out += separator;
+        out += pieces[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    std::string out(buffer);
+    if (out.find('.') != std::string::npos) {
+        while (!out.empty() && out.back() == '0') out.pop_back();
+        if (!out.empty() && out.back() == '.') out.pop_back();
+    }
+    return out;
+}
+
+} // namespace tsg

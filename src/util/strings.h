@@ -1,0 +1,31 @@
+// Minimal string helpers used by the parsers and report writers.
+#ifndef TSG_UTIL_STRINGS_H
+#define TSG_UTIL_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg {
+
+/// Strips leading and trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Splits on any of the characters in `separators`, dropping empty pieces.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             std::string_view separators = " \t");
+
+/// Joins pieces with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view separator);
+
+/// True when `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Formats a double with the given number of significant decimals, trimming
+/// trailing zeros ("6.67", "10", "9.5").
+[[nodiscard]] std::string format_double(double value, int decimals = 4);
+
+} // namespace tsg
+
+#endif // TSG_UTIL_STRINGS_H

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace tsg {
+
+void text_table::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void text_table::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::str() const
+{
+    std::size_t columns = header_.size();
+    for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+    std::vector<std::size_t> widths(columns, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (std::size_t c = 0; c < columns; ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            line += cell;
+            if (c + 1 < columns) line += std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ') line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        out += render_row(header_);
+        std::size_t rule = 0;
+        for (std::size_t c = 0; c < columns; ++c) rule += widths[c] + (c + 1 < columns ? 2 : 0);
+        out += std::string(rule, '-') + "\n";
+    }
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+} // namespace tsg

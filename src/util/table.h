@@ -1,0 +1,37 @@
+// Column-aligned ASCII tables for the benchmark harnesses, which reprint the
+// paper's tables next to our measured values.
+#ifndef TSG_UTIL_TABLE_H
+#define TSG_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tsg {
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to the widest cell.  Cells are plain strings; numeric formatting
+/// is the caller's job (see rational::str and format_double).
+class text_table {
+public:
+    text_table() = default;
+
+    /// Sets the header row; column count is inferred from it.
+    void set_header(std::vector<std::string> header);
+
+    /// Appends a data row.  Rows shorter than the header are padded with
+    /// empty cells; longer rows extend the column count.
+    void add_row(std::vector<std::string> row);
+
+    /// Renders with single-space-padded columns and a rule under the header.
+    [[nodiscard]] std::string str() const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tsg
+
+#endif // TSG_UTIL_TABLE_H

@@ -1,0 +1,138 @@
+// Additional cross-module coverage: safety of the generated workloads,
+// horizon monotonicity, record_tables consistency, serialization of
+// combined arc attributes, and explorer state counts.
+#include <gtest/gtest.h>
+
+#include "circuit/explorer.h"
+#include "core/cycle_time.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/stack.h"
+#include "sg/properties.h"
+#include "sg/sg_io.h"
+
+namespace tsg {
+namespace {
+
+TEST(CoverageExtra, MullerRingIsSafeStackIsNot)
+{
+    // The single-token ring is a safe marked graph; the stack surrogate
+    // deliberately is not (tokens on every inter-cell boundary share
+    // cycles), which is why the analysis horizon must use the border bound.
+    EXPECT_TRUE(is_safe(muller_ring_sg()));
+    EXPECT_FALSE(is_safe(paper_stack_sg()));
+}
+
+TEST(CoverageExtra, MullerRingTokenDistances)
+{
+    const signal_graph sg = muller_ring_sg();
+    // Around the whole ring from a+ back to itself the shortest token path
+    // is positive (liveness) and at most the token count of some cycle.
+    const int d = min_token_distance(sg, sg.event_by_name("a+"), sg.event_by_name("a+"));
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 3);
+}
+
+TEST(CoverageExtra, CollectedMaximumIsMonotoneInTheHorizon)
+{
+    // Under-simulating can only under-approximate lambda; the collected
+    // maximum is non-decreasing in the horizon and reaches lambda at the
+    // border bound (stack: epsilon of the critical cycle is 8).
+    const signal_graph sg = paper_stack_sg();
+    const rational reference = analyze_cycle_time(sg).cycle_time;
+    rational previous(0);
+    for (std::uint32_t periods = 1; periods <= 10; ++periods) {
+        analysis_options opts;
+        opts.periods = periods;
+        const rational value = analyze_cycle_time(sg, opts).cycle_time;
+        EXPECT_GE(value, previous) << periods;
+        EXPECT_LE(value, reference) << periods;
+        previous = value;
+    }
+    EXPECT_EQ(previous, reference);
+}
+
+TEST(CoverageExtra, RecordTablesAgreesWithDistanceSeries)
+{
+    const signal_graph sg = muller_ring_sg();
+    analysis_options opts;
+    opts.record_tables = true;
+    const cycle_time_result r = analyze_cycle_time(sg, opts);
+    for (const border_run& run : r.runs) {
+        const distance_series s =
+            initiated_distance_series(sg, run.origin, r.periods_used);
+        for (std::uint32_t i = 1; i <= r.periods_used; ++i) {
+            const auto& table_t = run.times.at(i).at(run.origin);
+            ASSERT_EQ(table_t.has_value(), s.t[i - 1].has_value());
+            if (table_t) { EXPECT_EQ(*table_t, *s.t[i - 1]); }
+        }
+    }
+}
+
+TEST(CoverageExtra, MarkedOnceArcSerializes)
+{
+    signal_graph sg;
+    const event_id go = sg.add_event("go");
+    const event_id a = sg.add_event("a");
+    const event_id b = sg.add_event("b");
+    sg.add_arc(go, a, 1, /*marked=*/true, /*disengageable=*/true);
+    sg.add_arc(a, b, 1, true);
+    sg.add_arc(b, a, 1);
+    sg.finalize();
+
+    const std::string text = write_sg(sg, "g");
+    EXPECT_NE(text.find("marked once"), std::string::npos);
+    const signal_graph reparsed = parse_sg(text);
+    EXPECT_EQ(reparsed.arc(0).marked, true);
+    EXPECT_EQ(reparsed.arc(0).disengageable, true);
+}
+
+TEST(CoverageExtra, ExplorerCountsOscillatorStates)
+{
+    // The oscillator's reachable interleaving state space is small and
+    // fixed: 11 states (measured; stable because the model is exact).
+    const parsed_circuit c = c_oscillator_circuit();
+    const exploration_result r = explore_state_space(c.nl, c.initial);
+    EXPECT_EQ(r.state_count, 11u);
+}
+
+TEST(CoverageExtra, TwoTokenRingIsSemimodular)
+{
+    muller_ring_options opts;
+    opts.stages = 10;
+    opts.high_stages = {2, 7};
+    const parsed_circuit c = muller_ring_circuit(opts);
+    const exploration_result r = explore_state_space(c.nl, c.initial);
+    EXPECT_TRUE(r.semimodular);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(CoverageExtra, BorderRunsCoverEveryOrigin)
+{
+    const signal_graph sg = paper_stack_sg();
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_EQ(r.runs.size(), sg.border_events().size());
+    for (std::size_t i = 0; i < r.runs.size(); ++i)
+        EXPECT_EQ(r.runs[i].origin, sg.border_events()[i]);
+}
+
+TEST(CoverageExtra, AsymmetricRingDelaysViaGenerator)
+{
+    // c_delay != inv_delay stresses the generator's delay plumbing.
+    muller_ring_options opts;
+    opts.stages = 5;
+    opts.c_delay = 3;
+    opts.inv_delay = 1;
+    const signal_graph sg = muller_ring_sg(opts);
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_GT(r.cycle_time, rational(0));
+    // Scaling both delays by 2 doubles lambda exactly.
+    muller_ring_options doubled = opts;
+    doubled.c_delay = 6;
+    doubled.inv_delay = 2;
+    EXPECT_EQ(analyze_cycle_time(muller_ring_sg(doubled)).cycle_time,
+              r.cycle_time * rational(2));
+}
+
+} // namespace
+} // namespace tsg

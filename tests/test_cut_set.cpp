@@ -1,0 +1,164 @@
+// Tests for cut sets (feedback vertex sets of the repetitive core) and the
+// cycle-time analysis driven from a custom cut set — the optimization the
+// paper identifies but does not implement.
+#include <gtest/gtest.h>
+
+#include "core/cycle_time.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+#include "gen/stack.h"
+#include "sg/cut_set.h"
+
+namespace tsg {
+namespace {
+
+TEST(CutSet, BorderSetIsACutSet)
+{
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_TRUE(is_cut_set(sg, sg.border_events()));
+}
+
+TEST(CutSet, PaperExample7Sets)
+{
+    // Example 7: {a+, b+} is the border set; {c+} and {a-, b-} are also cut
+    // sets; {c+} and {c-} are minimum.
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_TRUE(is_cut_set(sg, {sg.event_by_name("c+")}));
+    EXPECT_TRUE(is_cut_set(sg, {sg.event_by_name("c-")}));
+    EXPECT_TRUE(is_cut_set(sg, {sg.event_by_name("a-"), sg.event_by_name("b-")}));
+    EXPECT_FALSE(is_cut_set(sg, {sg.event_by_name("a+")}));
+    EXPECT_FALSE(is_cut_set(sg, {sg.event_by_name("b-")}));
+}
+
+TEST(CutSet, MinimumCutOfOscillatorHasSizeOne)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const auto cut = minimum_cut_set(sg);
+    ASSERT_TRUE(cut.has_value());
+    ASSERT_EQ(cut->size(), 1u);
+    const std::string name = sg.event((*cut)[0]).name;
+    EXPECT_TRUE(name == "c+" || name == "c-") << name;
+}
+
+TEST(CutSet, GreedyIsAValidCutSet)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        random_sg_options opts;
+        opts.events = 30;
+        opts.extra_arcs = 40;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        EXPECT_TRUE(is_cut_set(sg, greedy_cut_set(sg)));
+    }
+}
+
+TEST(CutSet, MinimumNeverLargerThanGreedyOrBorder)
+{
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+        random_sg_options opts;
+        opts.events = 14;
+        opts.extra_arcs = 12;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const auto minimum = minimum_cut_set(sg);
+        ASSERT_TRUE(minimum.has_value());
+        EXPECT_TRUE(is_cut_set(sg, *minimum));
+        EXPECT_LE(minimum->size(), greedy_cut_set(sg).size());
+        EXPECT_LE(minimum->size(), sg.border_events().size());
+    }
+}
+
+TEST(CutSet, OccurrencePeriodBoundedByMinimumCut)
+{
+    // Proposition 6: the occurrence period of any simple cycle is bounded
+    // by the minimum cut size.  The Muller ring's critical cycle has
+    // epsilon = 3, so its minimum cut set has at least 3 events.
+    const signal_graph sg = muller_ring_sg();
+    const auto cut = minimum_cut_set(sg);
+    ASSERT_TRUE(cut.has_value());
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_GE(cut->size(), r.critical_occurrence_period);
+}
+
+TEST(CutSet, AnalysisFromMinimumCutMatchesBorderAnalysis)
+{
+    // The paper's oscillator needs only one period when analyzed from the
+    // minimum cut {c+} (Section VIII.C's closing remark).  The one-period
+    // horizon is forced explicitly: Prop. 6's min-cut bound relies on
+    // safety, which holds for this graph.
+    const signal_graph sg = c_oscillator_sg();
+    analysis_options opts;
+    opts.origins = {sg.event_by_name("c+")};
+    opts.periods = 1;
+    const cycle_time_result custom = analyze_cycle_time(sg, opts);
+    EXPECT_EQ(custom.cycle_time, rational(10));
+    EXPECT_EQ(custom.periods_used, 1u);
+    EXPECT_EQ(custom.runs.size(), 1u);
+
+    // Default horizon (the border bound) also works, with 2 periods.
+    analysis_options defaulted;
+    defaulted.origins = {sg.event_by_name("c+")};
+    EXPECT_EQ(analyze_cycle_time(sg, defaulted).cycle_time, rational(10));
+}
+
+TEST(CutSet, CustomOriginsMustFormACutSet)
+{
+    const signal_graph sg = c_oscillator_sg();
+    analysis_options opts;
+    opts.origins = {sg.event_by_name("a+")}; // misses cycles through b
+    EXPECT_THROW((void)analyze_cycle_time(sg, opts), error);
+
+    opts.origins = {sg.event_by_name("e-")}; // not repetitive
+    EXPECT_THROW((void)analyze_cycle_time(sg, opts), error);
+}
+
+TEST(CutSet, CustomCutMatchesDefaultOnRandomGraphs)
+{
+    for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+        random_sg_options opts;
+        opts.events = 16;
+        opts.extra_arcs = 14;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const rational reference = analyze_cycle_time(sg).cycle_time;
+
+        const auto minimum = minimum_cut_set(sg);
+        ASSERT_TRUE(minimum.has_value());
+        analysis_options custom;
+        custom.origins = *minimum;
+        EXPECT_EQ(analyze_cycle_time(sg, custom).cycle_time, reference) << seed;
+
+        analysis_options greedy;
+        greedy.origins = greedy_cut_set(sg);
+        EXPECT_EQ(analyze_cycle_time(sg, greedy).cycle_time, reference) << seed;
+    }
+}
+
+TEST(CutSet, StackAnalysisShrinksWithMinimumCut)
+{
+    // The stack's border set has 10 events; a minimum cut is smaller, so
+    // the analysis does less work while agreeing on lambda.
+    const signal_graph sg = paper_stack_sg();
+    const auto cut = minimum_cut_set(sg);
+    ASSERT_TRUE(cut.has_value());
+    EXPECT_LT(cut->size(), sg.border_events().size());
+
+    analysis_options opts;
+    opts.origins = *cut;
+    EXPECT_EQ(analyze_cycle_time(sg, opts).cycle_time,
+              analyze_cycle_time(sg).cycle_time);
+}
+
+TEST(CutSet, BudgetExhaustionReturnsNullopt)
+{
+    random_sg_options opts;
+    opts.events = 40;
+    opts.extra_arcs = 80;
+    opts.seed = 5;
+    const signal_graph sg = random_marked_graph(opts);
+    EXPECT_EQ(minimum_cut_set(sg, 1), std::nullopt);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,267 @@
+// Tests for the paper's O(b^2 m) cycle-time algorithm (Sections VI-VII):
+// the Section VIII.C golden numbers, Propositions 6-8 behaviours, critical
+// cycle backtracking, and the Figure 4 / infinite-simulation series.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cycle_time.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+#include "sg/builder.h"
+
+namespace tsg {
+namespace {
+
+std::vector<std::string> names(const signal_graph& sg, const std::vector<event_id>& events)
+{
+    std::vector<std::string> out;
+    for (const event_id e : events) out.push_back(sg.event(e).name);
+    return out;
+}
+
+TEST(CycleTime, OscillatorLambdaIsTen)
+{
+    const cycle_time_result r = analyze_cycle_time(c_oscillator_sg());
+    EXPECT_EQ(r.cycle_time, rational(10));
+    EXPECT_EQ(r.border_count, 2u);
+    EXPECT_EQ(r.periods_used, 2u);
+}
+
+TEST(CycleTime, SectionVIIICDeltaTables)
+{
+    // a+ run collects {10, 10}; b+ run collects {8, 9}.
+    const cycle_time_result r = analyze_cycle_time(c_oscillator_sg());
+    ASSERT_EQ(r.runs.size(), 2u);
+
+    const signal_graph sg = c_oscillator_sg();
+    for (const border_run& run : r.runs) {
+        const std::string name = sg.event(run.origin).name;
+        ASSERT_EQ(run.deltas.size(), 2u);
+        if (name == "a+") {
+            EXPECT_EQ(run.deltas[0], rational(10));
+            EXPECT_EQ(run.deltas[1], rational(10));
+            EXPECT_TRUE(run.critical);
+        } else {
+            ASSERT_EQ(name, "b+");
+            EXPECT_EQ(run.deltas[0], rational(8));
+            EXPECT_EQ(run.deltas[1], rational(9));
+            EXPECT_FALSE(run.critical); // Proposition 8: strictly below lambda
+        }
+    }
+}
+
+TEST(CycleTime, SectionVIIICFullTables)
+{
+    // With record_tables the full t_{e0}(f_i) tables of Section VIII.C are
+    // available:  a+ row: c+0=3 a-0=5 b-0=4 c-0=8 a+1=10 b+1=9 c-1=18 a+2=20 b+2=19;
+    //             b+ row: c+0=2 a-0=4 b-0=3 c-0=7 a+1=9 b+1=8 c-1=17 a+2=19 b+2=18.
+    const signal_graph sg = c_oscillator_sg();
+    analysis_options opts;
+    opts.record_tables = true;
+    const cycle_time_result r = analyze_cycle_time(sg, opts);
+
+    const auto table_of = [&](const char* origin) -> const border_run& {
+        for (const border_run& run : r.runs)
+            if (sg.event(run.origin).name == origin) return run;
+        throw std::logic_error("missing run");
+    };
+    const auto value = [&](const border_run& run, const char* ev, std::uint32_t period) {
+        return run.times.at(period).at(sg.event_by_name(ev)).value_or(rational(-999));
+    };
+
+    const border_run& a_run = table_of("a+");
+    EXPECT_EQ(value(a_run, "a+", 0), rational(0));
+    EXPECT_EQ(value(a_run, "c+", 0), rational(3));
+    EXPECT_EQ(value(a_run, "a-", 0), rational(5));
+    EXPECT_EQ(value(a_run, "b-", 0), rational(4));
+    EXPECT_EQ(value(a_run, "c-", 0), rational(8));
+    EXPECT_EQ(value(a_run, "a+", 1), rational(10));
+    EXPECT_EQ(value(a_run, "b+", 1), rational(9));
+    EXPECT_EQ(value(a_run, "c-", 1), rational(18));
+    EXPECT_EQ(value(a_run, "a+", 2), rational(20));
+    EXPECT_EQ(value(a_run, "b+", 2), rational(19));
+
+    const border_run& b_run = table_of("b+");
+    EXPECT_EQ(value(b_run, "b+", 0), rational(0));
+    EXPECT_EQ(value(b_run, "c+", 0), rational(2));
+    EXPECT_EQ(value(b_run, "a-", 0), rational(4));
+    EXPECT_EQ(value(b_run, "b-", 0), rational(3));
+    EXPECT_EQ(value(b_run, "c-", 0), rational(7));
+    EXPECT_EQ(value(b_run, "a+", 1), rational(9));
+    EXPECT_EQ(value(b_run, "b+", 1), rational(8));
+    EXPECT_EQ(value(b_run, "c-", 1), rational(17));
+    EXPECT_EQ(value(b_run, "a+", 2), rational(19));
+    EXPECT_EQ(value(b_run, "b+", 2), rational(18));
+}
+
+TEST(CycleTime, CriticalCycleIsC1)
+{
+    // Example 6 and Section II: the critical cycle is
+    // a+ -3-> c+ -2-> a- -3-> c- -2-> a+ with length 10 and epsilon 1.
+    // (Section VIII.C's printed cycle "a-c-b--c-" has length 8 under the
+    // Figure 2c delays and contradicts Example 6 — a typo in the paper; see
+    // EXPERIMENTS.md.)
+    const cycle_time_result r = analyze_cycle_time(c_oscillator_sg());
+    EXPECT_EQ(names(c_oscillator_sg(), r.critical_cycle_events),
+              (std::vector<std::string>{"a+", "c+", "a-", "c-"}));
+    EXPECT_EQ(r.critical_occurrence_period, 1u);
+}
+
+TEST(CycleTime, CriticalCycleClosesAndHasRatioLambda)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const cycle_time_result r = analyze_cycle_time(sg);
+    ASSERT_EQ(r.critical_cycle_events.size(), r.critical_cycle_arcs.size());
+    rational delay(0);
+    std::int64_t tokens = 0;
+    for (std::size_t k = 0; k < r.critical_cycle_arcs.size(); ++k) {
+        const arc_info& arc = sg.arc(r.critical_cycle_arcs[k]);
+        EXPECT_EQ(arc.from, r.critical_cycle_events[k]);
+        EXPECT_EQ(arc.to,
+                  r.critical_cycle_events[(k + 1) % r.critical_cycle_events.size()]);
+        delay += arc.delay;
+        tokens += arc.marked ? 1 : 0;
+    }
+    EXPECT_EQ(delay / rational(tokens), r.cycle_time);
+    EXPECT_EQ(static_cast<std::uint32_t>(tokens), r.critical_occurrence_period);
+}
+
+TEST(CycleTime, CriticalBorderEvents)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_EQ(names(sg, r.critical_border_events()), (std::vector<std::string>{"a+"}));
+}
+
+TEST(CycleTime, InfiniteSeriesFromOffCriticalEvent)
+{
+    // Section VIII.C: the b+0-initiated series is 8, 9, 9 1/3, 9 1/2, 9 3/5,
+    // ... approaching 10 from below and never reaching it (Prop. 8).
+    const signal_graph sg = c_oscillator_sg();
+    const distance_series s = initiated_distance_series(sg, sg.event_by_name("b+"), 40);
+    ASSERT_EQ(s.delta.size(), 40u);
+    EXPECT_EQ(s.delta[0], rational(8));
+    EXPECT_EQ(s.delta[1], rational(9));
+    EXPECT_EQ(s.delta[2], rational(28, 3));
+    EXPECT_EQ(s.delta[3], rational(19, 2));
+    EXPECT_EQ(s.delta[4], rational(48, 5));
+    for (const auto& d : s.delta) {
+        ASSERT_TRUE(d.has_value());
+        EXPECT_LT(*d, rational(10));
+    }
+    // Monotone approach towards the asymptote for this example.
+    EXPECT_GT(*s.delta[39], rational(99, 10));
+}
+
+TEST(CycleTime, OnCriticalSeriesHitsLambdaEveryPeriod)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const distance_series s = initiated_distance_series(sg, sg.event_by_name("a+"), 10);
+    for (const auto& d : s.delta) EXPECT_EQ(d, rational(10));
+}
+
+TEST(CycleTime, PeriodsOverride)
+{
+    analysis_options opts;
+    opts.periods = 5;
+    const cycle_time_result r = analyze_cycle_time(c_oscillator_sg(), opts);
+    EXPECT_EQ(r.periods_used, 5u);
+    EXPECT_EQ(r.cycle_time, rational(10));
+    EXPECT_EQ(r.runs[0].deltas.size(), 5u);
+}
+
+TEST(CycleTime, OccurrencePeriodBound)
+{
+    EXPECT_EQ(occurrence_period_bound(c_oscillator_sg()), 2u);
+}
+
+TEST(CycleTime, AcyclicGraphRejected)
+{
+    sg_builder b;
+    b.arc("s", "t", 1);
+    const signal_graph sg = b.build();
+    EXPECT_THROW((void)analyze_cycle_time(sg), error);
+}
+
+TEST(CycleTime, UnfinalizedGraphRejected)
+{
+    signal_graph sg;
+    sg.add_event("a");
+    EXPECT_THROW((void)analyze_cycle_time(sg), error);
+}
+
+TEST(CycleTime, SelfLoopCycle)
+{
+    // A single event with a marked self-loop: lambda = its delay.
+    sg_builder b;
+    b.marked_arc("a", "a", 7);
+    const cycle_time_result r = analyze_cycle_time(b.build());
+    EXPECT_EQ(r.cycle_time, rational(7));
+    EXPECT_EQ(r.critical_cycle_events.size(), 1u);
+    EXPECT_EQ(r.critical_occurrence_period, 1u);
+}
+
+TEST(CycleTime, MultiPeriodCriticalCycle)
+{
+    // Two nested loops sharing event a:
+    //   a -> b -> a with 1 token, total delay 2;
+    //   a -> c -> d -> a with 2 tokens, total delay 9 -> ratio 9/2 > 2.
+    sg_builder b;
+    b.marked_arc("a", "b", 1).arc("b", "a", 1);
+    b.marked_arc("a", "c", 3).marked_arc("c", "d", 3).arc("d", "a", 3);
+    const cycle_time_result r = analyze_cycle_time(b.build());
+    EXPECT_EQ(r.cycle_time, rational(9, 2));
+    EXPECT_EQ(r.critical_occurrence_period, 2u);
+    EXPECT_EQ(r.critical_cycle_events.size(), 3u);
+}
+
+TEST(CycleTime, RationalDelays)
+{
+    sg_builder b;
+    b.marked_arc("a", "b", rational(1, 3)).arc("b", "a", rational(1, 6));
+    const cycle_time_result r = analyze_cycle_time(b.build());
+    EXPECT_EQ(r.cycle_time, rational(1, 2));
+}
+
+TEST(CycleTime, ZeroDelayGraph)
+{
+    sg_builder b;
+    b.marked_arc("a", "b", 0).arc("b", "a", 0);
+    EXPECT_EQ(analyze_cycle_time(b.build()).cycle_time, rational(0));
+}
+
+// Proposition 2: every repetitive event sees the same asymptotic average
+// occurrence distance.  Checked via long per-event series whose tail must
+// approach the common lambda.
+class Prop2Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Prop2Sweep, AllEventsShareTheCycleTime)
+{
+    random_sg_options opts;
+    opts.events = 12;
+    opts.extra_arcs = 14;
+    opts.seed = GetParam();
+    const signal_graph sg = random_marked_graph(opts);
+    const cycle_time_result r = analyze_cycle_time(sg);
+
+    // Convergence is O(tokens/i); 400 periods pins the tail within 10% of
+    // lambda for these sizes.
+    const std::uint32_t horizon = 400;
+    for (const event_id e : sg.repetitive_events()) {
+        const distance_series s = initiated_distance_series(sg, e, horizon);
+        // max over the series never exceeds lambda (Prop. 4/8) ...
+        rational best(-1);
+        for (const auto& d : s.delta)
+            if (d && *d > best) best = *d;
+        EXPECT_LE(best, r.cycle_time);
+        // ... and the tail approaches lambda within 10%.
+        EXPECT_GT(best.to_double(), r.cycle_time.to_double() * 0.9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop2Sweep, ::testing::Values(11, 22, 33, 44, 55));
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,171 @@
+// Unit tests for the digraph substrate: structure, SCC, topological order,
+// reachability, DOT export.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/dot.h"
+#include "graph/reach.h"
+#include "graph/scc.h"
+#include "graph/topo.h"
+
+namespace tsg {
+namespace {
+
+digraph triangle()
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.add_arc(2, 0);
+    return g;
+}
+
+TEST(Digraph, BasicStructure)
+{
+    digraph g;
+    const node_id a = g.add_node();
+    const node_id b = g.add_node();
+    const arc_id ab = g.add_arc(a, b);
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.arc_count(), 1u);
+    EXPECT_EQ(g.from(ab), a);
+    EXPECT_EQ(g.to(ab), b);
+    EXPECT_EQ(g.out_degree(a), 1u);
+    EXPECT_EQ(g.in_degree(b), 1u);
+    EXPECT_EQ(g.out_degree(b), 0u);
+}
+
+TEST(Digraph, ParallelArcsAndSelfLoops)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    g.add_arc(0, 1);
+    g.add_arc(1, 1);
+    EXPECT_EQ(g.arc_count(), 3u);
+    EXPECT_EQ(g.out_degree(0), 2u);
+    EXPECT_EQ(g.in_degree(1), 3u);
+}
+
+TEST(Digraph, BadEndpointThrows)
+{
+    digraph g(1);
+    EXPECT_THROW(g.add_arc(0, 5), error);
+}
+
+TEST(Scc, Triangle)
+{
+    const scc_result r = strongly_connected_components(triangle());
+    EXPECT_EQ(r.count, 1u);
+    EXPECT_TRUE(is_strongly_connected(triangle()));
+}
+
+TEST(Scc, TwoComponents)
+{
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    g.add_arc(1, 2);
+    g.add_arc(2, 3);
+    g.add_arc(3, 2);
+    const scc_result r = strongly_connected_components(g);
+    EXPECT_EQ(r.count, 2u);
+    EXPECT_TRUE(r.same(0, 1));
+    EXPECT_TRUE(r.same(2, 3));
+    EXPECT_FALSE(r.same(1, 2));
+    EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, ReverseTopologicalNumbering)
+{
+    // Arc from component of {0,1} to component of {2,3}: source component
+    // must have the larger index (Tarjan order).
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    g.add_arc(1, 2);
+    g.add_arc(2, 3);
+    g.add_arc(3, 2);
+    const scc_result r = strongly_connected_components(g);
+    EXPECT_GT(r.component[0], r.component[2]);
+}
+
+TEST(Scc, EmptyGraphIsNotStronglyConnected)
+{
+    EXPECT_FALSE(is_strongly_connected(digraph{}));
+}
+
+TEST(Scc, NodesOnCycles)
+{
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    g.add_arc(1, 2); // 2 is acyclic
+    g.add_arc(3, 3); // self-loop
+    const std::vector<bool> cyclic = nodes_on_cycles(g);
+    EXPECT_TRUE(cyclic[0]);
+    EXPECT_TRUE(cyclic[1]);
+    EXPECT_FALSE(cyclic[2]);
+    EXPECT_TRUE(cyclic[3]);
+}
+
+TEST(Topo, OrdersDag)
+{
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(0, 2);
+    g.add_arc(1, 3);
+    g.add_arc(2, 3);
+    const auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(4);
+    for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[0], pos[2]);
+    EXPECT_LT(pos[1], pos[3]);
+    EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topo, DetectsCycle)
+{
+    EXPECT_FALSE(topological_order(triangle()).has_value());
+    EXPECT_FALSE(is_acyclic(triangle()));
+}
+
+TEST(Topo, FilteredOrderIgnoresMaskedArcs)
+{
+    digraph g = triangle();
+    std::vector<bool> kept{true, true, false}; // drop 2 -> 0
+    const auto order = topological_order_filtered(g, kept);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_THROW((void)topological_order_filtered(g, {true}), error);
+}
+
+TEST(Reach, ForwardAndBackward)
+{
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    const auto fwd = reachable_from(g, 0);
+    EXPECT_TRUE(fwd[0]);
+    EXPECT_TRUE(fwd[2]);
+    EXPECT_FALSE(fwd[3]);
+    const auto bwd = reaching_to(g, 2);
+    EXPECT_TRUE(bwd[0]);
+    EXPECT_TRUE(bwd[2]);
+    EXPECT_FALSE(bwd[3]);
+}
+
+TEST(Dot, RendersLabels)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    const std::string dot = to_dot(
+        g, [](node_id v) { return "n" + std::to_string(v); },
+        [](arc_id) { return std::string("w\"x"); }, "test");
+    EXPECT_NE(dot.find("digraph test"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("w\\\"x"), std::string::npos); // quote escaped
+}
+
+} // namespace
+} // namespace tsg

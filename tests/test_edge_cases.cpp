@@ -1,0 +1,170 @@
+// Edge-case coverage across modules: parallel arcs, marked arcs between
+// one-shot events, initiated simulations from later instantiations,
+// withdrawn-excitation diagnostics, rational parsing corners, and other
+// behaviours that the mainline tests do not reach.
+#include <gtest/gtest.h>
+
+#include "circuit/extraction.h"
+#include "core/cycle_time.h"
+#include "core/event_initiated.h"
+#include "gen/oscillator.h"
+#include "ratio/exhaustive.h"
+#include "sg/builder.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+namespace {
+
+TEST(EdgeCases, ParallelArcsKeepTheirOwnDelaysAndMarking)
+{
+    // Two arcs a->b with different delays plus a marked return arc: the
+    // slower parallel arc dominates the cycle.
+    sg_builder builder;
+    builder.arc("a", "b", 2).arc("a", "b", 5).marked_arc("b", "a", 1);
+    const signal_graph sg = builder.build();
+    EXPECT_EQ(sg.arc_count(), 3u);
+    EXPECT_EQ(analyze_cycle_time(sg).cycle_time, rational(6));
+    EXPECT_EQ(cycle_time_exhaustive(sg), rational(6));
+}
+
+TEST(EdgeCases, ParallelMarkedAndPlainArcs)
+{
+    // Same endpoints, one marked one not: the unmarked one forces the
+    // within-period ordering, the marked one adds a second (slack) path.
+    sg_builder builder;
+    builder.arc("a", "b", 3).marked_arc("a", "b", 10).marked_arc("b", "a", 1);
+    const signal_graph sg = builder.build();
+    // Cycles: a ->(3) b ->(1) a with 1 token = 4; a ->(10,m) b ->(1,m) a
+    // with 2 tokens = 11/2.  lambda = 11/2.
+    EXPECT_EQ(analyze_cycle_time(sg).cycle_time, rational(11, 2));
+}
+
+TEST(EdgeCases, MarkedArcBetweenOneShotEventsIsPreSatisfied)
+{
+    // u and v fire once each; a marked arc u->v does not constrain v at all
+    // (the token is already there), so v can fire at t = 0.
+    signal_graph sg;
+    const event_id u = sg.add_event("u");
+    const event_id v = sg.add_event("v");
+    sg.add_arc(u, v, 100, /*marked=*/true);
+    sg.finalize();
+    const unfolding unf(sg, 1);
+    EXPECT_EQ(unf.dag().arc_count(), 0u);
+    EXPECT_EQ(unf.initial_instances().size(), 2u);
+}
+
+TEST(EdgeCases, InitiatedSimulationFromLaterInstantiation)
+{
+    // Starting the b+-initiated simulation at period 1 instead of 0 gives
+    // the same steady-state deltas (history independence).
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 4);
+    const initiated_simulation_result from0 =
+        simulate_from_event(unf, sg.event_by_name("b+"), 0);
+    const initiated_simulation_result from1 =
+        simulate_from_event(unf, sg.event_by_name("b+"), 1);
+    // delta_{b+1}(b+2) must equal delta_{b+0}(b+1) = 8 (shift invariance of
+    // the periodic core).
+    EXPECT_EQ(from1.delta(unf, 2), from0.delta(unf, 1));
+    EXPECT_EQ(from1.delta(unf, 2), rational(8));
+}
+
+TEST(EdgeCases, WithdrawnExcitationDiagnosedDuringExtraction)
+{
+    // XOR-style hazard: while y = xor(e, x) is excited, x's change toggles
+    // the excitation away -> the cumulative simulation must refuse with a
+    // clear diagnostic instead of folding nonsense.
+    netlist nl;
+    nl.add_signal("e");
+    nl.add_gate(gate_kind::inv, "x", {{"e", 1}});
+    nl.add_gate(gate_kind::xor_gate, "y", {{"e", 1}, {"x", 3}});
+    nl.add_stimulus("e");
+    circuit_state init(nl.signal_count());
+    init.set(nl.signal_by_name("e"), false);
+    init.set(nl.signal_by_name("x"), true);
+    init.set(nl.signal_by_name("y"), true);
+    try {
+        (void)extract_signal_graph(nl, init);
+        FAIL() << "expected a distributivity/semimodularity diagnostic";
+    } catch (const error& e) {
+        const std::string what = e.what();
+        EXPECT_TRUE(what.find("semimodular") != std::string::npos ||
+                    what.find("OR-causal") != std::string::npos)
+            << what;
+    }
+}
+
+TEST(EdgeCases, RationalNegativeDenominatorInParse)
+{
+    EXPECT_EQ(rational::parse("5/-3"), rational(-5, 3));
+    EXPECT_EQ(rational::parse("-4/-8"), rational(1, 2));
+}
+
+TEST(EdgeCases, ZeroDelayCyclesTieTheSchedule)
+{
+    // A zero-delay loop nested in a slower one: lambda comes from the slow
+    // loop; the fast one has positive slack everywhere despite zero delays.
+    sg_builder builder;
+    builder.marked_arc("a", "b", 0).arc("b", "a", 0);
+    builder.marked_arc("a", "c", 4).arc("c", "a", 4);
+    const signal_graph sg = builder.build();
+    EXPECT_EQ(analyze_cycle_time(sg).cycle_time, rational(8));
+}
+
+TEST(EdgeCases, TwoEventGraphMinimal)
+{
+    sg_builder builder;
+    builder.marked_arc("p", "q", 1).marked_arc("q", "p", 1);
+    const cycle_time_result r = analyze_cycle_time(builder.build());
+    // Cycle p->q->p has 2 tokens, delay 2: ratio 1.
+    EXPECT_EQ(r.cycle_time, rational(1));
+    EXPECT_EQ(r.critical_occurrence_period, 2u);
+}
+
+TEST(EdgeCases, UnfoldingHorizonOne)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 1);
+    EXPECT_EQ(unf.dag().node_count(), 8u);
+    // Marked arcs have nowhere to land within one period.
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a)
+        EXPECT_FALSE(sg.arc(unf.original_arc(a)).marked);
+}
+
+TEST(EdgeCases, EventNamesWithDotsAndIndices)
+{
+    // Multi-event signals use the paper's a1/a2 convention as "a.1+".
+    signal_graph sg;
+    sg.add_event("a.1+", "a", polarity::rise);
+    sg.add_event("a.1-", "a", polarity::fall);
+    sg.add_event("a.2+", "a", polarity::rise);
+    sg.add_event("a.2-", "a", polarity::fall);
+    sg.add_arc(sg.event_by_name("a.1+"), sg.event_by_name("a.1-"), 1);
+    sg.add_arc(sg.event_by_name("a.1-"), sg.event_by_name("a.2+"), 1);
+    sg.add_arc(sg.event_by_name("a.2+"), sg.event_by_name("a.2-"), 1);
+    sg.add_arc(sg.event_by_name("a.2-"), sg.event_by_name("a.1+"), 1, /*marked=*/true);
+    sg.finalize();
+    EXPECT_EQ(analyze_cycle_time(sg).cycle_time, rational(4));
+    EXPECT_EQ(sg.event(sg.event_by_name("a.2+")).signal, "a");
+}
+
+TEST(EdgeCases, BuilderPeekDoesNotFinalize)
+{
+    sg_builder builder;
+    builder.arc("x", "y", 1);
+    EXPECT_FALSE(builder.peek().finalized());
+    EXPECT_EQ(builder.peek().event_count(), 2u);
+}
+
+TEST(EdgeCases, LargeDelaysStayExact)
+{
+    // Delays near 2^40: rationals must not silently overflow over b^2
+    // periods of accumulation.
+    const std::int64_t big = 1ll << 40;
+    sg_builder builder;
+    builder.marked_arc("a", "b", rational(big)).arc("b", "a", rational(big + 1));
+    EXPECT_EQ(analyze_cycle_time(builder.build()).cycle_time, rational(2 * big + 1));
+}
+
+} // namespace
+} // namespace tsg

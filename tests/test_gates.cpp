@@ -1,0 +1,98 @@
+// Unit tests for the gate library, including the state-holding C-element
+// and majority semantics that asynchronous circuits depend on.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "circuit/gate.h"
+#include "util/error.h"
+
+namespace tsg {
+namespace {
+
+bool eval(gate_kind kind, std::initializer_list<bool> inputs, bool current = false)
+{
+    std::array<bool, 8> buffer{};
+    std::size_t n = 0;
+    for (const bool b : inputs) buffer[n++] = b;
+    return gate_next_value(kind, std::span<const bool>(buffer.data(), n), current);
+}
+
+TEST(Gates, BufAndInv)
+{
+    EXPECT_TRUE(eval(gate_kind::buf, {true}));
+    EXPECT_FALSE(eval(gate_kind::buf, {false}));
+    EXPECT_FALSE(eval(gate_kind::inv, {true}));
+    EXPECT_TRUE(eval(gate_kind::inv, {false}));
+}
+
+TEST(Gates, AndOrTruthTables)
+{
+    EXPECT_TRUE(eval(gate_kind::and_gate, {true, true}));
+    EXPECT_FALSE(eval(gate_kind::and_gate, {true, false}));
+    EXPECT_TRUE(eval(gate_kind::or_gate, {true, false}));
+    EXPECT_FALSE(eval(gate_kind::or_gate, {false, false}));
+}
+
+TEST(Gates, NandNorTruthTables)
+{
+    EXPECT_FALSE(eval(gate_kind::nand_gate, {true, true}));
+    EXPECT_TRUE(eval(gate_kind::nand_gate, {true, false}));
+    EXPECT_FALSE(eval(gate_kind::nor_gate, {true, false}));
+    EXPECT_TRUE(eval(gate_kind::nor_gate, {false, false}));
+}
+
+TEST(Gates, XorParity)
+{
+    EXPECT_TRUE(eval(gate_kind::xor_gate, {true, false, false}));
+    EXPECT_FALSE(eval(gate_kind::xor_gate, {true, true, false, false}));
+    EXPECT_TRUE(eval(gate_kind::xnor_gate, {true, true}));
+    EXPECT_FALSE(eval(gate_kind::xnor_gate, {true, false}));
+}
+
+TEST(Gates, CElementHolds)
+{
+    EXPECT_TRUE(eval(gate_kind::c_element, {true, true}, false));   // all 1 -> 1
+    EXPECT_FALSE(eval(gate_kind::c_element, {false, false}, true)); // all 0 -> 0
+    EXPECT_TRUE(eval(gate_kind::c_element, {true, false}, true));   // hold
+    EXPECT_FALSE(eval(gate_kind::c_element, {true, false}, false)); // hold
+    EXPECT_TRUE(eval(gate_kind::c_element, {true, true, true}, false));
+    EXPECT_FALSE(eval(gate_kind::c_element, {true, false, true}, false));
+}
+
+TEST(Gates, MajorityVotesAndHoldsTies)
+{
+    EXPECT_TRUE(eval(gate_kind::majority, {true, true, false}));
+    EXPECT_FALSE(eval(gate_kind::majority, {true, false, false}));
+    EXPECT_TRUE(eval(gate_kind::majority, {true, true, false, false}, true));  // tie holds
+    EXPECT_FALSE(eval(gate_kind::majority, {true, true, false, false}, false));
+}
+
+TEST(Gates, MinInputsEnforced)
+{
+    EXPECT_THROW((void)eval(gate_kind::c_element, {true}), error);
+    EXPECT_THROW((void)eval(gate_kind::majority, {true, false}), error);
+}
+
+TEST(Gates, StateHoldingClassification)
+{
+    EXPECT_TRUE(gate_is_state_holding(gate_kind::c_element));
+    EXPECT_TRUE(gate_is_state_holding(gate_kind::majority));
+    EXPECT_FALSE(gate_is_state_holding(gate_kind::nor_gate));
+    EXPECT_FALSE(gate_is_state_holding(gate_kind::buf));
+}
+
+TEST(Gates, NameRoundTrip)
+{
+    for (const gate_kind k :
+         {gate_kind::buf, gate_kind::inv, gate_kind::and_gate, gate_kind::or_gate,
+          gate_kind::nand_gate, gate_kind::nor_gate, gate_kind::xor_gate,
+          gate_kind::xnor_gate, gate_kind::c_element, gate_kind::majority})
+        EXPECT_EQ(parse_gate_kind(gate_kind_name(k)), k);
+    EXPECT_EQ(parse_gate_kind("celement"), gate_kind::c_element);
+    EXPECT_EQ(parse_gate_kind("not"), gate_kind::inv);
+    EXPECT_THROW((void)parse_gate_kind("flipflop"), error);
+}
+
+} // namespace
+} // namespace tsg

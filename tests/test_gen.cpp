@@ -1,0 +1,135 @@
+// Tests for the workload generators: random live marked graphs (the
+// property-test substrate) and the stack-controller family calibrated to
+// the paper's Section VIII.B instance.
+#include <gtest/gtest.h>
+
+#include "core/cycle_time.h"
+#include "gen/random_sg.h"
+#include "gen/stack.h"
+#include "graph/scc.h"
+#include "graph/topo.h"
+#include "sg/properties.h"
+
+namespace tsg {
+namespace {
+
+class RandomSgSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSgSweep, InvariantsHold)
+{
+    random_sg_options opts;
+    opts.events = 24;
+    opts.extra_arcs = 30;
+    opts.seed = GetParam();
+    const signal_graph sg = random_marked_graph(opts);
+
+    // Exact size.
+    EXPECT_EQ(sg.event_count(), 24u);
+    EXPECT_EQ(sg.arc_count(), 54u);
+
+    // Everything is repetitive and strongly connected (finalize would have
+    // thrown otherwise, but check the SCC explicitly).
+    EXPECT_EQ(sg.repetitive_events().size(), sg.event_count());
+    EXPECT_TRUE(is_strongly_connected(sg.structure()));
+
+    // Liveness: token-free subgraph acyclic.
+    std::vector<bool> token_free(sg.arc_count(), false);
+    for (arc_id a = 0; a < sg.arc_count(); ++a) token_free[a] = !sg.arc(a).marked;
+    EXPECT_TRUE(topological_order_filtered(sg.structure(), token_free).has_value());
+
+    // Analysis runs and gives a positive finite cycle time.
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_GE(r.cycle_time, rational(0));
+}
+
+TEST_P(RandomSgSweep, BorderLimitBoundsBorderSet)
+{
+    random_sg_options opts;
+    opts.events = 40;
+    opts.extra_arcs = 50;
+    opts.seed = GetParam() * 13 + 1;
+    opts.border_limit = 5;
+    const signal_graph sg = random_marked_graph(opts);
+    // Backward arcs may only land on the first 5 positions of the order,
+    // plus the wrap-around target: border <= 6.
+    EXPECT_LE(sg.border_events().size(), 6u);
+}
+
+TEST_P(RandomSgSweep, DeterministicForSeed)
+{
+    random_sg_options opts;
+    opts.events = 12;
+    opts.extra_arcs = 8;
+    opts.seed = GetParam();
+    const signal_graph a = random_marked_graph(opts);
+    const signal_graph b = random_marked_graph(opts);
+    ASSERT_EQ(a.arc_count(), b.arc_count());
+    for (arc_id i = 0; i < a.arc_count(); ++i) {
+        EXPECT_EQ(a.arc(i).from, b.arc(i).from);
+        EXPECT_EQ(a.arc(i).to, b.arc(i).to);
+        EXPECT_EQ(a.arc(i).delay, b.arc(i).delay);
+        EXPECT_EQ(a.arc(i).marked, b.arc(i).marked);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSgSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(RandomSg, RejectsTinyGraphs)
+{
+    random_sg_options opts;
+    opts.events = 1;
+    EXPECT_THROW((void)random_marked_graph(opts), error);
+}
+
+TEST(Stack, PaperInstanceHas66EventsAnd112Arcs)
+{
+    // The Section VIII.B data point: the stack Signal Graph the paper
+    // analyzes has 66 events and 112 arcs.
+    const signal_graph sg = paper_stack_sg();
+    EXPECT_EQ(sg.event_count(), 66u);
+    EXPECT_EQ(sg.arc_count(), 112u);
+}
+
+TEST(Stack, PaperInstanceAnalyzes)
+{
+    const signal_graph sg = paper_stack_sg();
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_GT(r.cycle_time, rational(0));
+    EXPECT_GE(r.border_count, 8u); // one token per cell boundary + interface
+    EXPECT_FALSE(r.critical_cycle_events.empty());
+}
+
+TEST(Stack, ScalesWithCellCount)
+{
+    for (const std::uint32_t cells : {2u, 4u, 16u, 32u}) {
+        stack_options opts;
+        opts.cells = cells;
+        const signal_graph sg = stack_controller_sg(opts);
+        EXPECT_EQ(sg.event_count(), 8u * cells + 2u);
+        EXPECT_EQ(sg.arc_count(), 13u * cells + 8u);
+        EXPECT_GT(analyze_cycle_time(sg).cycle_time, rational(0));
+    }
+}
+
+TEST(Stack, DelayKnobsShiftTheCycleTime)
+{
+    stack_options slow;
+    slow.cells = 4;
+    slow.forward_delay = 10;
+    stack_options fast;
+    fast.cells = 4;
+    const rational lambda_slow = analyze_cycle_time(stack_controller_sg(slow)).cycle_time;
+    const rational lambda_fast = analyze_cycle_time(stack_controller_sg(fast)).cycle_time;
+    EXPECT_GT(lambda_slow, lambda_fast);
+}
+
+TEST(Stack, RejectsDegenerateCellCount)
+{
+    stack_options opts;
+    opts.cells = 1;
+    EXPECT_THROW((void)stack_controller_sg(opts), error);
+}
+
+} // namespace
+} // namespace tsg

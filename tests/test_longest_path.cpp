@@ -1,0 +1,147 @@
+// Unit tests for DAG longest paths (the timing-simulation engine) and
+// Bellman-Ford positive-cycle detection (the Lawler oracle).
+#include <gtest/gtest.h>
+
+#include "graph/longest_path.h"
+
+namespace tsg {
+namespace {
+
+TEST(DagLongestPaths, DiamondTakesTheLongerBranch)
+{
+    digraph g(4);
+    const arc_id a01 = g.add_arc(0, 1);
+    const arc_id a02 = g.add_arc(0, 2);
+    const arc_id a13 = g.add_arc(1, 3);
+    const arc_id a23 = g.add_arc(2, 3);
+    (void)a01;
+    (void)a13;
+    const std::vector<rational> w{rational(1), rational(5), rational(1), rational(1)};
+    const longest_path_result r = dag_longest_paths(g, w, {0});
+    EXPECT_EQ(r.distance[3], rational(6));
+    EXPECT_EQ(r.pred[3], a23);
+    EXPECT_EQ(r.pred[2], a02);
+    EXPECT_TRUE(r.reached[3]);
+}
+
+TEST(DagLongestPaths, UnreachedNodesFlagged)
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    const longest_path_result r =
+        dag_longest_paths(g, {rational(2)}, {0});
+    EXPECT_TRUE(r.reached[1]);
+    EXPECT_FALSE(r.reached[2]);
+}
+
+TEST(DagLongestPaths, MultiSource)
+{
+    digraph g(3);
+    g.add_arc(0, 2);
+    g.add_arc(1, 2);
+    const longest_path_result r =
+        dag_longest_paths(g, {rational(1), rational(7)}, {0, 1});
+    EXPECT_EQ(r.distance[2], rational(7));
+}
+
+TEST(DagLongestPaths, CycleThrows)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    EXPECT_THROW((void)dag_longest_paths(g, {rational(1), rational(1)}, {0}), error);
+}
+
+TEST(DagLongestPaths, ArcFilterMakesCyclicGraphUsable)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    std::vector<bool> kept{true, false};
+    const longest_path_result r =
+        dag_longest_paths(g, {rational(3), rational(1)}, {0}, &kept);
+    EXPECT_EQ(r.distance[1], rational(3));
+}
+
+TEST(DagLongestPaths, RationalWeights)
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    const longest_path_result r =
+        dag_longest_paths(g, {rational(1, 3), rational(1, 6)}, {0});
+    EXPECT_EQ(r.distance[2], rational(1, 2));
+}
+
+TEST(PositiveCycle, DetectsAndReturnsWitness)
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.add_arc(2, 0);
+    const std::vector<rational> w{rational(1), rational(-2), rational(2)}; // sum +1
+    const positive_cycle_result r = find_positive_cycle(g, w);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.cycle.size(), 3u);
+    EXPECT_GT(path_weight(r.cycle, w), rational(0));
+}
+
+TEST(PositiveCycle, RejectsNonPositive)
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.add_arc(2, 0);
+    // Sum exactly 0: not strictly positive.
+    EXPECT_FALSE(find_positive_cycle(g, {rational(1), rational(-2), rational(1)}).found);
+    // Negative.
+    EXPECT_FALSE(find_positive_cycle(g, {rational(-1), rational(-1), rational(-1)}).found);
+}
+
+TEST(PositiveCycle, FindsPositiveAmongMany)
+{
+    // Two cycles: one negative, one positive.
+    digraph g(4);
+    g.add_arc(0, 1);
+    g.add_arc(1, 0);
+    g.add_arc(2, 3);
+    g.add_arc(3, 2);
+    const std::vector<rational> w{rational(-1), rational(-1), rational(2), rational(-1)};
+    const positive_cycle_result r = find_positive_cycle(g, w);
+    ASSERT_TRUE(r.found);
+    EXPECT_GT(path_weight(r.cycle, w), rational(0));
+    // The witness must be the {2,3} cycle.
+    for (const arc_id a : r.cycle) EXPECT_GE(g.from(a), 2u);
+}
+
+TEST(PositiveCycle, WitnessIsAContiguousCycle)
+{
+    digraph g(5);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.add_arc(2, 3);
+    g.add_arc(3, 1); // cycle 1-2-3
+    g.add_arc(3, 4);
+    const std::vector<rational> w{rational(0), rational(1), rational(1), rational(1),
+                                  rational(0)};
+    const positive_cycle_result r = find_positive_cycle(g, w);
+    ASSERT_TRUE(r.found);
+    for (std::size_t i = 0; i < r.cycle.size(); ++i)
+        EXPECT_EQ(g.to(r.cycle[i]), g.from(r.cycle[(i + 1) % r.cycle.size()]));
+}
+
+TEST(PositiveCycle, EmptyGraph)
+{
+    EXPECT_FALSE(find_positive_cycle(digraph{}, {}).found);
+}
+
+TEST(PathWeight, Sums)
+{
+    digraph g(3);
+    const arc_id a = g.add_arc(0, 1);
+    const arc_id b = g.add_arc(1, 2);
+    EXPECT_EQ(path_weight({a, b}, {rational(1, 2), rational(1, 3)}), rational(5, 6));
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,190 @@
+// Golden tests for the Section VIII.D Muller ring: the complete table of
+// occurrence times and average distances, the border set, and the 20/3
+// cycle time; plus generator invariants across sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/extraction.h"
+#include "core/cycle_time.h"
+#include "gen/muller.h"
+#include "ratio/exhaustive.h"
+
+namespace tsg {
+namespace {
+
+std::vector<std::string> sorted_names(const signal_graph& sg,
+                                      const std::vector<event_id>& events)
+{
+    std::vector<std::string> out;
+    for (const event_id e : events) out.push_back(sg.event(e).name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(MullerRing, FiveStageStructure)
+{
+    const signal_graph sg = muller_ring_sg();
+    // 10 signals (a..e, ia..ie) with 2 events each; C-element events have
+    // two in-arcs, inverter events one: 5*2*2 + 5*2*1 = 30 arcs.
+    EXPECT_EQ(sg.event_count(), 20u);
+    EXPECT_EQ(sg.arc_count(), 30u);
+    EXPECT_TRUE(sg.initial_events().empty()); // fully cyclic, no environment
+}
+
+TEST(MullerRing, PaperBorderSet)
+{
+    // Section VIII.D: "The Signal Graph contains four border events:
+    // a+, b+, c+ and e-."
+    const signal_graph sg = muller_ring_sg();
+    EXPECT_EQ(sorted_names(sg, sg.border_events()),
+              (std::vector<std::string>{"a+", "b+", "c+", "e-"}));
+}
+
+TEST(MullerRing, CycleTimeIsTwentyThirds)
+{
+    const cycle_time_result r = analyze_cycle_time(muller_ring_sg());
+    EXPECT_EQ(r.cycle_time, rational(20, 3));
+    EXPECT_EQ(r.border_count, 4u);
+}
+
+TEST(MullerRing, SectionVIIIDTable)
+{
+    // t_{a+0}(a+i), i = 1..10:  6 13 20 26 33 40 46 53 60 66
+    // per-period deltas:        6  7  7  6  7  7  6  7  7  6
+    // running averages:         6  6.5 6.67 6.5 6.6 6.67 6.57 6.63 6.67 6.6
+    const signal_graph sg = muller_ring_sg();
+    const distance_series s = initiated_distance_series(sg, sg.event_by_name("a+"), 10);
+
+    const std::int64_t expected_t[10] = {6, 13, 20, 26, 33, 40, 46, 53, 60, 66};
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(s.t[i].has_value()) << "i=" << i + 1;
+        EXPECT_EQ(*s.t[i], rational(expected_t[i])) << "i=" << i + 1;
+        EXPECT_EQ(*s.delta[i], rational(expected_t[i], i + 1)) << "i=" << i + 1;
+    }
+    // Spot-check the paper's rounded averages.
+    EXPECT_EQ(*s.delta[1], rational(13, 2));  // 6.5
+    EXPECT_EQ(*s.delta[2], rational(20, 3));  // 6.67
+    EXPECT_EQ(*s.delta[8], rational(20, 3));  // 6.67 again at i = 9
+}
+
+TEST(MullerRing, MaxDeltaWithinFourPeriodsIsLambda)
+{
+    // The paper: lambda = max delta_{a+0}(a+i) over 0 < i <= 4 = 20/3.
+    const signal_graph sg = muller_ring_sg();
+    const distance_series s = initiated_distance_series(sg, sg.event_by_name("a+"), 4);
+    rational best(0);
+    for (const auto& d : s.delta)
+        if (d && *d > best) best = *d;
+    EXPECT_EQ(best, rational(20, 3));
+}
+
+TEST(MullerRing, CriticalCycleCoversThreePeriods)
+{
+    // 20/3 means the critical cycle has occurrence period 3 ("the critical
+    // cycle covers more than one period of the unfolding").
+    const cycle_time_result r = analyze_cycle_time(muller_ring_sg());
+    EXPECT_EQ(r.critical_occurrence_period, 3u);
+}
+
+TEST(MullerRing, SymmetryAcrossBorderEvents)
+{
+    // The circuit is symmetric: all four border runs yield the same delta
+    // multiset maxima (the paper notes the four simulations coincide).
+    const cycle_time_result r = analyze_cycle_time(muller_ring_sg());
+    for (const border_run& run : r.runs) {
+        ASSERT_TRUE(run.best_delta.has_value());
+        EXPECT_EQ(*run.best_delta, rational(20, 3))
+            << "origin " << run.origin;
+        EXPECT_TRUE(run.critical);
+    }
+}
+
+TEST(MullerRing, MatchesExhaustiveEnumeration)
+{
+    EXPECT_EQ(cycle_time_exhaustive(muller_ring_sg()), rational(20, 3));
+}
+
+TEST(MullerRing, GeneratorAgreesWithExtraction)
+{
+    // The linear-time direct construction must produce a graph equivalent
+    // to full circuit extraction: same cycle time, same border set, same
+    // event/arc counts.
+    for (const std::uint32_t n : {3u, 5u, 7u}) {
+        muller_ring_options opts;
+        opts.stages = n;
+        const signal_graph direct = muller_ring_sg(opts);
+        const parsed_circuit circuit = muller_ring_circuit(opts);
+        const extraction_result extracted = extract_signal_graph(circuit.nl, circuit.initial);
+
+        EXPECT_EQ(direct.event_count(), extracted.graph.event_count()) << n;
+        EXPECT_EQ(direct.arc_count(), extracted.graph.arc_count()) << n;
+        EXPECT_EQ(sorted_names(direct, direct.border_events()),
+                  sorted_names(extracted.graph, extracted.graph.border_events()))
+            << n;
+        EXPECT_EQ(analyze_cycle_time(direct).cycle_time,
+                  analyze_cycle_time(extracted.graph).cycle_time)
+            << n;
+    }
+}
+
+class MullerSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MullerSizes, KnownCycleTimeFormula)
+{
+    // One token, unit delays: the critical cycle follows the token around
+    // the ring, covering several unfolding periods.  Rather than fix a
+    // closed form per n, validate against exhaustive enumeration.
+    muller_ring_options opts;
+    opts.stages = GetParam();
+    const signal_graph sg = muller_ring_sg(opts);
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_EQ(r.cycle_time, cycle_time_exhaustive(sg)) << GetParam();
+}
+
+TEST_P(MullerSizes, StructureScalesLinearly)
+{
+    muller_ring_options opts;
+    opts.stages = GetParam();
+    const signal_graph sg = muller_ring_sg(opts);
+    EXPECT_EQ(sg.event_count(), 4u * GetParam());
+    EXPECT_EQ(sg.arc_count(), 6u * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MullerSizes, ::testing::Values(3, 4, 5, 6, 8, 10, 12));
+
+TEST(MullerRing, TwoTokensDoubleThroughput)
+{
+    // Two well-separated tokens in a 10-stage ring run concurrently; the
+    // cycle time is strictly smaller than with a single token.
+    muller_ring_options one;
+    one.stages = 10;
+    muller_ring_options two;
+    two.stages = 10;
+    two.high_stages = {4, 9};
+    const rational lambda_one = analyze_cycle_time(muller_ring_sg(one)).cycle_time;
+    const rational lambda_two = analyze_cycle_time(muller_ring_sg(two)).cycle_time;
+    EXPECT_LT(lambda_two, lambda_one);
+}
+
+TEST(MullerRing, BadOptionsRejected)
+{
+    muller_ring_options opts;
+    opts.stages = 2;
+    EXPECT_THROW((void)muller_ring_circuit(opts), error);
+    opts.stages = 5;
+    opts.high_stages = {7};
+    EXPECT_THROW((void)muller_ring_circuit(opts), error);
+    opts.high_stages = {0, 1, 2, 3, 4};
+    EXPECT_THROW((void)muller_ring_circuit(opts), error);
+}
+
+TEST(MullerRing, StageNames)
+{
+    EXPECT_EQ(muller_stage_name(0, 5), "a");
+    EXPECT_EQ(muller_stage_name(4, 5), "e");
+    EXPECT_EQ(muller_stage_name(3, 30), "s3");
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,131 @@
+// Unit tests for the netlist model, excitation calculus, and the circuit
+// text format.
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_io.h"
+#include "gen/oscillator.h"
+
+namespace tsg {
+namespace {
+
+TEST(Netlist, SignalsAndGates)
+{
+    netlist nl;
+    const signal_id e = nl.add_signal("e");
+    nl.add_gate(gate_kind::inv, "x", {{"e", 1}});
+    EXPECT_EQ(nl.signal_count(), 2u);
+    EXPECT_EQ(nl.gate_count(), 1u);
+    EXPECT_EQ(nl.primary_inputs(), std::vector<signal_id>{e});
+    EXPECT_EQ(nl.driver(e), nullptr);
+    ASSERT_NE(nl.driver(nl.signal_by_name("x")), nullptr);
+    EXPECT_EQ(nl.driver(nl.signal_by_name("x"))->kind, gate_kind::inv);
+}
+
+TEST(Netlist, DuplicateNamesAndDriversRejected)
+{
+    netlist nl;
+    nl.add_signal("a");
+    EXPECT_THROW(nl.add_signal("a"), error);
+    nl.add_gate(gate_kind::inv, "x", {{"a", 0}});
+    EXPECT_THROW(nl.add_gate(gate_kind::buf, "x", {{"a", 0}}), error);
+}
+
+TEST(Netlist, StimulusValidation)
+{
+    netlist nl;
+    nl.add_signal("e");
+    nl.add_gate(gate_kind::inv, "x", {{"e", 0}});
+    nl.add_stimulus("e");
+    EXPECT_THROW(nl.add_stimulus("e"), error); // duplicate
+    EXPECT_NO_THROW(nl.validate());
+
+    netlist bad;
+    bad.add_signal("e");
+    bad.add_gate(gate_kind::inv, "x", {{"e", 0}});
+    bad.add_stimulus("x"); // not an input
+    EXPECT_THROW(bad.validate(), error);
+}
+
+TEST(Netlist, FanoutIndex)
+{
+    const parsed_circuit osc = c_oscillator_circuit();
+    const signal_id e = osc.nl.signal_by_name("e");
+    // e feeds gates a and f.
+    EXPECT_EQ(osc.nl.fanout(e).size(), 2u);
+}
+
+TEST(Netlist, ExcitationCalculus)
+{
+    const parsed_circuit osc = c_oscillator_circuit();
+    // In the initial state nothing is excited (e is still high).
+    for (signal_id s = 0; s < osc.nl.signal_count(); ++s)
+        EXPECT_FALSE(gate_excited(osc.nl, osc.initial, s)) << osc.nl.signal_name(s);
+
+    // After e falls, a (NOR sees 0,0) and f (BUF sees 0) are excited.
+    circuit_state after = osc.initial;
+    after.toggle(osc.nl.signal_by_name("e"));
+    EXPECT_TRUE(gate_excited(osc.nl, after, osc.nl.signal_by_name("a")));
+    EXPECT_TRUE(gate_excited(osc.nl, after, osc.nl.signal_by_name("f")));
+    EXPECT_FALSE(gate_excited(osc.nl, after, osc.nl.signal_by_name("b")));
+    EXPECT_FALSE(gate_excited(osc.nl, after, osc.nl.signal_by_name("c")));
+}
+
+TEST(NetlistIo, ParseOscillator)
+{
+    const parsed_circuit c = parse_circuit(R"(
+        circuit osc {
+          input e = 1;
+          gate a = nor(e delay 2, c delay 2) = 0;
+          gate b = nor(f delay 1, c delay 1) = 0;
+          gate c = c(a delay 3, b delay 2) = 0;
+          gate f = buf(e delay 3) = 1;
+          stimulus e;
+        }
+    )");
+    EXPECT_EQ(c.name, "osc");
+    EXPECT_EQ(c.nl.signal_count(), 5u);
+    EXPECT_EQ(c.nl.gate_count(), 4u);
+    EXPECT_TRUE(c.initial.value(c.nl.signal_by_name("e")));
+    EXPECT_TRUE(c.initial.value(c.nl.signal_by_name("f")));
+    EXPECT_FALSE(c.initial.value(c.nl.signal_by_name("a")));
+    EXPECT_EQ(c.nl.stimuli().size(), 1u);
+    ASSERT_NE(c.nl.driver(c.nl.signal_by_name("a")), nullptr);
+    EXPECT_EQ(c.nl.driver(c.nl.signal_by_name("a"))->inputs[0].rise_delay, rational(2));
+}
+
+TEST(NetlistIo, RoundTrip)
+{
+    const parsed_circuit original = c_oscillator_circuit();
+    const std::string text = write_circuit(original);
+    const parsed_circuit reparsed = parse_circuit(text);
+    EXPECT_EQ(reparsed.nl.signal_count(), original.nl.signal_count());
+    EXPECT_EQ(reparsed.nl.gate_count(), original.nl.gate_count());
+    EXPECT_EQ(reparsed.initial.values(), original.initial.values());
+    EXPECT_EQ(write_circuit(reparsed), text);
+}
+
+TEST(NetlistIo, MalformedInputs)
+{
+    EXPECT_THROW((void)parse_circuit(""), error);
+    EXPECT_THROW((void)parse_circuit("circuit c {"), error);
+    EXPECT_THROW((void)parse_circuit("circuit c { gate x = frobnicate(a); }"), error);
+    EXPECT_THROW((void)parse_circuit("circuit c { input e = 2; }"), error);
+    EXPECT_THROW((void)parse_circuit("circuit c { input e; } trailing"), error);
+}
+
+TEST(NetlistIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW((void)load_circuit("/nonexistent/file.circuit"), error);
+}
+
+TEST(Netlist, FaninBoundsEnforced)
+{
+    netlist nl;
+    std::vector<std::pair<std::string, rational>> pins;
+    for (std::size_t i = 0; i <= max_gate_fanin; ++i)
+        pins.emplace_back("i" + std::to_string(i), rational(0));
+    EXPECT_THROW(nl.add_gate(gate_kind::and_gate, "big", pins), error);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,125 @@
+// Tests for the greedy speedup advisor.
+#include <gtest/gtest.h>
+
+#include "core/cycle_time.h"
+#include "core/optimize.h"
+#include "core/slack.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+
+namespace tsg {
+namespace {
+
+TEST(Optimize, ReachesAchievableTarget)
+{
+    speedup_options opts;
+    opts.target = 8;
+    opts.min_arc_delay = 1;
+    const speedup_plan plan = plan_speedup(c_oscillator_sg(), opts);
+    EXPECT_EQ(plan.initial_cycle_time, rational(10));
+    EXPECT_TRUE(plan.target_reached);
+    EXPECT_LE(plan.final_cycle_time, rational(8));
+    EXPECT_FALSE(plan.steps.empty());
+}
+
+TEST(Optimize, OnlyCriticalArcsAreTouched)
+{
+    speedup_options opts;
+    opts.target = 9;
+    opts.min_arc_delay = 1;
+    const signal_graph sg = c_oscillator_sg();
+    const slack_result slack = analyze_slack(sg);
+    const speedup_plan plan = plan_speedup(sg, opts);
+    ASSERT_FALSE(plan.steps.empty());
+    // The first accelerated arc must lie on the initial critical subgraph.
+    EXPECT_TRUE(slack.arc_critical[plan.steps.front().arc]);
+}
+
+TEST(Optimize, StepsAreMonotoneAndConsistent)
+{
+    speedup_options opts;
+    opts.target = 6;
+    opts.min_arc_delay = 1;
+    const speedup_plan plan = plan_speedup(c_oscillator_sg(), opts);
+    rational previous = plan.initial_cycle_time;
+    for (const speedup_step& step : plan.steps) {
+        EXPECT_LT(step.new_delay, step.old_delay);
+        EXPECT_GE(step.new_delay, rational(1));
+        EXPECT_LE(step.lambda_after, previous);
+        previous = step.lambda_after;
+    }
+    EXPECT_EQ(plan.final_cycle_time, previous);
+}
+
+TEST(Optimize, UnreachableTargetReportsHonestly)
+{
+    // With every delay floored at 1, the best achievable oscillator cycle
+    // time is bounded below by the all-ones C1 cycle (4 arcs -> 4).
+    speedup_options opts;
+    opts.target = rational(1, 2);
+    opts.min_arc_delay = 1;
+    const speedup_plan plan = plan_speedup(c_oscillator_sg(), opts);
+    EXPECT_FALSE(plan.target_reached);
+    EXPECT_GE(plan.final_cycle_time, rational(4));
+    // The result is still a valid graph with a consistent analysis.
+    EXPECT_EQ(analyze_cycle_time(plan.optimized).cycle_time, plan.final_cycle_time);
+}
+
+TEST(Optimize, AlreadyFastEnoughIsANoop)
+{
+    speedup_options opts;
+    opts.target = 10;
+    const speedup_plan plan = plan_speedup(c_oscillator_sg(), opts);
+    EXPECT_TRUE(plan.target_reached);
+    EXPECT_TRUE(plan.steps.empty());
+    EXPECT_EQ(plan.final_cycle_time, rational(10));
+}
+
+TEST(Optimize, MullerRingSpeedup)
+{
+    speedup_options opts;
+    opts.target = rational(5);
+    opts.min_arc_delay = rational(1, 2);
+    const speedup_plan plan = plan_speedup(muller_ring_sg(), opts);
+    EXPECT_TRUE(plan.target_reached);
+    EXPECT_LE(plan.final_cycle_time, rational(5));
+    EXPECT_EQ(analyze_cycle_time(plan.optimized).cycle_time, plan.final_cycle_time);
+}
+
+TEST(Optimize, RandomGraphsConvergeOrSaturate)
+{
+    for (const std::uint64_t seed : {41u, 42u, 43u}) {
+        random_sg_options gopts;
+        gopts.events = 12;
+        gopts.extra_arcs = 10;
+        gopts.seed = seed;
+        gopts.max_delay = 9;
+        const signal_graph sg = random_marked_graph(gopts);
+        const rational initial = analyze_cycle_time(sg).cycle_time;
+
+        speedup_options opts;
+        opts.target = initial * rational(1, 2);
+        opts.min_arc_delay = 0;
+        const speedup_plan plan = plan_speedup(sg, opts);
+        // Floor 0 makes any positive target reachable eventually (all
+        // critical delays can go to zero), within the step budget.
+        if (plan.target_reached) {
+            EXPECT_LE(plan.final_cycle_time, opts.target);
+        } else {
+            EXPECT_EQ(plan.steps.size(), opts.max_steps);
+        }
+        EXPECT_LE(plan.final_cycle_time, initial);
+    }
+}
+
+TEST(Optimize, RejectsBadOptions)
+{
+    speedup_options opts;
+    opts.target = 5;
+    opts.min_arc_delay = rational(-1);
+    EXPECT_THROW((void)plan_speedup(c_oscillator_sg(), opts), error);
+}
+
+} // namespace
+} // namespace tsg

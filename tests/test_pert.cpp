@@ -1,0 +1,71 @@
+// Unit tests for PERT analysis of acyclic Timed Signal Graphs.
+#include <gtest/gtest.h>
+
+#include "core/pert.h"
+#include "gen/oscillator.h"
+#include "sg/builder.h"
+
+namespace tsg {
+namespace {
+
+TEST(Pert, DiamondCriticalPath)
+{
+    //      s -1-> a -5-> t
+    //      s -2-> b -1-> t     critical: s a t, makespan 6
+    sg_builder builder;
+    builder.arc("s", "a", 1).arc("a", "t", 5);
+    builder.arc("s", "b", 2).arc("b", "t", 1);
+    const signal_graph sg = builder.build();
+    const pert_result r = analyze_pert(sg);
+    EXPECT_EQ(r.makespan, rational(6));
+    ASSERT_EQ(r.critical_path.size(), 3u);
+    EXPECT_EQ(sg.event(r.critical_path[0]).name, "s");
+    EXPECT_EQ(sg.event(r.critical_path[1]).name, "a");
+    EXPECT_EQ(sg.event(r.critical_path[2]).name, "t");
+    EXPECT_EQ(r.critical_arcs.size(), 2u);
+}
+
+TEST(Pert, EventTimes)
+{
+    sg_builder builder;
+    builder.arc("s", "a", 1).arc("a", "t", 5);
+    builder.arc("s", "b", 2).arc("b", "t", 1);
+    const signal_graph sg = builder.build();
+    const pert_result r = analyze_pert(sg);
+    EXPECT_EQ(r.time[sg.event_by_name("s")], rational(0));
+    EXPECT_EQ(r.time[sg.event_by_name("a")], rational(1));
+    EXPECT_EQ(r.time[sg.event_by_name("b")], rational(2));
+    EXPECT_EQ(r.time[sg.event_by_name("t")], rational(6));
+}
+
+TEST(Pert, MultipleSources)
+{
+    sg_builder builder;
+    builder.arc("s1", "t", 3).arc("s2", "t", 7);
+    const pert_result r = analyze_pert(builder.build());
+    EXPECT_EQ(r.makespan, rational(7));
+}
+
+TEST(Pert, CyclicGraphRejected)
+{
+    EXPECT_THROW((void)analyze_pert(c_oscillator_sg()), error);
+}
+
+TEST(Pert, RationalDelays)
+{
+    sg_builder builder;
+    builder.arc("s", "m", rational(1, 3)).arc("m", "t", rational(1, 6));
+    EXPECT_EQ(analyze_pert(builder.build()).makespan, rational(1, 2));
+}
+
+TEST(Pert, SingleChain)
+{
+    sg_builder builder;
+    builder.arc("a", "b", 2).arc("b", "c", 2).arc("c", "d", 2);
+    const pert_result r = analyze_pert(builder.build());
+    EXPECT_EQ(r.makespan, rational(6));
+    EXPECT_EQ(r.critical_path.size(), 4u);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,105 @@
+// Unit tests for semantic Signal Graph properties: exact safety
+// (Commoner's criterion), token distances, switch-over correctness and
+// auto-concurrency freedom (Section VIII.A conditions).
+#include <gtest/gtest.h>
+
+#include "gen/oscillator.h"
+#include "sg/builder.h"
+#include "sg/properties.h"
+
+namespace tsg {
+namespace {
+
+TEST(Safety, OscillatorIsSafe)
+{
+    EXPECT_TRUE(is_safe(c_oscillator_sg()));
+}
+
+TEST(Safety, TwoTokenRingOfTwoIsUnsafe)
+{
+    // a -> b and b -> a both marked: the cycle carries 2 tokens and each
+    // arc lies only on that cycle — unsafe by Commoner's criterion.
+    sg_builder b;
+    b.marked_arc("a", "b", 1).marked_arc("b", "a", 1);
+    EXPECT_FALSE(is_safe(b.build()));
+}
+
+TEST(Safety, LongerRingWithOneTokenIsSafe)
+{
+    sg_builder b;
+    b.marked_arc("a", "b", 1).arc("b", "c", 1).arc("c", "a", 1);
+    EXPECT_TRUE(is_safe(b.build()));
+}
+
+TEST(TokenDistance, MeasuresMarkedArcsOnPath)
+{
+    const signal_graph sg = c_oscillator_sg();
+    // a+ to c+ goes through unmarked arcs only.
+    EXPECT_EQ(min_token_distance(sg, sg.event_by_name("a+"), sg.event_by_name("c+")), 0);
+    // c- back to a+ requires the marked arc.
+    EXPECT_EQ(min_token_distance(sg, sg.event_by_name("c-"), sg.event_by_name("a+")), 1);
+    // Around the full loop from a+ to itself: not 0 (liveness).
+    EXPECT_EQ(min_token_distance(sg, sg.event_by_name("a+"), sg.event_by_name("a+")), 0);
+}
+
+TEST(TokenDistance, NonRepetitiveEventsRejected)
+{
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_THROW(
+        (void)min_token_distance(sg, sg.event_by_name("e-"), sg.event_by_name("a+")), error);
+}
+
+TEST(SignalProperties, OscillatorIsWellBehaved)
+{
+    const signal_property_report r = check_signal_properties(c_oscillator_sg(), 3);
+    EXPECT_TRUE(r.switch_over_ok);
+    EXPECT_TRUE(r.auto_concurrency_free);
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(SignalProperties, DetectsAutoConcurrency)
+{
+    // Two concurrent rises of the same signal x driven by independent token
+    // loops (joined so the core is one SCC); explicit signal names map all
+    // four events to signal "x".
+    signal_graph sg;
+    sg.add_event("x.1+", "x", polarity::rise);
+    sg.add_event("x.1-", "x", polarity::fall);
+    sg.add_event("x.2+", "x", polarity::rise);
+    sg.add_event("x.2-", "x", polarity::fall);
+    sg.add_arc(sg.event_by_name("x.1+"), sg.event_by_name("x.1-"), 1, true);
+    sg.add_arc(sg.event_by_name("x.1-"), sg.event_by_name("x.1+"), 1, true);
+    sg.add_arc(sg.event_by_name("x.2+"), sg.event_by_name("x.2-"), 1, true);
+    sg.add_arc(sg.event_by_name("x.2-"), sg.event_by_name("x.2+"), 1, true);
+    sg.add_arc(sg.event_by_name("x.1+"), sg.event_by_name("x.2+"), 1, true);
+    sg.add_arc(sg.event_by_name("x.2+"), sg.event_by_name("x.1+"), 1, true);
+    sg.finalize();
+    const signal_property_report r = check_signal_properties(sg, 2);
+    EXPECT_FALSE(r.auto_concurrency_free);
+    EXPECT_FALSE(r.diagnostics.empty());
+}
+
+TEST(SignalProperties, DetectsSwitchOverViolation)
+{
+    // x+ followed by another x+ (no fall in between) on one token loop.
+    signal_graph sg;
+    sg.add_event("x.1+", "x", polarity::rise);
+    sg.add_event("x.2+", "x", polarity::rise);
+    sg.add_arc(sg.event_by_name("x.1+"), sg.event_by_name("x.2+"), 1, false);
+    sg.add_arc(sg.event_by_name("x.2+"), sg.event_by_name("x.1+"), 1, true);
+    sg.finalize();
+    const signal_property_report r = check_signal_properties(sg, 2);
+    EXPECT_FALSE(r.switch_over_ok);
+}
+
+TEST(SignalProperties, AbstractEventsAreIgnored)
+{
+    sg_builder b;
+    b.marked_arc("t1", "t2", 1).arc("t2", "t1", 1);
+    const signal_property_report r = check_signal_properties(b.build(), 2);
+    EXPECT_TRUE(r.switch_over_ok);
+    EXPECT_TRUE(r.auto_concurrency_free);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,182 @@
+// Tests for the baseline maximum-cycle-ratio solvers on known instances —
+// including the paper's Example 5/6 cycle enumeration of the oscillator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/oscillator.h"
+#include "gen/muller.h"
+#include "ratio/exhaustive.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "ratio/lawler.h"
+#include "sg/builder.h"
+
+namespace tsg {
+namespace {
+
+TEST(Exhaustive, Example5FourSimpleCycles)
+{
+    // C1 = {a+,c+,a-,c-}: 10; C2 = {a+,c+,b-,c-}: 8;
+    // C3 = {b+,c+,a-,c-}: 8;  C4 = {b+,c+,b-,c-}: 6.  All epsilon = 1.
+    const signal_graph sg = c_oscillator_sg();
+    const exhaustive_result r = max_cycle_ratio_exhaustive(make_ratio_problem(sg));
+    ASSERT_EQ(r.cycles.size(), 4u);
+
+    std::multiset<std::int64_t> lengths;
+    for (const cycle_listing& c : r.cycles) {
+        EXPECT_EQ(c.transit, 1);
+        EXPECT_TRUE(c.delay.is_integer());
+        lengths.insert(c.delay.num());
+    }
+    EXPECT_EQ(lengths, (std::multiset<std::int64_t>{6, 8, 8, 10}));
+}
+
+TEST(Exhaustive, Example6CycleTimeIsTen)
+{
+    // lambda = max{10, 8, 8, 6} = 10.
+    EXPECT_EQ(cycle_time_exhaustive(c_oscillator_sg()), rational(10));
+}
+
+TEST(Exhaustive, CriticalCycleIndices)
+{
+    const exhaustive_result r =
+        max_cycle_ratio_exhaustive(make_ratio_problem(c_oscillator_sg()));
+    ASSERT_EQ(r.critical.size(), 1u);
+    EXPECT_EQ(r.cycles[r.critical[0]].delay, rational(10));
+}
+
+TEST(Exhaustive, BudgetViolationThrows)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    EXPECT_THROW((void)max_cycle_ratio_exhaustive(p, 2), error);
+}
+
+TEST(RatioProblem, ExtractsRepetitiveCore)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    EXPECT_EQ(p.graph.node_count(), 6u);
+    EXPECT_EQ(p.graph.arc_count(), 8u);
+    std::int64_t tokens = 0;
+    for (const std::int64_t t : p.transit) tokens += t;
+    EXPECT_EQ(tokens, 2);
+}
+
+TEST(RatioProblem, CycleRatioChecksTokens)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    EXPECT_THROW((void)cycle_ratio(p, {}), error);
+    // A token-free arc alone is not a valid cycle argument.
+    for (arc_id a = 0; a < p.graph.arc_count(); ++a)
+        if (p.transit[a] == 0) {
+            EXPECT_THROW((void)cycle_ratio(p, {a}), error);
+            break;
+        }
+}
+
+TEST(Karp, OscillatorAndRing)
+{
+    EXPECT_EQ(cycle_time_karp(c_oscillator_sg()), rational(10));
+    EXPECT_EQ(cycle_time_karp(muller_ring_sg()), rational(20, 3));
+}
+
+TEST(Karp, MaxMeanCycleKnownGraph)
+{
+    // Two loops: self-loop weight 3 and 2-cycle with mean (1+4)/2 = 5/2.
+    digraph g(3);
+    std::vector<rational> w;
+    g.add_arc(0, 0);
+    w.emplace_back(3);
+    g.add_arc(1, 2);
+    w.emplace_back(1);
+    g.add_arc(2, 1);
+    w.emplace_back(4);
+    g.add_arc(0, 1);
+    w.emplace_back(100); // not on any cycle
+    EXPECT_EQ(max_mean_cycle_karp(g, w), rational(3));
+}
+
+TEST(Karp, RejectsAcyclic)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    EXPECT_THROW((void)max_mean_cycle_karp(g, {rational(1)}), error);
+}
+
+TEST(Karp, RejectsMultiTokenTransit)
+{
+    ratio_problem p;
+    p.graph.add_nodes(2);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(1, 0);
+    p.delay = {rational(1), rational(1)};
+    p.transit = {2, 0};
+    EXPECT_THROW((void)max_cycle_ratio_karp(p), error);
+}
+
+TEST(Lawler, OscillatorAndRing)
+{
+    EXPECT_EQ(cycle_time_lawler(c_oscillator_sg()), rational(10));
+    EXPECT_EQ(cycle_time_lawler(muller_ring_sg()), rational(20, 3));
+}
+
+TEST(Lawler, WitnessCycleAttainsTheRatio)
+{
+    const ratio_problem p = make_ratio_problem(muller_ring_sg());
+    const ratio_result r = max_cycle_ratio_lawler(p);
+    EXPECT_EQ(r.ratio, rational(20, 3));
+    EXPECT_EQ(cycle_ratio(p, r.cycle), r.ratio);
+}
+
+TEST(Lawler, BisectionBracketsTheAnswer)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    EXPECT_NEAR(max_cycle_ratio_lawler_bisection(p, 1e-6), 10.0, 1e-5);
+    EXPECT_THROW((void)max_cycle_ratio_lawler_bisection(p, 0.0), error);
+}
+
+TEST(Howard, OscillatorAndRing)
+{
+    EXPECT_EQ(cycle_time_howard(c_oscillator_sg()), rational(10));
+    EXPECT_EQ(cycle_time_howard(muller_ring_sg()), rational(20, 3));
+}
+
+TEST(Howard, WitnessCycleAttainsTheRatio)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    const ratio_result r = max_cycle_ratio_howard(p);
+    EXPECT_EQ(r.ratio, rational(10));
+    EXPECT_EQ(cycle_ratio(p, r.cycle), rational(10));
+}
+
+TEST(Howard, SingleNodeSelfLoop)
+{
+    ratio_problem p;
+    p.graph.add_nodes(1);
+    p.graph.add_arc(0, 0);
+    p.graph.add_arc(0, 0);
+    p.delay = {rational(5), rational(9)};
+    p.transit = {1, 1};
+    EXPECT_EQ(max_cycle_ratio_howard(p).ratio, rational(9));
+    EXPECT_EQ(max_cycle_ratio_lawler(p).ratio, rational(9));
+}
+
+TEST(Howard, MultiTokenCycleRatios)
+{
+    // Ratio problems from multi-token cycles: 2-cycle with 2 tokens, delay
+    // 10 -> ratio 5; self loop ratio 4.  Howard and Lawler handle transit
+    // times > 1 natively (Karp requires the 0/1 token-graph form).
+    ratio_problem p;
+    p.graph.add_nodes(2);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(1, 0);
+    p.graph.add_arc(1, 1);
+    p.delay = {rational(6), rational(4), rational(4)};
+    p.transit = {1, 1, 1};
+    EXPECT_EQ(max_cycle_ratio_howard(p).ratio, rational(5));
+    EXPECT_EQ(max_cycle_ratio_lawler(p).ratio, rational(5));
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,145 @@
+// Cross-validation property sweeps: on random live marked graphs, the
+// paper's timing-simulation algorithm and all baselines must agree exactly
+// (rational arithmetic).  This is the strongest correctness evidence in the
+// suite: four independent algorithms, one answer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cycle_time.h"
+#include "gen/random_sg.h"
+#include "ratio/exhaustive.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "ratio/lawler.h"
+
+namespace tsg {
+namespace {
+
+struct sweep_config {
+    std::uint64_t seed;
+    std::uint32_t events;
+    std::uint32_t extra_arcs;
+    std::uint32_t border_limit;
+};
+
+void PrintTo(const sweep_config& c, std::ostream* os)
+{
+    *os << "seed" << c.seed << "_n" << c.events << "_m" << c.events + c.extra_arcs
+        << "_bl" << c.border_limit;
+}
+
+class CrossValidation : public ::testing::TestWithParam<sweep_config> {};
+
+TEST_P(CrossValidation, AllFiveAlgorithmsAgree)
+{
+    const sweep_config& cfg = GetParam();
+    random_sg_options opts;
+    opts.events = cfg.events;
+    opts.extra_arcs = cfg.extra_arcs;
+    opts.seed = cfg.seed;
+    opts.border_limit = cfg.border_limit;
+    const signal_graph sg = random_marked_graph(opts);
+    const ratio_problem p = make_ratio_problem(sg);
+
+    const rational nk = analyze_cycle_time(sg).cycle_time;
+    const rational exhaustive = max_cycle_ratio_exhaustive(p, 5'000'000).ratio;
+    const rational karp = max_cycle_ratio_karp(p);
+    const rational lawler = max_cycle_ratio_lawler(p).ratio;
+    const rational howard = max_cycle_ratio_howard(p).ratio;
+
+    EXPECT_EQ(nk, exhaustive);
+    EXPECT_EQ(nk, karp);
+    EXPECT_EQ(nk, lawler);
+    EXPECT_EQ(nk, howard);
+}
+
+TEST_P(CrossValidation, CriticalCycleIsRealAndCritical)
+{
+    const sweep_config& cfg = GetParam();
+    random_sg_options opts;
+    opts.events = cfg.events;
+    opts.extra_arcs = cfg.extra_arcs;
+    opts.seed = cfg.seed ^ 0xabcdef;
+    opts.border_limit = cfg.border_limit;
+    const signal_graph sg = random_marked_graph(opts);
+
+    const cycle_time_result r = analyze_cycle_time(sg);
+    ASSERT_FALSE(r.critical_cycle_arcs.empty());
+
+    // The reported cycle is contiguous, simple, and attains lambda exactly.
+    rational delay(0);
+    std::int64_t tokens = 0;
+    std::set<event_id> seen;
+    for (std::size_t k = 0; k < r.critical_cycle_arcs.size(); ++k) {
+        const arc_info& arc = sg.arc(r.critical_cycle_arcs[k]);
+        EXPECT_TRUE(seen.insert(arc.from).second) << "cycle not simple";
+        EXPECT_EQ(arc.from, r.critical_cycle_events[k]);
+        EXPECT_EQ(arc.to,
+                  r.critical_cycle_events[(k + 1) % r.critical_cycle_events.size()]);
+        delay += arc.delay;
+        tokens += arc.marked ? 1 : 0;
+    }
+    EXPECT_EQ(delay / rational(tokens), r.cycle_time);
+}
+
+TEST_P(CrossValidation, BorderRunsNeverExceedLambda)
+{
+    // Proposition 4/8: no collected average occurrence distance can exceed
+    // the cycle time; runs that attain it are exactly the critical ones.
+    const sweep_config& cfg = GetParam();
+    random_sg_options opts;
+    opts.events = cfg.events;
+    opts.extra_arcs = cfg.extra_arcs;
+    opts.seed = cfg.seed + 77;
+    opts.border_limit = cfg.border_limit;
+    const signal_graph sg = random_marked_graph(opts);
+
+    const cycle_time_result r = analyze_cycle_time(sg);
+    bool some_critical = false;
+    for (const border_run& run : r.runs) {
+        for (const auto& d : run.deltas) {
+            if (d) { EXPECT_LE(*d, r.cycle_time); }
+        }
+        if (run.critical) {
+            some_critical = true;
+            EXPECT_EQ(*run.best_delta, r.cycle_time);
+        }
+    }
+    EXPECT_TRUE(some_critical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossValidation,
+    ::testing::Values(sweep_config{1, 6, 4, 0}, sweep_config{2, 8, 6, 0},
+                      sweep_config{3, 10, 8, 0}, sweep_config{4, 12, 10, 0},
+                      sweep_config{5, 14, 10, 3}, sweep_config{6, 16, 12, 2},
+                      sweep_config{7, 9, 9, 0}, sweep_config{8, 11, 7, 4},
+                      sweep_config{9, 13, 11, 0}, sweep_config{10, 15, 9, 5},
+                      sweep_config{11, 7, 12, 0}, sweep_config{12, 18, 8, 3}));
+
+// Larger graphs: skip the (exponential) exhaustive baseline, keep the three
+// polynomial ones plus the paper's algorithm.
+class CrossValidationLarge : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossValidationLarge, PolynomialAlgorithmsAgree)
+{
+    random_sg_options opts;
+    opts.events = 120;
+    opts.extra_arcs = 160;
+    opts.seed = GetParam();
+    opts.border_limit = 10;
+    const signal_graph sg = random_marked_graph(opts);
+    const ratio_problem p = make_ratio_problem(sg);
+
+    const rational nk = analyze_cycle_time(sg).cycle_time;
+    EXPECT_EQ(nk, max_cycle_ratio_karp(p));
+    EXPECT_EQ(nk, max_cycle_ratio_lawler(p).ratio);
+    EXPECT_EQ(nk, max_cycle_ratio_howard(p).ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationLarge,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+} // namespace
+} // namespace tsg

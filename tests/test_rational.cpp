@@ -1,0 +1,149 @@
+// Unit tests for the exact rational arithmetic that underlies every cycle
+// time computation.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rational.h"
+
+namespace tsg {
+namespace {
+
+TEST(Rational, DefaultIsZero)
+{
+    const rational r;
+    EXPECT_TRUE(r.is_zero());
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd)
+{
+    const rational r(6, -4);
+    EXPECT_EQ(r.num(), -3);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows)
+{
+    EXPECT_THROW(rational(1, 0), error);
+}
+
+TEST(Rational, Arithmetic)
+{
+    EXPECT_EQ(rational(1, 2) + rational(1, 3), rational(5, 6));
+    EXPECT_EQ(rational(1, 2) - rational(1, 3), rational(1, 6));
+    EXPECT_EQ(rational(2, 3) * rational(9, 4), rational(3, 2));
+    EXPECT_EQ(rational(2, 3) / rational(4, 9), rational(3, 2));
+    EXPECT_EQ(-rational(2, 3), rational(-2, 3));
+}
+
+TEST(Rational, DivisionByZeroThrows)
+{
+    EXPECT_THROW(rational(1) / rational(0), error);
+}
+
+TEST(Rational, ComparisonIsExact)
+{
+    EXPECT_LT(rational(1, 3), rational(34, 100));
+    EXPECT_GT(rational(2, 3), rational(66, 100));
+    EXPECT_EQ(rational(20, 3), rational(40, 6));
+    EXPECT_LE(rational(-5, 2), rational(-5, 2));
+    EXPECT_LT(rational(-3), rational(-5, 2));
+}
+
+TEST(Rational, MullerRingCycleTimeIsRepresentable)
+{
+    // 20/3, the Section VIII.D result, must round-trip exactly.
+    const rational lambda(20, 3);
+    EXPECT_EQ(lambda * rational(3), rational(20));
+    EXPECT_EQ(lambda.str(), "20/3");
+    EXPECT_NEAR(lambda.to_double(), 6.6667, 1e-3);
+}
+
+TEST(Rational, StringRendering)
+{
+    EXPECT_EQ(rational(10).str(), "10");
+    EXPECT_EQ(rational(-7, 2).str(), "-7/2");
+    EXPECT_EQ(rational(0).str(), "0");
+}
+
+TEST(Rational, Parse)
+{
+    EXPECT_EQ(rational::parse("10"), rational(10));
+    EXPECT_EQ(rational::parse("-3"), rational(-3));
+    EXPECT_EQ(rational::parse("5/3"), rational(5, 3));
+    EXPECT_EQ(rational::parse("-6/4"), rational(-3, 2));
+    EXPECT_THROW((void)rational::parse(""), error);
+    EXPECT_THROW((void)rational::parse("abc"), error);
+    EXPECT_THROW((void)rational::parse("1/0"), error);
+    EXPECT_THROW((void)rational::parse("1/2x"), error);
+    EXPECT_THROW((void)rational::parse("1x/2"), error);
+}
+
+TEST(Rational, FromDouble)
+{
+    EXPECT_EQ(rational::from_double(0.5), rational(1, 2));
+    EXPECT_EQ(rational::from_double(0.25), rational(1, 4));
+    EXPECT_EQ(rational::from_double(3.0), rational(3));
+    EXPECT_EQ(rational::from_double(-1.5), rational(-3, 2));
+    // 1/3 is not exactly representable in binary; the approximation should
+    // still land on 1/3 with a small denominator bound.
+    EXPECT_EQ(rational::from_double(1.0 / 3.0, 100), rational(1, 3));
+    EXPECT_THROW((void)rational::from_double(std::numeric_limits<double>::infinity()), error);
+}
+
+TEST(Rational, OverflowDetected)
+{
+    const rational huge(INT64_MAX / 2 + 1, 1);
+    EXPECT_THROW(huge * rational(8), error);
+    EXPECT_THROW(huge + huge, error);
+}
+
+TEST(Rational, MinMaxAbs)
+{
+    EXPECT_EQ(tsg::min(rational(1, 2), rational(1, 3)), rational(1, 3));
+    EXPECT_EQ(tsg::max(rational(1, 2), rational(1, 3)), rational(1, 2));
+    EXPECT_EQ(tsg::abs(rational(-7, 3)), rational(7, 3));
+}
+
+TEST(Rational, HashDistinguishesValues)
+{
+    std::unordered_set<rational> set;
+    set.insert(rational(1, 2));
+    set.insert(rational(2, 4)); // same canonical value
+    set.insert(rational(1, 3));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+// Property sweep: field axioms on a small grid of rationals.
+class RationalGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RationalGrid, AdditionCommutesAndAssociates)
+{
+    const auto [a_num, b_num] = GetParam();
+    const rational a(a_num, 7);
+    const rational b(b_num, 5);
+    const rational c(3, 11);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a - a, rational(0));
+}
+
+TEST_P(RationalGrid, MultiplicationDistributes)
+{
+    const auto [a_num, b_num] = GetParam();
+    const rational a(a_num, 3);
+    const rational b(b_num, 4);
+    const rational c(-5, 6);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.is_zero()) { EXPECT_EQ(a / a, rational(1)); }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalGrid,
+                         ::testing::Values(std::pair{-3, 2}, std::pair{0, 1}, std::pair{5, -4},
+                                           std::pair{7, 7}, std::pair{-2, -9},
+                                           std::pair{12, 13}));
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,64 @@
+// Tests for the markdown report generator.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "sg/builder.h"
+
+namespace tsg {
+namespace {
+
+TEST(Report, OscillatorContainsAllSections)
+{
+    const std::string report = performance_report_markdown(c_oscillator_sg());
+    for (const char* needle :
+         {"## Model", "## Cycle time", "lambda = **10**", "a+ -> c+ -> a- -> c-",
+          "border set (2): a+, b+", "minimum cut set (1)", "## Arc slack",
+          "criticality margin: ", "## Steady periodic schedule", "## Start-up transient",
+          "pattern period: 1"})
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+}
+
+TEST(Report, MullerRingNumbers)
+{
+    const std::string report = performance_report_markdown(muller_ring_sg());
+    EXPECT_NE(report.find("lambda = **20/3**"), std::string::npos);
+    EXPECT_NE(report.find("~6.6667"), std::string::npos);
+    EXPECT_NE(report.find("occurrence period 3"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled)
+{
+    report_options opts;
+    opts.include_slack = false;
+    opts.include_transient = false;
+    opts.min_cut_budget = 0;
+    const std::string report = performance_report_markdown(c_oscillator_sg(), opts);
+    EXPECT_EQ(report.find("## Arc slack"), std::string::npos);
+    EXPECT_EQ(report.find("## Start-up transient"), std::string::npos);
+    EXPECT_EQ(report.find("minimum cut set"), std::string::npos);
+    EXPECT_NE(report.find("## Cycle time"), std::string::npos);
+}
+
+TEST(Report, AcyclicGraphGetsPertSummary)
+{
+    sg_builder b;
+    b.arc("s", "m", 2).arc("m", "t", 3);
+    const std::string report = performance_report_markdown(b.build());
+    EXPECT_NE(report.find("## PERT analysis"), std::string::npos);
+    EXPECT_NE(report.find("makespan: **5**"), std::string::npos);
+    EXPECT_NE(report.find("s -> m -> t"), std::string::npos);
+    EXPECT_EQ(report.find("## Cycle time"), std::string::npos);
+}
+
+TEST(Report, CustomTitle)
+{
+    report_options opts;
+    opts.title = "Stack review";
+    const std::string report = performance_report_markdown(c_oscillator_sg(), opts);
+    EXPECT_NE(report.find("# Stack review"), std::string::npos);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,101 @@
+// Tests for steady-state time separations.
+#include <gtest/gtest.h>
+
+#include "core/separation.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+
+namespace tsg {
+namespace {
+
+TEST(Separation, OscillatorFixedOffsets)
+{
+    // Settled full-simulation times: a+ at 13, 23, 33, ...; c+ at 16, 26,
+    // ...: separation fixed at 3.  a+ to a- separation fixed at 5
+    // (18 - 13).
+    const signal_graph sg = c_oscillator_sg();
+    const separation_result ac =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("c+"));
+    EXPECT_EQ(ac.pattern_period, 1u);
+    ASSERT_EQ(ac.separations.size(), 1u);
+    EXPECT_EQ(ac.separations[0], rational(3));
+    EXPECT_TRUE(ac.constant());
+
+    const separation_result aa =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("a-"));
+    EXPECT_EQ(aa.separations[0], rational(5));
+}
+
+TEST(Separation, SelfSeparationIsZero)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const separation_result r =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("a+"));
+    for (const rational& s : r.separations) EXPECT_EQ(s, rational(0));
+}
+
+TEST(Separation, AntisymmetryWithinMatchingIndices)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const separation_result ab =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("b+"));
+    const separation_result ba =
+        steady_separations(sg, sg.event_by_name("b+"), sg.event_by_name("a+"));
+    ASSERT_EQ(ab.separations.size(), ba.separations.size());
+    for (std::size_t i = 0; i < ab.separations.size(); ++i)
+        EXPECT_EQ(ab.separations[i], -ba.separations[i]);
+}
+
+TEST(Separation, MullerRingPatternHasThreeValues)
+{
+    // The ring's timing pattern spans 3 periods; separations may differ
+    // across the pattern (the 6,7,7 steps shift relative phases).
+    const signal_graph sg = muller_ring_sg();
+    const separation_result r =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("c+"));
+    EXPECT_EQ(r.pattern_period, 3u);
+    EXPECT_EQ(r.separations.size(), 3u);
+    EXPECT_LE(r.min_separation, r.max_separation);
+}
+
+TEST(Separation, ConsecutiveStageLatencyInTheRing)
+{
+    // b+ follows a+ through one C-element: the settled separation is
+    // bounded by the per-stage latency pattern, and never negative.
+    const signal_graph sg = muller_ring_sg();
+    const separation_result r =
+        steady_separations(sg, sg.event_by_name("a+"), sg.event_by_name("b+"));
+    EXPECT_GE(r.min_separation, rational(0));
+    EXPECT_LE(r.max_separation, rational(20, 3) + rational(2));
+}
+
+TEST(Separation, RandomGraphsSeparationsRepeatWithLambda)
+{
+    // Check the defining property on random graphs: one pattern later the
+    // separation repeats, i.e. t(to) and t(from) advance by the same
+    // lambda * epsilon.  (Implied by construction; this guards the API.)
+    for (const std::uint64_t seed : {51u, 52u}) {
+        random_sg_options opts;
+        opts.events = 10;
+        opts.extra_arcs = 8;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const event_id u = sg.repetitive_events().front();
+        const event_id v = sg.repetitive_events().back();
+        const separation_result r = steady_separations(sg, u, v);
+        EXPECT_EQ(r.separations.size(), r.pattern_period);
+        EXPECT_FALSE(r.separations.empty());
+    }
+}
+
+TEST(Separation, RejectsNonRepetitiveEvents)
+{
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_THROW((void)steady_separations(sg, sg.event_by_name("e-"),
+                                          sg.event_by_name("a+")),
+                 error);
+}
+
+} // namespace
+} // namespace tsg

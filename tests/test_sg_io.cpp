@@ -1,0 +1,116 @@
+// Unit tests for the .tsg text format: parsing, serialization round-trips,
+// and error diagnostics.
+#include <gtest/gtest.h>
+
+#include "gen/oscillator.h"
+#include "sg/sg_io.h"
+
+namespace tsg {
+namespace {
+
+const char* oscillator_text = R"(
+# Figure 2c
+tsg oscillator {
+  arc e- -> a+ delay 2 once;
+  arc e- -> f- delay 3;
+  arc f- -> b+ delay 1 once;
+  arc c- -> a+ delay 2 marked;
+  arc c- -> b+ delay 1 marked;
+  arc a+ -> c+ delay 3;
+  arc b+ -> c+ delay 2;
+  arc c+ -> a- delay 2;
+  arc c+ -> b- delay 1;
+  arc a- -> c- delay 3;
+  arc b- -> c- delay 2;
+}
+)";
+
+TEST(SgIo, ParsesOscillator)
+{
+    const signal_graph sg = parse_sg(oscillator_text);
+    EXPECT_EQ(sg.event_count(), 8u);
+    EXPECT_EQ(sg.arc_count(), 11u);
+    EXPECT_EQ(sg.token_count(), 2u);
+    EXPECT_EQ(sg.border_events().size(), 2u);
+}
+
+TEST(SgIo, ParsedMatchesGeneratorStructure)
+{
+    const signal_graph parsed = parse_sg(oscillator_text);
+    const signal_graph built = c_oscillator_sg();
+    EXPECT_EQ(parsed.event_count(), built.event_count());
+    EXPECT_EQ(parsed.arc_count(), built.arc_count());
+    for (event_id e = 0; e < built.event_count(); ++e)
+        EXPECT_NE(parsed.find_event(built.event(e).name), invalid_node);
+}
+
+TEST(SgIo, RoundTrip)
+{
+    const signal_graph original = c_oscillator_sg();
+    const std::string text = write_sg(original, "osc");
+    const signal_graph reparsed = parse_sg(text);
+    EXPECT_EQ(reparsed.event_count(), original.event_count());
+    EXPECT_EQ(reparsed.arc_count(), original.arc_count());
+    EXPECT_EQ(reparsed.token_count(), original.token_count());
+    // Second round trip is byte-identical (canonical form).
+    EXPECT_EQ(write_sg(reparsed, "osc"), text);
+}
+
+TEST(SgIo, RationalDelays)
+{
+    const signal_graph sg = parse_sg("tsg g { arc a -> b delay 5/3 marked; arc b -> a; }");
+    EXPECT_EQ(sg.arc(0).delay, rational(5, 3));
+}
+
+TEST(SgIo, ExplicitEventDeclarations)
+{
+    const signal_graph sg =
+        parse_sg("tsg g { event a; event b; arc a -> b marked; arc b -> a; }");
+    EXPECT_EQ(sg.event_count(), 2u);
+}
+
+TEST(SgIo, CommentsIgnored)
+{
+    const signal_graph sg =
+        parse_sg("# header\ntsg g { arc a -> b marked; # inline\n arc b -> a; }");
+    EXPECT_EQ(sg.arc_count(), 2u);
+}
+
+TEST(SgIo, MalformedInputsThrowWithLineNumbers)
+{
+    EXPECT_THROW((void)parse_sg(""), error);
+    EXPECT_THROW((void)parse_sg("tsg g {"), error);
+    EXPECT_THROW((void)parse_sg("tsg g { arc a b; }"), error);
+    EXPECT_THROW((void)parse_sg("tsg g { arc a -> b bogus; }"), error);
+    EXPECT_THROW((void)parse_sg("tsg g { arc a -> b delay x; }"), error);
+    EXPECT_THROW((void)parse_sg("tsg g { arc a -> b marked; arc b -> a; } junk"), error);
+    try {
+        (void)parse_sg("tsg g {\n  arc a -> b bogus;\n}");
+        FAIL() << "expected tsg::error";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(SgIo, SemanticErrorsPropagate)
+{
+    // Parses fine but is not live.
+    EXPECT_THROW((void)parse_sg("tsg g { arc a -> b; arc b -> a; }"), error);
+}
+
+TEST(SgIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW((void)load_sg("/nonexistent/file.tsg"), error);
+}
+
+TEST(SgIo, DotOutputContainsMarkingAnnotations)
+{
+    const std::string dot = sg_to_dot(c_oscillator_sg(), "osc");
+    EXPECT_NE(dot.find("digraph osc"), std::string::npos);
+    EXPECT_NE(dot.find("*"), std::string::npos);  // marked arc
+    EXPECT_NE(dot.find("x"), std::string::npos);  // disengageable arc
+    EXPECT_NE(dot.find("a+"), std::string::npos); // event label
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,182 @@
+// Unit tests for the Signal Graph model: construction, event classification
+// (repetitive / initial / transient), border sets, and the validation of
+// the paper's well-formedness restrictions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/oscillator.h"
+#include "sg/builder.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+namespace {
+
+std::vector<std::string> names(const signal_graph& sg, const std::vector<event_id>& events)
+{
+    std::vector<std::string> out;
+    for (const event_id e : events) out.push_back(sg.event(e).name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(ParseEventName, RecognisesPolarity)
+{
+    EXPECT_EQ(parse_event_name("a+").signal, "a");
+    EXPECT_EQ(parse_event_name("a+").pol, polarity::rise);
+    EXPECT_EQ(parse_event_name("req-").signal, "req");
+    EXPECT_EQ(parse_event_name("req-").pol, polarity::fall);
+    EXPECT_EQ(parse_event_name("start").pol, polarity::none);
+    EXPECT_EQ(parse_event_name("x").pol, polarity::none); // too short for signal+pol
+}
+
+TEST(SignalGraph, DuplicateEventNameThrows)
+{
+    signal_graph sg;
+    sg.add_event("a+");
+    EXPECT_THROW(sg.add_event("a+"), error);
+}
+
+TEST(SignalGraph, NegativeDelayThrows)
+{
+    signal_graph sg;
+    const event_id a = sg.add_event("a+");
+    const event_id b = sg.add_event("b+");
+    EXPECT_THROW(sg.add_arc(a, b, rational(-1)), error);
+}
+
+TEST(SignalGraph, OscillatorClassification)
+{
+    const signal_graph sg = c_oscillator_sg();
+    // A_r = {a+, b+, c+, a-, b-, c-}; I = {e-}; transient = {f-}  (Example 1).
+    EXPECT_EQ(names(sg, sg.repetitive_events()),
+              (std::vector<std::string>{"a+", "a-", "b+", "b-", "c+", "c-"}));
+    EXPECT_EQ(names(sg, sg.initial_events()), (std::vector<std::string>{"e-"}));
+    EXPECT_EQ(names(sg, sg.transient_events()), (std::vector<std::string>{"f-"}));
+}
+
+TEST(SignalGraph, OscillatorBorderSet)
+{
+    // Example 7: the border set is {a+, b+}.
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_EQ(names(sg, sg.border_events()), (std::vector<std::string>{"a+", "b+"}));
+}
+
+TEST(SignalGraph, ArcsFromOneShotEventsBecomeDisengageable)
+{
+    const signal_graph sg = c_oscillator_sg();
+    // e- -> f- is an arc between one-shot events; finalize marks it
+    // disengageable automatically.
+    const event_id f = sg.event_by_name("f-");
+    for (const arc_id a : sg.structure().in_arcs(f))
+        EXPECT_TRUE(sg.arc(a).disengageable);
+}
+
+TEST(SignalGraph, TokenCount)
+{
+    EXPECT_EQ(c_oscillator_sg().token_count(), 2u);
+}
+
+TEST(SignalGraph, FinalizeTwiceThrows)
+{
+    signal_graph sg = c_oscillator_sg();
+    EXPECT_THROW(sg.finalize(), error);
+}
+
+TEST(SignalGraph, QueriesBeforeFinalizeThrow)
+{
+    signal_graph sg;
+    sg.add_event("a+");
+    EXPECT_THROW((void)sg.repetitive_events(), error);
+    EXPECT_THROW((void)sg.border_events(), error);
+}
+
+TEST(SignalGraph, EventLookup)
+{
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_NE(sg.find_event("a+"), invalid_node);
+    EXPECT_EQ(sg.find_event("zz+"), invalid_node);
+    EXPECT_THROW((void)sg.event_by_name("zz+"), error);
+}
+
+TEST(SignalGraph, NonLiveGraphRejected)
+{
+    // A cycle with no marked arc is not live.
+    sg_builder b;
+    b.arc("a+", "b+", 1).arc("b+", "a+", 1);
+    EXPECT_THROW((void)b.build(), error);
+}
+
+TEST(SignalGraph, DisconnectedCoreRejected)
+{
+    // Two token-carrying rings joined by a one-way path: repetitive events
+    // do not form a single SCC.
+    sg_builder b;
+    b.marked_arc("a+", "b+", 1).arc("b+", "a+", 1);
+    b.marked_arc("c+", "d+", 1).arc("d+", "c+", 1);
+    b.arc("a+", "c+", 1);
+    EXPECT_THROW((void)b.build(), error);
+}
+
+TEST(SignalGraph, RepetitiveToOneShotRejected)
+{
+    // An arc from the cycle to a one-shot event accumulates tokens without
+    // bound.
+    sg_builder b;
+    b.marked_arc("a+", "b+", 1).arc("b+", "a+", 1);
+    b.arc("a+", "once+", 1);
+    EXPECT_THROW((void)b.build(), error);
+}
+
+TEST(SignalGraph, EmptyGraphRejected)
+{
+    signal_graph sg;
+    EXPECT_THROW(sg.finalize(), error);
+}
+
+TEST(SignalGraph, RepetitiveCoreView)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const signal_graph::core_view core = sg.repetitive_core();
+    EXPECT_EQ(core.graph.node_count(), 6u);
+    EXPECT_EQ(core.graph.arc_count(), 8u); // 6 cycle arcs + 2 marked arcs
+    // Mapping is a bijection between core nodes and repetitive events.
+    for (node_id v = 0; v < core.graph.node_count(); ++v)
+        EXPECT_EQ(core.event_node[core.node_event[v]], v);
+    EXPECT_EQ(core.event_node[sg.event_by_name("e-")], invalid_node);
+}
+
+TEST(SignalGraph, PathDelaySums)
+{
+    const signal_graph sg = c_oscillator_sg();
+    std::vector<arc_id> all;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) all.push_back(a);
+    EXPECT_EQ(sg.path_delay(all), rational(2 + 3 + 1 + 2 + 1 + 3 + 2 + 2 + 1 + 3 + 2));
+}
+
+TEST(Builder, ArcWithTokensSplitsIntoSafeChain)
+{
+    // A two-token arc on a ring becomes a chain with a dummy event; the
+    // graph stays initially-safe and live.
+    sg_builder b;
+    b.arc("a", "b", 1);
+    b.arc_with_tokens("b", "a", 3, 2);
+    const signal_graph sg = b.build();
+    EXPECT_EQ(sg.event_count(), 3u); // a, b, one dummy
+    EXPECT_EQ(sg.token_count(), 2u);
+    for (arc_id a = 0; a < sg.arc_count(); ++a)
+        EXPECT_TRUE(sg.arc(a).marked || sg.arc(a).delay == rational(1));
+}
+
+TEST(Builder, ArcWithOneTokenIsJustAMarkedArc)
+{
+    sg_builder b;
+    b.arc("a", "b", 1);
+    b.arc_with_tokens("b", "a", 2, 1);
+    const signal_graph sg = b.build();
+    EXPECT_EQ(sg.event_count(), 2u);
+    EXPECT_EQ(sg.token_count(), 1u);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,148 @@
+// Tests for slack/criticality analysis: reduced slacks, the critical
+// subgraph, the steady periodic schedule, and cross-validation against
+// brute-force delay perturbation.
+#include <gtest/gtest.h>
+
+#include "core/cycle_time.h"
+#include "core/slack.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+#include "ratio/exhaustive.h"
+
+namespace tsg {
+namespace {
+
+TEST(Slack, OscillatorCriticalSubgraphIsC1)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const slack_result r = analyze_slack(sg);
+    EXPECT_EQ(r.cycle_time, rational(10));
+
+    // Critical events: a+, c+, a-, c-; critical arcs: the four C1 arcs.
+    const auto critical_event = [&](const char* name) {
+        return r.event_critical[sg.event_by_name(name)];
+    };
+    EXPECT_TRUE(critical_event("a+"));
+    EXPECT_TRUE(critical_event("c+"));
+    EXPECT_TRUE(critical_event("a-"));
+    EXPECT_TRUE(critical_event("c-"));
+    EXPECT_FALSE(critical_event("b+"));
+    EXPECT_FALSE(critical_event("b-"));
+
+    std::size_t critical_arcs = 0;
+    for (arc_id a = 0; a < sg.arc_count(); ++a)
+        if (r.arc_critical[a]) ++critical_arcs;
+    EXPECT_EQ(critical_arcs, 4u);
+}
+
+TEST(Slack, CriticalArcsHaveZeroSlack)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const slack_result r = analyze_slack(sg);
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!r.in_core[a]) continue;
+        EXPECT_FALSE(r.slack[a].is_negative());
+        if (r.arc_critical[a]) { EXPECT_TRUE(r.slack[a].is_zero()); }
+    }
+}
+
+TEST(Slack, SlackSumsAroundCyclesMatchTheRatioGap)
+{
+    // For every simple cycle C: sum of slacks = lambda * eps(C) - delay(C).
+    const signal_graph sg = c_oscillator_sg();
+    const slack_result r = analyze_slack(sg);
+    const ratio_problem p = make_ratio_problem(sg);
+    const exhaustive_result cycles = max_cycle_ratio_exhaustive(p);
+    for (const cycle_listing& c : cycles.cycles) {
+        rational slack_sum(0);
+        for (const arc_id a : c.arcs) slack_sum += r.slack[p.arc_original[a]];
+        EXPECT_EQ(slack_sum, r.cycle_time * rational(c.transit) - c.delay);
+    }
+}
+
+TEST(Slack, SteadySchedulePotentialsAreFeasible)
+{
+    // v(to) >= v(from) + delay - lambda*tokens on every core arc.
+    for (const std::uint64_t seed : {3u, 9u, 27u}) {
+        random_sg_options opts;
+        opts.events = 20;
+        opts.extra_arcs = 25;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const slack_result r = analyze_slack(sg);
+        for (arc_id a = 0; a < sg.arc_count(); ++a) {
+            if (!r.in_core[a]) continue;
+            const arc_info& arc = sg.arc(a);
+            const rational reduced =
+                arc.delay - r.cycle_time * rational(arc.marked ? 1 : 0);
+            EXPECT_GE(r.potential[arc.to], r.potential[arc.from] + reduced);
+        }
+    }
+}
+
+TEST(Slack, MarginMatchesPerturbationThreshold)
+{
+    // Raising any single arc delay by strictly less than its *cycle* budget
+    // keeps lambda; the per-arc reduced slack is a lower bound on that
+    // budget.  Check on the oscillator's b+ -> c+ arc whose budget is 2.
+    const signal_graph sg = c_oscillator_sg();
+    const slack_result r = analyze_slack(sg);
+    const event_id bp = sg.event_by_name("b+");
+    const event_id cp = sg.event_by_name("c+");
+    arc_id bc = invalid_arc;
+    for (const arc_id a : sg.structure().out_arcs(bp))
+        if (sg.arc(a).to == cp) bc = a;
+    ASSERT_NE(bc, invalid_arc);
+    EXPECT_FALSE(r.slack[bc].is_zero());
+    EXPECT_LE(r.slack[bc], rational(2)); // the exact cycle budget
+}
+
+TEST(Slack, MullerRingCriticalEvents)
+{
+    const signal_graph sg = muller_ring_sg();
+    const slack_result r = analyze_slack(sg);
+    EXPECT_EQ(r.cycle_time, rational(20, 3));
+    std::size_t critical_events = 0;
+    for (event_id e = 0; e < sg.event_count(); ++e)
+        if (r.event_critical[e]) ++critical_events;
+    // The epsilon=3 critical cycle threads a substantial part of the ring.
+    EXPECT_GE(critical_events, 3u);
+    EXPECT_GT(r.criticality_margin, rational(0));
+}
+
+TEST(Slack, EveryCriticalEventLiesOnAMaxRatioCycle)
+{
+    for (const std::uint64_t seed : {5u, 15u}) {
+        random_sg_options opts;
+        opts.events = 10;
+        opts.extra_arcs = 10;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const slack_result r = analyze_slack(sg);
+        const ratio_problem p = make_ratio_problem(sg);
+        const exhaustive_result cycles = max_cycle_ratio_exhaustive(p);
+
+        std::vector<bool> on_max_cycle(sg.event_count(), false);
+        for (const std::size_t idx : cycles.critical)
+            for (const arc_id a : cycles.cycles[idx].arcs)
+                on_max_cycle[p.node_event[p.graph.from(a)]] = true;
+
+        for (event_id e = 0; e < sg.event_count(); ++e)
+            EXPECT_EQ(r.event_critical[e], on_max_cycle[e]) << "seed " << seed
+                                                            << " event " << e;
+    }
+}
+
+TEST(Slack, RequiresRepetitiveCore)
+{
+    signal_graph sg;
+    sg.add_event("a");
+    sg.add_event("b");
+    sg.add_arc(0, 1, 1);
+    sg.finalize();
+    EXPECT_THROW((void)analyze_slack(sg), error);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,88 @@
+// Adversarial agreement sweeps with heavy delay ties: uniform delays make
+// many cycles share the optimal ratio, stressing arg-max tie-breaking in
+// every solver; zero delays make lambda collapse to 0.
+#include <gtest/gtest.h>
+
+#include "core/cycle_time.h"
+#include "core/slack.h"
+#include "gen/random_sg.h"
+#include "ratio/exhaustive.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "ratio/lawler.h"
+
+namespace tsg {
+namespace {
+
+class TieSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TieSweep, UnitDelaysAllAlgorithmsAgree)
+{
+    random_sg_options opts;
+    opts.events = 12;
+    opts.extra_arcs = 14;
+    opts.seed = GetParam();
+    opts.max_delay = 1; // only 0/1 delays: maximal tie density
+    const signal_graph sg = random_marked_graph(opts);
+    const ratio_problem p = make_ratio_problem(sg);
+
+    const rational nk = analyze_cycle_time(sg).cycle_time;
+    EXPECT_EQ(nk, max_cycle_ratio_exhaustive(p).ratio);
+    EXPECT_EQ(nk, max_cycle_ratio_karp(p));
+    EXPECT_EQ(nk, max_cycle_ratio_lawler(p).ratio);
+    EXPECT_EQ(nk, max_cycle_ratio_howard(p).ratio);
+}
+
+TEST_P(TieSweep, AllZeroDelaysGiveZeroLambda)
+{
+    random_sg_options opts;
+    opts.events = 10;
+    opts.extra_arcs = 12;
+    opts.seed = GetParam() + 500;
+    opts.max_delay = 0;
+    const signal_graph sg = random_marked_graph(opts);
+    const cycle_time_result r = analyze_cycle_time(sg);
+    EXPECT_EQ(r.cycle_time, rational(0));
+    EXPECT_EQ(cycle_time_howard(sg), rational(0));
+    EXPECT_EQ(cycle_time_karp(sg), rational(0));
+    // In a zero-delay graph every cycle has ratio 0 = lambda, so every core
+    // arc is critical and every slack is zero.
+    const slack_result slack = analyze_slack(sg);
+    for (arc_id a = 0; a < sg.arc_count(); ++a)
+        if (slack.in_core[a]) { EXPECT_TRUE(slack.slack[a].is_zero()); }
+}
+
+TEST_P(TieSweep, ConstantDelayGraphLambdaIsMaxCycleLengthRatio)
+{
+    // With every delay = 1, the cycle ratio is (#arcs / #tokens); lambda is
+    // the max over cycles, still matched by all solvers.
+    random_sg_options opts;
+    opts.events = 11;
+    opts.extra_arcs = 9;
+    opts.seed = GetParam() + 900;
+    opts.max_delay = 0; // delays all zero, then overwrite below
+    const signal_graph base = random_marked_graph(opts);
+
+    signal_graph sg;
+    for (event_id e = 0; e < base.event_count(); ++e) {
+        const event_info& info = base.event(e);
+        sg.add_event(info.name, info.signal, info.pol);
+    }
+    for (arc_id a = 0; a < base.arc_count(); ++a) {
+        const arc_info& arc = base.arc(a);
+        sg.add_arc(arc.from, arc.to, 1, arc.marked, arc.disengageable);
+    }
+    sg.finalize();
+
+    const rational nk = analyze_cycle_time(sg).cycle_time;
+    const ratio_problem p = make_ratio_problem(sg);
+    EXPECT_EQ(nk, max_cycle_ratio_exhaustive(p).ratio);
+    EXPECT_EQ(nk, max_cycle_ratio_howard(p).ratio);
+    EXPECT_GE(nk, rational(1)); // some cycle has at least as many arcs as tokens
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TieSweep,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
+} // namespace
+} // namespace tsg

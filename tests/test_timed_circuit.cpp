@@ -1,0 +1,179 @@
+// End-to-end timing validation: the circuit-level timed schedule (computed
+// directly from AND-causes and rise/fall pin delays, no Signal Graph
+// involved) must agree with the timing simulation of the extracted Timed
+// Signal Graph — and with the paper's Example 3 numbers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuit/extraction.h"
+#include "circuit/netlist_io.h"
+#include "core/cycle_time.h"
+#include "core/timing_simulation.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+namespace {
+
+/// Times per (signal name, occurrence index) from the circuit schedule.
+std::map<std::pair<std::string, std::uint32_t>, rational> schedule_map(
+    const netlist& nl, const std::vector<timed_transition>& schedule)
+{
+    std::map<std::pair<std::string, std::uint32_t>, rational> out;
+    for (const timed_transition& t : schedule)
+        out.emplace(std::make_pair(nl.signal_name(t.signal), t.index), t.time);
+    return out;
+}
+
+TEST(TimedCircuit, OscillatorMatchesExample3)
+{
+    const parsed_circuit c = c_oscillator_circuit();
+    const auto schedule = simulate_circuit_schedule(c.nl, c.initial, 50);
+    const auto times = schedule_map(c.nl, schedule);
+
+    // Signal-level occurrence times from the Example 3 table.
+    EXPECT_EQ(times.at({"e", 0}), rational(0));
+    EXPECT_EQ(times.at({"f", 0}), rational(3));
+    EXPECT_EQ(times.at({"a", 0}), rational(2));  // a+
+    EXPECT_EQ(times.at({"b", 0}), rational(4));  // b+
+    EXPECT_EQ(times.at({"c", 0}), rational(6));  // c+
+    EXPECT_EQ(times.at({"a", 1}), rational(8));  // a-
+    EXPECT_EQ(times.at({"b", 1}), rational(7));  // b-
+    EXPECT_EQ(times.at({"c", 1}), rational(11)); // c-
+    EXPECT_EQ(times.at({"a", 2}), rational(13)); // a+ second period
+    EXPECT_EQ(times.at({"b", 2}), rational(12));
+    EXPECT_EQ(times.at({"c", 2}), rational(16));
+}
+
+TEST(TimedCircuit, ExtractedGraphReproducesTheCircuitSchedule)
+{
+    // For every instantiation within the horizon, the TSG timing simulation
+    // must give exactly the circuit's transition time.
+    const parsed_circuit c = c_oscillator_circuit();
+    const auto schedule = simulate_circuit_schedule(c.nl, c.initial, 60);
+    const auto times = schedule_map(c.nl, schedule);
+
+    const extraction_result extracted = extract_signal_graph(c.nl, c.initial);
+    const signal_graph& sg = extracted.graph;
+    const unfolding unf(sg, 4);
+    const timing_simulation_result sim = simulate_timing(unf);
+
+    // Count per-signal instantiations in event order to map (event, period)
+    // to the signal-level occurrence index.
+    std::map<std::string, std::vector<std::pair<rational, std::string>>> by_signal;
+    for (node_id inst = 0; inst < unf.dag().node_count(); ++inst) {
+        const event_info& info = sg.event(unf.event_of(inst));
+        if (info.signal.empty()) continue;
+        by_signal[info.signal].emplace_back(sim.time[inst], info.name);
+    }
+    for (auto& [signal, occurrences] : by_signal) {
+        std::sort(occurrences.begin(), occurrences.end());
+        for (std::size_t k = 0; k < occurrences.size(); ++k) {
+            const auto it = times.find({signal, static_cast<std::uint32_t>(k)});
+            if (it == times.end()) continue; // beyond circuit horizon
+            EXPECT_EQ(occurrences[k].first, it->second)
+                << signal << " occurrence " << k;
+        }
+    }
+}
+
+TEST(TimedCircuit, AsymmetricDelaysShiftTheSchedule)
+{
+    // Same oscillator, but gate c is slower to rise than to fall.
+    netlist nl;
+    nl.add_signal("e");
+    nl.add_gate(gate_kind::nor_gate, "a", {{"e", 2}, {"c", 2}});
+    nl.add_gate(gate_kind::nor_gate, "b", {{"f", 1}, {"c", 1}});
+    nl.add_gate_rf(gate_kind::c_element, "c", {{"a", 5, 3}, {"b", 4, 2}});
+    nl.add_gate(gate_kind::buf, "f", {{"e", 3}});
+    nl.add_stimulus("e");
+    circuit_state init(nl.signal_count());
+    init.set(nl.signal_by_name("e"), true);
+    init.set(nl.signal_by_name("f"), true);
+
+    const auto schedule = simulate_circuit_schedule(nl, init, 30);
+    const auto times = schedule_map(nl, schedule);
+    // c+ now waits max(2+5, 4+4) = 8 instead of 6; c- keeps its old timing
+    // relative to the slower c+.
+    EXPECT_EQ(times.at({"c", 0}), rational(8));
+
+    // The extracted TSG carries the per-polarity delays: the c+ in-arcs are
+    // 5/4, the c- in-arcs 3/2.
+    const extraction_result extracted = extract_signal_graph(nl, init);
+    const signal_graph& sg = extracted.graph;
+    const event_id cp = sg.event_by_name("c+");
+    const event_id cm = sg.event_by_name("c-");
+    std::multiset<std::string> cp_delays;
+    std::multiset<std::string> cm_delays;
+    for (const arc_id a : sg.structure().in_arcs(cp)) cp_delays.insert(sg.arc(a).delay.str());
+    for (const arc_id a : sg.structure().in_arcs(cm)) cm_delays.insert(sg.arc(a).delay.str());
+    EXPECT_EQ(cp_delays, (std::multiset<std::string>{"4", "5"}));
+    EXPECT_EQ(cm_delays, (std::multiset<std::string>{"2", "3"}));
+
+    // And the cycle time moves accordingly: a-loop = 5+2+3+2 = 12,
+    // b-loop = 4+1+2+1 = 8 -> lambda 12.
+    EXPECT_EQ(analyze_cycle_time(extracted.graph).cycle_time, rational(12));
+}
+
+TEST(TimedCircuit, RoundTripAsymmetricDelays)
+{
+    parsed_circuit circuit;
+    circuit.name = "asym";
+    circuit.nl.add_signal("e");
+    circuit.nl.add_gate_rf(gate_kind::inv, "x", {{"e", rational(3), rational(7, 2)}});
+    circuit.nl.add_stimulus("e");
+    circuit.initial = circuit_state(circuit.nl.signal_count());
+    circuit.initial.set(circuit.nl.signal_by_name("e"), true);
+
+    const std::string text = write_circuit(circuit);
+    EXPECT_NE(text.find("rise 3 fall 7/2"), std::string::npos);
+    const parsed_circuit reparsed = parse_circuit(text);
+    const pin& p = reparsed.nl.driver(reparsed.nl.signal_by_name("x"))->inputs[0];
+    EXPECT_EQ(p.rise_delay, rational(3));
+    EXPECT_EQ(p.fall_delay, rational(7, 2));
+}
+
+TEST(TimedCircuit, MullerRingScheduleMatchesUnfoldingSimulation)
+{
+    const parsed_circuit c = muller_ring_circuit();
+    const auto schedule = simulate_circuit_schedule(c.nl, c.initial, 120);
+    const auto times = schedule_map(c.nl, schedule);
+
+    const signal_graph sg = muller_ring_sg();
+    const unfolding unf(sg, 5);
+    const timing_simulation_result sim = simulate_timing(unf);
+
+    std::map<std::string, std::vector<rational>> by_signal;
+    for (node_id inst = 0; inst < unf.dag().node_count(); ++inst) {
+        const event_info& info = sg.event(unf.event_of(inst));
+        by_signal[info.signal].push_back(sim.time[inst]);
+    }
+    for (auto& [signal, occurrence_times] : by_signal) {
+        std::sort(occurrence_times.begin(), occurrence_times.end());
+        for (std::size_t k = 0; k < occurrence_times.size(); ++k) {
+            const auto it = times.find({signal, static_cast<std::uint32_t>(k)});
+            if (it == times.end()) continue;
+            EXPECT_EQ(occurrence_times[k], it->second) << signal << " " << k;
+        }
+    }
+}
+
+TEST(TimedCircuit, ScheduleTimesAreCausal)
+{
+    const parsed_circuit c = muller_ring_circuit();
+    const auto schedule = simulate_circuit_schedule(c.nl, c.initial, 100);
+    rational last(0);
+    std::map<signal_id, rational> per_signal_last;
+    for (const timed_transition& t : schedule) {
+        // Per-signal times strictly increase (switch-over correctness).
+        const auto it = per_signal_last.find(t.signal);
+        if (it != per_signal_last.end()) { EXPECT_GT(t.time, it->second); }
+        per_signal_last[t.signal] = t.time;
+        (void)last;
+    }
+}
+
+} // namespace
+} // namespace tsg

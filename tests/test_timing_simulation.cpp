@@ -1,0 +1,122 @@
+// Golden tests for the plain timing simulation (Section IV.A): every number
+// in the paper's Example 3 table and the Section II average-occurrence
+// sequence.
+#include <gtest/gtest.h>
+
+#include "core/timing_simulation.h"
+#include "gen/oscillator.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+namespace {
+
+class TimingSimulationFig2c : public ::testing::Test {
+protected:
+    TimingSimulationFig2c() : sg(c_oscillator_sg()), unf(sg, 6), sim(simulate_timing(unf)) {}
+
+    [[nodiscard]] rational at(const std::string& event, std::uint32_t period) const
+    {
+        const auto t = sim.at(unf, sg.event_by_name(event), period);
+        EXPECT_TRUE(t.has_value()) << event << "." << period;
+        return t.value_or(rational(0));
+    }
+
+    signal_graph sg;
+    unfolding unf;
+    timing_simulation_result sim;
+};
+
+TEST_F(TimingSimulationFig2c, Example3Table)
+{
+    // event     e-0 f-0 a+0 b+0 c+0 a-0 b-0 c-0 a+1 b+1 c+1
+    // t(event)  0   3   2   4   6   8   7   11  13  12  16
+    EXPECT_EQ(at("e-", 0), rational(0));
+    EXPECT_EQ(at("f-", 0), rational(3));
+    EXPECT_EQ(at("a+", 0), rational(2));
+    EXPECT_EQ(at("b+", 0), rational(4));
+    EXPECT_EQ(at("c+", 0), rational(6));
+    EXPECT_EQ(at("a-", 0), rational(8));
+    EXPECT_EQ(at("b-", 0), rational(7));
+    EXPECT_EQ(at("c-", 0), rational(11));
+    EXPECT_EQ(at("a+", 1), rational(13));
+    EXPECT_EQ(at("b+", 1), rational(12));
+    EXPECT_EQ(at("c+", 1), rational(16));
+}
+
+TEST_F(TimingSimulationFig2c, Example3WorkedMaximum)
+{
+    // t(a-.0) = max(2+3, 3+1+2) + 2 = 8 — the paper's worked computation.
+    EXPECT_EQ(at("a-", 0), rational(8));
+    // Its critical chain runs through a+ (the 2+3 branch wins at c+).
+    const node_id target = unf.instance(sg.event_by_name("a-"), 0);
+    const std::vector<node_id> chain = critical_chain(unf, sim, target);
+    ASSERT_GE(chain.size(), 2u);
+    EXPECT_EQ(unf.event_of(chain.front()), sg.event_by_name("e-"));
+    EXPECT_EQ(unf.event_of(chain.back()), sg.event_by_name("a-"));
+}
+
+TEST_F(TimingSimulationFig2c, SectionTwoAverageDistances)
+{
+    // Section II: the averages for a+ are 2, 13/2, 23/3, 33/4, 43/5, 53/6, ...
+    const event_id ap = sg.event_by_name("a+");
+    EXPECT_EQ(sim.average_distance(unf, ap, 0), rational(2));
+    EXPECT_EQ(sim.average_distance(unf, ap, 1), rational(13, 2));
+    EXPECT_EQ(sim.average_distance(unf, ap, 2), rational(23, 3));
+    EXPECT_EQ(sim.average_distance(unf, ap, 3), rational(33, 4));
+    EXPECT_EQ(sim.average_distance(unf, ap, 4), rational(43, 5));
+    EXPECT_EQ(sim.average_distance(unf, ap, 5), rational(53, 6));
+}
+
+TEST_F(TimingSimulationFig2c, OccurrenceDistanceStabilizesAtTen)
+{
+    // After the initial period the distance between successive a+ events is
+    // the cycle time 10 (Section II).
+    const event_id ap = sg.event_by_name("a+");
+    for (std::uint32_t i = 1; i < 6; ++i) {
+        const rational cur = *sim.at(unf, ap, i);
+        const rational prev = *sim.at(unf, ap, i - 1);
+        if (i >= 2) { EXPECT_EQ(cur - prev, rational(10)); }
+    }
+    // The first distance is 11 (13 - 2), as the paper notes.
+    EXPECT_EQ(*sim.at(unf, ap, 1) - *sim.at(unf, ap, 0), rational(11));
+}
+
+TEST_F(TimingSimulationFig2c, EveryInstanceOccurs)
+{
+    for (node_id v = 0; v < unf.dag().node_count(); ++v) EXPECT_TRUE(sim.occurs[v]);
+}
+
+TEST_F(TimingSimulationFig2c, MissingInstanceYieldsNullopt)
+{
+    EXPECT_FALSE(sim.at(unf, sg.event_by_name("e-"), 1).has_value());
+    EXPECT_FALSE(sim.at(unf, sg.event_by_name("a+"), 6).has_value());
+}
+
+TEST(TimingSimulation, CausesRealizeTimes)
+{
+    // For every non-seed instance, t = t(cause source) + arc delay.
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 4);
+    const timing_simulation_result sim = simulate_timing(unf);
+    for (node_id v = 0; v < unf.dag().node_count(); ++v) {
+        if (sim.cause[v] == invalid_arc) continue;
+        const node_id u = unf.dag().from(sim.cause[v]);
+        EXPECT_EQ(sim.time[v], sim.time[u] + unf.arc_delay(sim.cause[v]));
+    }
+}
+
+TEST(TimingSimulation, MaxSemantics)
+{
+    // Every in-arc is a lower bound: t(f) >= t(e) + delta.
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 4);
+    const timing_simulation_result sim = simulate_timing(unf);
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a) {
+        const node_id u = unf.dag().from(a);
+        const node_id v = unf.dag().to(a);
+        EXPECT_GE(sim.time[v], sim.time[u] + unf.arc_delay(a));
+    }
+}
+
+} // namespace
+} // namespace tsg

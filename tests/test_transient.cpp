@@ -1,0 +1,81 @@
+// Tests for the start-up transient analysis (quasi-periodicity of the
+// timing simulation, Section III.B).
+#include <gtest/gtest.h>
+
+#include "core/transient.h"
+#include "gen/muller.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+#include "sg/builder.h"
+
+namespace tsg {
+namespace {
+
+TEST(Transient, OscillatorSettlesAfterOnePeriod)
+{
+    // t(a+): 2, 13, 23, 33, ... — the first distance is 11, then exactly 10
+    // forever: pattern period 1, settled from instantiation 1.
+    const transient_result r = analyze_transient(c_oscillator_sg());
+    EXPECT_EQ(r.cycle_time, rational(10));
+    EXPECT_EQ(r.pattern_period, 1u);
+    EXPECT_EQ(r.settle_period, 1u);
+}
+
+TEST(Transient, MullerRingPatternSpansThreePeriods)
+{
+    // The 6,7,7-step pattern: occurrence times are NOT arithmetic with
+    // period 1 but are exactly periodic with epsilon = 3 (steps sum to 20).
+    const transient_result r = analyze_transient(muller_ring_sg());
+    EXPECT_EQ(r.cycle_time, rational(20, 3));
+    EXPECT_EQ(r.pattern_period, 3u);
+    EXPECT_LE(r.settle_period, 2u);
+}
+
+TEST(Transient, ImmediatelyPeriodicRing)
+{
+    // A bare two-event ring with one token has no transient at all.
+    sg_builder b;
+    b.marked_arc("x", "y", 3).arc("y", "x", 2);
+    const transient_result r = analyze_transient(b.build());
+    EXPECT_EQ(r.cycle_time, rational(5));
+    EXPECT_EQ(r.pattern_period, 1u);
+    EXPECT_EQ(r.settle_period, 0u);
+}
+
+TEST(Transient, LongStartupDelayCreatesTransient)
+{
+    // A huge one-shot start-up arc pushes the first occurrences far beyond
+    // the steady schedule; the pattern period stays 1 but settling takes at
+    // least one instantiation.
+    sg_builder b;
+    b.once_arc("go", "x", 100);
+    b.marked_arc("x", "y", 1).arc("y", "x", 1);
+    const transient_result r = analyze_transient(b.build());
+    EXPECT_EQ(r.cycle_time, rational(2));
+    EXPECT_GE(r.settle_period, 1u);
+}
+
+TEST(Transient, RandomGraphsSettleWithinHorizon)
+{
+    for (const std::uint64_t seed : {31u, 32u, 33u, 34u, 35u}) {
+        random_sg_options opts;
+        opts.events = 12;
+        opts.extra_arcs = 10;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const transient_result r = analyze_transient(sg);
+        EXPECT_GE(r.pattern_period, 1u);
+        EXPECT_LT(r.settle_period, r.horizon);
+    }
+}
+
+TEST(Transient, RejectsAcyclicAndTinyHorizons)
+{
+    sg_builder b;
+    b.arc("s", "t", 1);
+    EXPECT_THROW((void)analyze_transient(b.build()), error);
+    EXPECT_THROW((void)analyze_transient(c_oscillator_sg(), 2), error);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,138 @@
+// Unit tests for the Signal Graph unfolding (Section III.B, Figure 2b).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/oscillator.h"
+#include "graph/topo.h"
+#include "sg/builder.h"
+#include "sg/unfolding.h"
+
+namespace tsg {
+namespace {
+
+TEST(Unfolding, InstanceCounts)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 2);
+    // One-shot events e-, f- appear once; 6 repetitive events twice.
+    EXPECT_EQ(unf.dag().node_count(), 2u + 6u * 2u);
+    EXPECT_EQ(unf.periods(), 2u);
+}
+
+TEST(Unfolding, OneShotEventsHaveOneInstance)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 3);
+    const event_id e = sg.event_by_name("e-");
+    EXPECT_NE(unf.instance(e, 0), invalid_node);
+    EXPECT_EQ(unf.instance(e, 1), invalid_node);
+    const event_id a = sg.event_by_name("a+");
+    EXPECT_NE(unf.instance(a, 2), invalid_node);
+    EXPECT_EQ(unf.instance(a, 3), invalid_node);
+}
+
+TEST(Unfolding, IsAcyclic)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 4);
+    EXPECT_TRUE(is_acyclic(unf.dag()));
+}
+
+TEST(Unfolding, MarkedArcsCrossPeriods)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 3);
+    const event_id cm = sg.event_by_name("c-");
+    const event_id ap = sg.event_by_name("a+");
+    // The marked arc c- -> a+ must connect c-.i to a+.(i+1) — never within
+    // a period.
+    bool found_cross = false;
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a) {
+        const node_id u = unf.dag().from(a);
+        const node_id v = unf.dag().to(a);
+        if (unf.event_of(u) == cm && unf.event_of(v) == ap) {
+            EXPECT_EQ(unf.period_of(v), unf.period_of(u) + 1);
+            found_cross = true;
+        }
+    }
+    EXPECT_TRUE(found_cross);
+}
+
+TEST(Unfolding, DisengageableArcsAppearOnce)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 3);
+    const event_id e = sg.event_by_name("e-");
+    const event_id ap = sg.event_by_name("a+");
+    std::size_t count = 0;
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a)
+        if (unf.event_of(unf.dag().from(a)) == e && unf.event_of(unf.dag().to(a)) == ap)
+            ++count;
+    EXPECT_EQ(count, 1u); // only into a+.0
+}
+
+TEST(Unfolding, InitialInstancesMatchPaper)
+{
+    // I_u consists of the events from I plus repetitive events with all
+    // in-arcs initially marked.  For the oscillator: e- only (a+ has the
+    // unmarked crossed arc from e-, so it is constrained).
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 2);
+    const auto& init = unf.initial_instances();
+    ASSERT_EQ(init.size(), 1u);
+    EXPECT_EQ(unf.event_of(init[0]), sg.event_by_name("e-"));
+}
+
+TEST(Unfolding, AllMarkedInArcsMakeFirstInstanceInitial)
+{
+    // Ring a -> b -> a with both arcs marked: both first instantiations are
+    // unconstrained (in I_u).
+    sg_builder builder;
+    builder.marked_arc("a", "b", 1).marked_arc("b", "a", 1);
+    const signal_graph sg = builder.build();
+    const unfolding unf(sg, 2);
+    EXPECT_EQ(unf.initial_instances().size(), 2u);
+}
+
+TEST(Unfolding, Figure2bArcStructure)
+{
+    // Two periods of the oscillator unfolding: count arcs per kind.
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 2);
+    // 3 one-shot arcs (e-a+, e-f-, f-b+) + per full period 6 plain arcs,
+    // with 2 periods -> 12, + marked arcs crossing once (2).
+    EXPECT_EQ(unf.dag().arc_count(), 3u + 12u + 2u);
+}
+
+TEST(Unfolding, OriginalArcAndDelayRoundTrip)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 2);
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a) {
+        const arc_id orig = unf.original_arc(a);
+        EXPECT_EQ(unf.arc_delay(a), sg.arc(orig).delay);
+        EXPECT_EQ(unf.event_of(unf.dag().from(a)), sg.arc(orig).from);
+        EXPECT_EQ(unf.event_of(unf.dag().to(a)), sg.arc(orig).to);
+    }
+}
+
+TEST(Unfolding, InstanceNames)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const unfolding unf(sg, 2);
+    const node_id a1 = unf.instance(sg.event_by_name("a+"), 1);
+    EXPECT_EQ(unf.instance_name(a1), "a+.1");
+}
+
+TEST(Unfolding, RequiresFinalizedGraphAndPositivePeriods)
+{
+    signal_graph raw;
+    raw.add_event("a+");
+    EXPECT_THROW((void)unfolding(raw, 1), error);
+    const signal_graph sg = c_oscillator_sg();
+    EXPECT_THROW((void)unfolding(sg, 0), error);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,121 @@
+// Unit tests for the PRNG, string helpers and table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/prng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace tsg {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances)
+{
+    prng a(42);
+    prng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    prng a(1);
+    prng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Prng, UniformRespectsBounds)
+{
+    prng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit over 1000 draws
+    EXPECT_THROW(rng.uniform(2, 1), error);
+}
+
+TEST(Prng, Uniform01InRange)
+{
+    prng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Prng, ShuffleIsPermutation)
+{
+    prng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc \t\n"), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split)
+{
+    EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(split("").empty());
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(starts_with("hello", "he"));
+    EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(Strings, FormatDouble)
+{
+    EXPECT_EQ(format_double(6.6666666, 2), "6.67");
+    EXPECT_EQ(format_double(10.0, 2), "10");
+    EXPECT_EQ(format_double(9.50, 2), "9.5");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    text_table t;
+    t.set_header({"event", "t"});
+    t.add_row({"a+", "10"});
+    t.add_row({"b+.long", "8"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("event"), std::string::npos);
+    EXPECT_NE(out.find("b+.long"), std::string::npos);
+    // Every line under the rule starts at column 0 with the first cell.
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    text_table t;
+    t.set_header({"a"});
+    t.add_row({"1", "2", "3"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+} // namespace
+} // namespace tsg

@@ -1,0 +1,83 @@
+// Tests for the ASCII timing-diagram renderer (Figures 1c/1d).
+#include <gtest/gtest.h>
+
+#include "circuit/waveform.h"
+#include "gen/oscillator.h"
+#include "util/strings.h"
+
+namespace tsg {
+namespace {
+
+TEST(Waveform, EmptyScheduleHandled)
+{
+    EXPECT_EQ(render_schedule({}), "(no transitions)\n");
+}
+
+TEST(Waveform, SingleSignalShape)
+{
+    waveform_options opts;
+    opts.width = 20;
+    opts.show_axis = false;
+    const std::string out = render_schedule(
+        {{"x", true, 5.0}, {"x", false, 10.0}}, opts);
+    // One line: low, then '/', high run, then '\', low.
+    ASSERT_FALSE(out.empty());
+    EXPECT_NE(out.find('/'), std::string::npos);
+    EXPECT_NE(out.find('\\'), std::string::npos);
+    EXPECT_NE(out.find('_'), std::string::npos);
+    EXPECT_NE(out.find('~'), std::string::npos);
+    EXPECT_TRUE(starts_with(out, "x "));
+}
+
+TEST(Waveform, InitialLevelInferredFromFirstTransition)
+{
+    waveform_options opts;
+    opts.width = 16;
+    opts.show_axis = false;
+    const std::string falling_first = render_schedule({{"y", false, 8.0}}, opts);
+    // Before a falling transition the signal is high.
+    const std::size_t start = falling_first.find(' ') + 1;
+    EXPECT_EQ(falling_first[start], '~');
+}
+
+TEST(Waveform, OscillatorDiagramContainsAllSignals)
+{
+    const std::string out = render_timing_diagram(c_oscillator_sg(), 3);
+    for (const char* signal : {"a", "b", "c", "e", "f"})
+        EXPECT_NE(out.find(std::string(signal) + " "), std::string::npos) << signal;
+}
+
+TEST(Waveform, InitiatedDiagramOmitsUnreachedEvents)
+{
+    // Figure 1d: the a+-initiated diagram drops everything concurrent with
+    // or before a+0 (e, f never appear).
+    const std::string out = render_initiated_diagram(c_oscillator_sg(), "a+", 3);
+    EXPECT_EQ(out.find("e "), std::string::npos);
+    EXPECT_EQ(out.find("f "), std::string::npos);
+    EXPECT_NE(out.find("a "), std::string::npos);
+    EXPECT_NE(out.find("c "), std::string::npos);
+}
+
+TEST(Waveform, AxisRendersTicks)
+{
+    waveform_options opts;
+    opts.width = 32;
+    const std::string out = render_schedule({{"x", true, 10.0}}, opts);
+    EXPECT_NE(out.find('|'), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Waveform, WidthIsRespected)
+{
+    waveform_options opts;
+    opts.width = 24;
+    opts.show_axis = false;
+    const std::string out =
+        render_schedule({{"sig", true, 1.0}, {"sig", false, 2.0}}, opts);
+    // line = "sig " + 24 columns + "\n"
+    const std::size_t line_len = out.find('\n');
+    EXPECT_EQ(line_len, 4u + 24u);
+}
+
+} // namespace
+} // namespace tsg
