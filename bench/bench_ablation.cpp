@@ -13,6 +13,8 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/cycle_time.h"
 #include "core/event_initiated.h"
 #include "gen/random_sg.h"
@@ -72,8 +74,9 @@ rational cycle_time_explicit_unfolding(const signal_graph& sg)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    tsg_bench::bench_reporter report(argc, argv);
     std::cout << "============================================================\n"
               << " Ablations: cut-set choice, horizon bound, streaming engine\n"
               << "============================================================\n\n";
@@ -93,14 +96,15 @@ int main()
         const rational naive = cycle_time_all_origins(sparse_border, b);
         text_table t;
         t.set_header({"origins", "cycle time", "time (ms)"});
+        const double t_border = time_ms([&] { (void)analyze_cycle_time(sparse_border); });
+        const double t_all = time_ms([&] { (void)cycle_time_all_origins(sparse_border, b); });
+        report.record("a1_border_origins_ms", t_border);
+        report.record("a1_all_origins_ms", t_all);
         t.add_row({"border events only (b=" + std::to_string(b) + ", the paper)",
-                   reference.str(),
-                   format_double(time_ms([&] { (void)analyze_cycle_time(sparse_border); }), 3)});
+                   reference.str(), format_double(t_border, 3)});
         t.add_row({"every repetitive event (n=" +
                        std::to_string(sparse_border.repetitive_events().size()) + ")",
-                   naive.str(),
-                   format_double(
-                       time_ms([&] { (void)cycle_time_all_origins(sparse_border, b); }), 3)});
+                   naive.str(), format_double(t_all, 3)});
         std::cout << "== A1: cut-set choice (random graph, n=400, m=800, b<<n) ==\n"
                   << t.str() << "\n";
     }
@@ -156,13 +160,17 @@ int main()
     {
         const rational streamed = analyze_cycle_time(sparse_border).cycle_time;
         const rational explicit_unf = cycle_time_explicit_unfolding(sparse_border);
+        const double t_streamed = time_ms([&] { (void)analyze_cycle_time(sparse_border); });
+        const double t_explicit =
+            time_ms([&] { (void)cycle_time_explicit_unfolding(sparse_border); });
+        report.record("a3_streamed_ms", t_streamed);
+        report.record("a3_explicit_unfolding_ms", t_explicit);
         text_table t;
         t.set_header({"engine", "cycle time", "time (ms)"});
         t.add_row({"streamed core sweeps (rolling rows)", streamed.str(),
-                   format_double(time_ms([&] { (void)analyze_cycle_time(sparse_border); }), 3)});
+                   format_double(t_streamed, 3)});
         t.add_row({"explicit unfolding + DAG longest paths", explicit_unf.str(),
-                   format_double(
-                       time_ms([&] { (void)cycle_time_explicit_unfolding(sparse_border); }), 3)});
+                   format_double(t_explicit, 3)});
         std::cout << "== A3: simulation engine ==\n" << t.str() << "\n";
     }
     return 0;

@@ -3,13 +3,16 @@
 // time as their maximum.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "gen/oscillator.h"
 #include "ratio/exhaustive.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace tsg;
+    tsg_bench::bench_reporter report(argc, argv);
 
     std::cout << "============================================================\n"
               << " E5 | Examples 5-6: simple cycles of the oscillator TSG\n"
@@ -39,5 +42,7 @@ int main()
     std::cout << "cycle time (max effective length) = " << result.ratio.str()
               << "   [paper: 10]\n";
     std::cout << "simple cycles found = " << result.cycles.size() << "   [paper: 4]\n";
+    report.record("cycle_time", result.ratio.str());
+    report.record("simple_cycles", static_cast<double>(result.cycles.size()), "count");
     return 0;
 }

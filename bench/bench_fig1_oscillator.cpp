@@ -4,6 +4,8 @@
 // Paper: Nielsen & Kishinevsky, DAC'94, Sections II-IV.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "circuit/extraction.h"
 #include "circuit/netlist_io.h"
 #include "circuit/waveform.h"
@@ -78,8 +80,9 @@ void print_example4(const signal_graph& sg)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    tsg_bench::bench_reporter report(argc, argv);
     std::cout << "============================================================\n"
               << " E1-E4 | Figure 1 / Figure 2 / Examples 3-4 reproduction\n"
               << " Nielsen & Kishinevsky, DAC'94 — C-element oscillator\n"
@@ -108,5 +111,9 @@ int main()
               << render_timing_diagram(sg, 3, wave) << "\n";
     std::cout << "== Figure 1d: a+-initiated timing diagram ==\n"
               << render_initiated_diagram(sg, "a+", 3, wave) << "\n";
+
+    report.record("unfolding_2_instances", static_cast<double>(unf2.dag().node_count()),
+                  "count");
+    report.record("unfolding_2_arcs", static_cast<double>(unf2.dag().arc_count()), "count");
     return 0;
 }

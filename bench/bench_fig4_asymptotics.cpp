@@ -7,14 +7,17 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/cycle_time.h"
 #include "gen/oscillator.h"
 #include "util/strings.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace tsg;
+    tsg_bench::bench_reporter report(argc, argv);
 
     std::cout << "============================================================\n"
               << " E8 | Figure 4: delta series on vs. off the critical cycle\n"
@@ -57,5 +60,7 @@ int main()
     std::cout << "\nParaphrasing Fig. 4: the on-critical event sits at the cycle time\n"
               << "every period; the off-critical event climbs towards it and never\n"
               << "reaches it (Proposition 8).\n";
+    report.record("cycle_time", result.cycle_time.str());
+    report.record("horizon", static_cast<double>(horizon), "periods");
     return 0;
 }

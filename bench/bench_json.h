@@ -1,0 +1,103 @@
+// Machine-readable results for the bench binaries.
+//
+// Every bench accepts `--json <path>`; metrics recorded through
+// bench_reporter are then written as a JSON document so benchmark
+// trajectories can be collected across commits without scraping the
+// human-oriented tables:
+//
+//   { "benchmark": "bench_ablation",
+//     "results": [ {"name": "...", "value": 1.25, "unit": "ms"}, ... ] }
+//
+// Header-only and dependency-free on purpose: the table benches are plain
+// mains (bench_scaling goes through google-benchmark's own --benchmark_out
+// translation instead).
+#ifndef TSG_BENCH_BENCH_JSON_H
+#define TSG_BENCH_BENCH_JSON_H
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tsg_bench {
+
+class bench_reporter {
+public:
+    bench_reporter(int argc, char** argv)
+    {
+        if (argc > 0) {
+            name_ = argv[0];
+            const std::size_t slash = name_.find_last_of('/');
+            if (slash != std::string::npos) name_ = name_.substr(slash + 1);
+        }
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) != "--json") continue;
+            if (i + 1 < argc)
+                path_ = argv[i + 1];
+            else
+                std::cerr << "bench_reporter: --json requires a path argument\n";
+        }
+    }
+
+    /// Numeric metric (timings, counts, ...).
+    void record(const std::string& name, double value, const std::string& unit = "ms")
+    {
+        std::ostringstream row;
+        row.precision(std::numeric_limits<double>::max_digits10); // round-trip exact
+        row << "{\"name\": " << quote(name) << ", \"value\": " << value
+            << ", \"unit\": " << quote(unit) << "}";
+        rows_.push_back(row.str());
+    }
+
+    /// Textual metric (exact rationals, verdicts, ...).
+    void record(const std::string& name, const std::string& value)
+    {
+        rows_.push_back("{\"name\": " + quote(name) + ", \"value\": " + quote(value) + "}");
+    }
+
+    ~bench_reporter()
+    {
+        if (path_.empty()) return;
+        std::ofstream out(path_);
+        if (!out) {
+            std::cerr << "bench_reporter: cannot write " << path_ << "\n";
+            return;
+        }
+        out << "{\n  \"benchmark\": " << quote(name_) << ",\n  \"results\": [\n";
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            out << "    " << rows_[i] << (i + 1 < rows_.size() ? "," : "") << "\n";
+        out << "  ]\n}\n";
+    }
+
+private:
+    static std::string quote(const std::string& s)
+    {
+        std::ostringstream out;
+        out << '"';
+        for (const char c : s) {
+            const auto u = static_cast<unsigned char>(c);
+            if (c == '"' || c == '\\')
+                out << '\\' << c;
+            else if (c == '\n')
+                out << "\\n";
+            else if (u < 0x20) // all other control characters
+                out << "\\u" << std::hex << std::setfill('0') << std::setw(4)
+                    << static_cast<unsigned>(u) << std::dec;
+            else
+                out << c;
+        }
+        out << '"';
+        return out.str();
+    }
+
+    std::string name_ = "bench";
+    std::string path_;
+    std::vector<std::string> rows_;
+};
+
+} // namespace tsg_bench
+
+#endif // TSG_BENCH_BENCH_JSON_H

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/cycle_time.h"
 #include "gen/stack.h"
 #include "ratio/howard.h"
@@ -34,9 +36,10 @@ double time_ms(F&& run, int repeats)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace tsg;
+    tsg_bench::bench_reporter report(argc, argv);
 
     std::cout << "============================================================\n"
               << " E10 | Section VIII.B: 66-event / 112-arc analysis runtime\n"
@@ -50,17 +53,28 @@ int main()
     const ratio_problem problem = make_ratio_problem(sg);
     const cycle_time_result reference = analyze_cycle_time(sg);
 
+    const double t_sim = time_ms([&] { (void)analyze_cycle_time(sg); }, 20);
+    const double t_karp = time_ms([&] { (void)max_cycle_ratio_karp(problem); }, 20);
+    const double t_lawler = time_ms([&] { (void)max_cycle_ratio_lawler(problem); }, 20);
+    const double t_howard = time_ms([&] { (void)max_cycle_ratio_howard(problem); }, 20);
+
     text_table t;
     t.set_header({"algorithm", "cycle time", "time (ms)"});
     t.add_row({"timing simulation (this paper, O(b^2 m))", reference.cycle_time.str(),
-               format_double(time_ms([&] { (void)analyze_cycle_time(sg); }, 20), 3)});
+               format_double(t_sim, 3)});
     t.add_row({"Karp (token graph)", max_cycle_ratio_karp(problem).str(),
-               format_double(time_ms([&] { (void)max_cycle_ratio_karp(problem); }, 20), 3)});
+               format_double(t_karp, 3)});
     t.add_row({"Lawler (parametric)", max_cycle_ratio_lawler(problem).ratio.str(),
-               format_double(time_ms([&] { (void)max_cycle_ratio_lawler(problem); }, 20), 3)});
+               format_double(t_lawler, 3)});
     t.add_row({"Howard (policy iteration)", max_cycle_ratio_howard(problem).ratio.str(),
-               format_double(time_ms([&] { (void)max_cycle_ratio_howard(problem); }, 20), 3)});
+               format_double(t_howard, 3)});
     std::cout << t.str() << "\n";
+
+    report.record("cycle_time", reference.cycle_time.str());
+    report.record("timing_simulation_ms", t_sim);
+    report.record("karp_ms", t_karp);
+    report.record("lawler_ms", t_lawler);
+    report.record("howard_ms", t_howard);
 
     std::cout << "paper reference point: 74 CPU ms on a DEC 5000 (1994).\n"
               << "Absolute numbers are incomparable across 30 years of hardware; the\n"

@@ -11,6 +11,9 @@
 // and run the three polynomial baselines on the same instances.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "circuit/extraction.h"
 #include "core/cycle_time.h"
 #include "gen/muller.h"
@@ -88,6 +91,48 @@ void BM_TimingSimulation_LargeBorder(benchmark::State& state)
 BENCHMARK(BM_TimingSimulation_LargeBorder)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 
+// Compile-once / analyze-many: the compiled_graph snapshot amortizes the
+// CSR + topo + fixed-point build across repeated analyses.
+void BM_CompiledCycleTime_SmallBorder(benchmark::State& state)
+{
+    const signal_graph sg =
+        random_graph(static_cast<std::uint32_t>(state.range(0)), /*border_limit=*/4);
+    const compiled_graph cg(sg);
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(cg).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_CompiledCycleTime_SmallBorder)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Parallel border runs: max_threads = 1 (serial) vs 0 (hardware).  On a
+// multi-core host the LargeBorder configuration (b ~ n/2 independent runs)
+// scales with the thread count; results are bit-identical either way.
+void BM_CycleTime_LargeBorder_Serial(benchmark::State& state)
+{
+    const signal_graph sg =
+        random_graph(static_cast<std::uint32_t>(state.range(0)), /*border_limit=*/0);
+    const compiled_graph cg(sg);
+    analysis_options opts;
+    opts.max_threads = 1;
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(cg, opts).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_CycleTime_LargeBorder_Serial)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CycleTime_LargeBorder_Parallel(benchmark::State& state)
+{
+    const signal_graph sg =
+        random_graph(static_cast<std::uint32_t>(state.range(0)), /*border_limit=*/0);
+    const compiled_graph cg(sg);
+    analysis_options opts;
+    opts.max_threads = 0; // one thread per hardware thread
+    for (auto _ : state) benchmark::DoNotOptimize(analyze_cycle_time(cg, opts).cycle_time);
+    report_shape(state, sg);
+}
+BENCHMARK(BM_CycleTime_LargeBorder_Parallel)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Karp_SmallBorder(benchmark::State& state)
 {
     const ratio_problem p =
@@ -131,4 +176,28 @@ BENCHMARK(BM_Extraction_MullerRing)->Arg(5)->Arg(15)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Same CLI contract as the table benches: `--json <path>` emits machine-
+// readable results, translated onto google-benchmark's reporter flags.
+int main(int argc, char** argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+            args.push_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    std::vector<char*> argv2;
+    argv2.reserve(args.size());
+    for (std::string& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

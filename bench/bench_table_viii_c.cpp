@@ -5,6 +5,8 @@
 // below (Proposition 8).
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/cycle_time.h"
 #include "gen/oscillator.h"
 #include "util/strings.h"
@@ -21,8 +23,9 @@ std::string opt_str(const std::optional<rational>& v)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    tsg_bench::bench_reporter report(argc, argv);
     std::cout << "============================================================\n"
               << " E6-E7 | Section VIII.C: C-element oscillator analysis\n"
               << "============================================================\n\n";
@@ -96,5 +99,8 @@ int main()
     }
     std::cout << "== Off-critical series (Prop. 8): approaches 10 from below ==\n"
               << inf.str();
+    report.record("cycle_time", result.cycle_time.str());
+    report.record("delta_a_1", opt_str(a_run->deltas[0]));
+    report.record("delta_b_1", opt_str(b_run->deltas[0]));
     return 0;
 }

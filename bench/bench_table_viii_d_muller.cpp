@@ -3,15 +3,18 @@
 // per-period distances, running averages, and the cycle time 20/3.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "circuit/extraction.h"
 #include "core/cycle_time.h"
 #include "gen/muller.h"
 #include "util/strings.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace tsg;
+    tsg_bench::bench_reporter report(argc, argv);
 
     std::cout << "============================================================\n"
               << " E9 | Section VIII.D: Muller ring with five C-elements\n"
@@ -63,5 +66,8 @@ int main()
               << " periods from each of " << result.border_count
               << " border events (paper: 4 periods, 4 events; minimum cut set\n"
               << "needs just 1 element, e.g. {c+})\n";
+    report.record("cycle_time", result.cycle_time.str());
+    report.record("border_events", static_cast<double>(result.border_count), "count");
+    report.record("periods_used", static_cast<double>(result.periods_used), "periods");
     return 0;
 }

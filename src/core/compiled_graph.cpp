@@ -1,0 +1,129 @@
+#include "core/compiled_graph.h"
+
+#include <limits>
+#include <numeric>
+
+#include "graph/topo.h"
+
+namespace tsg {
+
+namespace {
+
+/// The fixed-point scale is capped so that period-count * scale products
+/// (delta denominators) and scaled Bellman-Ford potentials stay far from
+/// the int64 edge.
+constexpr std::int64_t max_scale = std::numeric_limits<std::int32_t>::max();
+
+/// Ceiling on the per-sweep period budget; beyond this the unfolding would
+/// be astronomically larger than any bound the analyses use (periods are
+/// bounded by the border size, itself at most the event count).
+constexpr std::uint32_t max_period_limit = 1u << 20;
+
+} // namespace
+
+compiled_graph::compiled_graph(const signal_graph& sg, compile_options options) : sg_(&sg)
+{
+    require(sg.finalized(), "compiled_graph: graph must be finalized");
+
+    structure_ = csr_graph(sg.structure());
+    delay_.reserve(sg.arc_count());
+    for (arc_id a = 0; a < sg.arc_count(); ++a) delay_.push_back(sg.arc(a).delay);
+
+    if (options.use_fixed_point) compile_fixed_point();
+
+    if (sg.repetitive_events().empty())
+        acyclic_order_ = topological_order(structure_);
+    else
+        compile_core();
+}
+
+void compiled_graph::compile_fixed_point()
+{
+    // L = lcm of all delay denominators, abandoned past max_scale.
+    std::int64_t scale = 1;
+    for (const rational& d : delay_) {
+        const std::int64_t den = d.den();
+        const std::int64_t g = std::gcd(scale, den);
+        const int128 candidate = static_cast<int128>(scale / g) * den;
+        if (candidate > max_scale) return; // domain disabled (scale_ stays 0)
+        scale = static_cast<std::int64_t>(candidate);
+    }
+
+    // Scaled delays d * L, all exact integers; track the total mass to
+    // bound how many periods a sweep may accumulate without overflow.
+    std::vector<std::int64_t> scaled;
+    scaled.reserve(delay_.size());
+    int128 total = 0;
+    for (const rational& d : delay_) {
+        const int128 v = static_cast<int128>(d.num()) * (scale / d.den());
+        if (v > std::numeric_limits<std::int64_t>::max()) return;
+        scaled.push_back(static_cast<std::int64_t>(v));
+        total += v; // delays are >= 0 (validated by signal_graph)
+    }
+
+    // Any longest path in a P-period sweep traverses each arc at most P + 1
+    // times, so its scaled length is bounded by (P + 1) * total.  Keep that
+    // product (and everything derived from it) well inside int64.
+    const int128 budget = std::numeric_limits<std::int64_t>::max() / 4;
+    const int128 limit = total == 0 ? max_period_limit : budget / total;
+    if (limit < 2) return; // too heavy even for single-period sweeps
+    period_limit_ = static_cast<std::uint32_t>(
+        std::min<int128>(limit, max_period_limit));
+    scale_ = scale;
+    scaled_delay_ = std::move(scaled);
+}
+
+void compiled_graph::compile_core()
+{
+    const signal_graph& sg = *sg_;
+    core_view core;
+
+    core.event_node.assign(sg.event_count(), invalid_node);
+    core.node_event.reserve(sg.repetitive_events().size());
+    for (const event_id e : sg.repetitive_events()) {
+        // repetitive_events() is in increasing event order, so core node
+        // numbering matches signal_graph::repetitive_core() exactly.
+        core.event_node[e] = core.graph.add_node();
+        core.node_event.push_back(e);
+    }
+
+    std::size_t core_arcs = 0;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        if (core.event_node[arc.from] != invalid_node &&
+            core.event_node[arc.to] != invalid_node)
+            ++core_arcs;
+    }
+    core.graph.reserve(core.node_event.size(), core_arcs);
+    core.arc_original.reserve(core_arcs);
+    core.delay.reserve(core_arcs);
+    core.token.reserve(core_arcs);
+    if (fixed_point()) core.scaled_delay.reserve(core_arcs);
+
+    std::vector<bool> token_free;
+    token_free.reserve(core_arcs);
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        const node_id u = core.event_node[arc.from];
+        const node_id v = core.event_node[arc.to];
+        if (u == invalid_node || v == invalid_node) continue;
+        const arc_id core_arc = core.graph.add_arc(u, v);
+        core.arc_original.push_back(a);
+        core.delay.push_back(arc.delay);
+        if (fixed_point()) core.scaled_delay.push_back(scaled_delay_[a]);
+        core.token.push_back(arc.marked ? 1 : 0);
+        if (arc.marked) core.token_arcs.push_back(core_arc);
+        token_free.push_back(!arc.marked);
+    }
+
+    core.graph.freeze(); // the snapshot is shared across sweep threads
+
+    const auto order = topological_order_filtered(core.graph, token_free);
+    ensure(order.has_value(),
+           "compiled_graph: token-free core subgraph has a cycle (not live)");
+    core.topo = *order;
+
+    core_ = std::move(core);
+}
+
+} // namespace tsg

@@ -1,0 +1,137 @@
+// Compiled analysis snapshot of a Timed Signal Graph — the shared timing
+// kernel every analysis layer runs on.
+//
+// A finalized signal_graph is a construction-friendly object: per-node
+// adjacency vectors and exact rational delays.  Both are hostile to the
+// analysis hot loops, which are longest-path sweeps that touch every arc
+// many times (the cycle-time algorithm alone is O(b^2 m)).  compile()-ing
+// the graph once produces:
+//
+//   * CSR out/in adjacency of the whole structure (flat arrays, no
+//     per-node heap vectors), with node ids == event ids and arc ids ==
+//     signal-graph arc ids;
+//   * the repetitive-core view in CSR form, plus a precomputed topological
+//     order of its token-free subgraph (the per-period sweep order) — and,
+//     for acyclic graphs, a topological order of the whole structure (the
+//     PERT sweep order);
+//   * a fixed-point delay domain: the LCM L of all delay denominators,
+//     with every arc delay stored as the exact integer delay * L.  Hot
+//     loops then do int64 additions instead of rational normalizations and
+//     results convert back to exact rationals at the boundary (value / L)
+//     — bit-identical to the rational computation because scaling by L > 0
+//     preserves order and exactness.  When L or a scaled delay would
+//     overflow the guarded 64-bit budget, the domain is disabled and every
+//     consumer transparently falls back to rational arithmetic.
+//
+// The snapshot is immutable and safe to share across threads (the parallel
+// border runs of analyze_cycle_time do exactly that).  It keeps a pointer
+// to the source graph, which must outlive it.
+#ifndef TSG_CORE_COMPILED_GRAPH_H
+#define TSG_CORE_COMPILED_GRAPH_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.h"
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct compile_options {
+    /// Allow the scaled-int64 delay domain.  Disabling forces the exact
+    /// rational path everywhere; used by tests to A/B the two domains.
+    bool use_fixed_point = true;
+};
+
+class compiled_graph {
+public:
+    /// Compiles a finalized graph.  O(n + m).
+    explicit compiled_graph(const signal_graph& sg, compile_options options = {});
+
+    [[nodiscard]] const signal_graph& source() const noexcept { return *sg_; }
+
+    // --- whole-graph snapshot --------------------------------------------
+
+    /// CSR structure; node ids are event ids, arc ids are sg arc ids.
+    [[nodiscard]] const csr_graph& structure() const noexcept { return structure_; }
+
+    /// Exact delay per arc (same indexing as signal_graph arcs).
+    [[nodiscard]] const std::vector<rational>& delay() const noexcept { return delay_; }
+
+    /// Topological order of the whole structure; present only when the
+    /// graph is acyclic (the PERT domain).
+    [[nodiscard]] const std::optional<std::vector<node_id>>& acyclic_order() const noexcept
+    {
+        return acyclic_order_;
+    }
+
+    // --- fixed-point delay domain ----------------------------------------
+
+    /// True when the scaled-int64 domain is available.
+    [[nodiscard]] bool fixed_point() const noexcept { return scale_ != 0; }
+
+    /// The scaling factor L (LCM of all delay denominators); 0 when the
+    /// fixed-point domain is disabled.
+    [[nodiscard]] std::int64_t scale() const noexcept { return scale_; }
+
+    /// delay * L per arc; valid only when fixed_point().
+    [[nodiscard]] const std::vector<std::int64_t>& scaled_delay() const noexcept
+    {
+        return scaled_delay_;
+    }
+
+    /// Exact conversion back out of the fixed-point domain.
+    [[nodiscard]] rational unscale(std::int64_t scaled) const { return {scaled, scale_}; }
+
+    /// True when `periods` unfolding periods can be swept in int64 without
+    /// any path sum overflowing (conservative bound over the total scaled
+    /// delay mass).
+    [[nodiscard]] bool fixed_point_for_periods(std::uint32_t periods) const noexcept
+    {
+        return fixed_point() && periods < period_limit_;
+    }
+
+    // --- repetitive core --------------------------------------------------
+
+    struct core_view {
+        csr_graph graph;                       ///< CSR core, re-indexed nodes
+        std::vector<event_id> node_event;      ///< core node -> event
+        std::vector<node_id> event_node;       ///< event -> core node or invalid_node
+        std::vector<arc_id> arc_original;      ///< core arc -> sg arc
+        std::vector<rational> delay;           ///< per core arc
+        std::vector<std::int64_t> scaled_delay;///< per core arc; valid when fixed_point()
+        std::vector<std::uint8_t> token;       ///< per core arc, 0 or 1
+        std::vector<arc_id> token_arcs;        ///< core arcs carrying a token
+        std::vector<node_id> topo;             ///< token-free topological order
+    };
+
+    [[nodiscard]] bool has_core() const noexcept { return core_.has_value(); }
+
+    /// The compiled repetitive core; throws tsg::error on acyclic graphs.
+    [[nodiscard]] const core_view& core() const
+    {
+        require(core_.has_value(), "compiled_graph: graph has no repetitive core");
+        return *core_;
+    }
+
+private:
+    void compile_fixed_point();
+    void compile_core();
+
+    const signal_graph* sg_;
+    csr_graph structure_;
+    std::vector<rational> delay_;
+    std::optional<std::vector<node_id>> acyclic_order_;
+
+    std::int64_t scale_ = 0;
+    std::vector<std::int64_t> scaled_delay_;
+    std::uint32_t period_limit_ = 0; ///< sweeps with periods < limit are safe
+
+    std::optional<core_view> core_;
+};
+
+} // namespace tsg
+
+#endif // TSG_CORE_COMPILED_GRAPH_H

@@ -2,71 +2,65 @@
 
 #include <algorithm>
 
-#include "graph/topo.h"
 #include "sg/cut_set.h"
+#include "util/parallel.h"
 
 namespace tsg {
 
 namespace {
 
-/// The repetitive core prepared for streamed per-period longest-path
-/// sweeps: arc delays/tokens by core arc id and a topological order of the
-/// token-free subgraph (acyclic by liveness).
-struct core_model {
-    signal_graph::core_view view;
-    std::vector<rational> delay;     ///< per core arc
-    std::vector<std::uint8_t> token; ///< per core arc, 0 or 1
-    std::vector<node_id> topo;       ///< token-free topological order
+using core_view = compiled_graph::core_view;
+
+// The per-period sweep is identical in both delay domains; only the value
+// type and the conversion back to exact rationals differ.  Scaling by the
+// positive LCM preserves order and exactness, so every argmax (and thus
+// every predecessor chain and delta) matches the rational computation
+// bit for bit.
+struct rational_domain {
+    using value_type = rational;
+    const std::vector<rational>& delay;
+    [[nodiscard]] rational to_rational(const rational& v) const { return v; }
 };
 
-core_model build_core(const signal_graph& sg)
-{
-    core_model core;
-    core.view = sg.repetitive_core();
-    const std::size_t m = core.view.graph.arc_count();
-    core.delay.resize(m);
-    core.token.resize(m);
-    std::vector<bool> token_free(m, false);
-    for (arc_id a = 0; a < m; ++a) {
-        const arc_info& info = sg.arc(core.view.arc_original[a]);
-        core.delay[a] = info.delay;
-        core.token[a] = info.marked ? 1 : 0;
-        token_free[a] = !info.marked;
-    }
-    const auto order = topological_order_filtered(core.view.graph, token_free);
-    ensure(order.has_value(), "cycle_time: token-free core subgraph has a cycle (not live)");
-    core.topo = *order;
-    return core;
-}
+struct fixed_domain {
+    using value_type = std::int64_t;
+    const std::vector<std::int64_t>& delay;
+    std::int64_t scale;
+    [[nodiscard]] rational to_rational(std::int64_t v) const { return {v, scale}; }
+};
 
 /// One event-initiated simulation streamed over `periods` periods.
+template <typename Value>
 struct sweep_result {
     /// t_{e0}(origin_i) for i = 0..periods; nullopt when unreached.
-    std::vector<std::optional<rational>> origin_times;
+    std::vector<std::optional<Value>> origin_times;
     /// Captured matrices, flattened [period * n + node]; empty unless
     /// requested.  pred is the arg-max core arc into (period, node).
-    std::vector<rational> time;
+    std::vector<Value> time;
     std::vector<bool> reached;
     std::vector<arc_id> pred;
     bool captured = false;
 };
 
-sweep_result run_sweep(const core_model& core, node_id origin, std::uint32_t periods,
-                       bool capture)
+template <typename Domain>
+sweep_result<typename Domain::value_type> run_sweep(const core_view& core,
+                                                    const Domain& domain, node_id origin,
+                                                    std::uint32_t periods, bool capture)
 {
-    const std::size_t n = core.view.graph.node_count();
-    sweep_result out;
+    using Value = typename Domain::value_type;
+    const std::size_t n = core.graph.node_count();
+    sweep_result<Value> out;
     out.origin_times.assign(periods + 1, std::nullopt);
     out.captured = capture;
     if (capture) {
-        out.time.assign((periods + 1) * n, rational(0));
+        out.time.assign((periods + 1) * n, Value{});
         out.reached.assign((periods + 1) * n, false);
         out.pred.assign((periods + 1) * n, invalid_arc);
     }
 
     // Rolling rows: the previous and current period.
-    std::vector<rational> t_prev(n, rational(0));
-    std::vector<rational> t_cur(n, rational(0));
+    std::vector<Value> t_prev(n, Value{});
+    std::vector<Value> t_cur(n, Value{});
     std::vector<bool> r_prev(n, false);
     std::vector<bool> r_cur(n, false);
 
@@ -77,18 +71,17 @@ sweep_result run_sweep(const core_model& core, node_id origin, std::uint32_t per
 
         // Seed: the initiating instantiation occurs at time 0.
         if (i == 0) {
-            t_cur[origin] = rational(0);
+            t_cur[origin] = Value{};
             r_cur[origin] = true;
         }
 
         // Cross-period arcs (one token): sources live in period i-1.
         if (i > 0) {
-            for (arc_id a = 0; a < core.view.graph.arc_count(); ++a) {
-                if (core.token[a] == 0) continue;
-                const node_id u = core.view.graph.from(a);
+            for (const arc_id a : core.token_arcs) {
+                const node_id u = core.graph.from(a);
                 if (!r_prev[u]) continue;
-                const node_id v = core.view.graph.to(a);
-                const rational candidate = t_prev[u] + core.delay[a];
+                const node_id v = core.graph.to(a);
+                const Value candidate = t_prev[u] + domain.delay[a];
                 if (!r_cur[v] || candidate > t_cur[v]) {
                     t_cur[v] = candidate;
                     r_cur[v] = true;
@@ -100,10 +93,10 @@ sweep_result run_sweep(const core_model& core, node_id origin, std::uint32_t per
         // In-period (token-free) arcs, relaxed in topological order.
         for (const node_id v : core.topo) {
             if (!r_cur[v]) continue;
-            for (const arc_id a : core.view.graph.out_arcs(v)) {
+            for (const arc_id a : core.graph.out_arcs(v)) {
                 if (core.token[a] != 0) continue;
-                const node_id w = core.view.graph.to(a);
-                const rational candidate = t_cur[v] + core.delay[a];
+                const node_id w = core.graph.to(a);
+                const Value candidate = t_cur[v] + domain.delay[a];
                 if (!r_cur[w] || candidate > t_cur[w]) {
                     t_cur[w] = candidate;
                     r_cur[w] = true;
@@ -126,6 +119,43 @@ sweep_result run_sweep(const core_model& core, node_id origin, std::uint32_t per
     return out;
 }
 
+/// One full border run: the streamed simulation plus the collected deltas
+/// (and the t_{e0}(f_i) tables when requested).  Independent of every other
+/// run — this is the unit the thread pool executes.
+template <typename Domain>
+border_run simulate_origin(const core_view& core, const Domain& domain,
+                           event_id origin_event, std::uint32_t periods, bool record_tables,
+                           std::size_t event_count)
+{
+    const node_id origin = core.event_node[origin_event];
+    ensure(origin != invalid_node, "analyze_cycle_time: border event outside the core");
+
+    const auto sweep = run_sweep(core, domain, origin, periods, record_tables);
+
+    border_run run;
+    run.origin = origin_event;
+    run.deltas.resize(periods);
+    for (std::uint32_t i = 1; i <= periods; ++i) {
+        if (!sweep.origin_times[i]) continue;
+        const rational delta = domain.to_rational(*sweep.origin_times[i]) / rational(i);
+        run.deltas[i - 1] = delta;
+        if (!run.best_delta || delta > *run.best_delta) {
+            run.best_delta = delta;
+            run.best_period = i;
+        }
+    }
+    if (record_tables) {
+        const std::size_t n = core.graph.node_count();
+        run.times.assign(periods + 1, std::vector<std::optional<rational>>(event_count));
+        for (std::uint32_t i = 0; i <= periods; ++i)
+            for (node_id v = 0; v < n; ++v)
+                if (sweep.reached[i * n + v])
+                    run.times[i][core.node_event[v]] =
+                        domain.to_rational(sweep.time[i * n + v]);
+    }
+    return run;
+}
+
 /// Extracts from the unfolded critical cycle (origin_0 ~> origin_i*) a
 /// *simple* cycle whose ratio equals lambda.  The closed walk decomposes
 /// into simple cycles; their delay/token totals average to lambda and no
@@ -134,10 +164,10 @@ struct peeled_cycle {
     std::vector<arc_id> core_arcs; ///< in causal order
 };
 
-peeled_cycle peel_critical_cycle(const core_model& core, const std::vector<arc_id>& walk,
+peeled_cycle peel_critical_cycle(const core_view& core, const std::vector<arc_id>& walk,
                                  const rational& lambda)
 {
-    const std::size_t n = core.view.graph.node_count();
+    const std::size_t n = core.graph.node_count();
     std::vector<int> stack_pos(n, -1);
     struct entry {
         arc_id arc;    ///< arc leading *into* node
@@ -145,12 +175,12 @@ peeled_cycle peel_critical_cycle(const core_model& core, const std::vector<arc_i
     };
     std::vector<entry> stack;
 
-    const node_id start = core.view.graph.from(walk.front());
+    const node_id start = core.graph.from(walk.front());
     stack.push_back({invalid_arc, start});
     stack_pos[start] = 0;
 
     for (const arc_id a : walk) {
-        const node_id v = core.view.graph.to(a);
+        const node_id v = core.graph.to(a);
         if (stack_pos[v] >= 0) {
             // Closed a simple sub-cycle: stack[stack_pos[v]+1 .. end] + a.
             rational delay(0);
@@ -180,89 +210,46 @@ peeled_cycle peel_critical_cycle(const core_model& core, const std::vector<arc_i
     return {};
 }
 
-} // namespace
-
-std::vector<event_id> cycle_time_result::critical_border_events() const
+template <typename Domain>
+cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& domain,
+                                      const std::vector<event_id>& border,
+                                      std::uint32_t periods, const analysis_options& options)
 {
-    std::vector<event_id> out;
-    for (const border_run& run : runs)
-        if (run.critical) out.push_back(run.origin);
-    return out;
-}
-
-std::size_t occurrence_period_bound(const signal_graph& sg)
-{
-    return sg.border_events().size();
-}
-
-cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_options& options)
-{
-    require(sg.finalized(), "analyze_cycle_time: graph must be finalized");
-    require(!sg.repetitive_events().empty(),
-            "analyze_cycle_time: graph has no repetitive events (acyclic — use analyze_pert)");
-
-    const core_model core = build_core(sg);
-    std::vector<event_id> border = options.origins.empty() ? sg.border_events()
-                                                           : options.origins;
-    ensure(!sg.border_events().empty(), "analyze_cycle_time: live graph with empty border set");
-    if (!options.origins.empty()) {
-        for (const event_id e : options.origins)
-            require(e < sg.event_count() && sg.is_repetitive(e),
-                    "analyze_cycle_time: custom origins must be repetitive events");
-        require(is_cut_set(sg, options.origins),
-                "analyze_cycle_time: custom origins do not form a cut set — "
-                "some cycle would never be simulated");
-    }
-
-    // Horizon: the occurrence period of any simple cycle is bounded by the
-    // *border* size (each of its tokens targets a distinct border event),
-    // so b periods always suffice — even when simulating from a smaller
-    // custom cut set.  (Proposition 6's tighter min-cut bound additionally
-    // needs safety; callers may force it through options.periods.)
-    const auto b = static_cast<std::uint32_t>(sg.border_events().size());
-    const std::uint32_t periods = options.periods > 0 ? options.periods : b;
+    const signal_graph& sg = cg.source();
+    const core_view& core = cg.core();
 
     cycle_time_result result;
     result.border_count = border.size();
     result.periods_used = periods;
 
+    // The b runs are independent event-initiated simulations; fan them out.
+    // Workers fill disjoint slots, the lambda reduction below is serial in
+    // run order, so the outcome matches a serial execution exactly.  With
+    // the default thread budget, stay serial unless there is enough sweep
+    // work to amortize thread spawn/join — paper-sized graphs analyze in
+    // microseconds and would otherwise pay more for the pool than the run.
+    unsigned threads = options.max_threads;
+    if (threads == 0) {
+        const std::size_t relaxations = static_cast<std::size_t>(periods + 1) *
+                                        core.graph.arc_count() * border.size();
+        if (relaxations < (1u << 16)) threads = 1;
+    }
+    result.runs.resize(border.size());
+    parallel_for_index(border.size(), threads, [&](std::size_t k) {
+        result.runs[k] = simulate_origin(core, domain, border[k], periods,
+                                         options.record_tables, sg.event_count());
+    });
+
     std::optional<rational> lambda;
     std::size_t best_run = 0;
     std::uint32_t best_period = 0;
-
-    for (const event_id origin_event : border) {
-        const node_id origin = core.view.event_node[origin_event];
-        ensure(origin != invalid_node, "analyze_cycle_time: border event outside the core");
-
-        const sweep_result sweep = run_sweep(core, origin, periods, options.record_tables);
-
-        border_run run;
-        run.origin = origin_event;
-        run.deltas.resize(periods);
-        for (std::uint32_t i = 1; i <= periods; ++i) {
-            if (!sweep.origin_times[i]) continue;
-            const rational delta = *sweep.origin_times[i] / rational(i);
-            run.deltas[i - 1] = delta;
-            if (!run.best_delta || delta > *run.best_delta) {
-                run.best_delta = delta;
-                run.best_period = i;
-            }
-        }
+    for (std::size_t k = 0; k < result.runs.size(); ++k) {
+        const border_run& run = result.runs[k];
         if (run.best_delta && (!lambda || *run.best_delta > *lambda)) {
             lambda = run.best_delta;
-            best_run = result.runs.size();
+            best_run = k;
             best_period = run.best_period;
         }
-        if (options.record_tables) {
-            const std::size_t n = core.view.graph.node_count();
-            run.times.assign(periods + 1,
-                             std::vector<std::optional<rational>>(sg.event_count()));
-            for (std::uint32_t i = 0; i <= periods; ++i)
-                for (node_id v = 0; v < n; ++v)
-                    if (sweep.reached[i * n + v])
-                        run.times[i][core.view.node_event[v]] = sweep.time[i * n + v];
-        }
-        result.runs.push_back(std::move(run));
     }
 
     ensure(lambda.has_value(),
@@ -273,10 +260,10 @@ cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_opti
 
     // Backtrack the maximising run to obtain the unfolded critical cycle.
     const event_id best_origin_event = result.runs[best_run].origin;
-    const node_id origin = core.view.event_node[best_origin_event];
-    const sweep_result sweep = run_sweep(core, origin, best_period, /*capture=*/true);
+    const node_id origin = core.event_node[best_origin_event];
+    const auto sweep = run_sweep(core, domain, origin, best_period, /*capture=*/true);
 
-    const std::size_t n = core.view.graph.node_count();
+    const std::size_t n = core.graph.node_count();
     std::vector<arc_id> walk; // core arcs, collected backwards
     node_id v = origin;
     std::uint32_t period = best_period;
@@ -285,15 +272,15 @@ cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_opti
         ensure(a != invalid_arc, "analyze_cycle_time: broken predecessor chain");
         walk.push_back(a);
         period -= core.token[a];
-        v = core.view.graph.from(a);
+        v = core.graph.from(a);
     }
     std::reverse(walk.begin(), walk.end());
 
     const peeled_cycle critical = peel_critical_cycle(core, walk, result.cycle_time);
     std::uint32_t epsilon = 0;
     for (const arc_id a : critical.core_arcs) {
-        result.critical_cycle_events.push_back(core.view.node_event[core.view.graph.from(a)]);
-        result.critical_cycle_arcs.push_back(core.view.arc_original[a]);
+        result.critical_cycle_events.push_back(core.node_event[core.graph.from(a)]);
+        result.critical_cycle_arcs.push_back(core.arc_original[a]);
         epsilon += core.token[a];
     }
     result.critical_occurrence_period = epsilon;
@@ -315,28 +302,100 @@ cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_opti
     return result;
 }
 
-distance_series initiated_distance_series(const signal_graph& sg, event_id origin,
+} // namespace
+
+std::vector<event_id> cycle_time_result::critical_border_events() const
+{
+    std::vector<event_id> out;
+    for (const border_run& run : runs)
+        if (run.critical) out.push_back(run.origin);
+    return out;
+}
+
+std::size_t occurrence_period_bound(const signal_graph& sg)
+{
+    return sg.border_events().size();
+}
+
+cycle_time_result analyze_cycle_time(const compiled_graph& cg, const analysis_options& options)
+{
+    const signal_graph& sg = cg.source();
+    require(!sg.repetitive_events().empty(),
+            "analyze_cycle_time: graph has no repetitive events (acyclic — use analyze_pert)");
+
+    const core_view& core = cg.core();
+    const std::vector<event_id>& border =
+        options.origins.empty() ? sg.border_events() : options.origins;
+    ensure(!sg.border_events().empty(), "analyze_cycle_time: live graph with empty border set");
+    if (!options.origins.empty()) {
+        for (const event_id e : options.origins)
+            require(e < sg.event_count() && sg.is_repetitive(e),
+                    "analyze_cycle_time: custom origins must be repetitive events");
+        require(is_cut_set(sg, options.origins),
+                "analyze_cycle_time: custom origins do not form a cut set — "
+                "some cycle would never be simulated");
+    }
+
+    // Horizon: the occurrence period of any simple cycle is bounded by the
+    // *border* size (each of its tokens targets a distinct border event),
+    // so b periods always suffice — even when simulating from a smaller
+    // custom cut set.  (Proposition 6's tighter min-cut bound additionally
+    // needs safety; callers may force it through options.periods.)
+    const auto b = static_cast<std::uint32_t>(sg.border_events().size());
+    const std::uint32_t periods = options.periods > 0 ? options.periods : b;
+
+    if (cg.fixed_point_for_periods(periods))
+        return analyze_with_domain(cg, fixed_domain{core.scaled_delay, cg.scale()}, border,
+                                   periods, options);
+    return analyze_with_domain(cg, rational_domain{core.delay}, border, periods, options);
+}
+
+cycle_time_result analyze_cycle_time(const signal_graph& sg, const analysis_options& options)
+{
+    require(sg.finalized(), "analyze_cycle_time: graph must be finalized");
+    require(!sg.repetitive_events().empty(),
+            "analyze_cycle_time: graph has no repetitive events (acyclic — use analyze_pert)");
+    const compiled_graph cg(sg);
+    return analyze_cycle_time(cg, options);
+}
+
+distance_series initiated_distance_series(const compiled_graph& cg, event_id origin,
                                           std::uint32_t periods)
 {
-    require(sg.finalized(), "initiated_distance_series: graph must be finalized");
+    const signal_graph& sg = cg.source();
     require(origin < sg.event_count(), "initiated_distance_series: bad event");
     require(sg.is_repetitive(origin),
             "initiated_distance_series: origin must be a repetitive event");
 
-    const core_model core = build_core(sg);
-    const node_id origin_node = core.view.event_node[origin];
-    const sweep_result sweep = run_sweep(core, origin_node, periods, /*capture=*/false);
+    const core_view& core = cg.core();
+    const node_id origin_node = core.event_node[origin];
 
     distance_series series;
     series.origin = origin;
     series.t.resize(periods);
     series.delta.resize(periods);
-    for (std::uint32_t i = 1; i <= periods; ++i) {
-        if (!sweep.origin_times[i]) continue;
-        series.t[i - 1] = sweep.origin_times[i];
-        series.delta[i - 1] = *sweep.origin_times[i] / rational(i);
-    }
+
+    const auto collect = [&](const auto& domain) {
+        const auto sweep = run_sweep(core, domain, origin_node, periods, /*capture=*/false);
+        for (std::uint32_t i = 1; i <= periods; ++i) {
+            if (!sweep.origin_times[i]) continue;
+            series.t[i - 1] = domain.to_rational(*sweep.origin_times[i]);
+            series.delta[i - 1] = *series.t[i - 1] / rational(i);
+        }
+    };
+    if (cg.fixed_point_for_periods(periods))
+        collect(fixed_domain{core.scaled_delay, cg.scale()});
+    else
+        collect(rational_domain{core.delay});
     return series;
+}
+
+distance_series initiated_distance_series(const signal_graph& sg, event_id origin,
+                                          std::uint32_t periods)
+{
+    require(sg.finalized(), "initiated_distance_series: graph must be finalized");
+    const compiled_graph cg(sg);
+    return initiated_distance_series(cg, origin, periods);
 }
 
 } // namespace tsg

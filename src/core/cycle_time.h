@@ -16,6 +16,13 @@
 // preceded by a disengageable arc), so the implementation streams them
 // period by period over the core instead of materializing the unfolding:
 // one period costs O(m), one run O(b*m), the whole analysis O(b^2*m).
+//
+// The engine runs on a compiled_graph snapshot: CSR adjacency, a
+// precomputed token-free topological order, and (when available) the
+// fixed-point delay domain, so the inner relaxations are int64 additions.
+// The b border runs are independent and execute on a thread pool sized by
+// analysis_options::max_threads; the reduction to lambda is serial and the
+// results are bit-identical to a single-threaded run.
 #ifndef TSG_CORE_CYCLE_TIME_H
 #define TSG_CORE_CYCLE_TIME_H
 
@@ -23,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/compiled_graph.h"
 #include "sg/signal_graph.h"
 #include "util/rational.h"
 
@@ -67,6 +75,11 @@ struct analysis_options {
     /// sg/cut_set.h.  Validated: must be repetitive events hitting every
     /// cycle.
     std::vector<event_id> origins;
+
+    /// Thread budget for the independent border runs: 0 = one thread per
+    /// hardware thread, 1 = serial, n = at most n threads.  Results are
+    /// bit-identical for every setting.
+    unsigned max_threads = 0;
 };
 
 struct cycle_time_result {
@@ -101,6 +114,12 @@ struct cycle_time_result {
 [[nodiscard]] cycle_time_result analyze_cycle_time(const signal_graph& sg,
                                                    const analysis_options& options = {});
 
+/// Same analysis on a pre-compiled snapshot — the form to use when several
+/// analyses (cycle time, slack, transient, ...) share one graph: compile
+/// once, analyze many times.
+[[nodiscard]] cycle_time_result analyze_cycle_time(const compiled_graph& cg,
+                                                   const analysis_options& options = {});
+
 /// The series t_{e0}(e_i) and delta_{e0}(e_i) for i = 1..periods from an
 /// arbitrary repetitive event — the data behind Figure 4 and the
 /// "asymptote from below" behaviour of off-critical events (Prop. 8).
@@ -110,6 +129,9 @@ struct distance_series {
     std::vector<std::optional<rational>> delta; ///< t / i
 };
 [[nodiscard]] distance_series initiated_distance_series(const signal_graph& sg,
+                                                        event_id origin,
+                                                        std::uint32_t periods);
+[[nodiscard]] distance_series initiated_distance_series(const compiled_graph& cg,
                                                         event_id origin,
                                                         std::uint32_t periods);
 

@@ -2,47 +2,71 @@
 
 #include <algorithm>
 
+#include "core/compiled_graph.h"
 #include "graph/longest_path.h"
 
 namespace tsg {
 
-pert_result analyze_pert(const signal_graph& sg)
+pert_result analyze_pert(const compiled_graph& cg)
 {
-    require(sg.finalized(), "analyze_pert: graph must be finalized");
+    const signal_graph& sg = cg.source();
     require(sg.repetitive_events().empty(),
             "analyze_pert: graph has cycles — use analyze_cycle_time");
-
-    std::vector<rational> weights(sg.arc_count());
-    for (arc_id a = 0; a < sg.arc_count(); ++a) weights[a] = sg.arc(a).delay;
-
-    const longest_path_result lp =
-        dag_longest_paths(sg.structure(), weights, sg.initial_events());
+    ensure(cg.acyclic_order().has_value(), "analyze_pert: missing topological order");
 
     pert_result r;
-    r.time = lp.distance;
-    r.occurs = lp.reached;
+    std::vector<bool> reached;
+    std::vector<arc_id> pred;
+
+    // One longest-path sweep along the compiled topological order — in the
+    // fixed-point domain when available (a single period always fits the
+    // overflow budget), converting back to exact rationals at the boundary.
+    if (cg.fixed_point()) {
+        const auto lp = dag_longest_paths_ordered(cg.structure(), *cg.acyclic_order(),
+                                                  cg.scaled_delay(), sg.initial_events());
+        r.time.reserve(lp.distance.size());
+        for (const std::int64_t t : lp.distance) r.time.push_back(cg.unscale(t));
+        reached = lp.reached;
+        pred = lp.pred;
+    } else {
+        auto lp = dag_longest_paths_ordered(cg.structure(), *cg.acyclic_order(), cg.delay(),
+                                            sg.initial_events());
+        r.time = std::move(lp.distance);
+        reached = std::move(lp.reached);
+        pred = std::move(lp.pred);
+    }
+    r.occurs = reached;
 
     event_id sink = invalid_node;
     for (event_id e = 0; e < sg.event_count(); ++e) {
-        if (!lp.reached[e]) continue;
-        if (sink == invalid_node || lp.distance[e] > r.makespan) {
+        if (!reached[e]) continue;
+        if (sink == invalid_node || r.time[e] > r.makespan) {
             sink = e;
-            r.makespan = lp.distance[e];
+            r.makespan = r.time[e];
         }
     }
     require(sink != invalid_node, "analyze_pert: no event is reachable");
 
     event_id cur = sink;
     r.critical_path.push_back(cur);
-    while (lp.pred[cur] != invalid_arc) {
-        const arc_id a = lp.pred[cur];
+    while (pred[cur] != invalid_arc) {
+        const arc_id a = pred[cur];
         r.critical_arcs.push_back(a);
-        cur = sg.structure().from(a);
+        cur = cg.structure().from(a);
         r.critical_path.push_back(cur);
     }
     std::reverse(r.critical_path.begin(), r.critical_path.end());
     std::reverse(r.critical_arcs.begin(), r.critical_arcs.end());
     return r;
+}
+
+pert_result analyze_pert(const signal_graph& sg)
+{
+    require(sg.finalized(), "analyze_pert: graph must be finalized");
+    require(sg.repetitive_events().empty(),
+            "analyze_pert: graph has cycles — use analyze_cycle_time");
+    const compiled_graph cg(sg);
+    return analyze_pert(cg);
 }
 
 } // namespace tsg

@@ -19,9 +19,15 @@ struct pert_result {
     std::vector<arc_id> critical_arcs;    ///< arcs between them
 };
 
+class compiled_graph;
+
 /// Longest-path (PERT) analysis.  Throws tsg::error when the graph contains
 /// repetitive events — cyclic graphs are the domain of analyze_cycle_time.
 [[nodiscard]] pert_result analyze_pert(const signal_graph& sg);
+
+/// Same analysis on a pre-compiled snapshot (sweeps the precomputed
+/// topological order, in the fixed-point delay domain when available).
+[[nodiscard]] pert_result analyze_pert(const compiled_graph& cg);
 
 } // namespace tsg
 

@@ -1,28 +1,29 @@
 #include "core/separation.h"
 
+#include "core/compiled_graph.h"
 #include "core/timing_simulation.h"
 #include "core/transient.h"
 #include "sg/unfolding.h"
 
 namespace tsg {
 
-separation_result steady_separations(const signal_graph& sg, event_id from, event_id to,
+separation_result steady_separations(const compiled_graph& cg, event_id from, event_id to,
                                      std::uint32_t max_periods)
 {
-    require(sg.finalized(), "steady_separations: graph must be finalized");
+    const signal_graph& sg = cg.source();
     require(from < sg.event_count() && to < sg.event_count(),
             "steady_separations: bad event id");
     require(sg.is_repetitive(from) && sg.is_repetitive(to),
             "steady_separations: both events must be repetitive");
 
-    const transient_result transient = analyze_transient(sg, max_periods);
+    const transient_result transient = analyze_transient(cg, max_periods);
 
     separation_result out;
     out.cycle_time = transient.cycle_time;
     out.pattern_period = transient.pattern_period;
 
     const unfolding unf(sg, transient.horizon);
-    const timing_simulation_result sim = simulate_timing(unf);
+    const timing_simulation_result sim = simulate_timing(unf, cg);
 
     const std::uint32_t start = transient.settle_period;
     ensure(start + transient.pattern_period <= transient.horizon,
@@ -41,6 +42,14 @@ separation_result steady_separations(const signal_graph& sg, event_id from, even
         first = false;
     }
     return out;
+}
+
+separation_result steady_separations(const signal_graph& sg, event_id from, event_id to,
+                                     std::uint32_t max_periods)
+{
+    require(sg.finalized(), "steady_separations: graph must be finalized");
+    const compiled_graph cg(sg);
+    return steady_separations(cg, from, to, max_periods);
 }
 
 } // namespace tsg

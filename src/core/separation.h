@@ -33,10 +33,17 @@ struct separation_result {
     [[nodiscard]] bool constant() const { return min_separation == max_separation; }
 };
 
+class compiled_graph;
+
 /// Measures the settled separations between same-index instantiations of
 /// `from` and `to` (both repetitive).  Throws when the behaviour does not
 /// settle within `max_periods` (see analyze_transient).
 [[nodiscard]] separation_result steady_separations(const signal_graph& sg, event_id from,
+                                                   event_id to,
+                                                   std::uint32_t max_periods = 128);
+
+/// Same measurement on a pre-compiled snapshot.
+[[nodiscard]] separation_result steady_separations(const compiled_graph& cg, event_id from,
                                                    event_id to,
                                                    std::uint32_t max_periods = 128);
 

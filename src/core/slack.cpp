@@ -1,37 +1,32 @@
 #include "core/slack.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "core/compiled_graph.h"
 #include "core/cycle_time.h"
 #include "graph/scc.h"
 
 namespace tsg {
 
-slack_result analyze_slack(const signal_graph& sg)
+namespace {
+
+using core_view = compiled_graph::core_view;
+
+/// Longest-path potentials for the reduced weights w(a) = weight[a] over
+/// the core, via Bellman-Ford from a virtual all-zero source.  Works in
+/// any ordered additive domain; throws internal_error when a positive
+/// reduced cycle shows lambda was not maximal.
+template <typename Value>
+std::vector<Value> reduced_potentials(const core_view& core, const std::vector<Value>& weight)
 {
-    require(sg.finalized(), "analyze_slack: graph must be finalized");
-
-    slack_result out;
-    out.cycle_time = analyze_cycle_time(sg).cycle_time;
-
-    const signal_graph::core_view core = sg.repetitive_core();
     const std::size_t n = core.graph.node_count();
     const std::size_t m = core.graph.arc_count();
-
-    // Reduced weights w = delay - lambda * tokens; by maximality of lambda
-    // no cycle is positive, so longest-path potentials from a virtual
-    // source converge within n Bellman-Ford passes.
-    std::vector<rational> reduced(m);
-    for (arc_id a = 0; a < m; ++a) {
-        const arc_info& arc = sg.arc(core.arc_original[a]);
-        reduced[a] = arc.delay - out.cycle_time * rational(arc.marked ? 1 : 0);
-    }
-
-    std::vector<rational> v(n, rational(0));
+    std::vector<Value> v(n, Value{});
     for (std::size_t pass = 0; pass <= n; ++pass) {
         bool relaxed = false;
         for (arc_id a = 0; a < m; ++a) {
-            const rational candidate = v[core.graph.from(a)] + reduced[a];
+            const Value candidate = v[core.graph.from(a)] + weight[a];
             if (candidate > v[core.graph.to(a)]) {
                 v[core.graph.to(a)] = candidate;
                 relaxed = true;
@@ -40,18 +35,92 @@ slack_result analyze_slack(const signal_graph& sg)
         if (!relaxed) break;
         ensure(pass < n, "analyze_slack: positive reduced cycle — lambda not maximal");
     }
-
     // Normalize potentials to start at zero.
-    rational lowest = v.empty() ? rational(0) : v[0];
-    for (const rational& value : v) lowest = min(lowest, value);
-    for (rational& value : v) value -= lowest;
+    Value lowest = v.empty() ? Value{} : v[0];
+    for (const Value& value : v) lowest = std::min(lowest, value);
+    for (Value& value : v) value = value - lowest;
+    return v;
+}
+
+} // namespace
+
+slack_result analyze_slack(const compiled_graph& cg)
+{
+    const signal_graph& sg = cg.source();
+
+    slack_result out;
+    out.cycle_time = analyze_cycle_time(cg).cycle_time;
+
+    const core_view& core = cg.core();
+    const std::size_t n = core.graph.node_count();
+    const std::size_t m = core.graph.arc_count();
+
+    // Reduced weights w = delay - lambda * tokens; by maximality of lambda
+    // no cycle is positive, so longest-path potentials from a virtual
+    // source converge within n Bellman-Ford passes.
+    //
+    // Fixed-point fast path: multiply through by s = lambda.den * scale —
+    // w_fx = scaled_delay * lambda.den - lambda.num * scale * token is an
+    // exact integer, order-isomorphic to the rational weights, and the
+    // resulting potentials/slacks divide back out exactly.  Guarded against
+    // overflow (potentials are bounded by (n+1) * max|w|); any risk drops
+    // us back to the rational domain.
+    out.potential.assign(sg.event_count(), rational(0));
+    std::vector<rational> slack_by_core_arc(m);
+    std::vector<rational> potential_by_node(n);
+
+    bool fixed_done = false;
+    if (cg.fixed_point()) {
+        const std::int64_t lnum = out.cycle_time.num();
+        const std::int64_t lden = out.cycle_time.den();
+        const int128 token_cost = static_cast<int128>(lnum) * cg.scale();
+        const int128 budget = std::numeric_limits<std::int64_t>::max() / 4;
+        const int128 s128 = static_cast<int128>(lden) * cg.scale();
+
+        std::vector<std::int64_t> weight(m);
+        int128 max_abs = 0;
+        bool safe = true;
+        for (arc_id a = 0; a < m && safe; ++a) {
+            const int128 w = static_cast<int128>(core.scaled_delay[a]) * lden -
+                             token_cost * core.token[a];
+            const int128 mag = w < 0 ? -w : w;
+            max_abs = std::max(max_abs, mag);
+            if (mag > budget)
+                safe = false;
+            else
+                weight[a] = static_cast<std::int64_t>(w);
+        }
+        // Potentials accumulate at most n+1 weights along any simple path;
+        // the common divisor s must itself stay an int64.
+        if (safe && max_abs * static_cast<int128>(n + 1) <= budget && s128 <= budget) {
+            const std::vector<std::int64_t> v = reduced_potentials(core, weight);
+            const auto s = static_cast<std::int64_t>(s128);
+            for (node_id u = 0; u < n; ++u) potential_by_node[u] = rational(v[u], s);
+            for (arc_id a = 0; a < m; ++a) {
+                const std::int64_t num =
+                    v[core.graph.to(a)] - v[core.graph.from(a)] - weight[a];
+                slack_by_core_arc[a] = rational(num, s);
+            }
+            fixed_done = true;
+        }
+    }
+    if (!fixed_done) {
+        std::vector<rational> reduced(m);
+        for (arc_id a = 0; a < m; ++a)
+            reduced[a] = core.delay[a] - out.cycle_time * rational(core.token[a]);
+        const std::vector<rational> v = reduced_potentials(core, reduced);
+        for (node_id u = 0; u < n; ++u) potential_by_node[u] = v[u];
+        for (arc_id a = 0; a < m; ++a)
+            slack_by_core_arc[a] =
+                v[core.graph.to(a)] - v[core.graph.from(a)] - reduced[a];
+    }
+
+    for (node_id u = 0; u < n; ++u) out.potential[core.node_event[u]] = potential_by_node[u];
 
     out.slack.assign(sg.arc_count(), rational(0));
     out.in_core.assign(sg.arc_count(), false);
     out.arc_critical.assign(sg.arc_count(), false);
     out.event_critical.assign(sg.event_count(), false);
-    out.potential.assign(sg.event_count(), rational(0));
-    for (node_id u = 0; u < n; ++u) out.potential[core.node_event[u]] = v[u];
 
     // Zero-slack subgraph and its non-trivial SCCs = the critical subgraph.
     digraph zero(n);
@@ -59,7 +128,7 @@ slack_result analyze_slack(const signal_graph& sg)
     for (arc_id a = 0; a < m; ++a) {
         const arc_id orig = core.arc_original[a];
         out.in_core[orig] = true;
-        out.slack[orig] = v[core.graph.to(a)] - v[core.graph.from(a)] - reduced[a];
+        out.slack[orig] = slack_by_core_arc[a];
         ensure(!out.slack[orig].is_negative(), "analyze_slack: negative slack");
         if (out.slack[orig].is_zero()) {
             zero.add_arc(core.graph.from(a), core.graph.to(a));
@@ -101,6 +170,13 @@ slack_result analyze_slack(const signal_graph& sg)
         }
     }
     return out;
+}
+
+slack_result analyze_slack(const signal_graph& sg)
+{
+    require(sg.finalized(), "analyze_slack: graph must be finalized");
+    const compiled_graph cg(sg);
+    return analyze_slack(cg);
 }
 
 } // namespace tsg

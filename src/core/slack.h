@@ -53,9 +53,16 @@ struct slack_result {
     rational criticality_margin;
 };
 
+class compiled_graph;
+
 /// Computes slacks, the critical subgraph and the steady schedule.
 /// Requires a finalized graph with a repetitive core.
 [[nodiscard]] slack_result analyze_slack(const signal_graph& sg);
+
+/// Same analysis on a pre-compiled snapshot: reuses the compiled core and
+/// runs the reduced-weight Bellman-Ford in the fixed-point domain when the
+/// scaled weights fit the overflow budget.
+[[nodiscard]] slack_result analyze_slack(const compiled_graph& cg);
 
 } // namespace tsg
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/compiled_graph.h"
 #include "graph/longest_path.h"
 
 namespace tsg {
@@ -13,6 +14,29 @@ timing_simulation_result simulate_timing(const unfolding& unf)
 
     timing_simulation_result r;
     r.time = lp.distance;
+    r.occurs = lp.reached;
+    r.cause = lp.pred;
+    return r;
+}
+
+timing_simulation_result simulate_timing(const unfolding& unf, const compiled_graph& cg)
+{
+    require(&cg.source() == &unf.graph(),
+            "simulate_timing: compiled snapshot does not match the unfolding's graph");
+    if (!cg.fixed_point_for_periods(unf.periods())) return simulate_timing(unf);
+
+    // Unfolding arcs carry the delays of their originals — look the scaled
+    // values up once and sweep in int64.
+    std::vector<std::int64_t> weight;
+    weight.reserve(unf.dag().arc_count());
+    for (arc_id a = 0; a < unf.dag().arc_count(); ++a)
+        weight.push_back(cg.scaled_delay()[unf.original_arc(a)]);
+
+    const auto lp = dag_longest_paths_fixed(unf.dag(), weight, unf.initial_instances());
+
+    timing_simulation_result r;
+    r.time.reserve(lp.distance.size());
+    for (const std::int64_t t : lp.distance) r.time.push_back(cg.unscale(t));
     r.occurs = lp.reached;
     r.cause = lp.pred;
     return r;

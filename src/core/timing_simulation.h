@@ -39,6 +39,16 @@ struct timing_simulation_result {
 /// Runs the timing simulation over `unf`.  O(V + E) in the unfolding size.
 [[nodiscard]] timing_simulation_result simulate_timing(const unfolding& unf);
 
+class compiled_graph;
+
+/// Same simulation, borrowing the compiled snapshot's fixed-point delay
+/// domain: the unfolding arcs inherit the scaled int64 delays of their
+/// original arcs and the longest-path sweep runs on integer additions,
+/// converting back to exact rationals at the boundary.  `cg` must be
+/// compiled from `unf.graph()`.
+[[nodiscard]] timing_simulation_result simulate_timing(const unfolding& unf,
+                                                       const compiled_graph& cg);
+
 /// The chain of instantiations that determined t(target): walks `cause`
 /// links back to a seed.  Returned in causal (earliest-first) order.
 [[nodiscard]] std::vector<node_id> critical_chain(const unfolding& unf,

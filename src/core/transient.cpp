@@ -1,23 +1,24 @@
 #include "core/transient.h"
 
+#include "core/compiled_graph.h"
 #include "core/cycle_time.h"
 #include "core/timing_simulation.h"
 #include "sg/unfolding.h"
 
 namespace tsg {
 
-transient_result analyze_transient(const signal_graph& sg, std::uint32_t max_periods)
+transient_result analyze_transient(const compiled_graph& cg, std::uint32_t max_periods)
 {
-    require(sg.finalized(), "analyze_transient: graph must be finalized");
+    const signal_graph& sg = cg.source();
     require(!sg.repetitive_events().empty(), "analyze_transient: graph is acyclic");
     require(max_periods >= 4, "analyze_transient: horizon too small");
 
     transient_result out;
-    out.cycle_time = analyze_cycle_time(sg).cycle_time;
+    out.cycle_time = analyze_cycle_time(cg).cycle_time;
     out.horizon = max_periods;
 
     const unfolding unf(sg, max_periods);
-    const timing_simulation_result sim = simulate_timing(unf);
+    const timing_simulation_result sim = simulate_timing(unf, cg);
 
     // For a candidate epsilon, the settle index of event e is the smallest
     // K with t(e_{i+eps}) - t(e_i) == lambda*eps for all i in [K, horizon).
@@ -57,6 +58,13 @@ transient_result analyze_transient(const signal_graph& sg, std::uint32_t max_per
     }
     throw error("analyze_transient: no periodic pattern confirmed within " +
                 std::to_string(max_periods) + " periods — raise the horizon");
+}
+
+transient_result analyze_transient(const signal_graph& sg, std::uint32_t max_periods)
+{
+    require(sg.finalized(), "analyze_transient: graph must be finalized");
+    const compiled_graph cg(sg);
+    return analyze_transient(cg, max_periods);
 }
 
 } // namespace tsg

@@ -36,11 +36,18 @@ struct transient_result {
     std::uint32_t horizon = 0;
 };
 
+class compiled_graph;
+
 /// Runs the full timing simulation over up to `max_periods` periods and
 /// extracts the pattern period and settling point.  Throws tsg::error when
 /// no periodic pattern is confirmed within the horizon (raise it for
 /// graphs with extreme transients).
 [[nodiscard]] transient_result analyze_transient(const signal_graph& sg,
+                                                 std::uint32_t max_periods = 128);
+
+/// Same analysis on a pre-compiled snapshot (shares the cycle-time kernel
+/// and the fixed-point unfolding sweep).
+[[nodiscard]] transient_result analyze_transient(const compiled_graph& cg,
                                                  std::uint32_t max_periods = 128);
 
 } // namespace tsg

@@ -1,0 +1,155 @@
+// Frozen CSR (compressed sparse row) adjacency for the analysis hot loops.
+//
+// digraph keeps one heap-allocated vector per node — fine for incremental
+// model construction, hostile to the cache during the longest-path sweeps
+// every analysis in this library runs.  csr_graph is the flat counterpart:
+// out- and in-adjacency live in two contiguous arc arrays indexed by
+// per-node offsets, so a sweep walks sequential memory.  The read interface
+// mirrors digraph (from/to/out_arcs/in_arcs/degrees), which lets the
+// templated graph algorithms (topo, scc, longest paths, Johnson) run
+// unchanged on either representation.
+//
+// Arcs can still be appended digraph-style; the adjacency index is rebuilt
+// lazily on the next query.  Within one node the CSR arc order equals
+// insertion order (the counting sort below is stable in arc id), so
+// tie-breaking in every argmax sweep is identical to digraph's — results
+// stay bit-for-bit the same after the swap.  Call freeze() before sharing
+// an instance across threads: the lazy rebuild mutates internal caches.
+#ifndef TSG_GRAPH_CSR_H
+#define TSG_GRAPH_CSR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+
+namespace tsg {
+
+class csr_graph {
+public:
+    csr_graph() = default;
+
+    /// Snapshots an existing digraph (same node/arc ids, same arc order).
+    explicit csr_graph(const digraph& g)
+    {
+        nodes_ = g.node_count();
+        tail_.reserve(g.arc_count());
+        head_.reserve(g.arc_count());
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            tail_.push_back(g.from(a));
+            head_.push_back(g.to(a));
+        }
+        build_index();
+    }
+
+    node_id add_node()
+    {
+        indexed_ = false;
+        return static_cast<node_id>(nodes_++);
+    }
+
+    void add_nodes(std::size_t count)
+    {
+        indexed_ = false;
+        nodes_ += count;
+    }
+
+    arc_id add_arc(node_id from, node_id to)
+    {
+        require(from < nodes_ && to < nodes_, "csr_graph::add_arc: bad endpoint");
+        indexed_ = false;
+        tail_.push_back(from);
+        head_.push_back(to);
+        return static_cast<arc_id>(tail_.size() - 1);
+    }
+
+    void reserve(std::size_t nodes, std::size_t arcs)
+    {
+        (void)nodes; // node storage is just a counter
+        tail_.reserve(arcs);
+        head_.reserve(arcs);
+    }
+
+    /// Builds the adjacency index now.  Required before concurrent reads;
+    /// otherwise the first out_arcs/in_arcs call builds it on demand.
+    void freeze() const
+    {
+        if (!indexed_) build_index();
+    }
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return tail_.size(); }
+
+    [[nodiscard]] node_id from(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "csr_graph::from: bad arc id");
+        return tail_[a];
+    }
+
+    [[nodiscard]] node_id to(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "csr_graph::to: bad arc id");
+        return head_[a];
+    }
+
+    [[nodiscard]] std::span<const arc_id> out_arcs(node_id n) const
+    {
+        TSG_DCHECK(n < node_count(), "csr_graph::out_arcs: bad node id");
+        freeze();
+        return {out_list_.data() + out_offset_[n], out_offset_[n + 1] - out_offset_[n]};
+    }
+
+    [[nodiscard]] std::span<const arc_id> in_arcs(node_id n) const
+    {
+        TSG_DCHECK(n < node_count(), "csr_graph::in_arcs: bad node id");
+        freeze();
+        return {in_list_.data() + in_offset_[n], in_offset_[n + 1] - in_offset_[n]};
+    }
+
+    [[nodiscard]] std::size_t out_degree(node_id n) const { return out_arcs(n).size(); }
+    [[nodiscard]] std::size_t in_degree(node_id n) const { return in_arcs(n).size(); }
+
+private:
+    void build_index() const
+    {
+        const std::size_t n = nodes_;
+        const std::size_t m = tail_.size();
+        out_offset_.assign(n + 1, 0);
+        in_offset_.assign(n + 1, 0);
+        for (std::size_t a = 0; a < m; ++a) {
+            ++out_offset_[tail_[a] + 1];
+            ++in_offset_[head_[a] + 1];
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            out_offset_[v + 1] += out_offset_[v];
+            in_offset_[v + 1] += in_offset_[v];
+        }
+        out_list_.resize(m);
+        in_list_.resize(m);
+        std::vector<std::uint32_t> out_cursor(out_offset_.begin(), out_offset_.end() - 1);
+        std::vector<std::uint32_t> in_cursor(in_offset_.begin(), in_offset_.end() - 1);
+        for (std::size_t a = 0; a < m; ++a) {
+            out_list_[out_cursor[tail_[a]]++] = static_cast<arc_id>(a);
+            in_list_[in_cursor[head_[a]]++] = static_cast<arc_id>(a);
+        }
+        indexed_ = true;
+    }
+
+    std::size_t nodes_ = 0;
+    std::vector<node_id> tail_; // arc -> source node
+    std::vector<node_id> head_; // arc -> target node
+
+    // Lazily (re)built adjacency index; mutated under const, hence the
+    // freeze-before-sharing rule above.
+    mutable std::vector<std::uint32_t> out_offset_; // node -> first out slot
+    mutable std::vector<std::uint32_t> in_offset_;  // node -> first in slot
+    mutable std::vector<arc_id> out_list_;
+    mutable std::vector<arc_id> in_list_;
+    mutable bool indexed_ = false;
+};
+
+} // namespace tsg
+
+#endif // TSG_GRAPH_CSR_H

@@ -44,6 +44,18 @@ public:
         in_.resize(in_.size() + count);
     }
 
+    void reserve_nodes(std::size_t count)
+    {
+        out_.reserve(count);
+        in_.reserve(count);
+    }
+
+    void reserve_arcs(std::size_t count)
+    {
+        tail_.reserve(count);
+        head_.reserve(count);
+    }
+
     arc_id add_arc(node_id from, node_id to)
     {
         require(from < node_count() && to < node_count(), "digraph::add_arc: bad endpoint");
@@ -58,14 +70,32 @@ public:
     [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
     [[nodiscard]] std::size_t arc_count() const noexcept { return tail_.size(); }
 
-    [[nodiscard]] node_id from(arc_id a) const { return tail_.at(a); }
-    [[nodiscard]] node_id to(arc_id a) const { return head_.at(a); }
+    [[nodiscard]] node_id from(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "digraph::from: bad arc id");
+        return tail_[a];
+    }
 
-    [[nodiscard]] const std::vector<arc_id>& out_arcs(node_id n) const { return out_.at(n); }
-    [[nodiscard]] const std::vector<arc_id>& in_arcs(node_id n) const { return in_.at(n); }
+    [[nodiscard]] node_id to(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "digraph::to: bad arc id");
+        return head_[a];
+    }
 
-    [[nodiscard]] std::size_t out_degree(node_id n) const { return out_.at(n).size(); }
-    [[nodiscard]] std::size_t in_degree(node_id n) const { return in_.at(n).size(); }
+    [[nodiscard]] const std::vector<arc_id>& out_arcs(node_id n) const
+    {
+        TSG_DCHECK(n < node_count(), "digraph::out_arcs: bad node id");
+        return out_[n];
+    }
+
+    [[nodiscard]] const std::vector<arc_id>& in_arcs(node_id n) const
+    {
+        TSG_DCHECK(n < node_count(), "digraph::in_arcs: bad node id");
+        return in_[n];
+    }
+
+    [[nodiscard]] std::size_t out_degree(node_id n) const { return out_arcs(n).size(); }
+    [[nodiscard]] std::size_t in_degree(node_id n) const { return in_arcs(n).size(); }
 
 private:
     std::vector<node_id> tail_; // arc -> source node

@@ -4,13 +4,16 @@
 // the Example 5/6 reproduction).  The number of simple cycles can be
 // exponential in the arc count, which is exactly why the paper's timing-
 // simulation algorithm exists; callers must bound the enumeration.
+// Templated over the graph representation (digraph / csr_graph).
 #ifndef TSG_GRAPH_JOHNSON_H
 #define TSG_GRAPH_JOHNSON_H
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/scc.h"
 
 namespace tsg {
 
@@ -22,10 +25,140 @@ struct cycle_enumeration {
     bool truncated = false;
 };
 
+namespace detail {
+
+/// State for one run of Johnson's `circuit` search from a start node, with
+/// the search restricted to nodes of one SCC (all numbered >= start).
+template <typename Graph>
+class johnson_search {
+public:
+    johnson_search(const Graph& g, const std::vector<bool>& allowed, node_id start,
+                   std::size_t max_cycles, cycle_enumeration& out)
+        : g_(g),
+          allowed_(allowed),
+          start_(start),
+          max_cycles_(max_cycles),
+          out_(out),
+          blocked_(g.node_count(), false),
+          unblock_list_(g.node_count())
+    {
+    }
+
+    /// Returns false when the cycle budget ran out.
+    bool run()
+    {
+        circuit(start_);
+        return !aborted_;
+    }
+
+private:
+    /// Johnson's CIRCUIT(v); returns true when some cycle through v (and the
+    /// current path) was closed.  Sets aborted_ when the budget is exhausted.
+    bool circuit(node_id v)
+    {
+        bool found_cycle = false;
+        blocked_[v] = true;
+        for (const arc_id a : g_.out_arcs(v)) {
+            if (aborted_) break;
+            const node_id w = g_.to(a);
+            if (!allowed_[w]) continue;
+            if (w == start_) {
+                path_.push_back(a);
+                out_.cycles.push_back(path_);
+                path_.pop_back();
+                found_cycle = true;
+                if (out_.cycles.size() >= max_cycles_) {
+                    out_.truncated = true;
+                    aborted_ = true;
+                }
+            } else if (!blocked_[w]) {
+                path_.push_back(a);
+                if (circuit(w)) found_cycle = true;
+                path_.pop_back();
+            }
+        }
+        if (found_cycle) {
+            unblock(v);
+        } else {
+            for (const arc_id a : g_.out_arcs(v)) {
+                const node_id w = g_.to(a);
+                if (!allowed_[w] || w == start_) continue;
+                auto& list = unblock_list_[w];
+                if (std::find(list.begin(), list.end(), v) == list.end()) list.push_back(v);
+            }
+        }
+        return found_cycle;
+    }
+
+    void unblock(node_id v)
+    {
+        blocked_[v] = false;
+        auto pending = std::move(unblock_list_[v]);
+        unblock_list_[v].clear();
+        for (const node_id w : pending)
+            if (blocked_[w]) unblock(w);
+    }
+
+    const Graph& g_;
+    const std::vector<bool>& allowed_;
+    const node_id start_;
+    const std::size_t max_cycles_;
+    cycle_enumeration& out_;
+    bool aborted_ = false;
+    std::vector<bool> blocked_;
+    std::vector<std::vector<node_id>> unblock_list_;
+    std::vector<arc_id> path_;
+};
+
+} // namespace detail
+
 /// Enumerates elementary cycles of `g` (Johnson 1975), including self-loops,
 /// stopping after `max_cycles` cycles.  O((n + m)(c + 1)) for c cycles.
-[[nodiscard]] cycle_enumeration enumerate_simple_cycles(const digraph& g,
-                                                        std::size_t max_cycles = 1'000'000);
+template <typename Graph>
+[[nodiscard]] cycle_enumeration enumerate_simple_cycles(const Graph& g,
+                                                        std::size_t max_cycles = 1'000'000)
+{
+    cycle_enumeration out;
+    const std::size_t n = g.node_count();
+    if (n == 0) return out;
+
+    for (node_id start = 0; start < n; ++start) {
+        // Restrict to the SCC of `start` within the subgraph on nodes >= start.
+        digraph sub;
+        std::vector<node_id> to_sub(n, invalid_node);
+        std::vector<node_id> to_full;
+        for (node_id v = start; v < n; ++v) {
+            to_sub[v] = static_cast<node_id>(to_full.size());
+            to_full.push_back(v);
+            sub.add_node();
+        }
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            const node_id u = g.from(a);
+            const node_id v = g.to(a);
+            if (u >= start && v >= start) sub.add_arc(to_sub[u], to_sub[v]);
+        }
+        const scc_result scc = strongly_connected_components(sub);
+        const std::uint32_t start_comp = scc.component[to_sub[start]];
+
+        std::vector<bool> allowed(n, false);
+        bool nontrivial = false;
+        for (node_id v = start; v < n; ++v) {
+            if (scc.component[to_sub[v]] == start_comp) {
+                allowed[v] = true;
+                if (v != start) nontrivial = true;
+            }
+        }
+        // Self-loops on `start` still form cycles even in a singleton SCC.
+        bool has_self_loop = false;
+        for (const arc_id a : g.out_arcs(start))
+            if (g.to(a) == start) has_self_loop = true;
+        if (!nontrivial && !has_self_loop) continue;
+
+        detail::johnson_search<Graph> search(g, allowed, start, max_cycles, out);
+        if (!search.run()) return out; // budget exhausted
+    }
+    return out;
+}
 
 } // namespace tsg
 

@@ -1,33 +1,113 @@
-// Longest-path computations with exact rational weights.
+// Longest-path computations, exact in either weight domain.
 //
 // Two flavours are needed by the library:
 //   * DAG longest paths (PERT) — the engine behind timing simulation, which
 //     is a longest-path sweep over the (acyclic) unfolding;
 //   * Bellman-Ford positive-cycle detection — the oracle inside the Lawler
 //     binary-search baseline for maximum cycle ratio.
+//
+// Everything is templated over the graph representation (digraph or the
+// compiled csr_graph) and, for the DAG sweeps, over the weight domain: the
+// compiled timing kernel runs them on fixed-point int64 delays and converts
+// back to exact rationals only at the result boundary.
 #ifndef TSG_GRAPH_LONGEST_PATH_H
 #define TSG_GRAPH_LONGEST_PATH_H
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/topo.h"
 #include "util/rational.h"
 
 namespace tsg {
 
-struct longest_path_result {
-    std::vector<rational> distance; ///< valid only where reached[v]
+template <typename Weight>
+struct basic_longest_path_result {
+    std::vector<Weight> distance;   ///< valid only where reached[v]
     std::vector<bool> reached;      ///< v reachable from some source
     std::vector<arc_id> pred;       ///< arg-max in-arc, invalid_arc at sources
 };
 
+using longest_path_result = basic_longest_path_result<rational>;
+
+/// DAG longest paths relaxed along a caller-supplied topological order of
+/// the (possibly arc-filtered) graph.  The compiled kernel precomputes the
+/// order once and reuses it across sweeps; dag_longest_paths below computes
+/// it on the fly.  Sources start at distance 0.  O(n + m).
+template <typename Graph, typename Weight>
+[[nodiscard]] basic_longest_path_result<Weight> dag_longest_paths_ordered(
+    const Graph& g, const std::vector<node_id>& order, const std::vector<Weight>& arc_weight,
+    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept = nullptr)
+{
+    require(arc_weight.size() == g.arc_count(), "dag_longest_paths: weight size mismatch");
+
+    basic_longest_path_result<Weight> r;
+    r.distance.assign(g.node_count(), Weight{});
+    r.reached.assign(g.node_count(), false);
+    r.pred.assign(g.node_count(), invalid_arc);
+
+    for (const node_id s : sources) {
+        require(s < g.node_count(), "dag_longest_paths: bad source");
+        r.reached[s] = true;
+    }
+
+    for (const node_id v : order) {
+        if (!r.reached[v]) continue;
+        for (const arc_id a : g.out_arcs(v)) {
+            if (arc_kept && !(*arc_kept)[a]) continue;
+            const node_id w = g.to(a);
+            const Weight candidate = r.distance[v] + arc_weight[a];
+            if (!r.reached[w] || candidate > r.distance[w]) {
+                r.reached[w] = true;
+                r.distance[w] = candidate;
+                r.pred[w] = a;
+            }
+        }
+    }
+    return r;
+}
+
+namespace detail {
+
+/// Computes the (possibly arc-filtered) topological order and delegates to
+/// the ordered sweep; shared by the rational and fixed-point entry points
+/// below (their split exists only so that braced-init-list weights still
+/// pick a concrete element type).
+template <typename Graph, typename Weight>
+[[nodiscard]] basic_longest_path_result<Weight> dag_longest_paths_any(
+    const Graph& g, const std::vector<Weight>& arc_weight,
+    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept)
+{
+    const auto order = arc_kept ? topological_order_filtered(g, *arc_kept)
+                                : topological_order(g);
+    require(order.has_value(), "dag_longest_paths: graph is not acyclic");
+    return dag_longest_paths_ordered(g, *order, arc_weight, sources, arc_kept);
+}
+
+} // namespace detail
+
 /// Single- or multi-source longest paths on a DAG.  Throws tsg::error when
 /// the graph (restricted by `arc_kept`, if given) is not acyclic.
 /// Sources start at distance 0.  O(n + m).
-[[nodiscard]] longest_path_result dag_longest_paths(
-    const digraph& g, const std::vector<rational>& arc_weight,
-    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept = nullptr);
+template <typename Graph>
+[[nodiscard]] basic_longest_path_result<rational> dag_longest_paths(
+    const Graph& g, const std::vector<rational>& arc_weight,
+    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept = nullptr)
+{
+    return detail::dag_longest_paths_any(g, arc_weight, sources, arc_kept);
+}
+
+/// Fixed-point variant: same sweep on scaled int64 delays (the caller owns
+/// the scaling and converts back at the boundary).
+template <typename Graph>
+[[nodiscard]] basic_longest_path_result<std::int64_t> dag_longest_paths_fixed(
+    const Graph& g, const std::vector<std::int64_t>& arc_weight,
+    const std::vector<node_id>& sources, const std::vector<bool>* arc_kept = nullptr)
+{
+    return detail::dag_longest_paths_any(g, arc_weight, sources, arc_kept);
+}
 
 struct positive_cycle_result {
     bool found = false;
@@ -37,12 +117,70 @@ struct positive_cycle_result {
 /// Detects whether `g` contains a directed cycle of strictly positive total
 /// weight (Bellman-Ford on longest paths from a virtual super-source).
 /// O(n * m).  When found, returns one witness cycle.
-[[nodiscard]] positive_cycle_result find_positive_cycle(const digraph& g,
-                                                        const std::vector<rational>& arc_weight);
+template <typename Graph>
+[[nodiscard]] positive_cycle_result find_positive_cycle(const Graph& g,
+                                                        const std::vector<rational>& arc_weight)
+{
+    require(arc_weight.size() == g.arc_count(), "find_positive_cycle: weight size mismatch");
+
+    const std::size_t n = g.node_count();
+    positive_cycle_result result;
+    if (n == 0) return result;
+
+    // Longest-path Bellman-Ford from a virtual source connected to every
+    // node with weight 0: all distances start at 0.
+    std::vector<rational> dist(n, rational(0));
+    std::vector<arc_id> pred(n, invalid_arc);
+
+    node_id witness = invalid_node;
+    for (std::size_t pass = 0; pass < n; ++pass) {
+        bool relaxed = false;
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            const node_id u = g.from(a);
+            const node_id v = g.to(a);
+            const rational candidate = dist[u] + arc_weight[a];
+            if (candidate > dist[v]) {
+                dist[v] = candidate;
+                pred[v] = a;
+                relaxed = true;
+                witness = v;
+            }
+        }
+        if (!relaxed) return result; // converged: no positive cycle
+    }
+
+    // A relaxation occurred on the n-th pass: `witness` is reachable from a
+    // positive cycle.  Walk predecessors n steps to land inside the cycle.
+    node_id v = witness;
+    for (std::size_t i = 0; i < n; ++i) {
+        ensure(pred[v] != invalid_arc, "find_positive_cycle: broken predecessor chain");
+        v = g.from(pred[v]);
+    }
+
+    // Extract the cycle through v.
+    std::vector<arc_id> cycle;
+    node_id cur = v;
+    do {
+        const arc_id a = pred[cur];
+        ensure(a != invalid_arc, "find_positive_cycle: broken cycle chain");
+        cycle.push_back(a);
+        cur = g.from(a);
+    } while (cur != v);
+    std::reverse(cycle.begin(), cycle.end());
+
+    result.found = true;
+    result.cycle = std::move(cycle);
+    return result;
+}
 
 /// Sum of arc weights along a path or cycle.
-[[nodiscard]] rational path_weight(const std::vector<arc_id>& arcs,
-                                   const std::vector<rational>& arc_weight);
+[[nodiscard]] inline rational path_weight(const std::vector<arc_id>& arcs,
+                                          const std::vector<rational>& arc_weight)
+{
+    rational total(0);
+    for (const arc_id a : arcs) total += arc_weight.at(a);
+    return total;
+}
 
 } // namespace tsg
 

@@ -1,7 +1,12 @@
 // Strongly connected components (Tarjan, iterative).
+//
+// Templated over the graph representation (digraph / csr_graph) so the
+// compiled timing kernel and the mutable model layer share one
+// implementation.
 #ifndef TSG_GRAPH_SCC_H
 #define TSG_GRAPH_SCC_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -26,15 +31,96 @@ struct scc_result {
 };
 
 /// Tarjan's algorithm; O(n + m), iterative (no recursion depth limits).
-[[nodiscard]] scc_result strongly_connected_components(const digraph& g);
+template <typename Graph>
+[[nodiscard]] scc_result strongly_connected_components(const Graph& g)
+{
+    const std::size_t n = g.node_count();
+    constexpr std::uint32_t unvisited = UINT32_MAX;
+
+    scc_result result;
+    result.component.assign(n, unvisited);
+
+    std::vector<std::uint32_t> index(n, unvisited);
+    std::vector<std::uint32_t> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<node_id> stack;
+    std::uint32_t next_index = 0;
+
+    // Explicit DFS frames: (node, position in its out-arc list).
+    struct frame {
+        node_id node;
+        std::size_t arc_pos;
+    };
+    std::vector<frame> frames;
+
+    for (node_id root = 0; root < n; ++root) {
+        if (index[root] != unvisited) continue;
+        frames.push_back({root, 0});
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!frames.empty()) {
+            frame& f = frames.back();
+            const auto& arcs = g.out_arcs(f.node);
+            if (f.arc_pos < arcs.size()) {
+                const node_id next = g.to(arcs[f.arc_pos]);
+                ++f.arc_pos;
+                if (index[next] == unvisited) {
+                    index[next] = low[next] = next_index++;
+                    stack.push_back(next);
+                    on_stack[next] = true;
+                    frames.push_back({next, 0});
+                } else if (on_stack[next]) {
+                    low[f.node] = std::min(low[f.node], index[next]);
+                }
+            } else {
+                const node_id done = f.node;
+                frames.pop_back();
+                if (!frames.empty())
+                    low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+                if (low[done] == index[done]) {
+                    // Pop the component rooted at `done`.
+                    while (true) {
+                        const node_id member = stack.back();
+                        stack.pop_back();
+                        on_stack[member] = false;
+                        result.component[member] = result.count;
+                        if (member == done) break;
+                    }
+                    ++result.count;
+                }
+            }
+        }
+    }
+    return result;
+}
 
 /// True when the whole graph is one strongly connected component (and
 /// non-empty).
-[[nodiscard]] bool is_strongly_connected(const digraph& g);
+template <typename Graph>
+[[nodiscard]] bool is_strongly_connected(const Graph& g)
+{
+    if (g.node_count() == 0) return false;
+    return strongly_connected_components(g).count == 1;
+}
 
 /// Nodes that lie on at least one directed cycle: nodes in a component of
 /// size >= 2 plus nodes with a self-loop.
-[[nodiscard]] std::vector<bool> nodes_on_cycles(const digraph& g);
+template <typename Graph>
+[[nodiscard]] std::vector<bool> nodes_on_cycles(const Graph& g)
+{
+    const scc_result scc = strongly_connected_components(g);
+    std::vector<std::uint32_t> size(scc.count, 0);
+    for (node_id v = 0; v < g.node_count(); ++v) ++size[scc.component[v]];
+
+    std::vector<bool> cyclic(g.node_count(), false);
+    for (node_id v = 0; v < g.node_count(); ++v)
+        if (size[scc.component[v]] >= 2) cyclic[v] = true;
+    for (arc_id a = 0; a < g.arc_count(); ++a)
+        if (g.from(a) == g.to(a)) cyclic[g.from(a)] = true;
+    return cyclic;
+}
 
 } // namespace tsg
 

@@ -1,4 +1,8 @@
 // Topological ordering and acyclicity tests (Kahn's algorithm).
+//
+// Templated over the graph representation so the same code serves both the
+// mutable digraph and the frozen csr_graph snapshots of the compiled
+// timing kernel.
 #ifndef TSG_GRAPH_TOPO_H
 #define TSG_GRAPH_TOPO_H
 
@@ -9,15 +13,60 @@
 
 namespace tsg {
 
+namespace detail {
+
+template <typename Graph>
+std::optional<std::vector<node_id>> kahn(const Graph& g, const std::vector<bool>* arc_kept)
+{
+    const std::size_t n = g.node_count();
+    std::vector<std::uint32_t> in_degree(n, 0);
+    for (arc_id a = 0; a < g.arc_count(); ++a) {
+        if (arc_kept && !(*arc_kept)[a]) continue;
+        ++in_degree[g.to(a)];
+    }
+
+    std::vector<node_id> order;
+    order.reserve(n);
+    std::vector<node_id> ready;
+    for (node_id v = 0; v < n; ++v)
+        if (in_degree[v] == 0) ready.push_back(v);
+
+    while (!ready.empty()) {
+        const node_id v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const arc_id a : g.out_arcs(v)) {
+            if (arc_kept && !(*arc_kept)[a]) continue;
+            if (--in_degree[g.to(a)] == 0) ready.push_back(g.to(a));
+        }
+    }
+
+    if (order.size() != n) return std::nullopt; // a cycle remains
+    return order;
+}
+
+} // namespace detail
+
 /// A topological order of all nodes, or nullopt when the graph has a cycle.
-[[nodiscard]] std::optional<std::vector<node_id>> topological_order(const digraph& g);
+template <typename Graph>
+[[nodiscard]] std::optional<std::vector<node_id>> topological_order(const Graph& g)
+{
+    return detail::kahn(g, nullptr);
+}
 
 /// Topological order of the subgraph induced by keeping only arcs for which
 /// `arc_kept[a]` is true.  Returns nullopt when that subgraph has a cycle.
+template <typename Graph>
 [[nodiscard]] std::optional<std::vector<node_id>> topological_order_filtered(
-    const digraph& g, const std::vector<bool>& arc_kept);
+    const Graph& g, const std::vector<bool>& arc_kept)
+{
+    require(arc_kept.size() == g.arc_count(),
+            "topological_order_filtered: filter size mismatch");
+    return detail::kahn(g, &arc_kept);
+}
 
-[[nodiscard]] inline bool is_acyclic(const digraph& g)
+template <typename Graph>
+[[nodiscard]] inline bool is_acyclic(const Graph& g)
 {
     return topological_order(g).has_value();
 }

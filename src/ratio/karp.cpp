@@ -1,82 +1,95 @@
 #include "ratio/karp.h"
 
-#include <optional>
+#include <limits>
 
 #include "graph/longest_path.h"
 #include "graph/scc.h"
 
 namespace tsg {
 
-rational max_mean_cycle_karp(const digraph& g, const std::vector<rational>& weight)
+namespace {
+
+/// Shared shape of the token-graph reduction, weight domain left to the
+/// caller: `path_weight(pa, lp_distance)` combines token arc pa's delay
+/// with a token-free longest-path distance into one token-graph weight.
+struct token_arcs_view {
+    std::vector<arc_id> arcs;
+    std::vector<bool> token_free;
+};
+
+token_arcs_view collect_token_arcs(const ratio_problem& p)
 {
-    require(g.node_count() > 0, "max_mean_cycle_karp: empty graph");
-    require(weight.size() == g.arc_count(), "max_mean_cycle_karp: weight size mismatch");
-
-    const std::size_t n = g.node_count();
-
-    // D[k][v] = longest walk with exactly k arcs from the super-source
-    // (which reaches every node with weight 0).  Row-rolled storage is not
-    // possible because the final formula needs all rows.
-    std::vector<std::vector<std::optional<rational>>> dist(
-        n + 1, std::vector<std::optional<rational>>(n));
-    for (node_id v = 0; v < n; ++v) dist[0][v] = rational(0);
-
-    for (std::size_t k = 1; k <= n; ++k) {
-        for (arc_id a = 0; a < g.arc_count(); ++a) {
-            const node_id u = g.from(a);
-            const node_id v = g.to(a);
-            if (!dist[k - 1][u]) continue;
-            const rational candidate = *dist[k - 1][u] + weight[a];
-            if (!dist[k][v] || candidate > *dist[k][v]) dist[k][v] = candidate;
-        }
+    token_arcs_view out;
+    out.token_free.assign(p.graph.arc_count(), false);
+    for (arc_id a = 0; a < p.graph.arc_count(); ++a) {
+        require(p.transit[a] == 0 || p.transit[a] == 1,
+                "max_cycle_ratio_karp: transit times must be 0 or 1");
+        if (p.transit[a] == 1)
+            out.arcs.push_back(a);
+        else
+            out.token_free[a] = true;
     }
-
-    // lambda = max_v min_{0 <= k < n} (D_n(v) - D_k(v)) / (n - k).
-    std::optional<rational> best;
-    for (node_id v = 0; v < n; ++v) {
-        if (!dist[n][v]) continue;
-        std::optional<rational> worst;
-        for (std::size_t k = 0; k < n; ++k) {
-            if (!dist[k][v]) continue;
-            const rational value =
-                (*dist[n][v] - *dist[k][v]) / rational(static_cast<std::int64_t>(n - k));
-            if (!worst || value < *worst) worst = value;
-        }
-        ensure(worst.has_value(), "max_mean_cycle_karp: row n reachable but no earlier row");
-        if (!best || *worst > *best) best = worst;
-    }
-    require(best.has_value(), "max_mean_cycle_karp: graph has no cycle");
-    return *best;
+    require(!out.arcs.empty(), "max_cycle_ratio_karp: no tokens (graph not live)");
+    return out;
 }
+
+} // namespace
 
 rational max_cycle_ratio_karp(const ratio_problem& p)
 {
     require(is_strongly_connected(p.graph), "max_cycle_ratio_karp: graph not strongly connected");
 
-    // Collect token arcs; verify transit times are 0/1.
-    std::vector<arc_id> token_arcs;
-    std::vector<bool> token_free(p.graph.arc_count(), false);
-    for (arc_id a = 0; a < p.graph.arc_count(); ++a) {
-        require(p.transit[a] == 0 || p.transit[a] == 1,
-                "max_cycle_ratio_karp: transit times must be 0 or 1");
-        if (p.transit[a] == 1)
-            token_arcs.push_back(a);
-        else
-            token_free[a] = true;
+    const token_arcs_view tokens = collect_token_arcs(p);
+    const std::size_t count = tokens.arcs.size();
+
+    // Fixed-point fast path: token-free DAG sweeps and the Karp DP both run
+    // on scaled int64 delays.  Guard the whole domain *before* any int64
+    // sweep: a DAG path sums at most every scaled delay once, and a DP walk
+    // accumulates at most count+1 token weights, each at most twice the
+    // total scaled delay mass.  Compiled problems satisfy this budget by
+    // construction; hand-built ones fall back to the rational domain.
+    const int128 budget = std::numeric_limits<std::int64_t>::max() / 4;
+    bool fixed_safe = p.scale != 0 && p.scaled_delay.size() == p.graph.arc_count();
+    if (fixed_safe) {
+        int128 total = 0;
+        for (const std::int64_t w : p.scaled_delay) total += w < 0 ? -int128(w) : w;
+        fixed_safe = total * 2 * static_cast<int128>(count + 1) <= budget &&
+                     static_cast<int128>(count + 1) * p.scale <= budget;
     }
-    require(!token_arcs.empty(), "max_cycle_ratio_karp: no tokens (graph not live)");
+    if (fixed_safe) {
+        csr_graph token_graph;
+        token_graph.add_nodes(count);
+        std::vector<std::int64_t> token_weight;
+        for (std::size_t i = 0; i < count; ++i) {
+            const arc_id pa = tokens.arcs[i];
+            const auto lp = dag_longest_paths_fixed(p.graph, p.scaled_delay,
+                                                    {p.graph.to(pa)}, &tokens.token_free);
+            for (std::size_t j = 0; j < count; ++j) {
+                const arc_id qa = tokens.arcs[j];
+                const node_id q_tail = p.graph.from(qa);
+                if (!lp.reached[q_tail]) continue;
+                token_graph.add_arc(static_cast<node_id>(i), static_cast<node_id>(j));
+                token_weight.push_back(p.scaled_delay[pa] + lp.distance[q_tail]);
+            }
+        }
+        const std::int64_t scale = p.scale;
+        return detail::karp_mean_cycle(
+            token_graph, token_weight,
+            [scale](std::int64_t diff, std::int64_t len) {
+                return rational(diff, len * scale);
+            });
+    }
 
-    // Token graph: one node per token arc.
-    digraph token_graph(token_arcs.size());
+    csr_graph token_graph;
+    token_graph.add_nodes(count);
     std::vector<rational> token_weight;
-
-    for (std::size_t i = 0; i < token_arcs.size(); ++i) {
-        const arc_id pa = token_arcs[i];
+    for (std::size_t i = 0; i < count; ++i) {
+        const arc_id pa = tokens.arcs[i];
         // Longest token-free paths from the head of token arc i.
         const longest_path_result lp = dag_longest_paths(
-            p.graph, p.delay, {p.graph.to(pa)}, &token_free);
-        for (std::size_t j = 0; j < token_arcs.size(); ++j) {
-            const arc_id qa = token_arcs[j];
+            p.graph, p.delay, {p.graph.to(pa)}, &tokens.token_free);
+        for (std::size_t j = 0; j < count; ++j) {
+            const arc_id qa = tokens.arcs[j];
             const node_id q_tail = p.graph.from(qa);
             if (!lp.reached[q_tail]) continue;
             token_graph.add_arc(static_cast<node_id>(i), static_cast<node_id>(j));

@@ -12,12 +12,67 @@
 // plus O(b*m_t) for Karp, where b is the token count and m_t <= b^2 —
 // attractive precisely when b is small, the same regime in which the
 // paper's O(b^2 m) algorithm shines.
+//
+// When the ratio problem carries the compiled fixed-point delay domain,
+// both the token-free DAG sweeps and the Karp DP run on int64 additions.
 #ifndef TSG_RATIO_KARP_H
 #define TSG_RATIO_KARP_H
+
+#include <optional>
 
 #include "ratio/ratio_problem.h"
 
 namespace tsg {
+
+namespace detail {
+
+/// Karp's dynamic program: D[k][v] = longest walk with exactly k arcs from
+/// a super-source reaching every node with weight 0; the answer is
+/// max_v min_k finish(D_n(v) - D_k(v), n - k).  `finish` converts a weight
+/// difference and a walk-length difference into the exact rational mean.
+template <typename Graph, typename Weight, typename Finish>
+rational karp_mean_cycle(const Graph& g, const std::vector<Weight>& weight, Finish finish)
+{
+    require(g.node_count() > 0, "max_mean_cycle_karp: empty graph");
+    require(weight.size() == g.arc_count(), "max_mean_cycle_karp: weight size mismatch");
+
+    const std::size_t n = g.node_count();
+
+    // Row-rolled storage is not possible because the final formula needs
+    // all rows.
+    std::vector<std::vector<std::optional<Weight>>> dist(
+        n + 1, std::vector<std::optional<Weight>>(n));
+    for (node_id v = 0; v < n; ++v) dist[0][v] = Weight{};
+
+    for (std::size_t k = 1; k <= n; ++k) {
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            const node_id u = g.from(a);
+            const node_id v = g.to(a);
+            if (!dist[k - 1][u]) continue;
+            const Weight candidate = *dist[k - 1][u] + weight[a];
+            if (!dist[k][v] || candidate > *dist[k][v]) dist[k][v] = candidate;
+        }
+    }
+
+    // lambda = max_v min_{0 <= k < n} (D_n(v) - D_k(v)) / (n - k).
+    std::optional<rational> best;
+    for (node_id v = 0; v < n; ++v) {
+        if (!dist[n][v]) continue;
+        std::optional<rational> worst;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!dist[k][v]) continue;
+            const rational value =
+                finish(*dist[n][v] - *dist[k][v], static_cast<std::int64_t>(n - k));
+            if (!worst || value < *worst) worst = value;
+        }
+        ensure(worst.has_value(), "max_mean_cycle_karp: row n reachable but no earlier row");
+        if (!best || *worst > *best) best = worst;
+    }
+    require(best.has_value(), "max_mean_cycle_karp: graph has no cycle");
+    return *best;
+}
+
+} // namespace detail
 
 /// Maximum cycle ratio by token-graph + Karp.  Requires a strongly
 /// connected problem with transit times in {0, 1} and at least one token.
@@ -25,9 +80,14 @@ namespace tsg {
 [[nodiscard]] rational max_cycle_ratio_karp(const ratio_problem& p);
 
 /// Maximum mean cycle (Karp's original problem: ratio with every transit
-/// time = 1) of an arbitrary digraph with at least one cycle.
-[[nodiscard]] rational max_mean_cycle_karp(const digraph& g,
-                                           const std::vector<rational>& weight);
+/// time = 1) of an arbitrary graph with at least one cycle.
+template <typename Graph>
+[[nodiscard]] rational max_mean_cycle_karp(const Graph& g,
+                                           const std::vector<rational>& weight)
+{
+    return detail::karp_mean_cycle(
+        g, weight, [](const rational& diff, std::int64_t len) { return diff / rational(len); });
+}
 
 /// Convenience: the cycle time of a Signal Graph via Karp.
 [[nodiscard]] rational cycle_time_karp(const signal_graph& sg);

@@ -1,25 +1,34 @@
 #include "ratio/ratio_problem.h"
 
+#include "core/compiled_graph.h"
+
 namespace tsg {
+
+ratio_problem make_ratio_problem(const compiled_graph& cg)
+{
+    require(!cg.source().repetitive_events().empty(), "make_ratio_problem: graph is acyclic");
+
+    const compiled_graph::core_view& core = cg.core();
+
+    ratio_problem p;
+    p.graph = core.graph; // CSR snapshot, adjacency index already frozen
+    p.node_event = core.node_event;
+    p.arc_original = core.arc_original;
+    p.delay = core.delay;
+    p.transit.reserve(core.token.size());
+    for (const std::uint8_t t : core.token) p.transit.push_back(t);
+    if (cg.fixed_point()) {
+        p.scale = cg.scale();
+        p.scaled_delay = core.scaled_delay;
+    }
+    return p;
+}
 
 ratio_problem make_ratio_problem(const signal_graph& sg)
 {
     require(sg.finalized(), "make_ratio_problem: graph must be finalized");
-    require(!sg.repetitive_events().empty(), "make_ratio_problem: graph is acyclic");
-
-    const signal_graph::core_view core = sg.repetitive_core();
-
-    ratio_problem p;
-    p.graph = core.graph;
-    p.node_event = core.node_event;
-    p.arc_original = core.arc_original;
-    p.delay.reserve(core.arc_original.size());
-    p.transit.reserve(core.arc_original.size());
-    for (const arc_id a : core.arc_original) {
-        p.delay.push_back(sg.arc(a).delay);
-        p.transit.push_back(sg.arc(a).marked ? 1 : 0);
-    }
-    return p;
+    const compiled_graph cg(sg);
+    return make_ratio_problem(cg);
 }
 
 rational cycle_ratio(const ratio_problem& p, const std::vector<arc_id>& cycle)

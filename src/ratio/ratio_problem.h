@@ -10,28 +10,45 @@
 // baseline solvers (exhaustive, Karp, Lawler, Howard) that the paper cites
 // as alternatives [1, 8, 11, 13]; the solvers cross-validate the paper's
 // timing-simulation algorithm in tests and benchmarks.
+//
+// The problem graph is a frozen CSR snapshot (see graph/csr.h); built from
+// a compiled_graph it shares the compiled repetitive-core view — flat
+// adjacency, exact delays, and the fixed-point scaled delays — instead of
+// re-traversing the signal graph into a fresh digraph.
 #ifndef TSG_RATIO_RATIO_PROBLEM_H
 #define TSG_RATIO_RATIO_PROBLEM_H
 
 #include <cstdint>
 #include <vector>
 
-#include "graph/digraph.h"
+#include "graph/csr.h"
 #include "sg/signal_graph.h"
 #include "util/rational.h"
 
 namespace tsg {
 
+class compiled_graph;
+
 struct ratio_problem {
-    digraph graph;                      ///< strongly connected
+    csr_graph graph;                    ///< strongly connected
     std::vector<rational> delay;        ///< per arc, >= 0
     std::vector<std::int64_t> transit;  ///< per arc tokens, 0 or 1 from Signal Graphs
     std::vector<event_id> node_event;   ///< node -> originating event (may be empty)
     std::vector<arc_id> arc_original;   ///< arc -> originating sg arc (may be empty)
+
+    /// Fixed-point delay domain shared from the compiled graph: delays
+    /// scaled by `scale` as exact int64s.  scale == 0 means "rational
+    /// arithmetic only" (hand-built problems, or the overflow fallback).
+    std::int64_t scale = 0;
+    std::vector<std::int64_t> scaled_delay; ///< per arc, valid when scale != 0
 };
 
 /// Builds the ratio problem over the repetitive core of a finalized graph.
 [[nodiscard]] ratio_problem make_ratio_problem(const signal_graph& sg);
+
+/// Builds the ratio problem from a compiled snapshot, sharing its core
+/// view and fixed-point delay domain.
+[[nodiscard]] ratio_problem make_ratio_problem(const compiled_graph& cg);
 
 struct ratio_result {
     rational ratio;             ///< the maximum cycle ratio

@@ -188,8 +188,21 @@ signal_graph::core_view signal_graph::repetitive_core() const
 {
     const std::vector<bool> cyclic = nodes_on_cycles(structure_);
 
+    // Size everything up front: the rebuild loops below are hot for the
+    // analyses that extract the core repeatedly on large graphs.
+    std::size_t core_nodes = 0;
+    for (event_id e = 0; e < event_count(); ++e)
+        if (cyclic[e]) ++core_nodes;
+    std::size_t core_arcs = 0;
+    for (const auto& arc : arcs_)
+        if (cyclic[arc.from] && cyclic[arc.to]) ++core_arcs;
+
     core_view core;
     core.event_node.assign(event_count(), invalid_node);
+    core.node_event.reserve(core_nodes);
+    core.graph.reserve_nodes(core_nodes);
+    core.graph.reserve_arcs(core_arcs);
+    core.arc_original.reserve(core_arcs);
     for (event_id e = 0; e < event_count(); ++e) {
         if (!cyclic[e]) continue;
         core.event_node[e] = core.graph.add_node();

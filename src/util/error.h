@@ -39,4 +39,13 @@ inline void ensure(bool condition, const std::string& message)
 
 } // namespace tsg
 
+/// Debug-only bounds/invariant check for hot-path accessors: full require()
+/// diagnostics in debug builds, unchecked indexing in release (NDEBUG)
+/// builds where the graph sweeps dominate the profile.
+#ifndef NDEBUG
+#define TSG_DCHECK(condition, message) ::tsg::require((condition), (message))
+#else
+#define TSG_DCHECK(condition, message) ((void)0)
+#endif
+
 #endif // TSG_UTIL_ERROR_H

@@ -1,0 +1,74 @@
+// Minimal index-space thread pool for embarrassingly parallel analyses.
+//
+// The cycle-time border runs are independent event-initiated simulations;
+// parallel_for_index fans them out over std::thread workers pulling indices
+// from an atomic counter.  Workers only write to disjoint slots of
+// caller-owned result vectors, and every reduction happens serially after
+// the join — so results are bit-identical to a serial run regardless of the
+// thread count.  The first exception thrown by any worker is rethrown on
+// the calling thread.
+#ifndef TSG_UTIL_PARALLEL_H
+#define TSG_UTIL_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsg {
+
+/// Resolves a caller-facing thread-count knob: 0 means "one per hardware
+/// thread", anything else is taken literally (1 forces a serial run).
+[[nodiscard]] inline unsigned resolve_thread_count(unsigned requested) noexcept
+{
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/// Runs body(i) for every i in [0, count), on up to `threads` threads.
+/// Falls back to a plain loop when count or threads is small enough that
+/// spawning would only add overhead.
+template <typename Body>
+void parallel_for_index(std::size_t count, unsigned threads, Body&& body)
+{
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(resolve_thread_count(threads), count));
+    if (workers <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+
+    const auto work = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (!failure) failure = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
+    work(); // the calling thread participates
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+}
+
+} // namespace tsg
+
+#endif // TSG_UTIL_PARALLEL_H

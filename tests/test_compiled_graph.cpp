@@ -1,0 +1,326 @@
+// Tests for the compiled timing kernel: CSR snapshots must mirror the
+// digraph structure exactly, the fixed-point delay domain must reproduce
+// the rational results bit for bit (and fall back gracefully on overflow),
+// and the parallel border runs must be deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compiled_graph.h"
+#include "core/cycle_time.h"
+#include "core/slack.h"
+#include "gen/oscillator.h"
+#include "gen/random_sg.h"
+#include "graph/csr.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "sg/builder.h"
+#include "util/prng.h"
+
+namespace tsg {
+namespace {
+
+std::vector<arc_id> sorted(std::vector<arc_id> arcs)
+{
+    std::sort(arcs.begin(), arcs.end());
+    return arcs;
+}
+
+/// A random live strongly connected graph with *fractional* delays —
+/// random_marked_graph only emits integers, which would make the
+/// fixed-point scale trivially 1.  Same recipe: a Hamiltonian ring with one
+/// marked closing arc plus forward chords.
+signal_graph random_fractional_graph(std::uint64_t seed, std::uint32_t events,
+                                     std::int64_t max_den = 6)
+{
+    prng rng(seed);
+    sg_builder b;
+    for (std::uint32_t i = 0; i < events; ++i) b.event("e" + std::to_string(i));
+    const auto delay = [&] {
+        return rational(rng.uniform(0, 12), rng.uniform(1, max_den));
+    };
+    for (std::uint32_t i = 0; i + 1 < events; ++i)
+        b.arc("e" + std::to_string(i), "e" + std::to_string(i + 1), delay());
+    b.marked_arc("e" + std::to_string(events - 1), "e0", delay());
+    for (std::uint32_t extra = 0; extra < events; ++extra) {
+        const auto i = static_cast<std::uint32_t>(rng.uniform(0, events - 2));
+        const auto j = static_cast<std::uint32_t>(rng.uniform(i + 1, events - 1));
+        b.arc("e" + std::to_string(i), "e" + std::to_string(j), delay());
+    }
+    return b.build();
+}
+
+TEST(CsrGraph, MatchesDigraphAdjacency)
+{
+    prng rng(0x5ca1eu);
+    for (int round = 0; round < 20; ++round) {
+        digraph g(static_cast<std::size_t>(rng.uniform(1, 40)));
+        const auto arcs = rng.uniform(0, 120);
+        for (std::int64_t a = 0; a < arcs; ++a)
+            g.add_arc(static_cast<node_id>(rng.index(g.node_count())),
+                      static_cast<node_id>(rng.index(g.node_count())));
+
+        const csr_graph c(g);
+        ASSERT_EQ(c.node_count(), g.node_count());
+        ASSERT_EQ(c.arc_count(), g.arc_count());
+        for (arc_id a = 0; a < g.arc_count(); ++a) {
+            EXPECT_EQ(c.from(a), g.from(a));
+            EXPECT_EQ(c.to(a), g.to(a));
+        }
+        for (node_id v = 0; v < g.node_count(); ++v) {
+            const auto out = c.out_arcs(v);
+            const auto in = c.in_arcs(v);
+            // Same arcs *in the same order* — tie-breaking in the argmax
+            // sweeps depends on it.
+            EXPECT_TRUE(std::equal(out.begin(), out.end(), g.out_arcs(v).begin(),
+                                   g.out_arcs(v).end()));
+            EXPECT_TRUE(std::equal(in.begin(), in.end(), g.in_arcs(v).begin(),
+                                   g.in_arcs(v).end()));
+        }
+    }
+}
+
+TEST(CsrGraph, IncrementalBuildMatchesSnapshot)
+{
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.add_arc(2, 0);
+    g.add_arc(1, 1);
+
+    csr_graph c;
+    c.add_nodes(3);
+    c.add_arc(0, 1);
+    c.add_arc(1, 2);
+    EXPECT_EQ(c.out_degree(1), 1u); // index built lazily...
+    c.add_arc(2, 0);                // ...and invalidated by mutation
+    c.add_arc(1, 1);
+    EXPECT_EQ(c.out_degree(1), 2u);
+    EXPECT_EQ(c.in_degree(1), 2u);
+    EXPECT_EQ(sorted({c.out_arcs(1).begin(), c.out_arcs(1).end()}), sorted({1, 3}));
+    EXPECT_THROW(c.add_arc(0, 9), error);
+}
+
+TEST(CompiledGraph, StructureMirrorsSignalGraph)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const compiled_graph cg(sg);
+
+    ASSERT_EQ(cg.structure().node_count(), sg.event_count());
+    ASSERT_EQ(cg.structure().arc_count(), sg.arc_count());
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        EXPECT_EQ(cg.structure().from(a), sg.arc(a).from);
+        EXPECT_EQ(cg.structure().to(a), sg.arc(a).to);
+        EXPECT_EQ(cg.delay()[a], sg.arc(a).delay);
+    }
+
+    // The compiled core must agree with signal_graph::repetitive_core().
+    const signal_graph::core_view reference = sg.repetitive_core();
+    const compiled_graph::core_view& core = cg.core();
+    ASSERT_EQ(core.graph.node_count(), reference.graph.node_count());
+    ASSERT_EQ(core.graph.arc_count(), reference.graph.arc_count());
+    EXPECT_EQ(core.node_event, reference.node_event);
+    EXPECT_EQ(core.event_node, reference.event_node);
+    EXPECT_EQ(core.arc_original, reference.arc_original);
+    for (arc_id a = 0; a < core.graph.arc_count(); ++a) {
+        EXPECT_EQ(core.graph.from(a), reference.graph.from(a));
+        EXPECT_EQ(core.graph.to(a), reference.graph.to(a));
+    }
+}
+
+TEST(CompiledGraph, CoreNumberingMatchesRepetitiveCoreOnRandomGraphs)
+{
+    // compile_core() builds the core directly from the event classification
+    // instead of calling repetitive_core(); this pins the numbering parity
+    // the analyses rely on (same node/arc ids in both views), including on
+    // graphs with initial and transient events around the core.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        random_sg_options opts;
+        opts.events = 48;
+        opts.extra_arcs = 64;
+        opts.seed = seed;
+        const signal_graph sg = random_marked_graph(opts);
+        const compiled_graph cg(sg);
+
+        const signal_graph::core_view reference = sg.repetitive_core();
+        const compiled_graph::core_view& core = cg.core();
+        ASSERT_EQ(core.graph.node_count(), reference.graph.node_count()) << seed;
+        ASSERT_EQ(core.graph.arc_count(), reference.graph.arc_count()) << seed;
+        EXPECT_EQ(core.node_event, reference.node_event) << seed;
+        EXPECT_EQ(core.event_node, reference.event_node) << seed;
+        EXPECT_EQ(core.arc_original, reference.arc_original) << seed;
+        for (arc_id a = 0; a < core.graph.arc_count(); ++a) {
+            ASSERT_EQ(core.graph.from(a), reference.graph.from(a)) << seed;
+            ASSERT_EQ(core.graph.to(a), reference.graph.to(a)) << seed;
+        }
+    }
+}
+
+TEST(CompiledGraph, FixedPointScaleIsDenominatorLcm)
+{
+    sg_builder b;
+    b.event("a");
+    b.event("b");
+    b.arc("a", "b", rational(1, 2));
+    b.marked_arc("b", "a", rational(5, 6));
+    b.arc("a", "b", rational(1, 3));
+    b.marked_arc("b", "a", rational(4));
+    const signal_graph sg = b.build();
+    const compiled_graph cg(sg);
+
+    ASSERT_TRUE(cg.fixed_point());
+    EXPECT_EQ(cg.scale(), 6);
+    EXPECT_EQ(cg.scaled_delay()[0], 3);  // 1/2 * 6
+    EXPECT_EQ(cg.scaled_delay()[1], 5);  // 5/6 * 6
+    EXPECT_EQ(cg.scaled_delay()[2], 2);  // 1/3 * 6
+    EXPECT_EQ(cg.scaled_delay()[3], 24); // 4 * 6
+    for (arc_id a = 0; a < sg.arc_count(); ++a)
+        EXPECT_EQ(cg.unscale(cg.scaled_delay()[a]), sg.arc(a).delay);
+}
+
+TEST(CompiledGraph, FixedPointTotalsMatchRationalTotals)
+{
+    prng rng(0xf00du);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const signal_graph sg = random_fractional_graph(seed, 24);
+        const compiled_graph cg(sg);
+        ASSERT_TRUE(cg.fixed_point()) << seed;
+
+        // Random arc subsets: scaled sums divide back to the exact rational
+        // sums.
+        for (int round = 0; round < 20; ++round) {
+            rational exact(0);
+            std::int64_t scaled = 0;
+            for (arc_id a = 0; a < sg.arc_count(); ++a) {
+                if (!rng.chance(0.5)) continue;
+                exact += sg.arc(a).delay;
+                scaled += cg.scaled_delay()[a];
+            }
+            EXPECT_EQ(cg.unscale(scaled), exact) << seed;
+        }
+    }
+}
+
+TEST(CompiledGraph, FixedPointAnalysisIsBitIdenticalToRational)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const signal_graph sg = random_fractional_graph(seed, 32);
+        const compiled_graph fixed(sg);
+        const compiled_graph exact(sg, compile_options{.use_fixed_point = false});
+        ASSERT_TRUE(fixed.fixed_point());
+        ASSERT_FALSE(exact.fixed_point());
+
+        const cycle_time_result a = analyze_cycle_time(fixed);
+        const cycle_time_result b = analyze_cycle_time(exact);
+        EXPECT_EQ(a.cycle_time, b.cycle_time) << seed;
+        EXPECT_EQ(a.critical_cycle_arcs, b.critical_cycle_arcs) << seed;
+        EXPECT_EQ(a.critical_occurrence_period, b.critical_occurrence_period) << seed;
+        ASSERT_EQ(a.runs.size(), b.runs.size());
+        for (std::size_t k = 0; k < a.runs.size(); ++k)
+            EXPECT_EQ(a.runs[k].deltas, b.runs[k].deltas) << seed;
+
+        // Cross-validate both against an independent solver.
+        EXPECT_EQ(a.cycle_time, cycle_time_howard(sg)) << seed;
+        EXPECT_EQ(a.cycle_time, cycle_time_karp(sg)) << seed;
+
+        // Slack layer: same potentials and slacks through both domains.
+        const slack_result sa = analyze_slack(fixed);
+        const slack_result sb = analyze_slack(exact);
+        EXPECT_EQ(sa.slack, sb.slack) << seed;
+        EXPECT_EQ(sa.potential, sb.potential) << seed;
+        EXPECT_EQ(sa.arc_critical, sb.arc_critical) << seed;
+        EXPECT_EQ(sa.criticality_margin, sb.criticality_margin) << seed;
+    }
+}
+
+TEST(CompiledGraph, OverflowFallsBackToRational)
+{
+    // Two coprime near-2^31 denominators push the LCM past the scale cap.
+    const std::int64_t p1 = 2147483647; // 2^31 - 1 (prime)
+    const std::int64_t p2 = 2147483629; // also prime
+    sg_builder b;
+    b.event("a");
+    b.event("b");
+    b.arc("a", "b", rational(1, p1));
+    b.marked_arc("b", "a", rational(10, p2));
+    const signal_graph sg = b.build();
+    const compiled_graph cg(sg);
+
+    EXPECT_FALSE(cg.fixed_point());
+    EXPECT_EQ(cg.scale(), 0);
+
+    // The analysis still runs — in the exact rational domain.
+    const cycle_time_result r = analyze_cycle_time(cg);
+    EXPECT_EQ(r.cycle_time, rational(1, p1) + rational(10, p2));
+    EXPECT_EQ(r.cycle_time, cycle_time_howard(sg));
+}
+
+TEST(CompiledGraph, HugeDelaysDisableFixedPointSweeps)
+{
+    // Integer delays near INT64_MAX: the scale is 1 but the period budget
+    // collapses, so sweeps must take the rational path (which the seed's
+    // 128-bit intermediates handle).
+    const std::int64_t big = std::int64_t{1} << 61;
+    sg_builder b;
+    b.event("a");
+    b.event("b");
+    b.arc("a", "b", rational(big));
+    b.marked_arc("b", "a", rational(big));
+    const signal_graph sg = b.build();
+    const compiled_graph cg(sg);
+
+    EXPECT_FALSE(cg.fixed_point_for_periods(1));
+    EXPECT_EQ(analyze_cycle_time(cg).cycle_time, rational(big) + rational(big));
+}
+
+TEST(CompiledGraph, ParallelBorderRunsMatchSerial)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        random_sg_options opts;
+        opts.events = 96;
+        opts.extra_arcs = 96;
+        opts.seed = seed;
+        opts.border_limit = 0; // many border events -> many parallel runs
+        const signal_graph sg = random_marked_graph(opts);
+        const compiled_graph cg(sg);
+
+        analysis_options serial;
+        serial.max_threads = 1;
+        analysis_options parallel;
+        parallel.max_threads = 4;
+
+        const cycle_time_result a = analyze_cycle_time(cg, serial);
+        const cycle_time_result b = analyze_cycle_time(cg, parallel);
+        EXPECT_EQ(a.cycle_time, b.cycle_time) << seed;
+        EXPECT_EQ(a.critical_cycle_events, b.critical_cycle_events) << seed;
+        EXPECT_EQ(a.critical_cycle_arcs, b.critical_cycle_arcs) << seed;
+        ASSERT_EQ(a.runs.size(), b.runs.size());
+        for (std::size_t k = 0; k < a.runs.size(); ++k) {
+            EXPECT_EQ(a.runs[k].origin, b.runs[k].origin);
+            EXPECT_EQ(a.runs[k].deltas, b.runs[k].deltas);
+            EXPECT_EQ(a.runs[k].critical, b.runs[k].critical);
+        }
+    }
+}
+
+TEST(CompiledGraph, AcyclicGraphsCompileWithoutCore)
+{
+    sg_builder b;
+    b.event("start");
+    b.event("mid");
+    b.event("end");
+    b.arc("start", "mid", rational(3, 2));
+    b.arc("mid", "end", rational(5, 2));
+    const signal_graph sg = b.build();
+    const compiled_graph cg(sg);
+
+    EXPECT_FALSE(cg.has_core());
+    EXPECT_THROW((void)cg.core(), error);
+    ASSERT_TRUE(cg.acyclic_order().has_value());
+    EXPECT_EQ(cg.acyclic_order()->size(), sg.event_count());
+    ASSERT_TRUE(cg.fixed_point());
+    EXPECT_EQ(cg.scale(), 2);
+}
+
+} // namespace
+} // namespace tsg
