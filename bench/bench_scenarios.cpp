@@ -1,0 +1,153 @@
+// Scenario throughput: the batch engine vs. recompile-per-scenario.
+//
+// The workload is the paper's iterated what-if loop at scale: one n-event
+// random marked graph (b << n, the algorithm's favourable regime) and S
+// Monte Carlo delay assignments.  The naive loop rebuilds the signal_graph
+// with each assignment, finalizes, compiles and analyzes — what callers
+// did before the scenario engine.  The batch path compiles the structure
+// once and evaluates every assignment as a delay rebind, fanned across the
+// thread pool.  Per-scenario cycle times are compared bit for bit; the
+// acceptance bar for the engine is >= 5x scenarios/second at n=1024,
+// S=1000.
+//
+// Both sides run in interleaved rounds and report their best round — the
+// standard guard against external load spikes skewing one side (the per-
+// scenario results are asserted identical in every round regardless).
+//
+//   bench_scenarios [--events N] [--samples S] [--rounds R] [--serial]
+//                   [--json out.json]
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/cycle_time.h"
+#include "core/scenario.h"
+#include "gen/random_sg.h"
+#include "sg/signal_graph.h"
+
+namespace {
+
+using namespace tsg;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start)
+{
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// The pre-engine what-if iteration: rebuild, re-finalize, recompile,
+/// analyze.  Kept intentionally faithful to the old optimize/sensitivity
+/// inner loops.
+rational naive_scenario(const signal_graph& sg, const std::vector<rational>& delay)
+{
+    signal_graph rebuilt;
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        const event_info& info = sg.event(e);
+        rebuilt.add_event(info.name, info.signal, info.pol);
+    }
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        rebuilt.add_arc(arc.from, arc.to, delay[a], arc.marked, arc.disengageable);
+    }
+    rebuilt.finalize();
+    const compiled_graph cg(rebuilt);
+    return analyze_cycle_time(cg).cycle_time;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    tsg_bench::bench_reporter reporter(argc, argv);
+
+    std::uint32_t events = 1024;
+    std::size_t samples = 1000;
+    int rounds = 3;
+    unsigned batch_threads = 0; // hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--events" && i + 1 < argc)
+            events = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--samples" && i + 1 < argc)
+            samples = std::stoull(argv[++i]);
+        else if (arg == "--rounds" && i + 1 < argc)
+            rounds = std::stoi(argv[++i]);
+        else if (arg == "--serial")
+            batch_threads = 1;
+    }
+
+    random_sg_options gopts;
+    gopts.events = events;
+    gopts.extra_arcs = events; // m = 2n
+    gopts.seed = 42;
+    gopts.border_limit = 4; // b << n
+    const signal_graph sg = random_marked_graph(gopts);
+
+    monte_carlo_options mc;
+    mc.samples = samples;
+    mc.seed = 7;
+    mc.spread = rational(1, 2);
+    const std::vector<scenario> scenarios = monte_carlo_scenarios(sg, mc);
+
+    std::cout << "model: n=" << sg.event_count() << " m=" << sg.arc_count()
+              << " b=" << sg.border_events().size() << ", scenarios=" << samples << "\n";
+
+    // --- interleaved rounds, best-of per side ------------------------------
+    scenario_batch_options run;
+    run.max_threads = batch_threads;
+    run.with_slack = false; // match the naive loop's work exactly
+    scenario_batch_result batch;
+    std::vector<rational> naive(samples);
+    double batch_seconds = 0;
+    double naive_seconds = 0;
+    std::size_t mismatches = 0;
+    for (int round = 0; round < rounds; ++round) {
+        const auto batch_start = clock_type::now();
+        const compiled_graph compiled(sg);
+        const scenario_engine engine(compiled);
+        batch = engine.run(scenarios, run);
+        const double bs = seconds_since(batch_start);
+        if (round == 0 || bs < batch_seconds) batch_seconds = bs;
+
+        const auto naive_start = clock_type::now();
+        for (std::size_t i = 0; i < samples; ++i)
+            naive[i] = naive_scenario(sg, scenarios[i].delay);
+        const double ns = seconds_since(naive_start);
+        if (round == 0 || ns < naive_seconds) naive_seconds = ns;
+
+        // --- bit-identical results check, every round ----------------------
+        for (std::size_t i = 0; i < samples; ++i)
+            if (batch.outcomes[i].cycle_time != naive[i]) ++mismatches;
+    }
+
+    const double batch_rate = static_cast<double>(samples) / batch_seconds;
+    const double naive_rate = static_cast<double>(samples) / naive_seconds;
+    const double speedup = batch_rate / naive_rate;
+
+    std::cout << "batch engine : " << batch_seconds << " s  (" << batch_rate
+              << " scenarios/s)\n";
+    std::cout << "naive rebuild: " << naive_seconds << " s  (" << naive_rate
+              << " scenarios/s)\n";
+    std::cout << "speedup      : " << speedup << "x\n";
+    std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
+              << mismatches << " mismatches)\n";
+    std::cout << "cycle time   : min " << batch.min_cycle_time.str() << ", max "
+              << batch.max_cycle_time.str() << ", mean ~" << batch.mean_cycle_time
+              << "\n";
+
+    reporter.record("events", static_cast<double>(sg.event_count()), "count");
+    reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
+    reporter.record("scenarios", static_cast<double>(samples), "count");
+    reporter.record("batch_scenarios_per_second", batch_rate, "1/s");
+    reporter.record("naive_scenarios_per_second", naive_rate, "1/s");
+    reporter.record("speedup", speedup, "x");
+    reporter.record("mismatches", static_cast<double>(mismatches), "count");
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: batch results diverge from per-scenario recompiles\n";
+        return 1;
+    }
+    return 0;
+}

@@ -5,12 +5,14 @@
 //   * criticality — does the arc lie on a critical cycle (so that speeding
 //     it up can improve the cycle time)?
 //   * slack — by how much can its delay grow before the cycle time moves?
-// Both fall out of repeated cycle-time analyses; with O(b^2 m) per run the
-// whole report costs O(b^2 m^2), comfortably interactive for gate-level
-// graphs.
+// Both fall out of repeated cycle-time analyses.  The what-if loop runs on
+// the scenario engine: the graph is compiled once and every probe is a
+// delay-only rebind, so the binary search below costs O(b^2 m log cap) per
+// arc with no per-probe graph rebuild.
 #include <iostream>
 
 #include "core/cycle_time.h"
+#include "core/scenario.h"
 #include "gen/oscillator.h"
 #include "sg/signal_graph.h"
 #include "util/table.h"
@@ -19,40 +21,28 @@ namespace {
 
 using namespace tsg;
 
-/// Rebuilds `sg` with arc `target` carrying delay `delay`.
-signal_graph with_arc_delay(const signal_graph& sg, arc_id target, const rational& delay)
+/// Cycle time with arc `target` carrying delay `delay` — one rebind, one
+/// analysis, no graph reconstruction.
+rational lambda_with(const scenario_engine& engine, arc_id target, const rational& delay)
 {
-    signal_graph out;
-    for (event_id e = 0; e < sg.event_count(); ++e) {
-        const event_info& info = sg.event(e);
-        out.add_event(info.name, info.signal, info.pol);
-    }
-    for (arc_id a = 0; a < sg.arc_count(); ++a) {
-        const arc_info& arc = sg.arc(a);
-        out.add_arc(arc.from, arc.to, a == target ? delay : arc.delay, arc.marked,
-                    arc.disengageable);
-    }
-    out.finalize();
-    return out;
+    std::vector<rational> assignment = engine.base().delay();
+    assignment[target] = delay;
+    return engine.evaluate(assignment, /*with_slack=*/false).cycle_time;
 }
 
 /// Largest extra delay on `a` that keeps the cycle time unchanged
 /// (binary search over integers, capped).
-rational arc_slack(const signal_graph& sg, arc_id a, const rational& lambda)
+rational arc_slack(const scenario_engine& engine, arc_id a, const rational& lambda)
 {
-    const rational base = sg.arc(a).delay;
+    const rational base = engine.base().delay()[a];
     std::int64_t lo = 0;
     std::int64_t hi = 1;
     const std::int64_t cap = 1'000'000;
-    while (hi < cap &&
-           analyze_cycle_time(with_arc_delay(sg, a, base + rational(hi))).cycle_time ==
-               lambda)
-        hi *= 2;
+    while (hi < cap && lambda_with(engine, a, base + rational(hi)) == lambda) hi *= 2;
     if (hi >= cap) return rational(cap); // effectively unbounded
     while (lo + 1 < hi) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        if (analyze_cycle_time(with_arc_delay(sg, a, base + rational(mid))).cycle_time ==
-            lambda)
+        if (lambda_with(engine, a, base + rational(mid)) == lambda)
             lo = mid;
         else
             hi = mid;
@@ -65,7 +55,9 @@ rational arc_slack(const signal_graph& sg, arc_id a, const rational& lambda)
 int main()
 {
     const signal_graph sg = c_oscillator_sg();
-    const cycle_time_result reference = analyze_cycle_time(sg);
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+    const cycle_time_result reference = analyze_cycle_time(compiled);
     std::cout << "oscillator cycle time: " << reference.cycle_time.str() << "\n\n";
 
     std::vector<bool> on_critical(sg.arc_count(), false);
@@ -77,7 +69,7 @@ int main()
         const arc_info& arc = sg.arc(a);
         // One-shot arcs only shape the start-up; skip them in the report.
         if (sg.event(arc.from).kind != event_kind::repetitive) continue;
-        const rational slack = arc_slack(sg, a, reference.cycle_time);
+        const rational slack = arc_slack(engine, a, reference.cycle_time);
         t.add_row({sg.event(arc.from).name + " -> " + sg.event(arc.to).name,
                    arc.delay.str(), on_critical[a] ? "yes" : "no", slack.str()});
     }

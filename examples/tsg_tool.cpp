@@ -7,13 +7,20 @@
 //   tsg_tool model.tsg            analyze a Timed Signal Graph file
 //   tsg_tool model.circuit        extract from a circuit, then analyze
 //   tsg_tool --report [file]      emit the full markdown report instead
+//   tsg_tool sweep [file] [--factor N/D]
+//                                 per-arc +/- corner batch on the scenario
+//                                 engine; JSON on stdout
+//   tsg_tool montecarlo [file] [--samples N] [--seed S] [--spread N/D]
+//                                 Monte Carlo delay batch; JSON on stdout
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "circuit/extraction.h"
 #include "circuit/netlist_io.h"
 #include "core/cycle_time.h"
 #include "core/report.h"
+#include "core/scenario.h"
 #include "gen/oscillator.h"
 #include "sg/sg_io.h"
 #include "util/strings.h"
@@ -58,40 +65,174 @@ void report(const signal_graph& sg)
     std::cout << t.str();
 }
 
+bool is_circuit_path(const std::string& path)
+{
+    return path.size() > 8 && path.substr(path.size() - 8) == ".circuit";
+}
+
+/// Loads a model argument: empty -> built-in demo, *.circuit -> extraction,
+/// anything else -> .tsg file.
+signal_graph load_model(const std::string& path)
+{
+    if (path.empty()) return c_oscillator_sg();
+    if (is_circuit_path(path)) {
+        const parsed_circuit circuit = load_circuit(path);
+        return extract_signal_graph(circuit.nl, circuit.initial).graph;
+    }
+    return load_sg(path);
+}
+
+std::string json_quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/// Renders a scenario batch as a JSON document on stdout: per-scenario
+/// cycle times (exact and double) and the batch aggregates.
+void print_batch_json(const std::string& command, const signal_graph& sg,
+                      const rational& nominal, const std::vector<scenario>& scenarios,
+                      const scenario_batch_result& batch)
+{
+    std::cout << "{\n";
+    std::cout << "  \"command\": " << json_quote(command) << ",\n";
+    std::cout << "  \"model\": {\"events\": " << sg.event_count()
+              << ", \"arcs\": " << sg.arc_count()
+              << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
+              << "},\n";
+    std::cout << "  \"nominal_cycle_time\": {\"exact\": " << json_quote(nominal.str())
+              << ", \"value\": " << format_double(nominal.to_double(), 6) << "},\n";
+    std::cout << "  \"aggregate\": {\n";
+    std::cout << "    \"scenarios\": " << batch.outcomes.size() << ",\n";
+    std::cout << "    \"min\": {\"exact\": " << json_quote(batch.min_cycle_time.str())
+              << ", \"value\": " << format_double(batch.min_cycle_time.to_double(), 6)
+              << ", \"label\": " << json_quote(scenarios[batch.min_index].label) << "},\n";
+    std::cout << "    \"max\": {\"exact\": " << json_quote(batch.max_cycle_time.str())
+              << ", \"value\": " << format_double(batch.max_cycle_time.to_double(), 6)
+              << ", \"label\": " << json_quote(scenarios[batch.max_index].label) << "},\n";
+    std::cout << "    \"mean_value\": " << format_double(batch.mean_cycle_time, 6) << ",\n";
+    std::cout << "    \"rational_fallbacks\": " << batch.fallback_count << ",\n";
+    std::cout << "    \"criticality_count\": [";
+    for (arc_id a = 0; a < batch.criticality_count.size(); ++a)
+        std::cout << (a ? ", " : "") << batch.criticality_count[a];
+    std::cout << "]\n  },\n";
+    std::cout << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const scenario_outcome& o = batch.outcomes[i];
+        std::cout << "    {\"label\": " << json_quote(scenarios[i].label)
+                  << ", \"cycle_time\": " << json_quote(o.cycle_time.str())
+                  << ", \"value\": " << format_double(o.cycle_time.to_double(), 6)
+                  << ", \"fixed_point\": " << (o.fixed_point ? "true" : "false")
+                  << ", \"critical_arcs\": [";
+        for (std::size_t k = 0; k < o.critical_arcs.size(); ++k)
+            std::cout << (k ? ", " : "") << o.critical_arcs[k];
+        std::cout << "]}" << (i + 1 < batch.outcomes.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+}
+
+/// Pulls `--flag value` out of an argument list; returns fallback when absent.
+std::string option_value(std::vector<std::string>& args, const std::string& flag,
+                         const std::string& fallback)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] != flag) continue;
+        const std::string value = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+    }
+    return fallback;
+}
+
+int run_batch_command(const std::string& command, std::vector<std::string> args)
+{
+    const rational spread =
+        rational::parse(option_value(args, command == "sweep" ? "--factor" : "--spread",
+                                     "1/10"));
+    const std::size_t samples =
+        static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
+    const std::uint64_t seed = std::stoull(option_value(args, "--seed", "1"));
+
+    // Everything consumed except (at most) the model path — a misspelled or
+    // value-less flag must not silently fall back to defaults.
+    if (args.size() > 1 || (args.size() == 1 && args[0].rfind("--", 0) == 0)) {
+        std::cerr << "error: unrecognized " << command << " arguments:";
+        for (std::size_t i = args.size() > 1 ? 1 : 0; i < args.size(); ++i)
+            std::cerr << " " << args[i];
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const signal_graph sg = load_model(args.empty() ? std::string() : args[0]);
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    std::vector<scenario> scenarios;
+    if (command == "sweep") {
+        corner_sweep_options opts;
+        opts.factor = spread;
+        scenarios = corner_sweep_scenarios(sg, opts);
+    } else {
+        monte_carlo_options opts;
+        opts.samples = samples;
+        opts.seed = seed;
+        opts.spread = spread;
+        scenarios = monte_carlo_scenarios(sg, opts);
+    }
+    if (scenarios.empty()) {
+        std::cerr << "error: no scenarios to evaluate (no perturbable arcs)\n";
+        return 1;
+    }
+
+    const rational nominal =
+        engine.evaluate(compiled.delay(), /*with_slack=*/false).cycle_time;
+    const scenario_batch_result batch = engine.run(scenarios);
+    print_batch_json(command, sg, nominal, scenarios, batch);
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     try {
-        bool markdown = false;
         std::vector<std::string> args(argv + 1, argv + argc);
-        if (!args.empty() && args[0] == "--report") {
-            markdown = true;
+        if (!args.empty() && (args[0] == "sweep" || args[0] == "montecarlo")) {
+            const std::string command = args[0];
             args.erase(args.begin());
+            return run_batch_command(command, std::move(args));
         }
-        if (markdown) {
-            const signal_graph sg = args.empty() ? c_oscillator_sg() : load_sg(args[0]);
+        if (!args.empty() && args[0] == "--report") {
+            const signal_graph sg = args.size() > 1 ? load_sg(args[1]) : c_oscillator_sg();
             std::cout << performance_report_markdown(sg);
             return 0;
         }
-        if (argc < 2) {
+        if (args.empty()) {
             std::cout << "(no input file — analyzing the built-in Figure 2c demo; pass a\n"
                       << " .tsg or .circuit file to analyze your own model)\n\n";
             report(c_oscillator_sg());
             return 0;
         }
-        const std::string path = argv[1];
-        if (path.size() > 8 && path.substr(path.size() - 8) == ".circuit") {
-            const parsed_circuit circuit = load_circuit(path);
+        if (is_circuit_path(args[0])) {
+            const parsed_circuit circuit = load_circuit(args[0]);
             std::cout << "extracting Signal Graph from circuit '" << circuit.name
                       << "'...\n";
-            const extraction_result extracted =
-                extract_signal_graph(circuit.nl, circuit.initial);
-            report(extracted.graph);
+            report(extract_signal_graph(circuit.nl, circuit.initial).graph);
         } else {
-            report(load_sg(path));
+            report(load_model(args[0]));
         }
     } catch (const error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        // Malformed numeric options (std::stoull and friends) and other
+        // standard-library failures get the same clean exit.
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+
+#include "circuit/extraction.h"
+#include "core/compiled_graph.h"
 
 namespace tsg {
 
@@ -106,6 +110,37 @@ exploration_result explore_state_space(const netlist& nl, const circuit_state& i
         }
     }
     return result;
+}
+
+corner_exploration_result explore_delay_corners(const netlist& nl,
+                                                const circuit_state& initial,
+                                                const corner_exploration_options& options)
+{
+    corner_exploration_result out;
+    out.graph = extract_signal_graph(nl, initial).graph;
+
+    // One structural compile; everything below is delay rebinds against it.
+    const compiled_graph base(out.graph);
+    const scenario_engine engine(base);
+    out.nominal_cycle_time = engine.evaluate(base.delay(), /*with_slack=*/false).cycle_time;
+
+    corner_sweep_options sweep;
+    sweep.factor = options.spread;
+    out.scenarios = corner_sweep_scenarios(out.graph, sweep);
+
+    if (options.samples > 0) {
+        monte_carlo_options mc;
+        mc.samples = options.samples;
+        mc.seed = options.seed;
+        mc.spread = options.spread;
+        for (scenario& s : monte_carlo_scenarios(out.graph, mc))
+            out.scenarios.push_back(std::move(s));
+    }
+
+    scenario_batch_options run;
+    run.max_threads = options.max_threads;
+    out.batch = engine.run(out.scenarios, run);
+    return out;
 }
 
 } // namespace tsg

@@ -1,14 +1,21 @@
-// Interleaving state-space exploration and semimodularity checking.
+// Circuit-level exploration: reachable-state semimodularity checking and
+// delay-corner performance exploration.
 //
-// A circuit is speed-independent only if an excited gate stays excited
-// until it fires: no other transition may "steal" its excitation.  This
-// module explores the reachable binary state space under the interleaving
-// semantics (fire one excited signal at a time) and reports any state in
-// which firing one signal disables another — a semimodularity violation,
-// which also rules out distributivity.  The paper's reference [9] performs
-// this analysis (plus extraction) in the TRASPEC tool; here it backs the
-// extractor with an exactness check and provides negative diagnostics for
-// hazard-ridden circuits.
+// State space: a circuit is speed-independent only if an excited gate stays
+// excited until it fires: no other transition may "steal" its excitation.
+// explore_state_space walks the reachable binary state space under the
+// interleaving semantics (fire one excited signal at a time) and reports
+// any state in which firing one signal disables another — a semimodularity
+// violation, which also rules out distributivity.  The paper's reference
+// [9] performs this analysis (plus extraction) in the TRASPEC tool; here it
+// backs the extractor with an exactness check and provides negative
+// diagnostics for hazard-ridden circuits.
+//
+// Delay corners: explore_delay_corners answers "how does this circuit's
+// throughput move when gate delays drift?" without re-extracting anything.
+// The Timed Signal Graph is extracted once, compiled once, and the
+// per-arc +/- corners (plus optional Monte Carlo samples) are evaluated as
+// one batch on the scenario engine (core/scenario.h).
 #ifndef TSG_CIRCUIT_EXPLORER_H
 #define TSG_CIRCUIT_EXPLORER_H
 
@@ -17,6 +24,8 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "core/scenario.h"
+#include "sg/signal_graph.h"
 
 namespace tsg {
 
@@ -39,6 +48,42 @@ struct exploration_result {
 [[nodiscard]] std::vector<signal_id> excited_signals(const netlist& nl,
                                                      const circuit_state& state,
                                                      const std::vector<bool>& pending_inputs);
+
+// --- delay-corner exploration ------------------------------------------------
+
+struct corner_exploration_options {
+    /// Relative perturbation for the per-arc corners (and the Monte Carlo
+    /// ranges): each corner moves one extracted arc to delay * (1 -/+ spread).
+    rational spread = rational(1, 10);
+
+    /// Additional Monte Carlo scenarios sampled from nominal * (1 -/+ spread)
+    /// across *all* arcs simultaneously; 0 = corners only.
+    std::size_t samples = 0;
+    std::uint64_t seed = 1;
+
+    /// Thread budget for the scenario batch (0 = hardware concurrency).
+    unsigned max_threads = 0;
+};
+
+struct corner_exploration_result {
+    /// The Timed Signal Graph extracted once and shared by every scenario.
+    signal_graph graph;
+
+    /// Cycle time (or PERT makespan for circuits that settle) at the
+    /// extracted nominal delays.
+    rational nominal_cycle_time;
+
+    /// The evaluated scenarios; labels parallel batch.outcomes.
+    std::vector<scenario> scenarios;
+    scenario_batch_result batch;
+};
+
+/// Extracts the circuit's Timed Signal Graph once, then evaluates every
+/// delay corner (and optional Monte Carlo samples) as one scenario batch.
+/// Throws like extract_signal_graph on non-distributive circuits.
+[[nodiscard]] corner_exploration_result explore_delay_corners(
+    const netlist& nl, const circuit_state& initial,
+    const corner_exploration_options& options = {});
 
 } // namespace tsg
 

@@ -326,7 +326,10 @@ private:
                                        std::size_t count_same_polarity)
     {
         std::string name = signal;
-        if (count_same_polarity > 1) name += "." + std::to_string(index + 1);
+        if (count_same_polarity > 1) {
+            name += '.';
+            name += std::to_string(index + 1);
+        }
         name += rise ? '+' : '-';
         return name;
     }

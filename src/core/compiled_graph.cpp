@@ -21,20 +21,48 @@ constexpr std::uint32_t max_period_limit = 1u << 20;
 
 } // namespace
 
-compiled_graph::compiled_graph(const signal_graph& sg, compile_options options) : sg_(&sg)
+compiled_graph::compiled_graph(const signal_graph& sg, compile_options options)
+    : sg_(&sg), use_fixed_point_(options.use_fixed_point)
 {
     require(sg.finalized(), "compiled_graph: graph must be finalized");
 
-    structure_ = csr_graph(sg.structure());
+    auto state = std::make_shared<structural_state>();
+    state->structure = csr_graph(sg.structure());
+
     delay_.reserve(sg.arc_count());
     for (arc_id a = 0; a < sg.arc_count(); ++a) delay_.push_back(sg.arc(a).delay);
 
-    if (options.use_fixed_point) compile_fixed_point();
+    if (use_fixed_point_) compile_fixed_point();
 
     if (sg.repetitive_events().empty())
-        acyclic_order_ = topological_order(structure_);
+        state->acyclic_order = topological_order(state->structure);
     else
-        compile_core();
+        compile_core(*state);
+
+    shared_ = std::move(state);
+    bind_core_delays();
+}
+
+compiled_graph compiled_graph::rebind(std::vector<rational> delay) const
+{
+    require(delay.size() == delay_.size(),
+            "compiled_graph::rebind: delay count does not match the arc count");
+    bool negative = false;
+    for (const rational& d : delay) negative |= d.is_negative();
+    require(!negative, "compiled_graph::rebind: negative delay");
+
+    // Share the structural state (one pointer copy — no CSR walk, no
+    // topological sort, no core rebuild); recompute only delay-derived
+    // members.  The fixed-point domain is re-checked against the *new*
+    // delays, so an overflowing scenario falls back to rational arithmetic
+    // on its own, leaving the base snapshot and every sibling untouched.
+    compiled_graph out(sg_);
+    out.use_fixed_point_ = use_fixed_point_;
+    out.shared_ = shared_;
+    out.delay_ = std::move(delay);
+    if (out.use_fixed_point_) out.compile_fixed_point();
+    out.bind_core_delays();
+    return out;
 }
 
 void compiled_graph::compile_fixed_point()
@@ -43,6 +71,7 @@ void compiled_graph::compile_fixed_point()
     std::int64_t scale = 1;
     for (const rational& d : delay_) {
         const std::int64_t den = d.den();
+        if (scale % den == 0) continue; // already divides the LCM (common case)
         const std::int64_t g = std::gcd(scale, den);
         const int128 candidate = static_cast<int128>(scale / g) * den;
         if (candidate > max_scale) return; // domain disabled (scale_ stays 0)
@@ -51,11 +80,20 @@ void compiled_graph::compile_fixed_point()
 
     // Scaled delays d * L, all exact integers; track the total mass to
     // bound how many periods a sweep may accumulate without overflow.
+    // The quotient L / den is cached across consecutive arcs — delay
+    // denominators cluster, and the 64-bit division is the loop's hot spot
+    // on the batch rebind path.
     std::vector<std::int64_t> scaled;
     scaled.reserve(delay_.size());
     int128 total = 0;
+    std::int64_t last_den = 1;
+    std::int64_t last_quotient = scale;
     for (const rational& d : delay_) {
-        const int128 v = static_cast<int128>(d.num()) * (scale / d.den());
+        if (d.den() != last_den) {
+            last_den = d.den();
+            last_quotient = scale / last_den;
+        }
+        const int128 v = static_cast<int128>(d.num()) * last_quotient;
         if (v > std::numeric_limits<std::int64_t>::max()) return;
         scaled.push_back(static_cast<std::int64_t>(v));
         total += v; // delays are >= 0 (validated by signal_graph)
@@ -73,10 +111,10 @@ void compiled_graph::compile_fixed_point()
     scaled_delay_ = std::move(scaled);
 }
 
-void compiled_graph::compile_core()
+void compiled_graph::compile_core(structural_state& state) const
 {
     const signal_graph& sg = *sg_;
-    core_view core;
+    core_structure core;
 
     core.event_node.assign(sg.event_count(), invalid_node);
     core.node_event.reserve(sg.repetitive_events().size());
@@ -96,9 +134,7 @@ void compiled_graph::compile_core()
     }
     core.graph.reserve(core.node_event.size(), core_arcs);
     core.arc_original.reserve(core_arcs);
-    core.delay.reserve(core_arcs);
     core.token.reserve(core_arcs);
-    if (fixed_point()) core.scaled_delay.reserve(core_arcs);
 
     std::vector<bool> token_free;
     token_free.reserve(core_arcs);
@@ -109,8 +145,6 @@ void compiled_graph::compile_core()
         if (u == invalid_node || v == invalid_node) continue;
         const arc_id core_arc = core.graph.add_arc(u, v);
         core.arc_original.push_back(a);
-        core.delay.push_back(arc.delay);
-        if (fixed_point()) core.scaled_delay.push_back(scaled_delay_[a]);
         core.token.push_back(arc.marked ? 1 : 0);
         if (arc.marked) core.token_arcs.push_back(core_arc);
         token_free.push_back(!arc.marked);
@@ -122,8 +156,39 @@ void compiled_graph::compile_core()
     ensure(order.has_value(),
            "compiled_graph: token-free core subgraph has a cycle (not live)");
     core.topo = *order;
+    core.identity = core.arc_original.size() == sg.arc_count();
 
-    core_ = std::move(core);
+    // Flat token-free out-adjacency in out_arcs order: the sweep's
+    // in-period pass relaxes exactly these arcs, so prefiltering here
+    // keeps the relaxation order (and thus every tie-break) identical
+    // while removing the per-arc token test from the hot loop.
+    const std::size_t nodes = core.graph.node_count();
+    core.token_free_offset.assign(nodes + 1, 0);
+    core.token_free_arcs.reserve(core_arcs - core.token_arcs.size());
+    for (node_id v = 0; v < nodes; ++v) {
+        for (const arc_id a : core.graph.out_arcs(v))
+            if (core.token[a] == 0) core.token_free_arcs.push_back(a);
+        core.token_free_offset[v + 1] =
+            static_cast<std::uint32_t>(core.token_free_arcs.size());
+    }
+
+    state.core = std::move(core);
+}
+
+void compiled_graph::bind_core_delays()
+{
+    if (!shared_->core) return;
+    const core_structure& core = *shared_->core;
+    if (core.identity) return; // core() aliases the whole-graph arrays
+    const std::size_t m = core.arc_original.size();
+
+    core_delay_.resize(m);
+    core_scaled_delay_.assign(fixed_point() ? m : 0, 0);
+    for (arc_id a = 0; a < m; ++a) {
+        const arc_id orig = core.arc_original[a];
+        core_delay_[a] = delay_[orig];
+        if (fixed_point()) core_scaled_delay_[a] = scaled_delay_[orig];
+    }
 }
 
 } // namespace tsg

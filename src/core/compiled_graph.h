@@ -30,6 +30,7 @@
 #define TSG_CORE_COMPILED_GRAPH_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -50,12 +51,28 @@ public:
     /// Compiles a finalized graph.  O(n + m).
     explicit compiled_graph(const signal_graph& sg, compile_options options = {});
 
+    /// Rebinds the snapshot to a new per-arc delay assignment (indexed like
+    /// the source graph's arcs) without recompiling any structure: the CSR
+    /// adjacency, topological orders and core structure are *shared* with
+    /// the base snapshot (one shared_ptr copy), and only the delay-derived
+    /// state is recomputed — the fixed-point scale, the overflow budget
+    /// (re-checked against the *new* delays, so an overflowing assignment
+    /// degrades just that snapshot to rational arithmetic) and the core
+    /// delay projection.  This is the per-scenario path of the batch
+    /// engine (core/scenario.h): structure is compiled once, thousands of
+    /// delay assignments are rebound.
+    ///
+    /// The rebound snapshot keeps pointing at the original source() graph,
+    /// whose arc_info delays then describe the *nominal* assignment;
+    /// delay() / scaled_delay() are authoritative for analyses.
+    [[nodiscard]] compiled_graph rebind(std::vector<rational> delay) const;
+
     [[nodiscard]] const signal_graph& source() const noexcept { return *sg_; }
 
     // --- whole-graph snapshot --------------------------------------------
 
     /// CSR structure; node ids are event ids, arc ids are sg arc ids.
-    [[nodiscard]] const csr_graph& structure() const noexcept { return structure_; }
+    [[nodiscard]] const csr_graph& structure() const noexcept { return shared_->structure; }
 
     /// Exact delay per arc (same indexing as signal_graph arcs).
     [[nodiscard]] const std::vector<rational>& delay() const noexcept { return delay_; }
@@ -64,7 +81,7 @@ public:
     /// graph is acyclic (the PERT domain).
     [[nodiscard]] const std::optional<std::vector<node_id>>& acyclic_order() const noexcept
     {
-        return acyclic_order_;
+        return shared_->acyclic_order;
     }
 
     // --- fixed-point delay domain ----------------------------------------
@@ -95,41 +112,92 @@ public:
 
     // --- repetitive core --------------------------------------------------
 
+    /// Read view of the compiled core.  A bundle of references: the
+    /// structural members live in state *shared* by every rebind of the
+    /// same graph, the delay members in the queried snapshot — which is
+    /// what lets rebind() skip all structure copies.  The view (and any
+    /// reference bound to it) is valid while the snapshot it came from
+    /// lives.
     struct core_view {
-        csr_graph graph;                       ///< CSR core, re-indexed nodes
-        std::vector<event_id> node_event;      ///< core node -> event
-        std::vector<node_id> event_node;       ///< event -> core node or invalid_node
-        std::vector<arc_id> arc_original;      ///< core arc -> sg arc
-        std::vector<rational> delay;           ///< per core arc
-        std::vector<std::int64_t> scaled_delay;///< per core arc; valid when fixed_point()
-        std::vector<std::uint8_t> token;       ///< per core arc, 0 or 1
-        std::vector<arc_id> token_arcs;        ///< core arcs carrying a token
-        std::vector<node_id> topo;             ///< token-free topological order
+        const csr_graph& graph;                       ///< CSR core, re-indexed nodes
+        const std::vector<event_id>& node_event;      ///< core node -> event
+        const std::vector<node_id>& event_node;       ///< event -> core node or invalid
+        const std::vector<arc_id>& arc_original;      ///< core arc -> sg arc
+        const std::vector<rational>& delay;           ///< per core arc
+        const std::vector<std::int64_t>& scaled_delay;///< per core arc; valid when fixed_point()
+        const std::vector<std::uint8_t>& token;       ///< per core arc, 0 or 1
+        const std::vector<arc_id>& token_arcs;        ///< core arcs carrying a token
+        const std::vector<node_id>& topo;             ///< token-free topological order
+
+        /// Flat token-free out-adjacency: the arcs of node v, in out_arcs
+        /// order with marked arcs removed, are token_free_arcs[
+        /// token_free_offset[v] .. token_free_offset[v+1] ).  The
+        /// per-period sweeps iterate this instead of filtering out_arcs —
+        /// same relaxation order, no per-arc token test.
+        const std::vector<std::uint32_t>& token_free_offset; ///< node -> first slot
+        const std::vector<arc_id>& token_free_arcs;
     };
 
-    [[nodiscard]] bool has_core() const noexcept { return core_.has_value(); }
+    [[nodiscard]] bool has_core() const noexcept { return shared_->core.has_value(); }
 
     /// The compiled repetitive core; throws tsg::error on acyclic graphs.
-    [[nodiscard]] const core_view& core() const
+    [[nodiscard]] core_view core() const
     {
-        require(core_.has_value(), "compiled_graph: graph has no repetitive core");
-        return *core_;
+        require(shared_->core.has_value(), "compiled_graph: graph has no repetitive core");
+        const core_structure& c = *shared_->core;
+        // Fully repetitive graphs have core arc ids equal to original arc
+        // ids; the view then aliases the whole-graph delay arrays and the
+        // rebind path never materializes a projection.
+        const std::vector<rational>& d = c.identity ? delay_ : core_delay_;
+        const std::vector<std::int64_t>& s = c.identity ? scaled_delay_ : core_scaled_delay_;
+        return {c.graph, c.node_event,        c.event_node,      c.arc_original,
+                d,       s,                   c.token,           c.token_arcs,
+                c.topo,  c.token_free_offset, c.token_free_arcs};
     }
 
 private:
+    /// Delay-independent core compilation, shared across rebinds.
+    struct core_structure {
+        csr_graph graph;
+        std::vector<event_id> node_event;
+        std::vector<node_id> event_node;
+        std::vector<arc_id> arc_original;
+        std::vector<std::uint8_t> token;
+        std::vector<arc_id> token_arcs;
+        std::vector<node_id> topo;
+        std::vector<std::uint32_t> token_free_offset;
+        std::vector<arc_id> token_free_arcs;
+        bool identity = false; ///< core arcs == all arcs (arc_original[a] == a)
+    };
+
+    /// Everything that depends only on the graph's *structure*.  Immutable
+    /// once compiled and shared (shared_ptr) by every rebind, so a rebind
+    /// costs O(arcs) delay work and zero structure copies.
+    struct structural_state {
+        csr_graph structure;
+        std::optional<std::vector<node_id>> acyclic_order;
+        std::optional<core_structure> core;
+    };
+
+    /// Uninitialized shell for rebind(): shares the structural state,
+    /// recomputes the delay-derived members.
+    explicit compiled_graph(const signal_graph* sg) noexcept : sg_(sg) {}
+
     void compile_fixed_point();
-    void compile_core();
+    void compile_core(structural_state& state) const;
+    void bind_core_delays();
 
     const signal_graph* sg_;
-    csr_graph structure_;
-    std::vector<rational> delay_;
-    std::optional<std::vector<node_id>> acyclic_order_;
+    bool use_fixed_point_ = true;
+    std::shared_ptr<const structural_state> shared_;
 
+    // Delay-derived state, per snapshot.
+    std::vector<rational> delay_;
     std::int64_t scale_ = 0;
     std::vector<std::int64_t> scaled_delay_;
     std::uint32_t period_limit_ = 0; ///< sweeps with periods < limit are safe
-
-    std::optional<core_view> core_;
+    std::vector<rational> core_delay_;
+    std::vector<std::int64_t> core_scaled_delay_;
 };
 
 } // namespace tsg

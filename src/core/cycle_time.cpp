@@ -63,10 +63,10 @@ sweep_result<typename Domain::value_type> run_sweep(const core_view& core,
     std::vector<Value> t_cur(n, Value{});
     std::vector<bool> r_prev(n, false);
     std::vector<bool> r_cur(n, false);
+    std::vector<arc_id> pred_row; // reused across periods
 
     for (std::uint32_t i = 0; i <= periods; ++i) {
         std::fill(r_cur.begin(), r_cur.end(), false);
-        std::vector<arc_id> pred_row;
         if (capture) pred_row.assign(n, invalid_arc);
 
         // Seed: the initiating instantiation occurs at time 0.
@@ -90,11 +90,15 @@ sweep_result<typename Domain::value_type> run_sweep(const core_view& core,
             }
         }
 
-        // In-period (token-free) arcs, relaxed in topological order.
+        // In-period (token-free) arcs, relaxed in topological order via the
+        // prefiltered flat adjacency (same arc order as out_arcs minus the
+        // marked arcs — relaxation order and tie-breaks are unchanged).
         for (const node_id v : core.topo) {
             if (!r_cur[v]) continue;
-            for (const arc_id a : core.graph.out_arcs(v)) {
-                if (core.token[a] != 0) continue;
+            const std::uint32_t first = core.token_free_offset[v];
+            const std::uint32_t last = core.token_free_offset[v + 1];
+            for (std::uint32_t k = first; k < last; ++k) {
+                const arc_id a = core.token_free_arcs[k];
                 const node_id w = core.graph.to(a);
                 const Value candidate = t_cur[v] + domain.delay[a];
                 if (!r_cur[w] || candidate > t_cur[w]) {

@@ -1,13 +1,16 @@
 #include "core/optimize.h"
 
+#include "core/compiled_graph.h"
 #include "core/cycle_time.h"
 
 namespace tsg {
 
 namespace {
 
-/// Deep copy with one arc's delay replaced.
-signal_graph with_delay(const signal_graph& sg, arc_id target, const rational& delay)
+/// Deep copy with the delays replaced wholesale — used once, to materialize
+/// the optimized graph after the planning loop (which runs entirely on
+/// delay rebinds of one compiled snapshot).
+signal_graph with_delays(const signal_graph& sg, const std::vector<rational>& delay)
 {
     signal_graph out;
     for (event_id e = 0; e < sg.event_count(); ++e) {
@@ -16,8 +19,7 @@ signal_graph with_delay(const signal_graph& sg, arc_id target, const rational& d
     }
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
         const arc_info& arc = sg.arc(a);
-        out.add_arc(arc.from, arc.to, a == target ? delay : arc.delay, arc.marked,
-                    arc.disengageable);
+        out.add_arc(arc.from, arc.to, delay[a], arc.marked, arc.disengageable);
     }
     out.finalize();
     return out;
@@ -30,10 +32,14 @@ speedup_plan plan_speedup(const signal_graph& sg, const speedup_options& options
     require(sg.finalized(), "plan_speedup: graph must be finalized");
     require(!options.min_arc_delay.is_negative(), "plan_speedup: negative delay floor");
 
-    speedup_plan plan;
-    plan.optimized = with_delay(sg, invalid_arc, rational(0)); // plain copy
+    // Compile the structure once; every iteration below is a delay-only
+    // rebind (the batch engine's per-scenario path) instead of the former
+    // rebuild-and-refinalize round trip.
+    const compiled_graph base(sg);
+    std::vector<rational> delay = base.delay();
 
-    cycle_time_result analysis = analyze_cycle_time(plan.optimized);
+    speedup_plan plan;
+    cycle_time_result analysis = analyze_cycle_time(base);
     plan.initial_cycle_time = analysis.cycle_time;
 
     for (std::size_t step = 0; step < options.max_steps; ++step) {
@@ -46,8 +52,7 @@ speedup_plan plan_speedup(const signal_graph& sg, const speedup_options& options
         arc_id best = invalid_arc;
         rational best_headroom(0);
         for (const arc_id a : analysis.critical_cycle_arcs) {
-            const rational headroom =
-                plan.optimized.arc(a).delay - options.min_arc_delay;
+            const rational headroom = delay[a] - options.min_arc_delay;
             if (headroom > best_headroom) {
                 best_headroom = headroom;
                 best = a;
@@ -66,17 +71,18 @@ speedup_plan plan_speedup(const signal_graph& sg, const speedup_options& options
 
         speedup_step record;
         record.arc = best;
-        record.old_delay = plan.optimized.arc(best).delay;
+        record.old_delay = delay[best];
         record.new_delay = record.old_delay - reduction;
 
-        plan.optimized = with_delay(plan.optimized, best, record.new_delay);
-        analysis = analyze_cycle_time(plan.optimized);
+        delay[best] = record.new_delay;
+        analysis = analyze_cycle_time(base.rebind(delay));
         record.lambda_after = analysis.cycle_time;
         plan.steps.push_back(record);
     }
 
     if (analysis.cycle_time <= options.target) plan.target_reached = true;
     plan.final_cycle_time = analysis.cycle_time;
+    plan.optimized = with_delays(sg, delay);
     return plan;
 }
 

@@ -1,0 +1,161 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+
+#include "core/cycle_time.h"
+#include "core/pert.h"
+#include "core/slack.h"
+#include "util/parallel.h"
+#include "util/prng.h"
+
+namespace tsg {
+
+scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
+                                           bool with_slack, unsigned analysis_threads) const
+{
+    const compiled_graph bound = base_->rebind(delay);
+
+    scenario_outcome out;
+    if (!bound.has_core()) {
+        // Acyclic: the what-if quantity is the PERT makespan.
+        const pert_result pert = analyze_pert(bound);
+        out.cycle_time = pert.makespan;
+        out.fixed_point = bound.fixed_point();
+        out.critical_arcs = pert.critical_arcs;
+        std::sort(out.critical_arcs.begin(), out.critical_arcs.end());
+        return out;
+    }
+
+    analysis_options opts;
+    opts.max_threads = analysis_threads;
+    const cycle_time_result ct = analyze_cycle_time(bound, opts);
+    out.cycle_time = ct.cycle_time;
+    out.fixed_point = bound.fixed_point_for_periods(ct.periods_used);
+
+    if (with_slack) {
+        const slack_result slack = analyze_slack(bound, ct.cycle_time);
+        out.criticality_margin = slack.criticality_margin;
+        for (arc_id a = 0; a < slack.arc_critical.size(); ++a)
+            if (slack.arc_critical[a]) out.critical_arcs.push_back(a);
+    } else {
+        out.critical_arcs = ct.critical_cycle_arcs;
+        std::sort(out.critical_arcs.begin(), out.critical_arcs.end());
+    }
+    return out;
+}
+
+scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenarios,
+                                           const scenario_batch_options& options) const
+{
+    require(!scenarios.empty(), "scenario_engine::run: empty batch");
+
+    scenario_batch_result out;
+    out.outcomes.resize(scenarios.size());
+    // Scenario-level parallelism owns the thread pool; the border runs
+    // inside each scenario stay serial.
+    parallel_for_index(scenarios.size(), options.max_threads, [&](std::size_t i) {
+        out.outcomes[i] = evaluate(scenarios[i].delay, options.with_slack,
+                                   /*analysis_threads=*/1);
+    });
+
+    // Serial reduction in scenario order — the batch result is independent
+    // of the thread schedule.
+    out.criticality_count.assign(base_->delay().size(), 0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
+        const scenario_outcome& o = out.outcomes[i];
+        sum += o.cycle_time.to_double();
+        if (i == 0 || o.cycle_time < out.min_cycle_time) {
+            out.min_cycle_time = o.cycle_time;
+            out.min_index = i;
+        }
+        if (i == 0 || o.cycle_time > out.max_cycle_time) {
+            out.max_cycle_time = o.cycle_time;
+            out.max_index = i;
+        }
+        for (const arc_id a : o.critical_arcs) ++out.criticality_count[a];
+        if (!o.fixed_point) ++out.fallback_count;
+    }
+    out.mean_cycle_time = sum / static_cast<double>(out.outcomes.size());
+    return out;
+}
+
+std::vector<scenario> corner_sweep_scenarios(const signal_graph& sg,
+                                             const corner_sweep_options& options)
+{
+    require(sg.finalized(), "corner_sweep_scenarios: graph must be finalized");
+    require(!options.factor.is_negative() && options.factor < rational(1),
+            "corner_sweep_scenarios: factor must lie in [0, 1)");
+
+    const bool core_only = options.core_only && !sg.repetitive_events().empty();
+
+    std::vector<rational> nominal;
+    nominal.reserve(sg.arc_count());
+    for (arc_id a = 0; a < sg.arc_count(); ++a) nominal.push_back(sg.arc(a).delay);
+
+    std::vector<scenario> out;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const arc_info& arc = sg.arc(a);
+        if (core_only && !(sg.is_repetitive(arc.from) && sg.is_repetitive(arc.to)))
+            continue;
+        const std::string name =
+            sg.event(arc.from).name + "->" + sg.event(arc.to).name;
+        for (const int sign : {-1, +1}) {
+            const rational factor =
+                rational(1) + (sign < 0 ? -options.factor : options.factor);
+            scenario s;
+            s.label = "arc " + std::to_string(a) + " (" + name + ") x" + factor.str();
+            s.delay = nominal;
+            s.delay[a] = nominal[a] * factor;
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
+                                            const monte_carlo_options& options)
+{
+    require(sg.finalized(), "monte_carlo_scenarios: graph must be finalized");
+    require(options.samples > 0, "monte_carlo_scenarios: samples must be positive");
+    require(options.resolution > 0, "monte_carlo_scenarios: resolution must be positive");
+
+    // Resolve the per-arc ranges once.
+    std::vector<delay_range> ranges;
+    if (options.ranges.empty()) {
+        require(!options.spread.is_negative(),
+                "monte_carlo_scenarios: spread must be non-negative");
+        ranges.reserve(sg.arc_count());
+        for (arc_id a = 0; a < sg.arc_count(); ++a) {
+            const rational d = sg.arc(a).delay;
+            ranges.push_back({max(rational(0), d * (rational(1) - options.spread)),
+                              d * (rational(1) + options.spread)});
+        }
+    } else {
+        require(options.ranges.size() == sg.arc_count(),
+                "monte_carlo_scenarios: need one delay range per arc");
+        for (const delay_range& r : options.ranges)
+            require(!r.lo.is_negative() && r.lo <= r.hi,
+                    "monte_carlo_scenarios: ranges must satisfy 0 <= lo <= hi");
+        ranges = options.ranges;
+    }
+
+    prng rng(options.seed);
+    std::vector<scenario> out;
+    out.reserve(options.samples);
+    for (std::size_t k = 0; k < options.samples; ++k) {
+        scenario s;
+        s.label = "mc#" + std::to_string(k) + " seed=" + std::to_string(options.seed);
+        s.delay.reserve(sg.arc_count());
+        for (arc_id a = 0; a < sg.arc_count(); ++a) {
+            const delay_range& r = ranges[a];
+            const rational step =
+                rational(rng.uniform(0, options.resolution), options.resolution);
+            s.delay.push_back(r.lo + (r.hi - r.lo) * step);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace tsg

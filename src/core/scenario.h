@@ -1,0 +1,169 @@
+// Batched what-if analysis: one compiled structure, many delay scenarios.
+//
+// The paper's central use case is iterated what-if analysis — perturb gate
+// delays, re-simulate, read off cycle time and slack.  Rebuilding and
+// re-finalizing a signal_graph per perturbation makes every iteration pay
+// for structure that never changes (classification, validation, CSR
+// construction, topological orders).  The scenario engine amortizes all of
+// it: a compiled_graph is built once, and each scenario is a delay-only
+// rebind of that snapshot (compiled_graph::rebind) — an O(m) rescale into
+// a per-scenario fixed-point domain, with the overflow bound re-checked so
+// a pathological sample degrades only itself to rational arithmetic.
+//
+// Scenarios fan out across the util/parallel.h thread pool; every worker
+// writes one pre-allocated outcome slot and the aggregation is serial, so
+// batch results are bit-identical to evaluating each scenario against a
+// freshly compiled graph, in any thread configuration.
+//
+// Scenario sources:
+//   * corner_sweep_scenarios — per-arc +/- corners around the nominal
+//     delays (the classical "which edge matters" sweep);
+//   * monte_carlo_scenarios — reproducible uniform sampling from per-arc
+//     delay ranges on an exact rational grid, seeded explicitly.
+// Any caller-assembled vector<scenario> works the same way.
+#ifndef TSG_CORE_SCENARIO_H
+#define TSG_CORE_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiled_graph.h"
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// One scenario: a complete per-arc delay assignment (same indexing as the
+/// source graph's arcs) plus a display label.
+struct scenario {
+    std::string label;
+    std::vector<rational> delay;
+};
+
+/// Per-scenario analysis summary.  For cyclic graphs `cycle_time` is the
+/// cycle time lambda; for acyclic graphs it is the PERT makespan.
+struct scenario_outcome {
+    rational cycle_time;
+
+    /// The scenario's sweeps ran in the scaled-int64 domain.  False when
+    /// the rebind re-check demoted this scenario to rational arithmetic
+    /// (results are identical either way, just slower).
+    bool fixed_point = false;
+
+    /// Arcs on critical cycles (cyclic, slack-based) or on the critical
+    /// path (acyclic), ascending original arc ids.  Without
+    /// scenario_batch_options::with_slack only the one critical cycle the
+    /// cycle-time analysis reports is recorded.
+    std::vector<arc_id> critical_arcs;
+
+    /// Smallest positive slack (cyclic graphs with with_slack only): how
+    /// much delay the most loaded non-critical arc absorbs before the
+    /// critical set changes.
+    rational criticality_margin;
+};
+
+/// Batch reduction over all scenario outcomes.
+struct scenario_batch_result {
+    std::vector<scenario_outcome> outcomes; ///< one per scenario, input order
+
+    rational min_cycle_time;
+    rational max_cycle_time;
+    std::size_t min_index = 0; ///< scenario attaining the minimum
+    std::size_t max_index = 0; ///< scenario attaining the maximum
+    double mean_cycle_time = 0.0; ///< double on purpose: exact rational means
+                                  ///< overflow across thousands of samples
+
+    /// Per original arc: number of scenarios in which the arc was critical.
+    std::vector<std::uint32_t> criticality_count;
+
+    /// Scenarios whose rebind fell back to rational arithmetic.
+    std::size_t fallback_count = 0;
+};
+
+struct scenario_batch_options {
+    /// Thread budget for the scenario fan-out (0 = hardware concurrency,
+    /// 1 = serial).  Outcomes are bit-identical for every setting.
+    unsigned max_threads = 0;
+
+    /// Run the slack layer per scenario, so critical_arcs covers *every*
+    /// critical cycle and criticality_margin is available.  Disable for
+    /// cycle-time-only batches (roughly halves the per-scenario cost).
+    bool with_slack = true;
+};
+
+/// The batch engine: holds the compiled structural snapshot and evaluates
+/// delay assignments against it.  The compiled_graph (and its source
+/// signal_graph) must outlive the engine.
+class scenario_engine {
+public:
+    explicit scenario_engine(const compiled_graph& base) : base_(&base) {}
+
+    [[nodiscard]] const compiled_graph& base() const noexcept { return *base_; }
+
+    /// Evaluates one delay assignment through the rebind path.
+    /// `analysis_threads` is the thread budget for the cycle-time border
+    /// runs *inside* this one evaluation (0 = hardware concurrency) — the
+    /// batch path forces it to 1 because the scenario fan-out already owns
+    /// the pool.
+    [[nodiscard]] scenario_outcome evaluate(const std::vector<rational>& delay,
+                                            bool with_slack = true,
+                                            unsigned analysis_threads = 0) const;
+
+    /// Evaluates every scenario (in parallel) and reduces.  Throws on an
+    /// empty batch or a scenario whose delay vector has the wrong size.
+    [[nodiscard]] scenario_batch_result run(const std::vector<scenario>& scenarios,
+                                            const scenario_batch_options& options = {}) const;
+
+private:
+    const compiled_graph* base_;
+};
+
+// --- scenario generators -----------------------------------------------------
+
+struct corner_sweep_options {
+    /// Relative perturbation: each swept arc gets one scenario at
+    /// delay * (1 - factor) and one at delay * (1 + factor).
+    rational factor = rational(1, 10);
+
+    /// Sweep only arcs inside the repetitive core (the ones that can move
+    /// the cycle time); start-up arcs are skipped.  Automatically widened
+    /// to all arcs on acyclic graphs.
+    bool core_only = true;
+};
+
+/// Two scenarios (minus/plus corner) per swept arc, in arc order.  Each
+/// scenario carries a full m-entry delay vector (2m * m rationals for a
+/// whole-core sweep) — simple and engine-uniform, but on graphs beyond
+/// ~10^4 arcs consider batching the sweep in arc chunks to bound memory.
+[[nodiscard]] std::vector<scenario> corner_sweep_scenarios(
+    const signal_graph& sg, const corner_sweep_options& options = {});
+
+/// Inclusive per-arc delay range for Monte Carlo sampling.
+struct delay_range {
+    rational lo;
+    rational hi;
+};
+
+struct monte_carlo_options {
+    std::size_t samples = 100;
+    std::uint64_t seed = 1; ///< explicit: the same seed replays the batch
+
+    /// Per-arc ranges.  Empty means "nominal * (1 -/+ spread)" for every
+    /// arc (clamped at 0); otherwise one range per arc is required.
+    std::vector<delay_range> ranges;
+    rational spread = rational(1, 10);
+
+    /// Samples land on the exact grid lo + k * (hi - lo) / resolution,
+    /// k uniform in [0, resolution] — keeps every delay a small rational so
+    /// batches stay in the fixed-point domain.
+    std::int64_t resolution = 16;
+};
+
+/// `samples` scenarios drawn independently per arc from the given ranges.
+[[nodiscard]] std::vector<scenario> monte_carlo_scenarios(
+    const signal_graph& sg, const monte_carlo_options& options = {});
+
+} // namespace tsg
+
+#endif // TSG_CORE_SCENARIO_H

@@ -46,10 +46,15 @@ std::vector<Value> reduced_potentials(const core_view& core, const std::vector<V
 
 slack_result analyze_slack(const compiled_graph& cg)
 {
+    return analyze_slack(cg, analyze_cycle_time(cg).cycle_time);
+}
+
+slack_result analyze_slack(const compiled_graph& cg, const rational& cycle_time)
+{
     const signal_graph& sg = cg.source();
 
     slack_result out;
-    out.cycle_time = analyze_cycle_time(cg).cycle_time;
+    out.cycle_time = cycle_time;
 
     const core_view& core = cg.core();
     const std::size_t n = core.graph.node_count();

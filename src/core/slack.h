@@ -64,6 +64,13 @@ class compiled_graph;
 /// scaled weights fit the overflow budget.
 [[nodiscard]] slack_result analyze_slack(const compiled_graph& cg);
 
+/// Slack analysis with a cycle time the caller already knows (e.g. from an
+/// analyze_cycle_time run on the same snapshot) — skips the embedded
+/// cycle-time computation.  `cycle_time` must be the exact cycle time of
+/// the snapshot's delay assignment; a smaller value leaves positive
+/// reduced cycles and throws, a larger one silently inflates every slack.
+[[nodiscard]] slack_result analyze_slack(const compiled_graph& cg, const rational& cycle_time);
+
 } // namespace tsg
 
 #endif // TSG_CORE_SLACK_H

@@ -11,7 +11,9 @@ namespace tsg {
 std::string muller_stage_name(std::uint32_t stage, std::uint32_t stages)
 {
     if (stages <= 26) return std::string(1, static_cast<char>('a' + stage));
-    return "s" + std::to_string(stage);
+    std::string name = "s";
+    name += std::to_string(stage);
+    return name;
 }
 
 parsed_circuit muller_ring_circuit(const muller_ring_options& options)

@@ -21,8 +21,11 @@ signal_graph random_marked_graph(const random_sg_options& options)
     for (std::uint32_t i = 0; i < n; ++i) position[order[i]] = i;
 
     signal_graph sg;
-    for (std::uint32_t i = 0; i < n; ++i)
-        sg.add_event("v" + std::to_string(i), "", polarity::none);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = "v";
+        name += std::to_string(i);
+        sg.add_event(name, "", polarity::none);
+    }
 
     auto delay = [&] { return rational(rng.uniform(0, options.max_delay)); };
 
