@@ -1,0 +1,213 @@
+// Solver shoot-out: exhaustive / Karp / Lawler / Howard-cold on single
+// solves across sizes, then Howard-warm scenario batches against the PR 2
+// border-sweep engine — the workload the warm start exists for.
+//
+// Part 1 (latency): one random marked graph per size, every polynomial
+// solver timed best-of-R on the same compiled ratio problem (exhaustive
+// joins at the smallest size only).  All answers are cross-checked for
+// exact agreement every round.
+//
+// Part 2 (throughput, the acceptance metric): n-event graph, S Monte Carlo
+// delay scenarios, the batch engine run once with the border-sweep solver
+// and once with warm-started Howard, interleaved rounds, best-of per side.
+// Per-scenario cycle times are compared bit for bit; the acceptance bar is
+// Howard-warm >= 2x border scenarios/second at n=1024, S=1000.
+//
+//   bench_solvers [--events N] [--samples S] [--rounds R] [--serial]
+//                 [--json out.json]
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/compiled_graph.h"
+#include "core/cycle_time.h"
+#include "core/scenario.h"
+#include "gen/random_sg.h"
+#include "ratio/condensation.h"
+#include "ratio/exhaustive.h"
+#include "ratio/howard.h"
+#include "ratio/karp.h"
+#include "ratio/lawler.h"
+
+namespace {
+
+using namespace tsg;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start)
+{
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+signal_graph make_model(std::uint32_t events, std::uint64_t seed)
+{
+    random_sg_options opts;
+    opts.events = events;
+    opts.extra_arcs = events; // m = 2n
+    opts.seed = seed;
+    opts.border_limit = 4; // b << n, the paper's favourable regime
+    return random_marked_graph(opts);
+}
+
+template <typename Solve>
+double best_of(int rounds, const Solve& solve)
+{
+    double best = 0;
+    for (int r = 0; r < rounds; ++r) {
+        const auto start = clock_type::now();
+        solve();
+        const double s = seconds_since(start);
+        if (r == 0 || s < best) best = s;
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    tsg_bench::bench_reporter reporter(argc, argv);
+
+    std::uint32_t events = 1024;
+    std::size_t samples = 1000;
+    int rounds = 3;
+    unsigned batch_threads = 0; // hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--events" && i + 1 < argc)
+            events = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--samples" && i + 1 < argc)
+            samples = std::stoull(argv[++i]);
+        else if (arg == "--rounds" && i + 1 < argc)
+            rounds = std::stoi(argv[++i]);
+        else if (arg == "--serial")
+            batch_threads = 1;
+    }
+
+    // --- part 1: single-solve latency across sizes -------------------------
+    std::cout << "single-solve latency (best of " << rounds << "), m = 2n, b = 4\n";
+    std::cout << "      n     exhaustive        karp      lawler   howard-cold\n";
+    std::vector<std::uint32_t> sizes{8, 64, 256};
+    if (std::find(sizes.begin(), sizes.end(), events) == sizes.end())
+        sizes.push_back(events);
+    for (const std::uint32_t n : sizes) {
+        const signal_graph sg = make_model(n, 42 + n);
+        const compiled_graph cg(sg);
+        const ratio_problem p = make_ratio_problem(cg);
+
+        rational answer;
+        double exhaustive_s = -1;
+        if (n <= 8) {
+            exhaustive_s = best_of(rounds, [&] {
+                answer = max_cycle_ratio_exhaustive(p, 5'000'000).ratio;
+            });
+        }
+        rational karp_r, lawler_r, howard_r;
+        const double karp_s = best_of(rounds, [&] { karp_r = max_cycle_ratio_karp(p); });
+        const double lawler_s =
+            best_of(rounds, [&] { lawler_r = max_cycle_ratio_lawler(p).ratio; });
+        const double howard_s =
+            best_of(rounds, [&] { howard_r = max_cycle_ratio_howard(p).ratio; });
+        if (exhaustive_s < 0) answer = karp_r;
+        if (karp_r != answer || lawler_r != answer || howard_r != answer) {
+            std::cerr << "FAIL: solvers disagree at n=" << n << "\n";
+            return 1;
+        }
+
+        const auto us = [](double s) { return s * 1e6; };
+        std::cout.width(7);
+        std::cout << n;
+        if (exhaustive_s >= 0) {
+            std::cout.width(12);
+            std::cout << us(exhaustive_s) << "us";
+        } else {
+            std::cout << "           -  ";
+        }
+        std::cout.width(10);
+        std::cout << us(karp_s) << "us";
+        std::cout.width(10);
+        std::cout << us(lawler_s) << "us";
+        std::cout.width(12);
+        std::cout << us(howard_s) << "us\n";
+
+        const std::string suffix = "_n" + std::to_string(n);
+        if (exhaustive_s >= 0)
+            reporter.record("exhaustive_us" + suffix, us(exhaustive_s), "us");
+        reporter.record("karp_us" + suffix, us(karp_s), "us");
+        reporter.record("lawler_us" + suffix, us(lawler_s), "us");
+        reporter.record("howard_cold_us" + suffix, us(howard_s), "us");
+    }
+
+    // --- part 2: scenario throughput, border sweep vs warm Howard ----------
+    const signal_graph sg = make_model(events, 42);
+    monte_carlo_options mc;
+    mc.samples = samples;
+    mc.seed = 7;
+    mc.spread = rational(1, 2);
+    const std::vector<scenario> scenarios = monte_carlo_scenarios(sg, mc);
+
+    std::cout << "\nscenario batches: n=" << sg.event_count() << " m=" << sg.arc_count()
+              << " b=" << sg.border_events().size() << ", scenarios=" << samples << "\n";
+
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    scenario_batch_options border_run;
+    border_run.solver = cycle_time_solver::border_sweep;
+    border_run.with_slack = false;
+    border_run.max_threads = batch_threads;
+    scenario_batch_options howard_run = border_run;
+    howard_run.solver = cycle_time_solver::howard;
+
+    scenario_batch_result border_batch, howard_batch;
+    double border_seconds = 0, howard_seconds = 0;
+    std::size_t mismatches = 0;
+    for (int round = 0; round < rounds; ++round) {
+        const auto border_start = clock_type::now();
+        border_batch = engine.run(scenarios, border_run);
+        const double bs = seconds_since(border_start);
+        if (round == 0 || bs < border_seconds) border_seconds = bs;
+
+        const auto howard_start = clock_type::now();
+        howard_batch = engine.run(scenarios, howard_run);
+        const double hs = seconds_since(howard_start);
+        if (round == 0 || hs < howard_seconds) howard_seconds = hs;
+
+        // --- bit-identical cycle times, every round ------------------------
+        for (std::size_t i = 0; i < samples; ++i)
+            if (border_batch.outcomes[i].cycle_time != howard_batch.outcomes[i].cycle_time)
+                ++mismatches;
+    }
+
+    const double border_rate = static_cast<double>(samples) / border_seconds;
+    const double howard_rate = static_cast<double>(samples) / howard_seconds;
+    const double speedup = howard_rate / border_rate;
+
+    std::cout << "border sweep : " << border_seconds << " s  (" << border_rate
+              << " scenarios/s)\n";
+    std::cout << "howard warm  : " << howard_seconds << " s  (" << howard_rate
+              << " scenarios/s)\n";
+    std::cout << "speedup      : " << speedup << "x\n";
+    std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
+              << mismatches << " mismatches)\n";
+    std::cout << "cycle time   : min " << howard_batch.min_cycle_time.str() << ", max "
+              << howard_batch.max_cycle_time.str() << ", mean ~"
+              << howard_batch.mean_cycle_time << "\n";
+
+    reporter.record("events", static_cast<double>(sg.event_count()), "count");
+    reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
+    reporter.record("scenarios", static_cast<double>(samples), "count");
+    reporter.record("border_scenarios_per_second", border_rate, "1/s");
+    reporter.record("howard_warm_scenarios_per_second", howard_rate, "1/s");
+    reporter.record("speedup_vs_border", speedup, "x");
+    reporter.record("mismatches", static_cast<double>(mismatches), "count");
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: Howard-warm cycle times diverge from the border sweep\n";
+        return 1;
+    }
+    return 0;
+}

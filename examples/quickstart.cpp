@@ -33,8 +33,11 @@ int main()
               << ", tokens: " << graph.token_count() << "\n";
 
     // The analysis runs one event-initiated timing simulation per border
-    // event, b periods each — O(b^2 m) total.
-    const cycle_time_result result = analyze_cycle_time(graph);
+    // event, b periods each — O(b^2 m) total.  Pinning the border-sweep
+    // solver guarantees the per-run tables below regardless of TSG_SOLVER.
+    analysis_options opts;
+    opts.solver = cycle_time_solver::border_sweep;
+    const cycle_time_result result = analyze_cycle_time(graph, opts);
 
     std::cout << "cycle time: " << result.cycle_time.str() << "\n";
     std::cout << "critical cycle: ";

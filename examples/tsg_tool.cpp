@@ -7,10 +7,11 @@
 //   tsg_tool model.tsg            analyze a Timed Signal Graph file
 //   tsg_tool model.circuit        extract from a circuit, then analyze
 //   tsg_tool --report [file]      emit the full markdown report instead
-//   tsg_tool sweep [file] [--factor N/D]
+//   tsg_tool sweep [file] [--factor N/D] [--solver auto|border|howard]
 //                                 per-arc +/- corner batch on the scenario
 //                                 engine; JSON on stdout
 //   tsg_tool montecarlo [file] [--samples N] [--seed S] [--spread N/D]
+//                       [--solver auto|border|howard]
 //                                 Monte Carlo delay batch; JSON on stdout
 #include <iostream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "core/cycle_time.h"
 #include "core/report.h"
 #include "core/scenario.h"
+#include "core/scenario_json.h"
 #include "gen/oscillator.h"
 #include "sg/sg_io.h"
 #include "util/strings.h"
@@ -43,7 +45,11 @@ void report(const signal_graph& sg)
         return;
     }
 
-    const cycle_time_result result = analyze_cycle_time(sg);
+    // The report presents per-run deltas, so it needs the simulation data
+    // only the border sweep produces.
+    analysis_options report_opts;
+    report_opts.solver = cycle_time_solver::border_sweep;
+    const cycle_time_result result = analyze_cycle_time(sg, report_opts);
     std::cout << "border events (cut set): ";
     for (const event_id e : sg.border_events()) std::cout << sg.event(e).name << " ";
     std::cout << "\n\ncycle time = " << result.cycle_time.str();
@@ -82,60 +88,6 @@ signal_graph load_model(const std::string& path)
     return load_sg(path);
 }
 
-std::string json_quote(const std::string& s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"' || c == '\\') out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
-/// Renders a scenario batch as a JSON document on stdout: per-scenario
-/// cycle times (exact and double) and the batch aggregates.
-void print_batch_json(const std::string& command, const signal_graph& sg,
-                      const rational& nominal, const std::vector<scenario>& scenarios,
-                      const scenario_batch_result& batch)
-{
-    std::cout << "{\n";
-    std::cout << "  \"command\": " << json_quote(command) << ",\n";
-    std::cout << "  \"model\": {\"events\": " << sg.event_count()
-              << ", \"arcs\": " << sg.arc_count()
-              << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
-              << "},\n";
-    std::cout << "  \"nominal_cycle_time\": {\"exact\": " << json_quote(nominal.str())
-              << ", \"value\": " << format_double(nominal.to_double(), 6) << "},\n";
-    std::cout << "  \"aggregate\": {\n";
-    std::cout << "    \"scenarios\": " << batch.outcomes.size() << ",\n";
-    std::cout << "    \"min\": {\"exact\": " << json_quote(batch.min_cycle_time.str())
-              << ", \"value\": " << format_double(batch.min_cycle_time.to_double(), 6)
-              << ", \"label\": " << json_quote(scenarios[batch.min_index].label) << "},\n";
-    std::cout << "    \"max\": {\"exact\": " << json_quote(batch.max_cycle_time.str())
-              << ", \"value\": " << format_double(batch.max_cycle_time.to_double(), 6)
-              << ", \"label\": " << json_quote(scenarios[batch.max_index].label) << "},\n";
-    std::cout << "    \"mean_value\": " << format_double(batch.mean_cycle_time, 6) << ",\n";
-    std::cout << "    \"rational_fallbacks\": " << batch.fallback_count << ",\n";
-    std::cout << "    \"criticality_count\": [";
-    for (arc_id a = 0; a < batch.criticality_count.size(); ++a)
-        std::cout << (a ? ", " : "") << batch.criticality_count[a];
-    std::cout << "]\n  },\n";
-    std::cout << "  \"scenarios\": [\n";
-    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
-        const scenario_outcome& o = batch.outcomes[i];
-        std::cout << "    {\"label\": " << json_quote(scenarios[i].label)
-                  << ", \"cycle_time\": " << json_quote(o.cycle_time.str())
-                  << ", \"value\": " << format_double(o.cycle_time.to_double(), 6)
-                  << ", \"fixed_point\": " << (o.fixed_point ? "true" : "false")
-                  << ", \"critical_arcs\": [";
-        for (std::size_t k = 0; k < o.critical_arcs.size(); ++k)
-            std::cout << (k ? ", " : "") << o.critical_arcs[k];
-        std::cout << "]}" << (i + 1 < batch.outcomes.size() ? "," : "") << "\n";
-    }
-    std::cout << "  ]\n}\n";
-}
-
 /// Pulls `--flag value` out of an argument list; returns fallback when absent.
 std::string option_value(std::vector<std::string>& args, const std::string& flag,
                          const std::string& fallback)
@@ -150,6 +102,14 @@ std::string option_value(std::vector<std::string>& args, const std::string& flag
     return fallback;
 }
 
+cycle_time_solver parse_solver(const std::string& name)
+{
+    if (name == "auto") return cycle_time_solver::auto_select;
+    if (name == "border") return cycle_time_solver::border_sweep;
+    if (name == "howard") return cycle_time_solver::howard;
+    throw error("--solver: unknown solver '" + name + "' (use auto, border or howard)");
+}
+
 int run_batch_command(const std::string& command, std::vector<std::string> args)
 {
     const rational spread =
@@ -158,6 +118,8 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     const std::size_t samples =
         static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
     const std::uint64_t seed = std::stoull(option_value(args, "--seed", "1"));
+    const std::string solver_name = option_value(args, "--solver", "auto");
+    const cycle_time_solver solver = parse_solver(solver_name);
 
     // Everything consumed except (at most) the model path — a misspelled or
     // value-less flag must not silently fall back to defaults.
@@ -191,9 +153,12 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     }
 
     const rational nominal =
-        engine.evaluate(compiled.delay(), /*with_slack=*/false).cycle_time;
-    const scenario_batch_result batch = engine.run(scenarios);
-    print_batch_json(command, sg, nominal, scenarios, batch);
+        engine.evaluate(compiled.delay(), /*with_slack=*/false, /*analysis_threads=*/0, solver)
+            .cycle_time;
+    scenario_batch_options batch_opts;
+    batch_opts.solver = solver;
+    const scenario_batch_result batch = engine.run(scenarios, batch_opts);
+    std::cout << scenario_batch_json(command, solver_name, sg, nominal, scenarios, batch);
     return 0;
 }
 

@@ -1,7 +1,10 @@
 #include "core/cycle_time.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
+#include "ratio/condensation.h"
 #include "sg/cut_set.h"
 #include "util/parallel.h"
 
@@ -214,6 +217,51 @@ peeled_cycle peel_critical_cycle(const core_view& core, const std::vector<arc_id
     return {};
 }
 
+/// Rotates the reported cycle to start at a border event (some event after
+/// a marked arc must be on it; cosmetic, matches the paper's presentation).
+void rotate_cycle_to_border(cycle_time_result& result, const std::vector<event_id>& border)
+{
+    for (std::size_t k = 0; k < result.critical_cycle_events.size(); ++k) {
+        const event_id e = result.critical_cycle_events[k];
+        if (std::find(border.begin(), border.end(), e) != border.end()) {
+            std::rotate(result.critical_cycle_events.begin(),
+                        result.critical_cycle_events.begin() + static_cast<std::ptrdiff_t>(k),
+                        result.critical_cycle_events.end());
+            std::rotate(result.critical_cycle_arcs.begin(),
+                        result.critical_cycle_arcs.begin() + static_cast<std::ptrdiff_t>(k),
+                        result.critical_cycle_arcs.end());
+            break;
+        }
+    }
+}
+
+/// The policy-iteration path: lambda and a witness cycle from Howard via
+/// the SCC condensation driver, no simulation data.
+cycle_time_result analyze_with_howard(const compiled_graph& cg, const analysis_options& options)
+{
+    const signal_graph& sg = cg.source();
+
+    cycle_time_result result;
+    result.border_count = sg.border_events().size();
+    result.periods_used = 0;
+
+    const ratio_problem p = make_ratio_problem(cg);
+    condensation_options copts;
+    copts.max_threads = options.max_threads;
+    const condensed_ratio_result r = max_cycle_ratio_condensed(p, copts);
+
+    result.cycle_time = r.ratio;
+    std::uint32_t epsilon = 0;
+    for (const arc_id a : r.cycle) {
+        result.critical_cycle_events.push_back(p.node_event[p.graph.from(a)]);
+        result.critical_cycle_arcs.push_back(p.arc_original[a]);
+        epsilon += static_cast<std::uint32_t>(p.transit[a]);
+    }
+    result.critical_occurrence_period = epsilon;
+    rotate_cycle_to_border(result, sg.border_events());
+    return result;
+}
+
 template <typename Domain>
 cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& domain,
                                       const std::vector<event_id>& border,
@@ -288,21 +336,7 @@ cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& do
         epsilon += core.token[a];
     }
     result.critical_occurrence_period = epsilon;
-
-    // Rotate the cycle to start at a border event (some event after a marked
-    // arc must be on it; cosmetic, matches the paper's presentation).
-    for (std::size_t k = 0; k < result.critical_cycle_events.size(); ++k) {
-        const event_id e = result.critical_cycle_events[k];
-        if (std::find(border.begin(), border.end(), e) != border.end()) {
-            std::rotate(result.critical_cycle_events.begin(),
-                        result.critical_cycle_events.begin() + static_cast<std::ptrdiff_t>(k),
-                        result.critical_cycle_events.end());
-            std::rotate(result.critical_cycle_arcs.begin(),
-                        result.critical_cycle_arcs.begin() + static_cast<std::ptrdiff_t>(k),
-                        result.critical_cycle_arcs.end());
-            break;
-        }
-    }
+    rotate_cycle_to_border(result, border);
     return result;
 }
 
@@ -321,6 +355,31 @@ std::size_t occurrence_period_bound(const signal_graph& sg)
     return sg.border_events().size();
 }
 
+cycle_time_solver resolve_cycle_time_solver(cycle_time_solver requested,
+                                            std::size_t border_count,
+                                            std::size_t core_arc_count)
+{
+    if (requested != cycle_time_solver::auto_select) return requested;
+    if (const char* env = std::getenv("TSG_SOLVER")) {
+        const std::string value(env);
+        if (value == "howard") return cycle_time_solver::howard;
+        if (value == "border" || value == "sweep" || value == "border_sweep")
+            return cycle_time_solver::border_sweep;
+        require(value.empty() || value == "auto",
+                "TSG_SOLVER: unknown solver '" + value + "' (use auto, border or howard)");
+    }
+    // The border sweep costs O(b^2 m); Howard converges in a few O(m)
+    // policy sweeps.  The automatic cutover is deliberately conservative —
+    // only cores large enough that the sweep's quadratic border factor
+    // clearly dominates switch by themselves, so paper-sized models keep
+    // reproducing the paper's algorithm unless a caller (or TSG_SOLVER)
+    // asks for policy iteration.
+    const std::size_t border_work = border_count * border_count * core_arc_count;
+    return core_arc_count >= (1u << 15) && border_work >= (std::size_t{1} << 22)
+               ? cycle_time_solver::howard
+               : cycle_time_solver::border_sweep;
+}
+
 cycle_time_result analyze_cycle_time(const compiled_graph& cg, const analysis_options& options)
 {
     const signal_graph& sg = cg.source();
@@ -328,9 +387,25 @@ cycle_time_result analyze_cycle_time(const compiled_graph& cg, const analysis_op
             "analyze_cycle_time: graph has no repetitive events (acyclic — use analyze_pert)");
 
     const core_view& core = cg.core();
+
+    // periods/origins/record_tables are simulation knobs: honoring any of
+    // them requires the border sweep, so they pin the solver (and clash
+    // with an explicit howard request).
+    const bool simulation_requested =
+        options.periods > 0 || options.record_tables || !options.origins.empty();
+    require(!(simulation_requested && options.solver == cycle_time_solver::howard),
+            "analyze_cycle_time: periods/origins/record_tables are border-sweep "
+            "simulation options — drop them or request the border_sweep solver");
+    const cycle_time_solver solver =
+        simulation_requested
+            ? cycle_time_solver::border_sweep
+            : resolve_cycle_time_solver(options.solver, sg.border_events().size(),
+                                        core.graph.arc_count());
+    ensure(!sg.border_events().empty(), "analyze_cycle_time: live graph with empty border set");
+    if (solver == cycle_time_solver::howard) return analyze_with_howard(cg, options);
+
     const std::vector<event_id>& border =
         options.origins.empty() ? sg.border_events() : options.origins;
-    ensure(!sg.border_events().empty(), "analyze_cycle_time: live graph with empty border set");
     if (!options.origins.empty()) {
         for (const event_id e : options.origins)
             require(e < sg.event_count() && sg.is_repetitive(e),

@@ -60,6 +60,28 @@ struct border_run {
     std::vector<std::vector<std::optional<rational>>> times;
 };
 
+/// Which engine computes lambda and the critical cycle.
+enum class cycle_time_solver : std::uint8_t {
+    /// Resolve at call time: an explicit TSG_SOLVER environment value
+    /// ("border", "howard" or "auto") wins, otherwise a heuristic picks
+    /// Howard for large cores / big border sets and the paper's border-run
+    /// sweep everywhere else.
+    auto_select,
+    /// The paper's event-initiated border simulations (Sections VI-VII);
+    /// the only solver that produces border_run data.
+    border_sweep,
+    /// Howard's policy iteration on the compiled ratio problem, through
+    /// the SCC condensation driver (ratio/condensation.h).  Same exact
+    /// lambda and a valid critical cycle, no per-run simulation data.
+    howard,
+};
+
+/// Resolves auto_select as described above.  Exposed so batch layers (the
+/// scenario engine) can resolve once per batch instead of per scenario.
+[[nodiscard]] cycle_time_solver resolve_cycle_time_solver(cycle_time_solver requested,
+                                                          std::size_t border_count,
+                                                          std::size_t core_arc_count);
+
 struct analysis_options {
     /// Number of unfolding periods per simulation; 0 means "use the size of
     /// the cut set", the paper's bound (Proposition 6).
@@ -80,6 +102,14 @@ struct analysis_options {
     /// hardware thread, 1 = serial, n = at most n threads.  Results are
     /// bit-identical for every setting.
     unsigned max_threads = 0;
+
+    /// Lambda engine.  periods/origins/record_tables are simulation knobs:
+    /// setting any of them forces the border sweep under auto_select and is
+    /// an error combined with an explicit howard request.  Under the howard
+    /// solver the result carries no border_run data (runs is empty,
+    /// periods_used is 0); cycle time and critical cycle are exact either
+    /// way.
+    cycle_time_solver solver = cycle_time_solver::auto_select;
 };
 
 struct cycle_time_result {
@@ -97,11 +127,13 @@ struct cycle_time_result {
     /// count); cycle_time * epsilon == total delay of the cycle.
     std::uint32_t critical_occurrence_period = 0;
 
-    /// One record per border event, in border_events() order.
+    /// One record per border event, in border_events() order.  Empty when
+    /// the howard solver produced the result (no simulation ran).
     std::vector<border_run> runs;
 
     std::size_t border_count = 0;   ///< b
     std::uint32_t periods_used = 0; ///< simulation horizon actually used
+                                    ///< (0 under the howard solver)
 
     /// Border events whose runs achieved lambda (subset lying on critical
     /// cycles).

@@ -73,7 +73,11 @@ std::string performance_report_markdown(const signal_graph& sg, const report_opt
             os << "* minimum cut set: search budget exceeded\n";
     }
 
-    const cycle_time_result analysis = analyze_cycle_time(cg);
+    // The report tabulates per-run deltas, so it pins the border sweep —
+    // the only solver that produces simulation data.
+    analysis_options report_opts;
+    report_opts.solver = cycle_time_solver::border_sweep;
+    const cycle_time_result analysis = analyze_cycle_time(cg, report_opts);
     os << "\n## Cycle time\n\n";
     os << "* lambda = **" << analysis.cycle_time.str() << "**";
     if (!analysis.cycle_time.is_integer())

@@ -1,17 +1,59 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <map>
 
-#include "core/cycle_time.h"
 #include "core/pert.h"
 #include "core/slack.h"
+#include "ratio/howard.h"
 #include "util/parallel.h"
 #include "util/prng.h"
 
 namespace tsg {
 
+namespace {
+
+/// Canonical cycle identity: causal order kept, rotated so the smallest
+/// arc id leads.
+std::vector<arc_id> canonical_cycle(std::vector<arc_id> arcs)
+{
+    if (arcs.empty()) return arcs;
+    const auto smallest = std::min_element(arcs.begin(), arcs.end());
+    std::rotate(arcs.begin(), smallest, arcs.end());
+    return arcs;
+}
+
+/// Which solver a batch actually runs: resolved once, against the base
+/// snapshot's structure.
+cycle_time_solver resolve_batch_solver(const compiled_graph& base, cycle_time_solver requested)
+{
+    if (!base.has_core()) return cycle_time_solver::border_sweep; // PERT path, moot
+    return resolve_cycle_time_solver(requested, base.source().border_events().size(),
+                                     base.core().graph.arc_count());
+}
+
+/// Shared tail of every cyclic-scenario evaluation: critical arcs from the
+/// slack layer (every critical cycle + margin), or just the sorted witness
+/// when slack is off.  `out.cycle_time` must already hold lambda.
+void finish_cyclic_outcome(scenario_outcome& out, const compiled_graph& bound,
+                           bool with_slack, const std::vector<arc_id>& witness_arcs)
+{
+    if (with_slack) {
+        const slack_result slack = analyze_slack(bound, out.cycle_time);
+        out.criticality_margin = slack.criticality_margin;
+        for (arc_id a = 0; a < slack.arc_critical.size(); ++a)
+            if (slack.arc_critical[a]) out.critical_arcs.push_back(a);
+    } else {
+        out.critical_arcs = witness_arcs;
+        std::sort(out.critical_arcs.begin(), out.critical_arcs.end());
+    }
+}
+
+} // namespace
+
 scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
-                                           bool with_slack, unsigned analysis_threads) const
+                                           bool with_slack, unsigned analysis_threads,
+                                           cycle_time_solver solver) const
 {
     const compiled_graph bound = base_->rebind(delay);
 
@@ -28,21 +70,49 @@ scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
 
     analysis_options opts;
     opts.max_threads = analysis_threads;
+    opts.solver = solver;
     const cycle_time_result ct = analyze_cycle_time(bound, opts);
     out.cycle_time = ct.cycle_time;
-    out.fixed_point = bound.fixed_point_for_periods(ct.periods_used);
-
-    if (with_slack) {
-        const slack_result slack = analyze_slack(bound, ct.cycle_time);
-        out.criticality_margin = slack.criticality_margin;
-        for (arc_id a = 0; a < slack.arc_critical.size(); ++a)
-            if (slack.arc_critical[a]) out.critical_arcs.push_back(a);
-    } else {
-        out.critical_arcs = ct.critical_cycle_arcs;
-        std::sort(out.critical_arcs.begin(), out.critical_arcs.end());
-    }
+    out.fixed_point = ct.periods_used > 0 ? bound.fixed_point_for_periods(ct.periods_used)
+                                          : bound.fixed_point();
+    out.critical_cycle = canonical_cycle(ct.critical_cycle_arcs);
+    finish_cyclic_outcome(out, bound, with_slack, ct.critical_cycle_arcs);
     return out;
 }
+
+namespace {
+
+/// One warm-chained Howard evaluation: rebind the snapshot, refresh the
+/// worker's ratio problem in place, iterate from the previous scenario's
+/// converged policy.
+scenario_outcome evaluate_howard_warm(const compiled_graph& base,
+                                      const std::vector<rational>& delay,
+                                      ratio_problem& p, howard_state& state,
+                                      bool with_slack)
+{
+    const compiled_graph bound = base.rebind(delay);
+    rebind_ratio_problem(p, bound);
+
+    const ratio_result r = max_cycle_ratio_howard(p, howard_options{}, &state);
+#ifndef NDEBUG
+    // Policy iteration is start-independent at the fixed point; a warm
+    // start changing lambda would be a library bug.
+    ensure(max_cycle_ratio_howard(p).ratio == r.ratio,
+           "scenario_engine: warm-started Howard diverged from cold start");
+#endif
+
+    scenario_outcome out;
+    out.cycle_time = r.ratio;
+    out.fixed_point = r.fixed_point;
+    std::vector<arc_id> cycle;
+    cycle.reserve(r.cycle.size());
+    for (const arc_id a : r.cycle) cycle.push_back(p.arc_original[a]);
+    out.critical_cycle = canonical_cycle(std::move(cycle));
+    finish_cyclic_outcome(out, bound, with_slack, out.critical_cycle);
+    return out;
+}
+
+} // namespace
 
 scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenarios,
                                            const scenario_batch_options& options) const
@@ -51,16 +121,36 @@ scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenario
 
     scenario_batch_result out;
     out.outcomes.resize(scenarios.size());
-    // Scenario-level parallelism owns the thread pool; the border runs
-    // inside each scenario stay serial.
-    parallel_for_index(scenarios.size(), options.max_threads, [&](std::size_t i) {
-        out.outcomes[i] = evaluate(scenarios[i].delay, options.with_slack,
-                                   /*analysis_threads=*/1);
-    });
+
+    const cycle_time_solver solver = resolve_batch_solver(*base_, options.solver);
+    if (solver == cycle_time_solver::howard && base_->has_core()) {
+        // Static contiguous chunks, one warm chain per worker: scenario i
+        // warm-starts from scenario i-1 of the same chunk, so the chain —
+        // and every outcome — is deterministic for a given thread budget.
+        const std::size_t workers = std::min<std::size_t>(
+            resolve_thread_count(options.max_threads), scenarios.size());
+        parallel_for_index(workers, static_cast<unsigned>(workers), [&](std::size_t w) {
+            const std::size_t begin = w * scenarios.size() / workers;
+            const std::size_t end = (w + 1) * scenarios.size() / workers;
+            ratio_problem p = make_ratio_problem(*base_);
+            howard_state state;
+            for (std::size_t i = begin; i < end; ++i)
+                out.outcomes[i] = evaluate_howard_warm(*base_, scenarios[i].delay, p,
+                                                       state, options.with_slack);
+        });
+    } else {
+        // Scenario-level parallelism owns the thread pool; the border runs
+        // inside each scenario stay serial.
+        parallel_for_index(scenarios.size(), options.max_threads, [&](std::size_t i) {
+            out.outcomes[i] = evaluate(scenarios[i].delay, options.with_slack,
+                                       /*analysis_threads=*/1, solver);
+        });
+    }
 
     // Serial reduction in scenario order — the batch result is independent
     // of the thread schedule.
     out.criticality_count.assign(base_->delay().size(), 0);
+    std::map<std::vector<arc_id>, std::size_t> cycle_stat; // cycle -> stats slot
     double sum = 0.0;
     for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
         const scenario_outcome& o = out.outcomes[i];
@@ -75,8 +165,21 @@ scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenario
         }
         for (const arc_id a : o.critical_arcs) ++out.criticality_count[a];
         if (!o.fixed_point) ++out.fallback_count;
+        if (!o.critical_cycle.empty()) {
+            const auto [it, inserted] =
+                cycle_stat.try_emplace(o.critical_cycle, out.critical_cycles.size());
+            if (inserted)
+                out.critical_cycles.push_back({o.critical_cycle, 1, i});
+            else
+                ++out.critical_cycles[it->second].count;
+        }
     }
     out.mean_cycle_time = sum / static_cast<double>(out.outcomes.size());
+    std::stable_sort(out.critical_cycles.begin(), out.critical_cycles.end(),
+                     [](const critical_cycle_stat& a, const critical_cycle_stat& b) {
+                         if (a.count != b.count) return a.count > b.count;
+                         return a.first_index < b.first_index;
+                     });
     return out;
 }
 

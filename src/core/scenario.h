@@ -21,6 +21,15 @@
 //   * monte_carlo_scenarios — reproducible uniform sampling from per-arc
 //     delay ranges on an exact rational grid, seeded explicitly.
 // Any caller-assembled vector<scenario> works the same way.
+//
+// Solvers.  Each scenario's lambda comes from the solver selected by
+// scenario_batch_options::solver (see core/cycle_time.h).  Under the
+// howard solver each batch worker carries a howard_state and warm-starts
+// policy iteration from the previous scenario's converged policy — when
+// delays barely change between samples (the SSTA-style workload), the
+// iteration converges in one or two sweeps.  Cycle times are bit-identical
+// to cold starts and to the border sweep; only the choice among *equally
+// critical* witness cycles may differ between solvers and thread layouts.
 #ifndef TSG_CORE_SCENARIO_H
 #define TSG_CORE_SCENARIO_H
 
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "core/compiled_graph.h"
+#include "core/cycle_time.h"
 #include "sg/signal_graph.h"
 #include "util/rational.h"
 
@@ -61,6 +71,19 @@ struct scenario_outcome {
     /// much delay the most loaded non-critical arc absorbs before the
     /// critical set changes.
     rational criticality_margin;
+
+    /// Identity of *the* critical cycle the cycle-time solve reported:
+    /// original arc ids in causal order, rotated so the smallest arc id
+    /// leads — a canonical key for "which cycle limits this scenario".
+    /// Empty on acyclic graphs.
+    std::vector<arc_id> critical_cycle;
+};
+
+/// One distinct critical-cycle identity across a batch.
+struct critical_cycle_stat {
+    std::vector<arc_id> arcs;    ///< canonical cycle (see scenario_outcome)
+    std::size_t count = 0;       ///< scenarios reporting this cycle
+    std::size_t first_index = 0; ///< first such scenario
 };
 
 /// Batch reduction over all scenario outcomes.
@@ -79,17 +102,30 @@ struct scenario_batch_result {
 
     /// Scenarios whose rebind fell back to rational arithmetic.
     std::size_t fallback_count = 0;
+
+    /// Distinct critical-cycle identities across the batch, by descending
+    /// count (ties: earliest first appearance) — "which cycle becomes
+    /// critical where" for corner sweeps.  Empty on acyclic graphs.
+    std::vector<critical_cycle_stat> critical_cycles;
 };
 
 struct scenario_batch_options {
     /// Thread budget for the scenario fan-out (0 = hardware concurrency,
-    /// 1 = serial).  Outcomes are bit-identical for every setting.
+    /// 1 = serial).  Cycle times (and, with with_slack, the full critical
+    /// sets) are bit-identical for every setting; under the howard solver
+    /// the reported witness among equally critical cycles may depend on
+    /// the thread layout (warm-start chains are per worker).
     unsigned max_threads = 0;
 
     /// Run the slack layer per scenario, so critical_arcs covers *every*
     /// critical cycle and criticality_margin is available.  Disable for
     /// cycle-time-only batches (roughly halves the per-scenario cost).
     bool with_slack = true;
+
+    /// Lambda engine per scenario; auto_select resolves once per batch
+    /// (TSG_SOLVER env, then the size heuristic).  howard batches
+    /// warm-start each worker from the previous scenario's policy.
+    cycle_time_solver solver = cycle_time_solver::auto_select;
 };
 
 /// The batch engine: holds the compiled structural snapshot and evaluates
@@ -106,9 +142,10 @@ public:
     /// runs *inside* this one evaluation (0 = hardware concurrency) — the
     /// batch path forces it to 1 because the scenario fan-out already owns
     /// the pool.
-    [[nodiscard]] scenario_outcome evaluate(const std::vector<rational>& delay,
-                                            bool with_slack = true,
-                                            unsigned analysis_threads = 0) const;
+    [[nodiscard]] scenario_outcome evaluate(
+        const std::vector<rational>& delay, bool with_slack = true,
+        unsigned analysis_threads = 0,
+        cycle_time_solver solver = cycle_time_solver::auto_select) const;
 
     /// Evaluates every scenario (in parallel) and reduces.  Throws on an
     /// empty batch or a scenario whose delay vector has the wrong size.

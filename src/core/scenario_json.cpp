@@ -1,0 +1,86 @@
+#include "core/scenario_json.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tsg {
+
+namespace {
+
+std::string json_quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+template <typename T>
+void append_number_array(std::ostringstream& os, const std::vector<T>& values)
+{
+    os << "[";
+    for (std::size_t k = 0; k < values.size(); ++k) os << (k ? ", " : "") << values[k];
+    os << "]";
+}
+
+} // namespace
+
+std::string scenario_batch_json(const std::string& command, const std::string& solver,
+                                const signal_graph& sg, const rational& nominal,
+                                const std::vector<scenario>& scenarios,
+                                const scenario_batch_result& batch)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"command\": " << json_quote(command) << ",\n";
+    os << "  \"solver\": " << json_quote(solver) << ",\n";
+    os << "  \"model\": {\"events\": " << sg.event_count()
+       << ", \"arcs\": " << sg.arc_count()
+       << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
+       << "},\n";
+    os << "  \"nominal_cycle_time\": {\"exact\": " << json_quote(nominal.str())
+       << ", \"value\": " << format_double(nominal.to_double(), 6) << "},\n";
+    os << "  \"aggregate\": {\n";
+    os << "    \"scenarios\": " << batch.outcomes.size() << ",\n";
+    os << "    \"min\": {\"exact\": " << json_quote(batch.min_cycle_time.str())
+       << ", \"value\": " << format_double(batch.min_cycle_time.to_double(), 6)
+       << ", \"label\": " << json_quote(scenarios[batch.min_index].label) << "},\n";
+    os << "    \"max\": {\"exact\": " << json_quote(batch.max_cycle_time.str())
+       << ", \"value\": " << format_double(batch.max_cycle_time.to_double(), 6)
+       << ", \"label\": " << json_quote(scenarios[batch.max_index].label) << "},\n";
+    os << "    \"mean_value\": " << format_double(batch.mean_cycle_time, 6) << ",\n";
+    os << "    \"rational_fallbacks\": " << batch.fallback_count << ",\n";
+    os << "    \"criticality_count\": ";
+    append_number_array(os, batch.criticality_count);
+    os << ",\n";
+    os << "    \"critical_cycles\": [";
+    for (std::size_t k = 0; k < batch.critical_cycles.size(); ++k) {
+        const critical_cycle_stat& stat = batch.critical_cycles[k];
+        os << (k ? ", " : "") << "{\"arcs\": ";
+        append_number_array(os, stat.arcs);
+        os << ", \"count\": " << stat.count
+           << ", \"first_label\": " << json_quote(scenarios[stat.first_index].label) << "}";
+    }
+    os << "]\n  },\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const scenario_outcome& o = batch.outcomes[i];
+        os << "    {\"label\": " << json_quote(scenarios[i].label)
+           << ", \"cycle_time\": " << json_quote(o.cycle_time.str())
+           << ", \"value\": " << format_double(o.cycle_time.to_double(), 6)
+           << ", \"fixed_point\": " << (o.fixed_point ? "true" : "false")
+           << ", \"critical_arcs\": ";
+        append_number_array(os, o.critical_arcs);
+        os << ", \"critical_cycle\": ";
+        append_number_array(os, o.critical_cycle);
+        os << "}" << (i + 1 < batch.outcomes.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace tsg

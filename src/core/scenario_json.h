@@ -1,0 +1,30 @@
+// JSON rendering of scenario batches — the machine-readable surface of
+// `tsg_tool sweep` / `tsg_tool montecarlo`.
+//
+// Kept in the library (rather than the tool binary) so the golden-file
+// tests exercise the exact document the tool ships: per-scenario cycle
+// times (exact rational and double), the batch aggregates, and the
+// critical-cycle identity table.
+#ifndef TSG_CORE_SCENARIO_JSON_H
+#define TSG_CORE_SCENARIO_JSON_H
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "sg/signal_graph.h"
+
+namespace tsg {
+
+/// Renders one evaluated batch as a JSON document.  `command` and
+/// `solver` are echoed verbatim (the tool passes its subcommand and the
+/// requested --solver value).
+[[nodiscard]] std::string scenario_batch_json(const std::string& command,
+                                              const std::string& solver,
+                                              const signal_graph& sg, const rational& nominal,
+                                              const std::vector<scenario>& scenarios,
+                                              const scenario_batch_result& batch);
+
+} // namespace tsg
+
+#endif // TSG_CORE_SCENARIO_JSON_H

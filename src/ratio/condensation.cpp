@@ -1,0 +1,129 @@
+#include "ratio/condensation.h"
+
+#include <string>
+
+#include "graph/scc.h"
+#include "util/parallel.h"
+
+namespace tsg {
+
+namespace {
+
+/// One nontrivial component, renumbered into its own ratio problem plus
+/// the map back to original arc ids.
+struct component_problem {
+    std::uint32_t scc_id = 0;
+    ratio_problem problem;
+    std::vector<arc_id> arc_original; ///< component arc -> input problem arc
+};
+
+condensed_ratio_result solve_single(const ratio_problem& p, const condensation_options& options)
+{
+    const ratio_result r = max_cycle_ratio_howard(p, options.howard);
+    condensed_ratio_result out;
+    out.ratio = r.ratio;
+    out.cycle = r.cycle;
+    out.fixed_point = r.fixed_point;
+    out.component_count = 1;
+    out.cyclic_component_count = 1;
+    out.critical_component = 0;
+    return out;
+}
+
+} // namespace
+
+condensed_ratio_result max_cycle_ratio_condensed(const ratio_problem& p,
+                                                 const condensation_options& options)
+{
+    require(p.graph.node_count() > 0, "max_cycle_ratio_condensed: empty graph");
+
+    const scc_result scc = strongly_connected_components(p.graph);
+
+    // Nontrivial components: >= 2 nodes, or a single node with a self-loop.
+    std::vector<std::uint32_t> size(scc.count, 0);
+    for (node_id v = 0; v < p.graph.node_count(); ++v) ++size[scc.component[v]];
+    std::vector<bool> cyclic(scc.count, false);
+    for (std::uint32_t c = 0; c < scc.count; ++c) cyclic[c] = size[c] >= 2;
+    for (arc_id a = 0; a < p.graph.arc_count(); ++a)
+        if (p.graph.from(a) == p.graph.to(a)) cyclic[scc.component[p.graph.from(a)]] = true;
+
+    if (scc.count == 1 && cyclic[0]) return solve_single(p, options);
+
+    // Carve one sub-problem per nontrivial component.  Nodes keep their
+    // relative order (local ids ascend with original ids) and arcs keep
+    // their relative order, so per-component tie-breaking matches a direct
+    // solve of that component.
+    std::vector<component_problem> components;
+    std::vector<node_id> local(p.graph.node_count(), invalid_node);
+    {
+        std::vector<std::uint32_t> comp_slot(scc.count, UINT32_MAX);
+        for (std::uint32_t c = 0; c < scc.count; ++c) {
+            if (!cyclic[c]) continue;
+            comp_slot[c] = static_cast<std::uint32_t>(components.size());
+            components.emplace_back();
+            components.back().scc_id = c;
+        }
+        for (node_id v = 0; v < p.graph.node_count(); ++v) {
+            const std::uint32_t slot = comp_slot[scc.component[v]];
+            if (slot == UINT32_MAX) continue;
+            local[v] = components[slot].problem.graph.add_node();
+            if (!p.node_event.empty())
+                components[slot].problem.node_event.push_back(p.node_event[v]);
+        }
+        for (arc_id a = 0; a < p.graph.arc_count(); ++a) {
+            const node_id u = p.graph.from(a);
+            const node_id v = p.graph.to(a);
+            if (!scc.same(u, v)) continue; // cross-component arcs carry no cycle
+            const std::uint32_t slot = comp_slot[scc.component[u]];
+            if (slot == UINT32_MAX) continue;
+            component_problem& cp = components[slot];
+            cp.problem.graph.add_arc(local[u], local[v]);
+            cp.problem.delay.push_back(p.delay[a]);
+            cp.problem.transit.push_back(p.transit[a]);
+            if (p.scale != 0 && p.scaled_delay.size() == p.graph.arc_count())
+                cp.problem.scaled_delay.push_back(p.scaled_delay[a]);
+            cp.arc_original.push_back(a);
+        }
+        for (component_problem& cp : components) {
+            if (p.scale != 0 && cp.problem.scaled_delay.size() == cp.problem.graph.arc_count())
+                cp.problem.scale = p.scale;
+            cp.problem.graph.freeze(); // shared read-only across the fan-out
+        }
+    }
+
+    require(!components.empty(),
+            "max_cycle_ratio_condensed: no strongly connected component contains "
+            "a cycle (the graph is acyclic — nothing oscillates)");
+
+    // Independent solves, one per component; serial reduction in component
+    // order keeps the winner (and its witness) thread-count independent.
+    std::vector<ratio_result> results(components.size());
+    parallel_for_index(components.size(), options.max_threads, [&](std::size_t i) {
+        try {
+            results[i] = max_cycle_ratio_howard(components[i].problem, options.howard);
+        } catch (const error& e) {
+            throw error("max_cycle_ratio_condensed: component " +
+                        std::to_string(components[i].scc_id) +
+                        " (component-local ids): " + e.what());
+        }
+    });
+
+    condensed_ratio_result out;
+    out.component_count = scc.count;
+    out.cyclic_component_count = static_cast<std::uint32_t>(components.size());
+    bool first = true;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        if (!first && !(results[i].ratio > out.ratio)) continue;
+        out.ratio = results[i].ratio;
+        out.fixed_point = results[i].fixed_point;
+        out.critical_component = components[i].scc_id;
+        out.cycle.clear();
+        out.cycle.reserve(results[i].cycle.size());
+        for (const arc_id a : results[i].cycle)
+            out.cycle.push_back(components[i].arc_original[a]);
+        first = false;
+    }
+    return out;
+}
+
+} // namespace tsg

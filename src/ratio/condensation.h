@@ -1,0 +1,54 @@
+// SCC condensation driver for the maximum cycle ratio.
+//
+// Howard's iteration (ratio/howard.h) requires a strongly connected
+// problem: every node must reach a policy cycle.  Arbitrary live graphs —
+// hand-built ratio problems, graphs with dead-end nodes or acyclic
+// bridges — decompose into strongly connected components instead; every
+// cycle lies inside one component, so
+//
+//     max cycle ratio(G) = max over nontrivial SCCs C of max cycle ratio(C)
+//
+// (an SCC is nontrivial when it has >= 2 nodes or a self-loop).  The
+// driver runs Tarjan's decomposition, carves one sub-problem per
+// nontrivial component (delays, transit times and the fixed-point domain
+// are inherited), solves each with Howard fanned over the util/parallel.h
+// thread pool, and takes the maximum.  The reduction is serial in
+// component order, so the result — including the witness cycle — is
+// identical for every thread count.  A single strongly connected input
+// short-circuits to one direct Howard solve with no copies.
+#ifndef TSG_RATIO_CONDENSATION_H
+#define TSG_RATIO_CONDENSATION_H
+
+#include "ratio/howard.h"
+#include "ratio/ratio_problem.h"
+
+namespace tsg {
+
+struct condensation_options {
+    /// Thread budget for the per-component fan-out (0 = hardware
+    /// concurrency, 1 = serial).  Results are identical for every setting.
+    unsigned max_threads = 1;
+
+    howard_options howard;
+};
+
+struct condensed_ratio_result {
+    rational ratio;            ///< maximum over all components
+    std::vector<arc_id> cycle; ///< witness cycle, *original* problem arcs,
+                               ///< in causal order
+    bool fixed_point = false;  ///< the winning solve ran on scaled int64s
+
+    std::uint32_t component_count = 0;        ///< SCCs in the problem graph
+    std::uint32_t cyclic_component_count = 0; ///< nontrivial SCCs solved
+    std::uint32_t critical_component = 0;     ///< scc_result id of the winner
+};
+
+/// Maximum cycle ratio of an arbitrary live graph.  Throws tsg::error when
+/// no component contains a cycle (the condensation is the whole graph —
+/// nothing oscillates) or when some cycle carries no token.
+[[nodiscard]] condensed_ratio_result max_cycle_ratio_condensed(
+    const ratio_problem& p, const condensation_options& options = {});
+
+} // namespace tsg
+
+#endif // TSG_RATIO_CONDENSATION_H

@@ -24,6 +24,21 @@ ratio_problem make_ratio_problem(const compiled_graph& cg)
     return p;
 }
 
+void rebind_ratio_problem(ratio_problem& p, const compiled_graph& cg)
+{
+    const compiled_graph::core_view& core = cg.core();
+    require(core.delay.size() == p.graph.arc_count(),
+            "rebind_ratio_problem: snapshot core does not match the problem structure");
+    p.delay = core.delay;
+    if (cg.fixed_point()) {
+        p.scale = cg.scale();
+        p.scaled_delay = core.scaled_delay;
+    } else {
+        p.scale = 0;
+        p.scaled_delay.clear();
+    }
+}
+
 ratio_problem make_ratio_problem(const signal_graph& sg)
 {
     require(sg.finalized(), "make_ratio_problem: graph must be finalized");

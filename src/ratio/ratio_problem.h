@@ -9,12 +9,19 @@
 // times.  This header defines the shared problem form consumed by the
 // baseline solvers (exhaustive, Karp, Lawler, Howard) that the paper cites
 // as alternatives [1, 8, 11, 13]; the solvers cross-validate the paper's
-// timing-simulation algorithm in tests and benchmarks.
+// timing-simulation algorithm in tests and benchmarks, and Howard (behind
+// the SCC condensation driver, ratio/condensation.h) doubles as the
+// production cycle-time engine for large cores and warm-started scenario
+// batches (see cycle_time_solver in core/cycle_time.h).
 //
 // The problem graph is a frozen CSR snapshot (see graph/csr.h); built from
 // a compiled_graph it shares the compiled repetitive-core view — flat
-// adjacency, exact delays, and the fixed-point scaled delays — instead of
-// re-traversing the signal graph into a fresh digraph.
+// adjacency, exact delays, and the fixed-point scaled delays (delay *
+// scale as exact int64s), so integer-domain solvers (Karp's DP, Howard's
+// policy iteration) never touch a rational inside their sweeps.  Problems
+// without the fixed-point domain (scale == 0: hand-built instances, or
+// the overflow fallback after a pathological rebind) run every solver in
+// exact rational arithmetic with identical results.
 #ifndef TSG_RATIO_RATIO_PROBLEM_H
 #define TSG_RATIO_RATIO_PROBLEM_H
 
@@ -50,10 +57,21 @@ struct ratio_problem {
 /// view and fixed-point delay domain.
 [[nodiscard]] ratio_problem make_ratio_problem(const compiled_graph& cg);
 
+/// Refreshes only the delay domain of `p` (delay, scale, scaled_delay)
+/// from another snapshot of the *same structure* — the per-scenario path:
+/// build the problem once, rebind thousands of delay assignments without
+/// re-copying graph, transit or id maps.  Throws when the snapshot's core
+/// does not match the problem's arc count.
+void rebind_ratio_problem(ratio_problem& p, const compiled_graph& cg);
+
 struct ratio_result {
     rational ratio;             ///< the maximum cycle ratio
     std::vector<arc_id> cycle;  ///< witness cycle (problem-graph arcs); may be
                                 ///< empty for solvers that return the value only
+    bool fixed_point = false;   ///< solved in the scaled-int64 domain (Howard
+                                ///< and the condensation driver set this)
+    std::uint32_t iterations = 0; ///< policy-improvement rounds (Howard only);
+                                  ///< the warm-start win is visible here
 };
 
 /// delay(C) / tokens(C) of a cycle given as problem-graph arcs.  Throws when

@@ -210,8 +210,10 @@ TEST(CompiledGraph, FixedPointAnalysisIsBitIdenticalToRational)
         ASSERT_TRUE(fixed.fixed_point());
         ASSERT_FALSE(exact.fixed_point());
 
-        const cycle_time_result a = analyze_cycle_time(fixed);
-        const cycle_time_result b = analyze_cycle_time(exact);
+        analysis_options border; // runs compared below exist only here
+        border.solver = cycle_time_solver::border_sweep;
+        const cycle_time_result a = analyze_cycle_time(fixed, border);
+        const cycle_time_result b = analyze_cycle_time(exact, border);
         EXPECT_EQ(a.cycle_time, b.cycle_time) << seed;
         EXPECT_EQ(a.critical_cycle_arcs, b.critical_cycle_arcs) << seed;
         EXPECT_EQ(a.critical_occurrence_period, b.critical_occurrence_period) << seed;
@@ -286,8 +288,10 @@ TEST(CompiledGraph, ParallelBorderRunsMatchSerial)
 
         analysis_options serial;
         serial.max_threads = 1;
+        serial.solver = cycle_time_solver::border_sweep; // the runs are the point
         analysis_options parallel;
         parallel.max_threads = 4;
+        parallel.solver = cycle_time_solver::border_sweep;
 
         const cycle_time_result a = analyze_cycle_time(cg, serial);
         const cycle_time_result b = analyze_cycle_time(cg, parallel);

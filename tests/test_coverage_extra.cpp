@@ -110,7 +110,9 @@ TEST(CoverageExtra, TwoTokenRingIsSemimodular)
 TEST(CoverageExtra, BorderRunsCoverEveryOrigin)
 {
     const signal_graph sg = paper_stack_sg();
-    const cycle_time_result r = analyze_cycle_time(sg);
+    analysis_options opts;
+    opts.solver = cycle_time_solver::border_sweep; // runs exist only here
+    const cycle_time_result r = analyze_cycle_time(sg, opts);
     EXPECT_EQ(r.runs.size(), sg.border_events().size());
     for (std::size_t i = 0; i < r.runs.size(); ++i)
         EXPECT_EQ(r.runs[i].origin, sg.border_events()[i]);

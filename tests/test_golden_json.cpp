@@ -1,0 +1,249 @@
+// Golden-file tests for the tsg_tool JSON surface (sweep / montecarlo /
+// --solver): the documents are rendered through the same library routine
+// the tool ships (core/scenario_json.h) and compared against committed
+// goldens under tests/golden/.
+//
+// The comparison normalizes both sides through a minimal JSON parser —
+// object keys are sorted and numbers round-trip through double — so key
+// order or float formatting can't silently drift while any value change
+// (a different cycle time, a lost field, a renamed key) still fails.
+//
+// Regenerating after an intentional format change:
+//   TSG_UPDATE_GOLDENS=1 ./build/test_golden_json
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiled_graph.h"
+#include "core/scenario.h"
+#include "core/scenario_json.h"
+#include "gen/oscillator.h"
+#include "util/error.h"
+
+namespace tsg {
+namespace {
+
+// --- minimal JSON parser producing a canonical rendering ---------------------
+
+struct json_cursor {
+    const std::string& text;
+    std::size_t pos = 0;
+
+    void skip_ws()
+    {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    char peek()
+    {
+        skip_ws();
+        require(pos < text.size(), "json: unexpected end of input");
+        return text[pos];
+    }
+    char take()
+    {
+        const char c = peek();
+        ++pos;
+        return c;
+    }
+    void expect(char c)
+    {
+        require(take() == c, std::string("json: expected '") + c + "'");
+    }
+};
+
+std::string canonical_value(json_cursor& in);
+
+std::string canonical_string(json_cursor& in)
+{
+    in.expect('"');
+    std::string out = "\"";
+    while (true) {
+        require(in.pos < in.text.size(), "json: unterminated string");
+        const char c = in.text[in.pos++];
+        out += c;
+        if (c == '\\') {
+            require(in.pos < in.text.size(), "json: dangling escape");
+            out += in.text[in.pos++];
+        } else if (c == '"') {
+            return out;
+        }
+    }
+}
+
+std::string canonical_number(json_cursor& in)
+{
+    in.skip_ws();
+    const std::size_t start = in.pos;
+    while (in.pos < in.text.size() &&
+           (std::isdigit(static_cast<unsigned char>(in.text[in.pos])) ||
+            std::string("+-.eE").find(in.text[in.pos]) != std::string::npos))
+        ++in.pos;
+    require(in.pos > start, "json: bad number");
+    // Round-trip through double: "1.50", "1.5e0" and "1.5" all canonicalize
+    // to one spelling, so formatting drift can't break the comparison.
+    const double value = std::stod(in.text.substr(start, in.pos - start));
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.12g", value);
+    return buffer;
+}
+
+std::string canonical_value(json_cursor& in)
+{
+    const char c = in.peek();
+    if (c == '{') {
+        in.expect('{');
+        std::map<std::string, std::string> members; // sorted by key
+        if (in.peek() != '}') {
+            while (true) {
+                const std::string key = canonical_string(in);
+                in.expect(':');
+                members[key] = canonical_value(in);
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect('}');
+        std::string out = "{";
+        for (const auto& [key, value] : members) {
+            if (out.size() > 1) out += ',';
+            out += key;
+            out += ':';
+            out += value;
+        }
+        return out + "}";
+    }
+    if (c == '[') {
+        in.expect('[');
+        std::string out = "[";
+        if (in.peek() != ']') {
+            while (true) {
+                if (out.size() > 1) out += ',';
+                out += canonical_value(in);
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect(']');
+        return out + "]";
+    }
+    if (c == '"') return canonical_string(in);
+    if (in.text.compare(in.pos, 4, "true") == 0) return in.pos += 4, "true";
+    if (in.text.compare(in.pos, 5, "false") == 0) return in.pos += 5, "false";
+    if (in.text.compare(in.pos, 4, "null") == 0) return in.pos += 4, "null";
+    return canonical_number(in);
+}
+
+std::string canonical_json(const std::string& text)
+{
+    json_cursor in{text};
+    const std::string out = canonical_value(in);
+    in.skip_ws();
+    require(in.pos == text.size(), "json: trailing garbage");
+    return out;
+}
+
+// --- golden fixture plumbing -------------------------------------------------
+
+std::string golden_path(const std::string& name)
+{
+    return std::string(TSG_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+void compare_against_golden(const std::string& name, const std::string& actual)
+{
+    const std::string path = golden_path(name);
+    if (std::getenv("TSG_UPDATE_GOLDENS") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden " << path
+                           << " (regenerate with TSG_UPDATE_GOLDENS=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(canonical_json(buffer.str()), canonical_json(actual))
+        << "golden " << name << " drifted; if intentional, regenerate with "
+        << "TSG_UPDATE_GOLDENS=1\n--- actual document ---\n"
+        << actual;
+}
+
+/// Mirrors tsg_tool's batch pipeline for the built-in demo model.
+std::string demo_batch_json(const std::string& command, const std::string& solver_name,
+                            cycle_time_solver solver, std::vector<scenario> scenarios)
+{
+    const signal_graph sg = c_oscillator_sg();
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+    const rational nominal =
+        engine.evaluate(compiled.delay(), /*with_slack=*/false, /*analysis_threads=*/1, solver)
+            .cycle_time;
+    scenario_batch_options opts;
+    opts.solver = solver;
+    opts.max_threads = 1; // deterministic howard witnesses in the fixture
+    const scenario_batch_result batch = engine.run(scenarios, opts);
+    return scenario_batch_json(command, solver_name, sg, nominal, scenarios, batch);
+}
+
+TEST(GoldenJson, SweepBorderSolver)
+{
+    const signal_graph sg = c_oscillator_sg();
+    corner_sweep_options opts;
+    opts.factor = rational(1, 10);
+    compare_against_golden("sweep_border.json",
+                           demo_batch_json("sweep", "border",
+                                           cycle_time_solver::border_sweep,
+                                           corner_sweep_scenarios(sg, opts)));
+}
+
+TEST(GoldenJson, MonteCarloBorderSolver)
+{
+    const signal_graph sg = c_oscillator_sg();
+    monte_carlo_options mc;
+    mc.samples = 5;
+    mc.seed = 1;
+    mc.spread = rational(1, 10);
+    compare_against_golden("montecarlo_border.json",
+                           demo_batch_json("montecarlo", "border",
+                                           cycle_time_solver::border_sweep,
+                                           monte_carlo_scenarios(sg, mc)));
+}
+
+TEST(GoldenJson, MonteCarloHowardSolver)
+{
+    // The --solver howard surface: same document shape, same cycle times,
+    // solver echoed.
+    const signal_graph sg = c_oscillator_sg();
+    monte_carlo_options mc;
+    mc.samples = 5;
+    mc.seed = 1;
+    mc.spread = rational(1, 10);
+    compare_against_golden("montecarlo_howard.json",
+                           demo_batch_json("montecarlo", "howard", cycle_time_solver::howard,
+                                           monte_carlo_scenarios(sg, mc)));
+}
+
+TEST(GoldenJson, NormalizerToleratesFormattingButNotValues)
+{
+    // Key order and float spelling normalize away...
+    EXPECT_EQ(canonical_json("{\"b\": 1.50, \"a\": [1, 2]}"),
+              canonical_json("{\"a\":[1,2.0],\"b\":1.5e0}"));
+    // ...value changes do not.
+    EXPECT_NE(canonical_json("{\"a\": 1}"), canonical_json("{\"a\": 2}"));
+    EXPECT_NE(canonical_json("{\"a\": 1}"), canonical_json("{\"b\": 1}"));
+    // Malformed input is rejected, not silently accepted.
+    EXPECT_THROW((void)canonical_json("{\"a\": }"), error);
+    EXPECT_THROW((void)canonical_json("{} trailing"), error);
+}
+
+} // namespace
+} // namespace tsg

@@ -91,7 +91,10 @@ TEST(MullerRing, SymmetryAcrossBorderEvents)
 {
     // The circuit is symmetric: all four border runs yield the same delta
     // multiset maxima (the paper notes the four simulations coincide).
-    const cycle_time_result r = analyze_cycle_time(muller_ring_sg());
+    // Border-sweep pinned: the run data only exists under that solver.
+    analysis_options opts;
+    opts.solver = cycle_time_solver::border_sweep;
+    const cycle_time_result r = analyze_cycle_time(muller_ring_sg(), opts);
     for (const border_run& run : r.runs) {
         ASSERT_TRUE(run.best_delta.has_value());
         EXPECT_EQ(*run.best_delta, rational(20, 3))

@@ -7,6 +7,7 @@
 
 #include "gen/oscillator.h"
 #include "gen/muller.h"
+#include "ratio/condensation.h"
 #include "ratio/exhaustive.h"
 #include "ratio/howard.h"
 #include "ratio/karp.h"
@@ -176,6 +177,189 @@ TEST(Howard, MultiTokenCycleRatios)
     p.transit = {1, 1, 1};
     EXPECT_EQ(max_cycle_ratio_howard(p).ratio, rational(5));
     EXPECT_EQ(max_cycle_ratio_lawler(p).ratio, rational(5));
+}
+
+TEST(Howard, DeadEndErrorNamesTheNodeAndTheCondensationEntryPoint)
+{
+    // Node 1 has no out-arc: the precondition error must identify it and
+    // point at the driver that accepts such graphs.
+    ratio_problem p;
+    p.graph.add_nodes(2);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(0, 0);
+    p.delay = {rational(1), rational(1)};
+    p.transit = {0, 1};
+    try {
+        (void)max_cycle_ratio_howard(p);
+        FAIL() << "expected tsg::error";
+    } catch (const error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("node 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("max_cycle_ratio_condensed"), std::string::npos) << what;
+    }
+}
+
+TEST(Howard, TokenFreeCycleErrorNamesAnArc)
+{
+    ratio_problem p;
+    p.graph.add_nodes(2);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(1, 0);
+    p.delay = {rational(1), rational(1)};
+    p.transit = {0, 0}; // not live: a cycle without a token
+    try {
+        (void)max_cycle_ratio_howard(p);
+        FAIL() << "expected tsg::error";
+    } catch (const error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("arc"), std::string::npos) << what;
+        EXPECT_NE(what.find("not live"), std::string::npos) << what;
+    }
+}
+
+TEST(Howard, EqualRatioTieBreakingOnPotentials)
+{
+    // Two cycles with the *same* ratio 2 but different potentials along
+    // their token-free prefixes: phase 1 stabilizes immediately (all
+    // lambdas equal), so convergence exercises the phase-2 potential
+    // improvement and its Gauss-Seidel tie-breaking.
+    ratio_problem p;
+    p.graph.add_nodes(3);
+    p.graph.add_arc(0, 1); // delay 1, no token
+    p.graph.add_arc(1, 0); // delay 1, token -> cycle A ratio 2
+    p.graph.add_arc(0, 2); // delay 0, no token
+    p.graph.add_arc(2, 0); // delay 2, token -> cycle B ratio 2
+    p.delay = {rational(1), rational(1), rational(0), rational(2)};
+    p.transit = {0, 1, 0, 1};
+    const ratio_result r = max_cycle_ratio_howard(p);
+    EXPECT_EQ(r.ratio, rational(2));
+    EXPECT_EQ(cycle_ratio(p, r.cycle), rational(2));
+    EXPECT_EQ(max_cycle_ratio_lawler(p).ratio, rational(2));
+}
+
+TEST(Howard, ExplicitIterationCapThrowsUserError)
+{
+    // Initial policy (first out-arc) picks the ratio-5 self-loop; reaching
+    // the ratio-9 one needs a second round to detect convergence, so a cap
+    // of 1 must trip — as tsg::error: the cap is caller-provoked.
+    ratio_problem p;
+    p.graph.add_nodes(1);
+    p.graph.add_arc(0, 0);
+    p.graph.add_arc(0, 0);
+    p.delay = {rational(5), rational(9)};
+    p.transit = {1, 1};
+    howard_options capped;
+    capped.max_iterations = 1;
+    EXPECT_THROW((void)max_cycle_ratio_howard(p, capped), error);
+    // A generous explicit cap converges normally.
+    capped.max_iterations = 64;
+    EXPECT_EQ(max_cycle_ratio_howard(p, capped).ratio, rational(9));
+}
+
+TEST(Howard, WarmStateReusedAndRewritten)
+{
+    const ratio_problem p = make_ratio_problem(c_oscillator_sg());
+    howard_state state;
+    const ratio_result cold = max_cycle_ratio_howard(p, howard_options{}, &state);
+    EXPECT_EQ(cold.ratio, rational(10));
+    ASSERT_EQ(state.policy.size(), p.graph.node_count());
+    for (node_id v = 0; v < p.graph.node_count(); ++v)
+        EXPECT_EQ(p.graph.from(state.policy[v]), v);
+
+    // Re-solving from the converged policy is a no-op round, same answer.
+    const ratio_result warm = max_cycle_ratio_howard(p, howard_options{}, &state);
+    EXPECT_EQ(warm.ratio, cold.ratio);
+    EXPECT_EQ(warm.cycle, cold.cycle);
+
+    // A mismatched state (wrong size) is ignored, not trusted.
+    howard_state stale;
+    stale.policy.assign(1, 0);
+    EXPECT_EQ(max_cycle_ratio_howard(p, howard_options{}, &stale).ratio, rational(10));
+    EXPECT_EQ(stale.policy.size(), p.graph.node_count()); // rewritten on success
+}
+
+TEST(Condensation, NonStronglyConnectedLiveGraphSolves)
+{
+    // Two 2-cycles bridged by token-free arcs into a dead-end sink: not
+    // strongly connected, still live.  Howard alone refuses (the sink has
+    // no out-arc); the condensation driver returns the larger component
+    // ratio.
+    ratio_problem p;
+    p.graph.add_nodes(5);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(1, 0); // component {0,1}: ratio (1+3)/1 = 4
+    p.graph.add_arc(2, 3);
+    p.graph.add_arc(3, 2); // component {2,3}: ratio (2+5)/1 = 7
+    p.graph.add_arc(1, 2); // bridge, never on a cycle
+    p.graph.add_arc(3, 4); // dead-end sink
+    p.delay = {rational(1), rational(3), rational(2), rational(5), rational(100),
+               rational(1)};
+    p.transit = {0, 1, 0, 1, 0, 0};
+
+    EXPECT_THROW((void)max_cycle_ratio_howard(p), error);
+
+    const condensed_ratio_result r = max_cycle_ratio_condensed(p);
+    EXPECT_EQ(r.ratio, rational(7));
+    EXPECT_EQ(r.component_count, 3u);
+    EXPECT_EQ(r.cyclic_component_count, 2u);
+    EXPECT_EQ(cycle_ratio(p, r.cycle), rational(7));
+}
+
+TEST(Condensation, SingleNodeSelfLoopCore)
+{
+    // One self-loop component among trivial single-node SCCs.
+    ratio_problem p;
+    p.graph.add_nodes(3);
+    p.graph.add_arc(0, 1); // source -> core
+    p.graph.add_arc(1, 1); // the core: self-loop, ratio 6
+    p.graph.add_arc(1, 2); // core -> sink
+    p.delay = {rational(1), rational(6), rational(1)};
+    p.transit = {0, 1, 0};
+    const condensed_ratio_result r = max_cycle_ratio_condensed(p);
+    EXPECT_EQ(r.ratio, rational(6));
+    EXPECT_EQ(r.component_count, 3u);
+    EXPECT_EQ(r.cyclic_component_count, 1u);
+    ASSERT_EQ(r.cycle.size(), 1u);
+    EXPECT_EQ(r.cycle[0], 1u);
+}
+
+TEST(Condensation, AcyclicGraphRejectedWithClearMessage)
+{
+    ratio_problem p;
+    p.graph.add_nodes(2);
+    p.graph.add_arc(0, 1);
+    p.delay = {rational(1)};
+    p.transit = {1};
+    try {
+        (void)max_cycle_ratio_condensed(p);
+        FAIL() << "expected tsg::error";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("acyclic"), std::string::npos) << e.what();
+    }
+}
+
+TEST(Condensation, NonLiveComponentErrorNamesTheComponent)
+{
+    // Component {2,3} has a token-free cycle: the sub-solve error must
+    // surface with the condensation context attached.
+    ratio_problem p;
+    p.graph.add_nodes(4);
+    p.graph.add_arc(0, 1);
+    p.graph.add_arc(1, 0);
+    p.graph.add_arc(2, 3);
+    p.graph.add_arc(3, 2);
+    p.graph.add_arc(1, 2);
+    p.delay = {rational(1), rational(1), rational(1), rational(1), rational(1)};
+    p.transit = {0, 1, 0, 0, 0}; // second cycle token-free
+    try {
+        (void)max_cycle_ratio_condensed(p);
+        FAIL() << "expected tsg::error";
+    } catch (const error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("max_cycle_ratio_condensed: component"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("not live"), std::string::npos) << what;
+    }
 }
 
 } // namespace

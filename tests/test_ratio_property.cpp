@@ -95,7 +95,10 @@ TEST_P(CrossValidation, BorderRunsNeverExceedLambda)
     opts.border_limit = cfg.border_limit;
     const signal_graph sg = random_marked_graph(opts);
 
-    const cycle_time_result r = analyze_cycle_time(sg);
+    // Border-sweep pinned: the proposition is about the simulation's runs.
+    analysis_options border;
+    border.solver = cycle_time_solver::border_sweep;
+    const cycle_time_result r = analyze_cycle_time(sg, border);
     bool some_critical = false;
     for (const border_run& run : r.runs) {
         for (const auto& d : run.deltas) {
