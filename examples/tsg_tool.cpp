@@ -8,10 +8,11 @@
 //   tsg_tool model.circuit        extract from a circuit, then analyze
 //   tsg_tool --report [file]      emit the full markdown report instead
 //   tsg_tool sweep [file] [--factor N/D] [--solver auto|border|howard]
+//                  [--lanes 0|1|2|4|8|16] [--delta auto|dense|sparse]
 //                                 per-arc +/- corner batch on the scenario
 //                                 engine; JSON on stdout
 //   tsg_tool montecarlo [file] [--samples N] [--seed S] [--spread N/D]
-//                       [--solver auto|border|howard]
+//                       [--solver auto|border|howard] [--lanes 0|1|2|4|8|16]
 //                                 Monte Carlo delay batch; JSON on stdout
 #include <iostream>
 #include <string>
@@ -110,6 +111,14 @@ cycle_time_solver parse_solver(const std::string& name)
     throw error("--solver: unknown solver '" + name + "' (use auto, border or howard)");
 }
 
+scenario_batch_options::delta_mode parse_delta(const std::string& name)
+{
+    if (name == "auto") return scenario_batch_options::delta_mode::auto_detect;
+    if (name == "dense") return scenario_batch_options::delta_mode::dense;
+    if (name == "sparse") return scenario_batch_options::delta_mode::sparse;
+    throw error("--delta: unknown mode '" + name + "' (use auto, dense or sparse)");
+}
+
 int run_batch_command(const std::string& command, std::vector<std::string> args)
 {
     const rational spread =
@@ -120,6 +129,10 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     const std::uint64_t seed = std::stoull(option_value(args, "--seed", "1"));
     const std::string solver_name = option_value(args, "--solver", "auto");
     const cycle_time_solver solver = parse_solver(solver_name);
+    const auto lanes =
+        static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
+    const scenario_batch_options::delta_mode delta =
+        parse_delta(option_value(args, "--delta", "auto"));
 
     // Everything consumed except (at most) the model path — a misspelled or
     // value-less flag must not silently fall back to defaults.
@@ -157,6 +170,8 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
             .cycle_time;
     scenario_batch_options batch_opts;
     batch_opts.solver = solver;
+    batch_opts.lane_width = lanes;
+    batch_opts.delta = delta;
     const scenario_batch_result batch = engine.run(scenarios, batch_opts);
     std::cout << scenario_batch_json(command, solver_name, sg, nominal, scenarios, batch);
     return 0;

@@ -139,6 +139,7 @@ corner_exploration_result explore_delay_corners(const netlist& nl,
 
     scenario_batch_options run;
     run.max_threads = options.max_threads;
+    run.lane_width = options.lane_width;
     out.batch = engine.run(out.scenarios, run);
     return out;
 }

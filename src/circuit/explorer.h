@@ -63,6 +63,11 @@ struct corner_exploration_options {
 
     /// Thread budget for the scenario batch (0 = hardware concurrency).
     unsigned max_threads = 0;
+
+    /// SoA lane count for the batch (see scenario_batch_options::lane_width):
+    /// 0 = default, 1 = scalar, else 2/4/8/16.  Results are identical for
+    /// every setting.
+    unsigned lane_width = 0;
 };
 
 struct corner_exploration_result {

@@ -1,5 +1,7 @@
 #include "core/compiled_graph.h"
 
+#include <array>
+#include <bit>
 #include <limits>
 #include <numeric>
 
@@ -65,37 +67,99 @@ compiled_graph compiled_graph::rebind(std::vector<rational> delay) const
     return out;
 }
 
-void compiled_graph::compile_fixed_point()
+void compute_fixed_point_domain(const std::vector<rational>& delay, fixed_point_domain& out)
 {
-    // L = lcm of all delay denominators, abandoned past max_scale.
-    std::int64_t scale = 1;
-    for (const rational& d : delay_) {
-        const std::int64_t den = d.den();
-        if (scale % den == 0) continue; // already divides the LCM (common case)
+    out.scale = 0;
+    out.period_limit = 0;
+    out.negative = false;
+    out.scaled.clear();
+
+    // L = lcm of all delay denominators, abandoned past max_scale.  The
+    // LCM is order-independent and its running value is monotone (every
+    // prefix divides the final value), so the scan is split: a branchless
+    // pass ORs small denominators into a presence mask — the hot loop on
+    // the batch rebind path, free of data-dependent branches — and the
+    // fold over distinct denominators (<= 64 of them, plus the rare large
+    // ones) runs afterwards with the exact overflow guard of the scalar
+    // rebind: the domain is disabled iff the final LCM would exceed
+    // max_scale, identical to folding in arc order.
+    std::uint64_t den_mask = 0;
+    std::int64_t neg_mask = 0; // accumulates sign bits: any negative numerator
+    std::int64_t large_lcm = 1; // fold of denominators > 64 (rare)
+    for (const rational& d : delay) {
+        neg_mask |= d.num();
+        const auto den = static_cast<std::uint64_t>(d.den());
+        if (den <= 64) [[likely]] {
+            den_mask |= std::uint64_t{1} << (den - 1);
+        } else {
+            if (large_lcm % static_cast<std::int64_t>(den) != 0) {
+                const std::int64_t g = std::gcd(large_lcm, static_cast<std::int64_t>(den));
+                const int128 candidate = static_cast<int128>(large_lcm / g) * den;
+                if (candidate > max_scale) return; // domain disabled (scale stays 0)
+                large_lcm = static_cast<std::int64_t>(candidate);
+            }
+        }
+    }
+    out.negative = neg_mask < 0;
+    std::int64_t scale = large_lcm;
+    den_mask &= ~std::uint64_t{1}; // den == 1 never moves the LCM
+    while (den_mask != 0) {
+        const int bit = std::countr_zero(den_mask);
+        den_mask &= den_mask - 1;
+        const std::int64_t den = bit + 1;
+        if (scale % den == 0) continue;
         const std::int64_t g = std::gcd(scale, den);
         const int128 candidate = static_cast<int128>(scale / g) * den;
-        if (candidate > max_scale) return; // domain disabled (scale_ stays 0)
+        if (candidate > max_scale) return; // domain disabled (scale stays 0)
         scale = static_cast<std::int64_t>(candidate);
     }
 
     // Scaled delays d * L, all exact integers; track the total mass to
     // bound how many periods a sweep may accumulate without overflow.
-    // The quotient L / den is cached across consecutive arcs — delay
-    // denominators cluster, and the 64-bit division is the loop's hot spot
-    // on the batch rebind path.
-    std::vector<std::int64_t> scaled;
-    scaled.reserve(delay_.size());
+    // This loop is the hot spot of the batch rebind path, so both 64-bit
+    // divisions are amortized over distinct denominators: quotient[den] =
+    // L / den, and threshold[den] = INT64_MAX / quotient — num <=
+    // threshold is exactly "num * quotient fits int64", keeping the loop
+    // free of both division and 128-bit arithmetic.  Small denominators
+    // (overwhelmingly common) hit dense tables, larger ones a last-value
+    // cache.
+    std::array<std::int64_t, 65> quotient{};
+    std::array<std::int64_t, 65> threshold{};
+    quotient[1] = scale;
+    threshold[1] = std::numeric_limits<std::int64_t>::max() / scale;
+    out.scaled.resize(delay.size());
+    std::int64_t* scaled = out.scaled.data();
     int128 total = 0;
     std::int64_t last_den = 1;
     std::int64_t last_quotient = scale;
-    for (const rational& d : delay_) {
-        if (d.den() != last_den) {
-            last_den = d.den();
-            last_quotient = scale / last_den;
+    std::int64_t last_threshold = threshold[1];
+    for (std::size_t i = 0; i < delay.size(); ++i) {
+        const rational& d = delay[i];
+        const std::int64_t den = d.den();
+        std::int64_t q;
+        std::int64_t lim;
+        if (den <= 64) {
+            q = quotient[den];
+            if (q == 0) {
+                q = quotient[den] = scale / den;
+                threshold[den] = std::numeric_limits<std::int64_t>::max() / q;
+            }
+            lim = threshold[den];
+        } else {
+            if (den != last_den) {
+                last_den = den;
+                last_quotient = scale / den;
+                last_threshold = std::numeric_limits<std::int64_t>::max() / last_quotient;
+            }
+            q = last_quotient;
+            lim = last_threshold;
         }
-        const int128 v = static_cast<int128>(d.num()) * last_quotient;
-        if (v > std::numeric_limits<std::int64_t>::max()) return;
-        scaled.push_back(static_cast<std::int64_t>(v));
+        if (d.num() > lim) {
+            out.scaled.clear();
+            return;
+        }
+        const std::int64_t v = d.num() * q;
+        scaled[i] = v;
         total += v; // delays are >= 0 (validated by signal_graph)
     }
 
@@ -104,11 +168,23 @@ void compiled_graph::compile_fixed_point()
     // product (and everything derived from it) well inside int64.
     const int128 budget = std::numeric_limits<std::int64_t>::max() / 4;
     const int128 limit = total == 0 ? max_period_limit : budget / total;
-    if (limit < 2) return; // too heavy even for single-period sweeps
-    period_limit_ = static_cast<std::uint32_t>(
-        std::min<int128>(limit, max_period_limit));
-    scale_ = scale;
-    scaled_delay_ = std::move(scaled);
+    if (limit < 2) {
+        out.scaled.clear();
+        return; // too heavy even for single-period sweeps
+    }
+    out.period_limit =
+        static_cast<std::uint32_t>(std::min<int128>(limit, max_period_limit));
+    out.scale = scale;
+}
+
+void compiled_graph::compile_fixed_point()
+{
+    fixed_point_domain domain;
+    compute_fixed_point_domain(delay_, domain);
+    if (domain.scale == 0) return; // scale_ stays 0: rational fallback
+    scale_ = domain.scale;
+    period_limit_ = domain.period_limit;
+    scaled_delay_ = std::move(domain.scaled);
 }
 
 void compiled_graph::compile_core(structural_state& state) const

@@ -46,6 +46,30 @@ struct compile_options {
     bool use_fixed_point = true;
 };
 
+/// One delay assignment's fixed-point domain: the result of the LCM-scale
+/// computation shared by compile(), rebind() and the lane packer
+/// (core/lane_domain.h).  scale == 0 means the domain is unavailable for
+/// this assignment (scale or a scaled delay would overflow the guarded
+/// 64-bit budget) and consumers must use exact rational arithmetic.
+struct fixed_point_domain {
+    std::int64_t scale = 0;
+    std::vector<std::int64_t> scaled;  ///< delay * scale; empty when scale == 0
+    std::uint32_t period_limit = 0;    ///< sweeps with periods < limit are safe
+    bool negative = false;             ///< some delay was negative (caller must reject)
+
+    [[nodiscard]] bool available_for_periods(std::uint32_t periods) const noexcept
+    {
+        return scale != 0 && periods < period_limit;
+    }
+};
+
+/// Computes the fixed-point domain of one delay assignment.  `out.scaled` is
+/// reused (no allocation when its capacity suffices) — the per-lane rebind
+/// path calls this once per scenario.  The criteria are exactly those of
+/// compiled_graph::rebind, so a lane is evicted to rational arithmetic iff
+/// the equivalent scalar rebind would be.
+void compute_fixed_point_domain(const std::vector<rational>& delay, fixed_point_domain& out);
+
 class compiled_graph {
 public:
     /// Compiles a finalized graph.  O(n + m).

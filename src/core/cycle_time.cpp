@@ -1,12 +1,17 @@
 #include "core/cycle_time.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
+#include "core/critical_cycle.h"
+#include "core/lane_domain.h"
 #include "ratio/condensation.h"
 #include "sg/cut_set.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace tsg {
 
@@ -163,60 +168,6 @@ border_run simulate_origin(const core_view& core, const Domain& domain,
     return run;
 }
 
-/// Extracts from the unfolded critical cycle (origin_0 ~> origin_i*) a
-/// *simple* cycle whose ratio equals lambda.  The closed walk decomposes
-/// into simple cycles; their delay/token totals average to lambda and no
-/// cycle exceeds lambda (Prop. 5), so one of them attains it.
-struct peeled_cycle {
-    std::vector<arc_id> core_arcs; ///< in causal order
-};
-
-peeled_cycle peel_critical_cycle(const core_view& core, const std::vector<arc_id>& walk,
-                                 const rational& lambda)
-{
-    const std::size_t n = core.graph.node_count();
-    std::vector<int> stack_pos(n, -1);
-    struct entry {
-        arc_id arc;    ///< arc leading *into* node
-        node_id node;
-    };
-    std::vector<entry> stack;
-
-    const node_id start = core.graph.from(walk.front());
-    stack.push_back({invalid_arc, start});
-    stack_pos[start] = 0;
-
-    for (const arc_id a : walk) {
-        const node_id v = core.graph.to(a);
-        if (stack_pos[v] >= 0) {
-            // Closed a simple sub-cycle: stack[stack_pos[v]+1 .. end] + a.
-            rational delay(0);
-            std::int64_t tokens = 0;
-            std::vector<arc_id> arcs;
-            for (std::size_t k = static_cast<std::size_t>(stack_pos[v]) + 1; k < stack.size();
-                 ++k)
-                arcs.push_back(stack[k].arc);
-            arcs.push_back(a);
-            for (const arc_id c : arcs) {
-                delay += core.delay[c];
-                tokens += core.token[c];
-            }
-            ensure(tokens > 0, "peel_critical_cycle: token-free cycle in live graph");
-            if (delay / rational(tokens) == lambda) return {arcs};
-            // Not critical: discard the sub-cycle and continue from v.
-            while (stack.size() > static_cast<std::size_t>(stack_pos[v]) + 1) {
-                stack_pos[stack.back().node] = -1;
-                stack.pop_back();
-            }
-        } else {
-            stack.push_back({a, v});
-            stack_pos[v] = static_cast<int>(stack.size()) - 1;
-        }
-    }
-    ensure(false, "peel_critical_cycle: no simple cycle attained the cycle time");
-    return {};
-}
-
 /// Rotates the reported cycle to start at a border event (some event after
 /// a marked arc must be on it; cosmetic, matches the paper's presentation).
 void rotate_cycle_to_border(cycle_time_result& result, const std::vector<event_id>& border)
@@ -328,9 +279,10 @@ cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& do
     }
     std::reverse(walk.begin(), walk.end());
 
-    const peeled_cycle critical = peel_critical_cycle(core, walk, result.cycle_time);
+    const std::vector<arc_id> critical_arcs = peel_critical_cycle_rational(
+        core, walk, result.cycle_time, [&](arc_id c) -> const rational& { return core.delay[c]; });
     std::uint32_t epsilon = 0;
-    for (const arc_id a : critical.core_arcs) {
+    for (const arc_id a : critical_arcs) {
         result.critical_cycle_events.push_back(core.node_event[core.graph.from(a)]);
         result.critical_cycle_arcs.push_back(core.arc_original[a]);
         epsilon += core.token[a];
@@ -340,7 +292,334 @@ cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& do
     return result;
 }
 
+// --- lane-batched border sweep (core/lane_domain.h) --------------------------
+
+/// Builds the structural half of the sweep-order packing (see
+/// lane_workspace): the token-free relaxation sequence flattened in sweep
+/// order — per topo position, that node's token-free out run — plus the
+/// token arcs' endpoints.  Rebuilt only when the workspace meets a new
+/// compiled core.
+void pack_sweep_structure(const core_view& core, lane_workspace& ws)
+{
+    if (ws.pack_of == static_cast<const void*>(&core.topo)) return;
+    ws.topo_pos.assign(core.graph.node_count(), 0);
+    for (std::size_t p = 0; p < core.topo.size(); ++p)
+        ws.topo_pos[core.topo[p]] = static_cast<std::uint32_t>(p);
+    ws.sweep_src.clear();
+    ws.sweep_head.clear();
+    ws.sweep_arc.clear();
+    ws.sweep_src.reserve(core.token_free_arcs.size());
+    ws.sweep_head.reserve(core.token_free_arcs.size());
+    ws.sweep_arc.reserve(core.token_free_arcs.size());
+    for (const node_id v : core.topo)
+        for (std::uint32_t k = core.token_free_offset[v]; k < core.token_free_offset[v + 1];
+             ++k) {
+            const arc_id a = core.token_free_arcs[k];
+            ws.sweep_src.push_back(ws.topo_pos[v]);
+            ws.sweep_head.push_back(ws.topo_pos[core.graph.to(a)]);
+            ws.sweep_arc.push_back(a);
+        }
+    ws.tok_src.clear();
+    ws.tok_head.clear();
+    ws.tok_arc.clear();
+    for (const arc_id a : core.token_arcs) {
+        ws.tok_src.push_back(ws.topo_pos[core.graph.from(a)]);
+        ws.tok_head.push_back(ws.topo_pos[core.graph.to(a)]);
+        ws.tok_arc.push_back(a);
+    }
+    ws.pack_of = static_cast<const void*>(&core.topo);
+}
+
+/// Copies one lane group's SoA delays into sweep order (and token order) —
+/// a sequential pass per group that turns every hot-loop delay/head access
+/// into a streaming load.
+template <unsigned W>
+void pack_sweep_delays(const lane_domain& dom, lane_workspace& ws)
+{
+    const std::int64_t* TSG_RESTRICT delay = dom.delay();
+    ws.sweep_delay.resize(ws.sweep_arc.size() * W);
+    std::int64_t* TSG_RESTRICT sd = ws.sweep_delay.data();
+    for (std::size_t s = 0; s < ws.sweep_arc.size(); ++s) {
+        const std::int64_t* TSG_RESTRICT src = delay + std::size_t{ws.sweep_arc[s]} * W;
+        TSG_PRAGMA_SIMD
+        for (unsigned l = 0; l < W; ++l) sd[s * W + l] = src[l];
+    }
+    ws.tok_delay.resize(ws.tok_arc.size() * W);
+    std::int64_t* TSG_RESTRICT td = ws.tok_delay.data();
+    for (std::size_t s = 0; s < ws.tok_arc.size(); ++s) {
+        const std::int64_t* TSG_RESTRICT src = delay + std::size_t{ws.tok_arc[s]} * W;
+        TSG_PRAGMA_SIMD
+        for (unsigned l = 0; l < W; ++l) td[s * W + l] = src[l];
+    }
+}
+
+/// One event-initiated simulation over W lanes at once: the scalar
+/// run_sweep with the value matrix in SoA form (t[v * W + lane]) and
+/// "unreached" encoded as lane_domain::unreached instead of a flag.  The
+/// relaxation order is identical to the scalar sweep (the packed sequence
+/// *is* the scalar order), so per-lane values, tie-breaks and captured
+/// predecessors match a scalar run bit for bit: sentinel ("garbage")
+/// candidates are strictly negative, real times are >= 0, and a garbage
+/// candidate can therefore never displace a real one (see the overflow
+/// argument in lane_domain.h).
+///
+/// When Capture, pred[(i * n + v) * W + lane] records the arg-max core arc
+/// into (period i, node v) — only entries on real (value >= 0) chains are
+/// meaningful, and only those are ever backtracked.
+template <unsigned W, bool Capture>
+void lane_border_sweep(const core_view& core, const lane_workspace& ws, node_id origin,
+                       std::uint32_t periods, std::int64_t* t_prev, std::int64_t* t_cur,
+                       std::int64_t* TSG_RESTRICT origin_time, std::int64_t* pred)
+{
+    const std::size_t n = core.graph.node_count();
+    const std::size_t tok_count = ws.tok_arc.size();
+    const std::size_t sweep_count = ws.sweep_arc.size();
+    const node_id* TSG_RESTRICT tok_src = ws.tok_src.data();
+    const node_id* TSG_RESTRICT tok_head = ws.tok_head.data();
+    const arc_id* TSG_RESTRICT tok_arc = ws.tok_arc.data();
+    const std::int64_t* TSG_RESTRICT tok_delay = ws.tok_delay.data();
+    const node_id* TSG_RESTRICT sweep_src = ws.sweep_src.data();
+    const node_id* TSG_RESTRICT sweep_head = ws.sweep_head.data();
+    const arc_id* TSG_RESTRICT sweep_arc = ws.sweep_arc.data();
+    const std::int64_t* TSG_RESTRICT sweep_delay = ws.sweep_delay.data();
+
+    for (std::uint32_t i = 0; i <= periods; ++i) {
+        std::fill(t_cur, t_cur + n * W, lane_domain::unreached);
+        std::int64_t* pred_row = nullptr;
+        if constexpr (Capture) {
+            pred_row = pred + std::size_t{i} * n * W;
+            // No invalid_arc fill: every entry the backtrack reads lies on
+            // a real (value >= 0) chain, whose last strict improvement
+            // always stored a predecessor.  Stale entries under garbage
+            // values are never dereferenced; the walk guard in Phase C
+            // bounds the damage if that invariant ever broke.
+#ifndef NDEBUG
+            std::fill(pred_row, pred_row + n * W, std::int64_t{invalid_arc});
+#endif
+        }
+
+        // Seed: the initiating instantiation occurs at time 0.
+        if (i == 0) {
+            std::int64_t* slot = t_cur + std::size_t{origin} * W;
+            for (unsigned l = 0; l < W; ++l) slot[l] = 0;
+        } else {
+            // Cross-period arcs (one token): sources live in period i-1.
+            for (std::size_t s = 0; s < tok_count; ++s) {
+                const std::int64_t* TSG_RESTRICT src = t_prev + std::size_t{tok_src[s]} * W;
+                const std::int64_t* TSG_RESTRICT d = tok_delay + s * W;
+                std::int64_t* dst = t_cur + std::size_t{tok_head[s]} * W;
+                if constexpr (Capture) {
+                    const auto a = static_cast<std::int64_t>(tok_arc[s]);
+                    std::int64_t* pr = pred_row + std::size_t{tok_head[s]} * W;
+                    TSG_PRAGMA_SIMD
+                    for (unsigned l = 0; l < W; ++l) {
+                        const std::int64_t cand = src[l] + d[l];
+                        const bool better = cand > dst[l];
+                        dst[l] = better ? cand : dst[l];
+                        pr[l] = better ? a : pr[l];
+                    }
+                } else {
+                    TSG_PRAGMA_SIMD
+                    for (unsigned l = 0; l < W; ++l) {
+                        const std::int64_t cand = src[l] + d[l];
+                        dst[l] = cand > dst[l] ? cand : dst[l];
+                    }
+                }
+            }
+        }
+
+        // In-period (token-free) arcs as one flat stream in the packed
+        // sweep order — the exact scalar relaxation order with the node
+        // loop compiled away: sources earlier in topo order are final
+        // before any arc reads them, exactly as in the scalar sweep.
+        // (Unlike the scalar sweep there is no unreached-source skip:
+        // relaxing from a sentinel source writes only negative "garbage"
+        // values, which no real value comparison or backtrack observes.)
+        for (std::size_t s = 0; s < sweep_count; ++s) {
+            const std::int64_t* src = t_cur + std::size_t{sweep_src[s]} * W;
+            const std::int64_t* TSG_RESTRICT d = sweep_delay + s * W;
+            std::int64_t* dst = t_cur + std::size_t{sweep_head[s]} * W;
+            if constexpr (Capture) {
+                const auto a = static_cast<std::int64_t>(sweep_arc[s]);
+                std::int64_t* pr = pred_row + std::size_t{sweep_head[s]} * W;
+                TSG_PRAGMA_SIMD
+                for (unsigned l = 0; l < W; ++l) {
+                    const std::int64_t cand = src[l] + d[l];
+                    const bool better = cand > dst[l];
+                    dst[l] = better ? cand : dst[l];
+                    pr[l] = better ? a : pr[l];
+                }
+            } else {
+                TSG_PRAGMA_SIMD
+                for (unsigned l = 0; l < W; ++l) {
+                    const std::int64_t cand = src[l] + d[l];
+                    dst[l] = cand > dst[l] ? cand : dst[l];
+                }
+            }
+        }
+
+        const std::int64_t* slot = t_cur + std::size_t{origin} * W;
+        std::int64_t* rec = origin_time + std::size_t{i} * W;
+        for (unsigned l = 0; l < W; ++l) rec[l] = slot[l];
+        std::swap(t_prev, t_cur);
+    }
+}
+
+#ifdef TSG_LANE_PROF
+struct lane_prof_state_t {
+    double t[4]{};
+    ~lane_prof_state_t()
+    {
+        std::fprintf(stderr, "lane phases: A %.6fs B %.6fs C %.6fs\n", t[0], t[1], t[2]);
+    }
+};
+inline lane_prof_state_t lane_prof_state;
+#define TSG_LANE_TICK(slot, ...)                                                      \
+    do {                                                                              \
+        const auto _t0 = std::chrono::steady_clock::now();                            \
+        __VA_ARGS__;                                                                  \
+        lane_prof_state.t[slot] +=                                                    \
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - _t0)     \
+                .count();                                                             \
+    } while (0)
+#else
+#define TSG_LANE_TICK(slot, ...) __VA_ARGS__
+#endif
+
+template <unsigned W>
+void analyze_cycle_time_lanes_impl(const compiled_graph& cg, const lane_domain& dom,
+                                   std::uint32_t periods, lane_workspace& ws,
+                                   std::span<lane_cycle_time> out, bool witness)
+{
+    const core_view core = cg.core();
+    const std::vector<event_id>& border = cg.source().border_events();
+    const std::size_t n = core.graph.node_count();
+    const std::size_t b = border.size();
+    const std::size_t rows = std::size_t{periods} + 1;
+
+    ws.t_prev.resize(n * W);
+    ws.t_cur.resize(n * W);
+    ws.origin_time.resize(b * rows * W);
+    if (witness) ws.pred.resize(b * rows * n * W);
+    pack_sweep_structure(core, ws);
+    pack_sweep_delays<W>(dom, ws);
+
+    // Phase A: one sweep per border origin, all lanes at once; when a
+    // witness is wanted, predecessors are captured inline — extraction
+    // later is pure backtracking, no re-sweep (the blend stores vectorize;
+    // re-running the winning origins with capture costs far more than
+    // capturing everything once).
+    TSG_LANE_TICK(0, for (std::size_t k = 0; k < b; ++k) {
+        const node_id origin = core.event_node[border[k]];
+        ensure(origin != invalid_node, "analyze_cycle_time: border event outside the core");
+        if (witness)
+            lane_border_sweep<W, true>(core, ws, ws.topo_pos[origin], periods,
+                                       ws.t_prev.data(), ws.t_cur.data(),
+                                       ws.origin_time.data() + k * rows * W,
+                                       ws.pred.data() + k * rows * n * W);
+        else
+            lane_border_sweep<W, false>(core, ws, ws.topo_pos[origin], periods,
+                                        ws.t_prev.data(), ws.t_cur.data(),
+                                        ws.origin_time.data() + k * rows * W, nullptr);
+    });
+
+    // Phase B: per-lane lambda.  Scanning (run, period) lexicographically
+    // with a strict comparison reproduces the scalar reduction exactly:
+    // first run attaining the maximum wins, and within it the first period
+    // attaining that run's best delta.
+    struct lane_pick {
+        bool any = false;
+        std::size_t run = 0;
+        std::uint32_t period = 0;
+        rational lambda;
+    };
+    std::array<lane_pick, W> pick;
+    TSG_LANE_TICK(1, for (unsigned l = 0; l < W; ++l) {
+        if (dom.evicted(l)) continue;
+        lane_pick& p = pick[l];
+        // Arg-max in the integer domain: within one lane the scale cancels,
+        // so delta(k1,i1) > delta(k2,i2) <=> v1 * i2 > v2 * i1 (int128,
+        // positive denominators) — the exact rational comparison without
+        // constructing rationals.  One rational materializes at the end.
+        std::int64_t best_v = 0;
+        for (std::size_t k = 0; k < b; ++k) {
+            const std::int64_t* times = ws.origin_time.data() + k * rows * W;
+            for (std::uint32_t i = 1; i <= periods; ++i) {
+                const std::int64_t v = times[std::size_t{i} * W + l];
+                if (v < 0) continue; // unreached
+                if (!p.any || static_cast<int128>(v) * p.period >
+                                  static_cast<int128>(best_v) * i) {
+                    p.any = true;
+                    p.run = k;
+                    p.period = i;
+                    best_v = v;
+                }
+            }
+        }
+        ensure(p.any,
+               "analyze_cycle_time: no border simulation closed a cycle within b periods");
+        p.lambda = dom.unscale(l, best_v) / rational(p.period);
+        out[l].cycle_time = p.lambda;
+    });
+
+    // Phase C: witness extraction per lane — backtrack the captured
+    // predecessor chain of the lane's winning run, then peel.
+    if (!witness) {
+        for (unsigned l = 0; l < W; ++l)
+            if (!dom.evicted(l)) out[l].critical_cycle_arcs.clear();
+        return;
+    }
+    TSG_LANE_TICK(2, for (unsigned l = 0; l < W; ++l) {
+        if (dom.evicted(l)) continue;
+        const node_id origin = core.event_node[border[pick[l].run]];
+        const std::int64_t* pred = ws.pred.data() + pick[l].run * rows * n * W;
+        ws.walk.clear();
+        node_id v = origin;
+        std::uint32_t period = pick[l].period;
+        const std::size_t walk_limit = rows * n; // each (period, node) at most once
+        while (!(v == origin && period == 0)) {
+            const auto a = static_cast<arc_id>(
+                pred[(std::size_t{period} * n + ws.topo_pos[v]) * W + l]);
+            ensure(a != invalid_arc && a < core.graph.arc_count() &&
+                       (core.token[a] == 0 || period > 0) && ws.walk.size() < walk_limit,
+                   "analyze_cycle_time: broken predecessor chain");
+            ws.walk.push_back(a);
+            period -= core.token[a];
+            v = core.graph.from(a);
+        }
+        std::reverse(ws.walk.begin(), ws.walk.end());
+
+        // Witness peel in the lane's fixed-point domain: identical
+        // decisions to the scalar rational peel, no rational arithmetic
+        // on the walk (core/critical_cycle.h).
+        const std::int64_t* soa = dom.delay();
+        const std::vector<arc_id> critical = peel_critical_cycle_fixed(
+            core, ws.walk, pick[l].lambda, dom.scale(l),
+            [&](arc_id c) { return soa[std::size_t{c} * W + l]; });
+        out[l].critical_cycle_arcs.clear();
+        out[l].critical_cycle_arcs.reserve(critical.size());
+        for (const arc_id a : critical)
+            out[l].critical_cycle_arcs.push_back(core.arc_original[a]);
+    });
+}
+
 } // namespace
+
+void analyze_cycle_time_lanes(const compiled_graph& cg, const lane_domain& dom,
+                              std::uint32_t periods, lane_workspace& ws,
+                              std::span<lane_cycle_time> out, bool witness)
+{
+    require(dom.width() == out.size(), "analyze_cycle_time_lanes: lane count mismatch");
+    switch (dom.width()) {
+    case 2: return analyze_cycle_time_lanes_impl<2>(cg, dom, periods, ws, out, witness);
+    case 4: return analyze_cycle_time_lanes_impl<4>(cg, dom, periods, ws, out, witness);
+    case 8: return analyze_cycle_time_lanes_impl<8>(cg, dom, periods, ws, out, witness);
+    case 16: return analyze_cycle_time_lanes_impl<16>(cg, dom, periods, ws, out, witness);
+    default:
+        throw error("analyze_cycle_time_lanes: unsupported lane width " +
+                    std::to_string(dom.width()) + " (use 2, 4, 8 or 16)");
+    }
+}
 
 std::vector<event_id> cycle_time_result::critical_border_events() const
 {

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/compiled_graph.h"
@@ -151,6 +152,36 @@ struct cycle_time_result {
 /// once, analyze many times.
 [[nodiscard]] cycle_time_result analyze_cycle_time(const compiled_graph& cg,
                                                    const analysis_options& options = {});
+
+// --- lane-batched analysis (core/lane_domain.h) ------------------------------
+
+class lane_domain;
+struct lane_workspace;
+
+/// One lane's result in a lane-batched border-sweep analysis: the cycle
+/// time and the witness cycle (original arc ids, causal order) — the
+/// fields a scenario outcome needs.  No border_run data is kept.
+struct lane_cycle_time {
+    rational cycle_time;
+    std::vector<arc_id> critical_cycle_arcs;
+};
+
+/// Border-sweep cycle-time analysis of every non-evicted lane in `dom`:
+/// one pass over the CSR core per period updates all lanes of an arc
+/// (structure-of-arrays inner loops, see core/lane_domain.h).  Values,
+/// tie-breaks and the reported witness are bit-identical to running
+/// analyze_cycle_time on each lane's scalar rebind with the border_sweep
+/// solver (the witness peel runs in the lane's fixed-point domain with
+/// identical decisions — core/critical_cycle.h).  `periods` must match
+/// the horizon `dom` was rebound for.  Evicted lanes' output slots are
+/// left untouched.
+///
+/// With `witness` off, only the cycle times are produced (no predecessor
+/// capture, no backtrack/peel — critical_cycle_arcs stays empty); the
+/// Monte-Carlo statistics mode of the scenario engine.
+void analyze_cycle_time_lanes(const compiled_graph& cg, const lane_domain& dom,
+                              std::uint32_t periods, lane_workspace& ws,
+                              std::span<lane_cycle_time> out, bool witness = true);
 
 /// The series t_{e0}(e_i) and delta_{e0}(e_i) for i = 1..periods from an
 /// arbitrary repetitive event — the data behind Figure 4 and the

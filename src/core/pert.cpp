@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/compiled_graph.h"
+#include "core/lane_domain.h"
 #include "graph/longest_path.h"
+#include "util/simd.h"
 
 namespace tsg {
 
@@ -67,6 +69,102 @@ pert_result analyze_pert(const signal_graph& sg)
             "analyze_pert: graph has cycles — use analyze_cycle_time");
     const compiled_graph cg(sg);
     return analyze_pert(cg);
+}
+
+// --- lane-batched PERT -------------------------------------------------------
+
+namespace {
+
+/// One SoA longest-path sweep along the compiled topological order, all
+/// lanes at once; "unreached" is the lane_domain sentinel (see there for
+/// why sentinel arithmetic can never displace a real time).  Mirrors
+/// dag_longest_paths_ordered: same relaxation order, same strict-improve
+/// tie-break, per-lane results bit-identical to the scalar sweep.
+template <unsigned W>
+void analyze_pert_lanes_impl(const compiled_graph& cg, const lane_domain& dom,
+                             lane_workspace& ws, std::span<lane_pert> out)
+{
+    const signal_graph& sg = cg.source();
+    const csr_graph& g = cg.structure();
+    const std::vector<node_id>& order = *cg.acyclic_order();
+    const std::size_t n = g.node_count();
+
+    ws.t_cur.assign(n * W, lane_domain::unreached);
+    ws.pred.assign(n * W, std::int64_t{invalid_arc});
+    std::int64_t* TSG_RESTRICT t = ws.t_cur.data();
+    std::int64_t* TSG_RESTRICT pred = ws.pred.data();
+    const std::int64_t* TSG_RESTRICT delay = dom.delay();
+
+    for (const node_id s : sg.initial_events()) {
+        std::int64_t* slot = t + std::size_t{s} * W;
+        for (unsigned l = 0; l < W; ++l) slot[l] = 0;
+    }
+
+    for (const node_id v : order) {
+        const std::int64_t* TSG_RESTRICT tv = t + std::size_t{v} * W;
+        std::int64_t reachable = tv[0];
+        for (unsigned l = 1; l < W; ++l) reachable = std::max(reachable, tv[l]);
+        if (reachable < 0) continue;
+        for (const arc_id a : g.out_arcs(v)) {
+            const std::int64_t* TSG_RESTRICT d = delay + std::size_t{a} * W;
+            std::int64_t* dst = t + std::size_t{g.to(a)} * W;
+            std::int64_t* pr = pred + std::size_t{g.to(a)} * W;
+            const auto aw = static_cast<std::int64_t>(a);
+            TSG_PRAGMA_SIMD
+            for (unsigned l = 0; l < W; ++l) {
+                const std::int64_t cand = tv[l] + d[l];
+                const bool better = cand > dst[l];
+                dst[l] = better ? cand : dst[l];
+                pr[l] = better ? aw : pr[l];
+            }
+        }
+    }
+
+    for (unsigned l = 0; l < W; ++l) {
+        if (dom.evicted(l)) continue;
+        // Scalar argmax order: events ascending, first strict maximum wins.
+        event_id sink = invalid_node;
+        std::int64_t makespan = 0;
+        for (event_id e = 0; e < sg.event_count(); ++e) {
+            const std::int64_t v = t[std::size_t{e} * W + l];
+            if (v < 0) continue; // unreached
+            if (sink == invalid_node || v > makespan) {
+                sink = e;
+                makespan = v;
+            }
+        }
+        require(sink != invalid_node, "analyze_pert: no event is reachable");
+
+        out[l].makespan = dom.unscale(l, makespan);
+        out[l].critical_arcs.clear();
+        event_id cur = sink;
+        while (pred[std::size_t{cur} * W + l] != std::int64_t{invalid_arc}) {
+            const auto a = static_cast<arc_id>(pred[std::size_t{cur} * W + l]);
+            out[l].critical_arcs.push_back(a);
+            cur = g.from(a);
+        }
+        std::reverse(out[l].critical_arcs.begin(), out[l].critical_arcs.end());
+    }
+}
+
+} // namespace
+
+void analyze_pert_lanes(const compiled_graph& cg, const lane_domain& dom, lane_workspace& ws,
+                        std::span<lane_pert> out)
+{
+    require(cg.source().repetitive_events().empty(),
+            "analyze_pert_lanes: graph has cycles — use analyze_cycle_time_lanes");
+    ensure(cg.acyclic_order().has_value(), "analyze_pert_lanes: missing topological order");
+    require(dom.width() == out.size(), "analyze_pert_lanes: lane count mismatch");
+    switch (dom.width()) {
+    case 2: return analyze_pert_lanes_impl<2>(cg, dom, ws, out);
+    case 4: return analyze_pert_lanes_impl<4>(cg, dom, ws, out);
+    case 8: return analyze_pert_lanes_impl<8>(cg, dom, ws, out);
+    case 16: return analyze_pert_lanes_impl<16>(cg, dom, ws, out);
+    default:
+        throw error("analyze_pert_lanes: unsupported lane width " +
+                    std::to_string(dom.width()) + " (use 2, 4, 8 or 16)");
+    }
 }
 
 } // namespace tsg

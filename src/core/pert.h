@@ -4,6 +4,7 @@
 #ifndef TSG_CORE_PERT_H
 #define TSG_CORE_PERT_H
 
+#include <span>
 #include <vector>
 
 #include "sg/signal_graph.h"
@@ -28,6 +29,25 @@ class compiled_graph;
 /// Same analysis on a pre-compiled snapshot (sweeps the precomputed
 /// topological order, in the fixed-point delay domain when available).
 [[nodiscard]] pert_result analyze_pert(const compiled_graph& cg);
+
+// --- lane-batched analysis (core/lane_domain.h) ------------------------------
+
+class lane_domain;
+struct lane_workspace;
+
+/// One lane's PERT result in a lane-batched batch: the makespan and the
+/// critical path's arcs in causal order.
+struct lane_pert {
+    rational makespan;
+    std::vector<arc_id> critical_arcs;
+};
+
+/// PERT analysis of every non-evicted lane in one structure-of-arrays
+/// longest-path sweep along the compiled topological order; bit-identical
+/// to analyze_pert on each lane's scalar rebind.  Evicted lanes' output
+/// slots are left untouched.
+void analyze_pert_lanes(const compiled_graph& cg, const lane_domain& dom, lane_workspace& ws,
+                        std::span<lane_pert> out);
 
 } // namespace tsg
 

@@ -10,10 +10,26 @@
 // a per-scenario fixed-point domain, with the overflow bound re-checked so
 // a pathological sample degrades only itself to rational arithmetic.
 //
-// Scenarios fan out across the util/parallel.h thread pool; every worker
-// writes one pre-allocated outcome slot and the aggregation is serial, so
-// batch results are bit-identical to evaluating each scenario against a
-// freshly compiled graph, in any thread configuration.
+// Scenarios fan out across the engine's long-lived util/parallel.h thread
+// pool; every worker writes one pre-allocated outcome slot and the
+// aggregation is serial, so batch results are bit-identical to evaluating
+// each scenario against a freshly compiled graph, in any thread
+// configuration.
+//
+// Two batch fast paths sit on top of the rebind (both bit-identical to the
+// scalar loop):
+//   * lane batching — scenarios are chunked into groups of W lanes whose
+//     scaled delays are packed arc-major (core/lane_domain.h); the border
+//     sweeps / PERT / slack then update all W lanes per arc in SIMD-friendly
+//     structure-of-arrays loops.  A lane that cannot live in the int64
+//     domain is evicted to the exact rational path alone; batch tails run
+//     through the scalar epilogue.
+//   * sparse delta rebinds — when every scenario perturbs one arc
+//     (scenario::delta_arc, set by corner_sweep_scenarios), the engine
+//     solves the nominal base once, then per scenario re-propagates only
+//     the perturbed arc's forward cone through the token-free order
+//     instead of full sweeps (sub-linear arcs touched per corner on
+//     typical graphs; see scenario_batch_result::sparse_arcs_touched).
 //
 // Scenario sources:
 //   * corner_sweep_scenarios — per-arc +/- corners around the nominal
@@ -34,12 +50,15 @@
 #define TSG_CORE_SCENARIO_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/compiled_graph.h"
 #include "core/cycle_time.h"
 #include "sg/signal_graph.h"
+#include "util/parallel.h"
 #include "util/rational.h"
 
 namespace tsg {
@@ -49,6 +68,15 @@ namespace tsg {
 struct scenario {
     std::string label;
     std::vector<rational> delay;
+
+    /// Sparse-delta promise: when set, `delay` differs from the *base*
+    /// snapshot's nominal assignment at this one arc only.  Generators
+    /// that perturb a single arc (corner_sweep_scenarios) set it, which
+    /// lets the engine re-propagate only the perturbed arc's forward cone
+    /// instead of running full sweeps.  The promise is validated in debug
+    /// builds; release builds trust it (a wrong flag yields wrong results
+    /// for that scenario, never memory errors).
+    arc_id delta_arc = invalid_arc;
 };
 
 /// Per-scenario analysis summary.  For cyclic graphs `cycle_time` is the
@@ -107,6 +135,30 @@ struct scenario_batch_result {
     /// count (ties: earliest first appearance) — "which cycle becomes
     /// critical where" for corner sweeps.  Empty on acyclic graphs.
     std::vector<critical_cycle_stat> critical_cycles;
+
+    // --- engine accounting (how the batch was evaluated) -----------------
+
+    /// Lane groups swept through the SoA kernels, and how many scenarios
+    /// they served (excluding per-lane evictions).
+    std::size_t lane_groups = 0;
+    std::size_t lane_scenarios = 0;
+
+    /// Scenarios in lane groups whose lane was evicted to the exact
+    /// rational path (per-lane overflow fallback).
+    std::size_t lane_evictions = 0;
+
+    /// Scenarios evaluated one-at-a-time (lane-group tails, evictions,
+    /// batches below the lane width, forced scalar runs).
+    std::size_t scalar_scenarios = 0;
+
+    /// Scenarios evaluated through sparse delta rebinds, and the total
+    /// arc relaxations their cone re-propagation performed.  A dense
+    /// border sweep relaxes dense_sweep_arcs arcs per scenario — the
+    /// sparse win is sparse_arcs_touched / sparse_scenarios being far
+    /// below it.
+    std::size_t sparse_scenarios = 0;
+    std::uint64_t sparse_arcs_touched = 0;
+    std::uint64_t dense_sweep_arcs = 0;
 };
 
 struct scenario_batch_options {
@@ -122,15 +174,48 @@ struct scenario_batch_options {
     /// cycle-time-only batches (roughly halves the per-scenario cost).
     bool with_slack = true;
 
+    /// Extract the witness cycle per scenario (critical_cycle, and — with
+    /// with_slack off — critical_arcs).  On for compatibility; turn off
+    /// for Monte-Carlo-scale batches that aggregate cycle-time statistics:
+    /// a witness is O(cycle length) to backtrack, peel and record per
+    /// scenario, which dominates the lane-batched hot path on models whose
+    /// critical cycles span the core.  With it off, outcomes carry the
+    /// exact cycle time and domain flag only, and the critical-cycle /
+    /// criticality aggregates stay empty.
+    bool with_witness = true;
+
     /// Lambda engine per scenario; auto_select resolves once per batch
     /// (TSG_SOLVER env, then the size heuristic).  howard batches
     /// warm-start each worker from the previous scenario's policy.
     cycle_time_solver solver = cycle_time_solver::auto_select;
+
+    /// SoA lane count for the lane-batched border-sweep/PERT path
+    /// (core/lane_domain.h): 0 picks the default (8), 1 forces the scalar
+    /// path, otherwise one of 2/4/8/16.  Batches smaller than one lane
+    /// group run scalar; the tail of a batch not divisible by the width
+    /// runs through the scalar epilogue.  Results are bit-identical for
+    /// every setting.
+    unsigned lane_width = 0;
+
+    /// Sparse delta rebinds for single-arc-perturbation batches.
+    enum class delta_mode : std::uint8_t {
+        /// Use the sparse path when every scenario carries delta_arc and
+        /// the batch fits a common fixed-point domain; dense otherwise.
+        auto_detect,
+        dense,  ///< always full rebinds
+        sparse, ///< require the sparse path (throws when ineligible)
+    };
+    delta_mode delta = delta_mode::auto_detect;
 };
 
-/// The batch engine: holds the compiled structural snapshot and evaluates
-/// delay assignments against it.  The compiled_graph (and its source
-/// signal_graph) must outlive the engine.
+/// The batch engine: holds the compiled structural snapshot, a long-lived
+/// worker pool, and evaluates delay assignments against the snapshot.  The
+/// compiled_graph (and its source signal_graph) must outlive the engine.
+///
+/// The pool is created lazily on the first run() and reused by every later
+/// batch (resized only when the thread budget changes), so repeated runs
+/// pay no thread-spawn cost.  Concurrent run() calls on one engine are
+/// safe but serialize on the pool.
 class scenario_engine {
 public:
     explicit scenario_engine(const compiled_graph& base) : base_(&base) {}
@@ -141,11 +226,12 @@ public:
     /// `analysis_threads` is the thread budget for the cycle-time border
     /// runs *inside* this one evaluation (0 = hardware concurrency) — the
     /// batch path forces it to 1 because the scenario fan-out already owns
-    /// the pool.
+    /// the pool.  `with_witness` mirrors scenario_batch_options.
     [[nodiscard]] scenario_outcome evaluate(
         const std::vector<rational>& delay, bool with_slack = true,
         unsigned analysis_threads = 0,
-        cycle_time_solver solver = cycle_time_solver::auto_select) const;
+        cycle_time_solver solver = cycle_time_solver::auto_select,
+        bool with_witness = true) const;
 
     /// Evaluates every scenario (in parallel) and reduces.  Throws on an
     /// empty batch or a scenario whose delay vector has the wrong size.
@@ -153,7 +239,11 @@ public:
                                             const scenario_batch_options& options = {}) const;
 
 private:
+    [[nodiscard]] thread_pool& acquire_pool(unsigned max_threads) const;
+
     const compiled_graph* base_;
+    mutable std::mutex run_mutex_;
+    mutable std::unique_ptr<thread_pool> pool_;
 };
 
 // --- scenario generators -----------------------------------------------------
@@ -195,9 +285,19 @@ struct monte_carlo_options {
     /// k uniform in [0, resolution] — keeps every delay a small rational so
     /// batches stay in the fixed-point domain.
     std::int64_t resolution = 16;
+
+    /// Thread budget for sample generation (0 = hardware concurrency).
+    /// Generation is deterministic regardless: sample k's delays depend
+    /// only on (seed, k), never on the worker layout.
+    unsigned max_threads = 0;
 };
 
 /// `samples` scenarios drawn independently per arc from the given ranges.
+///
+/// Sampling is lane-stable: each sample k derives its own PRNG stream from
+/// (seed, k), so serial, multi-threaded and lane-batched consumers all
+/// replay the identical batch from the same seed, and storage for the full
+/// batch is reserved up front.
 [[nodiscard]] std::vector<scenario> monte_carlo_scenarios(
     const signal_graph& sg, const monte_carlo_options& options = {});
 

@@ -54,6 +54,13 @@ std::string scenario_batch_json(const std::string& command, const std::string& s
        << ", \"label\": " << json_quote(scenarios[batch.max_index].label) << "},\n";
     os << "    \"mean_value\": " << format_double(batch.mean_cycle_time, 6) << ",\n";
     os << "    \"rational_fallbacks\": " << batch.fallback_count << ",\n";
+    os << "    \"engine\": {\"lane_groups\": " << batch.lane_groups
+       << ", \"lane_scenarios\": " << batch.lane_scenarios
+       << ", \"lane_evictions\": " << batch.lane_evictions
+       << ", \"scalar_scenarios\": " << batch.scalar_scenarios
+       << ", \"sparse_scenarios\": " << batch.sparse_scenarios
+       << ", \"sparse_arcs_touched\": " << batch.sparse_arcs_touched
+       << ", \"dense_sweep_arcs\": " << batch.dense_sweep_arcs << "},\n";
     os << "    \"criticality_count\": ";
     append_number_array(os, batch.criticality_count);
     os << ",\n";

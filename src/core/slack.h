@@ -23,6 +23,7 @@
 #ifndef TSG_CORE_SLACK_H
 #define TSG_CORE_SLACK_H
 
+#include <span>
 #include <vector>
 
 #include "sg/signal_graph.h"
@@ -70,6 +71,27 @@ class compiled_graph;
 /// the snapshot's delay assignment; a smaller value leaves positive
 /// reduced cycles and throws, a larger one silently inflates every slack.
 [[nodiscard]] slack_result analyze_slack(const compiled_graph& cg, const rational& cycle_time);
+
+// --- lane-batched analysis (core/lane_domain.h) ------------------------------
+
+class lane_domain;
+struct lane_workspace;
+
+/// Slack analysis of every lane in one structure-of-arrays Bellman-Ford:
+/// the reduced-weight relaxations update all lanes of an arc per pass, and
+/// passes continue until every lane converges (extra passes on an
+/// already-converged lane relax nothing, so results match the scalar
+/// early-exit bit for bit).  Per-lane overflow checks on the reduced
+/// weights (and lanes `dom` evicted) fall back to the exact rational
+/// Bellman-Ford for that lane alone, using `lane_delay[l]`.
+///
+/// `cycle_time[l]` must be lane l's exact cycle time.  out[l] receives the
+/// same slack_result analyze_slack would produce for lane l's scalar
+/// rebind.
+void analyze_slack_lanes(const compiled_graph& cg, const lane_domain& dom,
+                         std::span<const std::vector<rational>* const> lane_delay,
+                         std::span<const rational> cycle_time, lane_workspace& ws,
+                         std::span<slack_result> out);
 
 } // namespace tsg
 

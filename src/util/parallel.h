@@ -1,18 +1,30 @@
 // Minimal index-space thread pool for embarrassingly parallel analyses.
 //
-// The cycle-time border runs are independent event-initiated simulations;
-// parallel_for_index fans them out over std::thread workers pulling indices
-// from an atomic counter.  Workers only write to disjoint slots of
-// caller-owned result vectors, and every reduction happens serially after
-// the join — so results are bit-identical to a serial run regardless of the
-// thread count.  The first exception thrown by any worker is rethrown on
-// the calling thread.
+// Two layers:
+//
+//   * thread_pool — a reusable, long-lived worker pool.  Workers are spawned
+//     once and parked on a condition variable between jobs, so a caller that
+//     dispatches thousands of small index ranges (the scenario engine's lane
+//     groups) pays the thread-spawn cost once per pool, not once per run.
+//     One job at a time: for_index() publishes a job, wakes the workers,
+//     participates itself, and returns when every index is done.
+//   * parallel_for_index — the original fire-and-forget free function, now a
+//     thin wrapper that builds a transient pool (or runs inline when the
+//     range or budget is too small for threads to pay off).
+//
+// In both forms workers pull indices from an atomic counter and only write
+// to disjoint slots of caller-owned result vectors; every reduction happens
+// serially after the join — so results are bit-identical to a serial run
+// regardless of the thread count.  The first exception thrown by any worker
+// is rethrown on the calling thread.
 #ifndef TSG_UTIL_PARALLEL_H
 #define TSG_UTIL_PARALLEL_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -28,9 +40,129 @@ namespace tsg {
     return hw == 0 ? 1 : hw;
 }
 
+/// A reusable pool of `threads - 1` parked workers (the dispatching thread
+/// is the remaining worker).  Construction is cheap for threads <= 1: no
+/// threads are spawned and every job runs inline.
+///
+/// Not a task queue: one for_index() job runs at a time, and dispatching is
+/// not thread-safe — callers that share a pool serialize their dispatches
+/// (the scenario engine holds a mutex around its batch runs).
+class thread_pool {
+public:
+    explicit thread_pool(unsigned threads) : threads_(threads == 0 ? 1 : threads)
+    {
+        workers_.reserve(threads_ - 1);
+        for (unsigned t = 0; t + 1 < threads_; ++t)
+            workers_.emplace_back([this, t] { worker_loop(t + 1); });
+    }
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread& w : workers_) w.join();
+    }
+
+    /// Total workers, including the dispatching thread.
+    [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+    /// Runs body(index, worker) for every index in [0, count); `worker` is a
+    /// stable id in [0, thread_count()) usable for per-worker scratch state.
+    /// Returns after all indices complete; rethrows the first worker error.
+    void for_index(std::size_t count, const std::function<void(std::size_t, unsigned)>& body)
+    {
+        if (count == 0) return;
+        if (threads_ <= 1 || count == 1) {
+            for (std::size_t i = 0; i < count; ++i) body(i, 0);
+            return;
+        }
+
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            body_ = &body;
+            count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            failed_.store(false, std::memory_order_relaxed);
+            failure_ = nullptr;
+            active_ = static_cast<unsigned>(workers_.size());
+            ++generation_;
+        }
+        wake_.notify_all();
+
+        run_indices(body, count, 0); // the dispatching thread participates
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return active_ == 0; });
+        body_ = nullptr;
+        if (failure_) std::rethrow_exception(failure_);
+    }
+
+private:
+    void run_indices(const std::function<void(std::size_t, unsigned)>& body, std::size_t count,
+                     unsigned worker)
+    {
+        while (!failed_.load(std::memory_order_relaxed)) {
+            const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                body(i, worker);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (!failure_) failure_ = std::current_exception();
+                failed_.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+
+    void worker_loop(unsigned worker)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::size_t, unsigned)>* body = nullptr;
+            std::size_t count = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+                if (stop_) return;
+                seen = generation_;
+                body = body_;
+                count = count_;
+            }
+            run_indices(*body, count, worker);
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (--active_ == 0) done_.notify_all();
+            }
+        }
+    }
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
+    std::size_t count_ = 0;
+    std::uint64_t generation_ = 0;
+    unsigned active_ = 0;
+    bool stop_ = false;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<bool> failed_{false};
+    std::exception_ptr failure_;
+};
+
 /// Runs body(i) for every i in [0, count), on up to `threads` threads.
 /// Falls back to a plain loop when count or threads is small enough that
-/// spawning would only add overhead.
+/// spawning would only add overhead.  Wrapper over thread_pool for callers
+/// without a long-lived pool (the cycle-time border runs, condensation).
 template <typename Body>
 void parallel_for_index(std::size_t count, unsigned threads, Body&& body)
 {
@@ -40,33 +172,11 @@ void parallel_for_index(std::size_t count, unsigned threads, Body&& body)
         for (std::size_t i = 0; i < count; ++i) body(i);
         return;
     }
-
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-
-    const auto work = [&]() {
-        while (!failed.load(std::memory_order_relaxed)) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count) return;
-            try {
-                body(i);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(failure_mutex);
-                if (!failure) failure = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
-        }
+    thread_pool pool(workers);
+    const std::function<void(std::size_t, unsigned)> job = [&body](std::size_t i, unsigned) {
+        body(i);
     };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
-    work(); // the calling thread participates
-    for (std::thread& t : pool) t.join();
-    if (failure) std::rethrow_exception(failure);
+    pool.for_index(count, job);
 }
 
 } // namespace tsg

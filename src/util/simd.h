@@ -1,0 +1,46 @@
+// Portable auto-vectorization helpers for the structure-of-arrays lane
+// kernels (core/lane_domain.h and the lane sweeps in cycle_time/slack/pert).
+//
+// The hot loops are all the same shape: a fixed-trip-count inner loop over
+// the L lanes of one arc, doing int64 add / compare / select on contiguous
+// SoA slots.  That shape is exactly what compilers auto-vectorize — provided
+// we promise them the pointers don't alias and ask for vector codegen even
+// at -O2.  This header centralizes those promises instead of scattering
+// compiler pragmas through the kernels:
+//
+//   * TSG_PRAGMA_SIMD — placed immediately before a lane loop.  Expands to
+//     `#pragma omp simd` when OpenMP(-simd) codegen is on (CMake adds
+//     -fopenmp-simd, which activates the pragma without the OpenMP runtime),
+//     with GCC/Clang-specific vectorize hints as fallbacks.  Harmless no-op
+//     on compilers that know none of the spellings.
+//   * TSG_RESTRICT — `restrict` qualification for the SoA pointers so the
+//     value / predecessor / delay arrays are known not to overlap.
+//
+// Verification: build with `-fopt-info-vec` (GCC) or `-Rpass=loop-vectorize`
+// (Clang) and look for the relax_lanes loops in core/cycle_time.cpp,
+// core/slack.cpp and core/pert.cpp being vectorized.  The kernels remain
+// exact in any case — vectorization only changes instruction selection, not
+// the arithmetic: every lane is an independent int64 computation whose
+// results are bitwise identical in scalar and vector form.
+#ifndef TSG_UTIL_SIMD_H
+#define TSG_UTIL_SIMD_H
+
+#if defined(TSG_OPENMP_SIMD) || defined(_OPENMP)
+// TSG_OPENMP_SIMD is defined by the build alongside -fopenmp-simd (the flag
+// enables `#pragma omp simd` codegen but deliberately leaves _OPENMP unset).
+#define TSG_PRAGMA_SIMD _Pragma("omp simd")
+#elif defined(__clang__)
+#define TSG_PRAGMA_SIMD _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define TSG_PRAGMA_SIMD _Pragma("GCC ivdep")
+#else
+#define TSG_PRAGMA_SIMD
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TSG_RESTRICT __restrict__
+#else
+#define TSG_RESTRICT
+#endif
+
+#endif // TSG_UTIL_SIMD_H
