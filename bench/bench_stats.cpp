@@ -1,0 +1,287 @@
+// Statistical timing layer: adaptive vs. provisioned-fixed Monte Carlo at
+// a matched CI width, plus a full bitwise differential across engine
+// configurations.
+//
+// The workload is a heterogeneous-variance SSTA-style model: a random
+// marked graph in the paper's favourable regime (b << n) where most arcs
+// are frozen at their nominal delay and a sparse subset swings across a
+// wide range.  A fixed-size Monte Carlo batch must be provisioned for the
+// *worst case*: without running anything, the only safe variance bound
+// comes from the support of the cycle-time distribution — by monotonicity
+// of the cycle time in every delay, [lambda(all-lo), lambda(all-hi)] — and
+// Popoviciu's inequality (sd <= support/2).  The adaptive sampler
+// (core/stats.h) instead watches the *actual* CI shrink and stops as soon
+// as the target half-width epsilon is reached, which on heterogeneous
+// models needs a fraction of the provisioned samples.
+//
+// Reported:
+//   * adaptive_samples vs fixed_samples (the provisioned count) and their
+//     ratio — the acceptance bar is >= 2x fewer adaptive samples at the
+//     same CI target;
+//   * samples/s of the streaming statistics path (fixed and adaptive);
+//   * a bitwise differential: the adaptive run against a fixed run of the
+//     same sample count under a different round partition, serial
+//     (1 thread), and lane widths 1/16 — every statistic (moments,
+//     extremes, histogram, quantiles, criticality tallies) must match bit
+//     for bit, and any mismatch fails the bench.
+//
+//   bench_stats [--events N] [--cap N] [--pilot N] [--rounds R] [--serial]
+//               [--json out.json]
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/scenario.h"
+#include "core/stats.h"
+#include "gen/random_sg.h"
+#include "sg/signal_graph.h"
+
+namespace {
+
+using namespace tsg;
+using clock_type = std::chrono::steady_clock;
+
+constexpr double z95 = 1.959963984540054;
+
+double seconds_since(clock_type::time_point start)
+{
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Field-by-field bitwise comparison; returns the number of differing
+/// statistics (0 == bit-identical accumulators).
+std::size_t count_stat_mismatches(const stats_accumulator& a, const stats_accumulator& b)
+{
+    std::size_t mismatches = 0;
+    if (a.count() != b.count()) ++mismatches;
+    if (a.mean() != b.mean()) ++mismatches;
+    if (a.variance() != b.variance()) ++mismatches;
+    if (a.count() > 0 &&
+        (a.min_cycle_time() != b.min_cycle_time() || a.max_cycle_time() != b.max_cycle_time() ||
+         a.min_index() != b.min_index() || a.max_index() != b.max_index()))
+        ++mismatches;
+    if (a.histogram() != b.histogram() || a.underflow() != b.underflow() ||
+        a.overflow() != b.overflow())
+        ++mismatches;
+    if (a.quantile(0.5) != b.quantile(0.5) || a.quantile(0.95) != b.quantile(0.95) ||
+        a.quantile(0.99) != b.quantile(0.99))
+        ++mismatches;
+    if (a.criticality_count() != b.criticality_count()) ++mismatches;
+    if (a.fallback_count() != b.fallback_count()) ++mismatches;
+    return mismatches;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    tsg_bench::bench_reporter reporter(argc, argv);
+
+    std::uint32_t events = 256;
+    std::size_t cap = 8192;   // provisioned-batch ceiling (and adaptive cap)
+    std::size_t pilot_n = 256;
+    int rounds = 2;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--events" && i + 1 < argc)
+            events = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--cap" && i + 1 < argc)
+            cap = std::stoull(argv[++i]);
+        else if (arg == "--pilot" && i + 1 < argc)
+            pilot_n = std::stoull(argv[++i]);
+        else if (arg == "--rounds" && i + 1 < argc)
+            rounds = std::stoi(argv[++i]);
+        else if (arg == "--serial")
+            threads = 1;
+    }
+
+    random_sg_options gopts;
+    gopts.events = events;
+    gopts.extra_arcs = events; // m = 2n
+    gopts.seed = 42;
+    gopts.border_limit = 4; // b << n
+    const signal_graph sg = random_marked_graph(gopts);
+
+    // Heterogeneous variance: every 16th arc swings across [1/4, 7/4] of
+    // nominal, the rest are frozen — the regime where worst-case
+    // provisioning is far too pessimistic.
+    monte_carlo_options mc;
+    mc.seed = 7;
+    mc.max_threads = threads;
+    mc.ranges.reserve(sg.arc_count());
+    std::size_t wide_arcs = 0;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        const rational d = sg.arc(a).delay;
+        if (a % 16 == 0) {
+            mc.ranges.push_back({d * rational(1, 4), d * rational(7, 4)});
+            ++wide_arcs;
+        } else {
+            mc.ranges.push_back({d, d});
+        }
+    }
+
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    std::cout << "model: n=" << sg.event_count() << " m=" << sg.arc_count()
+              << " b=" << sg.border_events().size() << ", wide arcs=" << wide_arcs << "/"
+              << sg.arc_count() << "\n";
+
+    // --- provisioning: the a-priori worst-case sample count ------------------
+    // The support of lambda is [lambda(all-lo), lambda(all-hi)] by
+    // monotonicity; Popoviciu bounds the sd by half the support.  A fixed
+    // batch targeting CI half-width epsilon must be sized against that.
+    std::vector<rational> lo_corner;
+    std::vector<rational> hi_corner;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        lo_corner.push_back(mc.ranges[a].lo);
+        hi_corner.push_back(mc.ranges[a].hi);
+    }
+    const rational lambda_lo =
+        engine.evaluate(lo_corner, /*with_slack=*/false, threads).cycle_time;
+    const rational lambda_hi =
+        engine.evaluate(hi_corner, /*with_slack=*/false, threads).cycle_time;
+    const double sigma_bound = (lambda_hi.to_double() - lambda_lo.to_double()) / 2.0;
+
+    // Pilot: estimate the actual sd, then pick epsilon so the adaptive run
+    // converges around 2-3 rounds — the ratio to the provisioned count is
+    // epsilon-independent, epsilon only sets the absolute scale.
+    stats_options stats_opts;
+    stats_opts.max_threads = threads;
+    monte_carlo_options pilot_mc = mc;
+    pilot_mc.samples = pilot_n;
+    const stats_run_result pilot = monte_carlo_statistics(engine, sg, pilot_mc, stats_opts);
+    const double pilot_sd = pilot.stats.stddev();
+    const double epsilon = z95 * pilot_sd / std::sqrt(768.0);
+
+    const double fixed_exact = (z95 * sigma_bound / epsilon) * (z95 * sigma_bound / epsilon);
+    const std::size_t fixed_samples =
+        std::min<std::size_t>(cap, static_cast<std::size_t>(std::ceil(fixed_exact)));
+
+    // --- adaptive vs fixed at the matched CI target, interleaved best-of -----
+    stats_options adaptive_opts = stats_opts;
+    adaptive_opts.epsilon = epsilon;
+    adaptive_opts.min_samples = 64;
+    adaptive_opts.max_samples = cap;
+
+    monte_carlo_options fixed_mc = mc;
+    fixed_mc.samples = fixed_samples;
+
+    stats_run_result adaptive;
+    stats_run_result fixed;
+    double adaptive_seconds = 0;
+    double fixed_seconds = 0;
+    for (int round = 0; round < rounds; ++round) {
+        const auto a_start = clock_type::now();
+        adaptive = monte_carlo_adaptive(engine, sg, mc, adaptive_opts);
+        const double as = seconds_since(a_start);
+        if (round == 0 || as < adaptive_seconds) adaptive_seconds = as;
+
+        const auto f_start = clock_type::now();
+        fixed = monte_carlo_statistics(engine, sg, fixed_mc, stats_opts);
+        const double fs = seconds_since(f_start);
+        if (round == 0 || fs < fixed_seconds) fixed_seconds = fs;
+    }
+
+    const std::size_t adaptive_samples = adaptive.stats.count();
+    const double ratio = static_cast<double>(fixed_samples) /
+                         static_cast<double>(std::max<std::size_t>(adaptive_samples, 1));
+    const double adaptive_rate = static_cast<double>(adaptive_samples) / adaptive_seconds;
+    const double fixed_rate = static_cast<double>(fixed_samples) / fixed_seconds;
+    const double fixed_ci = fixed.stats.mean_ci_half_width(z95);
+
+    std::cout << "provisioning : sigma bound " << sigma_bound << " (support "
+              << lambda_lo.str() << " .. " << lambda_hi.str() << "), pilot sd " << pilot_sd
+              << ", epsilon " << epsilon << "\n";
+    std::cout << "fixed batch  : " << fixed_samples << " samples (" << fixed_rate
+              << " samples/s), CI half-width " << fixed_ci << "\n";
+    std::cout << "adaptive     : " << adaptive_samples << " samples in " << adaptive.rounds
+              << " rounds (" << adaptive_rate << " samples/s), CI half-width "
+              << adaptive.achieved_half_width << ", converged "
+              << (adaptive.converged ? "yes" : "NO") << "\n";
+    std::cout << "sample ratio : " << ratio << "x fewer adaptive samples at epsilon\n";
+
+    // --- bitwise differential across engine configurations ------------------
+    std::size_t mismatches = 0;
+
+    // Fixed run over the adaptive sample count, different round partition.
+    stats_options replay_opts = stats_opts;
+    replay_opts.round_samples = 100;
+    monte_carlo_options replay_mc = mc;
+    replay_mc.samples = adaptive_samples;
+    const stats_run_result replay = monte_carlo_statistics(engine, sg, replay_mc, replay_opts);
+    mismatches += count_stat_mismatches(adaptive.stats, replay.stats);
+
+    // Serial engine (1 worker), and forced lane widths 1 / 16.
+    stats_options serial_opts = stats_opts;
+    serial_opts.max_threads = 1;
+    const stats_run_result serial = monte_carlo_statistics(engine, sg, replay_mc, serial_opts);
+    mismatches += count_stat_mismatches(adaptive.stats, serial.stats);
+
+    for (const unsigned width : {1u, 16u}) {
+        stats_options lane_opts = stats_opts;
+        lane_opts.lane_width = width;
+        const stats_run_result lanes =
+            monte_carlo_statistics(engine, sg, replay_mc, lane_opts);
+        mismatches += count_stat_mismatches(adaptive.stats, lanes.stats);
+    }
+
+    // Criticality tallies across configurations (witness extraction on).
+    stats_options crit_opts = stats_opts;
+    crit_opts.criticality = true;
+    monte_carlo_options crit_mc = mc;
+    crit_mc.samples = 256;
+    const auto crit_start = clock_type::now();
+    const stats_run_result crit = monte_carlo_statistics(engine, sg, crit_mc, crit_opts);
+    const double crit_seconds = seconds_since(crit_start);
+    for (const unsigned width : {1u, 8u}) {
+        stats_options other = crit_opts;
+        other.lane_width = width;
+        other.max_threads = 1;
+        other.round_samples = 96;
+        const stats_run_result r = monte_carlo_statistics(engine, sg, crit_mc, other);
+        mismatches += count_stat_mismatches(crit.stats, r.stats);
+    }
+    const double crit_rate = static_cast<double>(crit_mc.samples) / crit_seconds;
+
+    std::cout << "criticality  : " << crit_mc.samples << " samples (" << crit_rate
+              << " samples/s, witnesses on)\n";
+    std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " (" << mismatches
+              << " mismatches)\n";
+
+    reporter.record("events", static_cast<double>(sg.event_count()), "count");
+    reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
+    reporter.record("wide_arcs", static_cast<double>(wide_arcs), "count");
+    reporter.record("epsilon", epsilon, "abs");
+    reporter.record("sigma_bound", sigma_bound, "abs");
+    reporter.record("pilot_stddev", pilot_sd, "abs");
+    reporter.record("fixed_samples", static_cast<double>(fixed_samples), "count");
+    reporter.record("adaptive_samples", static_cast<double>(adaptive_samples), "count");
+    reporter.record("adaptive_rounds", static_cast<double>(adaptive.rounds), "count");
+    reporter.record("sample_ratio", ratio, "x");
+    reporter.record("adaptive_ci_half_width", adaptive.achieved_half_width, "abs");
+    reporter.record("fixed_ci_half_width", fixed_ci, "abs");
+    reporter.record("stats_samples_per_second", fixed_rate, "1/s");
+    reporter.record("adaptive_samples_per_second", adaptive_rate, "1/s");
+    reporter.record("criticality_samples_per_second", crit_rate, "1/s");
+    reporter.record("mismatches", static_cast<double>(mismatches), "count");
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: statistics configurations diverge\n";
+        return 1;
+    }
+    if (!adaptive.converged) {
+        std::cerr << "FAIL: adaptive run hit the cap before the CI target\n";
+        return 1;
+    }
+    if (ratio < 2.0) {
+        std::cerr << "FAIL: adaptive sampling saved fewer than 2x samples (" << ratio
+                  << "x)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Performance gate for the bench JSON artifacts (bench/bench_json.h).
+
+Compares one or more metrics of a freshly recorded bench run against a
+checked-in baseline and fails when a metric regresses beyond the
+tolerance.  Metrics are throughput-style (higher is better); the gate is
+deliberately loose because CI runner hardware varies — it exists to catch
+"the engine got structurally slower", not 5% noise.
+
+    ci/check_perf.py \
+        --baseline bench/baselines/bench_scenarios_pr4.json \
+        --current  BENCH_scenarios_pr5.json \
+        --metric   batch_scenarios_per_second \
+        --tolerance 0.30 \
+        --require-zero mismatches
+
+Exit status: 0 when every gated metric holds, 1 otherwise (with a
+per-metric report either way).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {metric name: value} from a bench_reporter document."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    try:
+        return {row["name"]: row["value"] for row in doc["results"]}
+    except (KeyError, TypeError) as err:
+        raise SystemExit(f"{path}: not a bench_reporter document ({err})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON (bench/baselines/...)")
+    parser.add_argument("--current", required=True,
+                        help="freshly recorded bench JSON to gate")
+    parser.add_argument("--metric", action="append", default=[],
+                        help="higher-is-better metric to gate (repeatable)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative regression, e.g. 0.30 fails only "
+                             "below 70%% of the baseline (default: 0.30)")
+    parser.add_argument("--require-zero", action="append", default=[],
+                        dest="require_zero", metavar="METRIC",
+                        help="metric of the current run that must be exactly 0 "
+                             "(e.g. mismatches; repeatable)")
+    args = parser.parse_args()
+    if not args.metric and not args.require_zero:
+        parser.error("nothing to gate: pass --metric and/or --require-zero")
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must lie in [0, 1)")
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    failed = False
+    for name in args.require_zero:
+        if name not in current:
+            print(f"FAIL {name}: missing from {args.current}")
+            failed = True
+        elif current[name] != 0:
+            print(f"FAIL {name}: expected 0, got {current[name]}")
+            failed = True
+        else:
+            print(f"ok   {name} == 0")
+
+    floor = 1.0 - args.tolerance
+    for name in args.metric:
+        if name not in baseline:
+            print(f"FAIL {name}: missing from baseline {args.baseline}")
+            failed = True
+            continue
+        if name not in current:
+            print(f"FAIL {name}: missing from {args.current}")
+            failed = True
+            continue
+        old, new = baseline[name], current[name]
+        if old <= 0:
+            print(f"FAIL {name}: non-positive baseline value {old}")
+            failed = True
+            continue
+        ratio = new / old
+        verdict = "ok  " if ratio >= floor else "FAIL"
+        print(f"{verdict} {name}: baseline {old:.6g}, current {new:.6g} "
+              f"({ratio:.2f}x, floor {floor:.2f}x)")
+        if ratio < floor:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,21 @@
 //                                 engine; JSON on stdout
 //   tsg_tool montecarlo [file] [--samples N] [--seed S] [--spread N/D]
 //                       [--solver auto|border|howard] [--lanes 0|1|2|4|8|16]
-//                                 Monte Carlo delay batch; JSON on stdout
+//                       [--adaptive] [--epsilon D] [--quantile Q]
+//                                 Monte Carlo delay batch; JSON on stdout.
+//                                 --adaptive (implied by --epsilon or
+//                                 --quantile) streams rounds through the
+//                                 statistics layer (core/stats.h) until the
+//                                 CI half-width of the lambda mean (or of
+//                                 --quantile Q) reaches --epsilon
+//                                 (default 0.05), with --samples as the cap
+//   tsg_tool criticality [file] [--samples N] [--seed S] [--spread N/D]
+//                        [--epsilon D]
+//                                 criticality probabilities per arc and per
+//                                 gate (Monte Carlo with witness cycles);
+//                                 --epsilon D samples adaptively to that
+//                                 CI target (--samples caps the run);
+//                                 JSON on stdout
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +38,7 @@
 #include "core/report.h"
 #include "core/scenario.h"
 #include "core/scenario_json.h"
+#include "core/stats.h"
 #include "gen/oscillator.h"
 #include "sg/sg_io.h"
 #include "util/strings.h"
@@ -103,6 +118,17 @@ std::string option_value(std::vector<std::string>& args, const std::string& flag
     return fallback;
 }
 
+/// Pulls a value-less `--flag` out of an argument list.
+bool option_flag(std::vector<std::string>& args, const std::string& flag)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != flag) continue;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
 cycle_time_solver parse_solver(const std::string& name)
 {
     if (name == "auto") return cycle_time_solver::auto_select;
@@ -133,6 +159,18 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
         static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
     const scenario_batch_options::delta_mode delta =
         parse_delta(option_value(args, "--delta", "auto"));
+    // The statistics flags only exist on the stats-capable subcommands, so
+    // e.g. `sweep --adaptive` fails the unrecognized-argument check below.
+    // An explicit --epsilon or --quantile implies the adaptive statistics
+    // path (matching explore_gate_criticality) — a CI-targeting flag must
+    // never be consumed and then silently ignored.
+    const bool statistics_capable = command == "montecarlo" || command == "criticality";
+    const double epsilon =
+        statistics_capable ? std::stod(option_value(args, "--epsilon", "-1")) : -1.0;
+    const double quantile =
+        statistics_capable ? std::stod(option_value(args, "--quantile", "-1")) : -1.0;
+    const bool adaptive = (statistics_capable && option_flag(args, "--adaptive")) ||
+                          epsilon > 0.0 || quantile >= 0.0;
 
     // Everything consumed except (at most) the model path — a misspelled or
     // value-less flag must not silently fall back to defaults.
@@ -147,6 +185,33 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     const signal_graph sg = load_model(args.empty() ? std::string() : args[0]);
     const compiled_graph compiled(sg);
     const scenario_engine engine(compiled);
+
+    // Statistics paths: criticality probabilities and adaptive Monte Carlo
+    // stream rounds through core/stats.h instead of materializing a batch.
+    if (command == "criticality" || adaptive) {
+        monte_carlo_options mc;
+        mc.seed = seed;
+        mc.spread = spread;
+        stats_options stats;
+        stats.solver = solver;
+        stats.lane_width = lanes;
+        stats.quantile = quantile;
+        if (command == "criticality") {
+            stats.criticality = true;
+            stats.group_by_signal = true;
+        }
+        stats_run_result run;
+        if (adaptive) {
+            stats.epsilon = epsilon > 0.0 ? epsilon : 0.05;
+            stats.max_samples = samples; // --samples caps the adaptive run
+            run = monte_carlo_adaptive(engine, sg, mc, stats);
+        } else {
+            mc.samples = samples;
+            run = monte_carlo_statistics(engine, sg, mc, stats);
+        }
+        std::cout << statistics_json(command, solver_name, sg, run, stats);
+        return 0;
+    }
 
     std::vector<scenario> scenarios;
     if (command == "sweep") {
@@ -183,7 +248,8 @@ int main(int argc, char** argv)
 {
     try {
         std::vector<std::string> args(argv + 1, argv + argc);
-        if (!args.empty() && (args[0] == "sweep" || args[0] == "montecarlo")) {
+        if (!args.empty() &&
+            (args[0] == "sweep" || args[0] == "montecarlo" || args[0] == "criticality")) {
             const std::string command = args[0];
             args.erase(args.begin());
             return run_batch_command(command, std::move(args));

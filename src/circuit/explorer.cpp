@@ -144,4 +144,32 @@ corner_exploration_result explore_delay_corners(const netlist& nl,
     return out;
 }
 
+gate_criticality_result explore_gate_criticality(const netlist& nl,
+                                                 const circuit_state& initial,
+                                                 const gate_criticality_options& options)
+{
+    gate_criticality_result out;
+    out.graph = extract_signal_graph(nl, initial).graph;
+
+    const compiled_graph base(out.graph);
+    const scenario_engine engine(base);
+
+    monte_carlo_options mc;
+    mc.samples = options.samples;
+    mc.seed = options.seed;
+    mc.spread = options.spread;
+    mc.max_threads = options.max_threads;
+
+    stats_options stats;
+    stats.criticality = true;
+    stats.group_by_signal = true;
+    stats.max_threads = options.max_threads;
+    stats.epsilon = options.epsilon;
+    stats.max_samples = options.max_samples;
+
+    out.run = options.epsilon > 0.0 ? monte_carlo_adaptive(engine, out.graph, mc, stats)
+                                    : monte_carlo_statistics(engine, out.graph, mc, stats);
+    return out;
+}
+
 } // namespace tsg

@@ -25,6 +25,7 @@
 
 #include "circuit/netlist.h"
 #include "core/scenario.h"
+#include "core/stats.h"
 #include "sg/signal_graph.h"
 
 namespace tsg {
@@ -89,6 +90,42 @@ struct corner_exploration_result {
 [[nodiscard]] corner_exploration_result explore_delay_corners(
     const netlist& nl, const circuit_state& initial,
     const corner_exploration_options& options = {});
+
+// --- probabilistic gate criticality ------------------------------------------
+
+struct gate_criticality_options {
+    /// Monte Carlo samples (fixed-size run), each drawing every extracted
+    /// arc from nominal * (1 -/+ spread) on the exact grid.
+    std::size_t samples = 256;
+    std::uint64_t seed = 1;
+    rational spread = rational(1, 10);
+
+    /// When > 0, sample adaptively instead: grow until the lambda-mean CI
+    /// half-width reaches epsilon or max_samples (core/stats.h).
+    double epsilon = 0.0;
+    std::size_t max_samples = std::size_t{1} << 14;
+
+    unsigned max_threads = 0;
+};
+
+struct gate_criticality_result {
+    /// The Timed Signal Graph extracted once and shared by every sample.
+    signal_graph graph;
+
+    /// The statistics run: run.nominal_cycle_time, the cycle-time
+    /// distribution, per-arc criticality probabilities, and — through
+    /// run.stats.group_names() / group_criticality_count() — the per-gate
+    /// criticality report (a gate is critical in a sample when any arc
+    /// into one of its transitions lies on the witness critical cycle).
+    stats_run_result run;
+};
+
+/// "Which gates probabilistically limit this circuit's throughput?" —
+/// extract once, Monte Carlo the gate delays, report per-gate criticality
+/// probabilities with confidence intervals.
+[[nodiscard]] gate_criticality_result explore_gate_criticality(
+    const netlist& nl, const circuit_state& initial,
+    const gate_criticality_options& options = {});
 
 } // namespace tsg
 

@@ -904,6 +904,11 @@ std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
     require(sg.finalized(), "monte_carlo_scenarios: graph must be finalized");
     require(options.samples > 0, "monte_carlo_scenarios: samples must be positive");
     require(options.resolution > 0, "monte_carlo_scenarios: resolution must be positive");
+    require(options.model.resolution > 0,
+            "monte_carlo_scenarios: delay_model resolution must be positive");
+    for (const delay_model::source& src : options.model.sources)
+        require(src.sensitivity.size() == sg.arc_count(),
+                "monte_carlo_scenarios: delay_model needs one sensitivity per arc");
 
     // Resolve the per-arc ranges once.
     std::vector<delay_range> ranges;
@@ -926,21 +931,50 @@ std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
     }
 
     // Full batch storage up front, then per-worker generation: each worker
-    // fills disjoint slots from the sample's own PRNG stream.
+    // fills disjoint slots from the sample's own PRNG stream.  Sample k of
+    // this call is global stream sample first_sample + k: the scenario is a
+    // pure function of (seed, global index), so round partitions and whole
+    // batches generate identical scenarios.
+    const std::size_t K = options.model.sources.size();
     std::vector<scenario> out(options.samples);
     const bool parallel_worthwhile =
         options.samples * sg.arc_count() >= (std::size_t{1} << 15);
     parallel_for_index(
         options.samples, parallel_worthwhile ? options.max_threads : 1, [&](std::size_t k) {
-            prng rng(sample_stream_seed(options.seed, k));
+            const std::size_t gk = options.first_sample + k;
+            prng rng(sample_stream_seed(options.seed, gk));
             scenario& s = out[k];
-            s.label = "mc#" + std::to_string(k) + " seed=" + std::to_string(options.seed);
+            s.label = "mc#" + std::to_string(gk) + " seed=" + std::to_string(options.seed);
+
+            // Global variation variables draw from their own stream (a
+            // distinct seed-space key), so adding sources never shifts the
+            // per-arc draws: zero sensitivities reproduce the independent
+            // batch bit for bit.
+            std::vector<rational> global;
+            if (K > 0) {
+                prng grng(sample_stream_seed(options.seed ^ 0xc2b2ae3d27d4eb4fULL, gk));
+                global.reserve(K);
+                for (std::size_t j = 0; j < K; ++j)
+                    global.push_back(rational(
+                        grng.uniform(-options.model.resolution, options.model.resolution),
+                        options.model.resolution));
+            }
+
             s.delay.reserve(sg.arc_count());
             for (arc_id a = 0; a < sg.arc_count(); ++a) {
                 const delay_range& r = ranges[a];
                 const rational step =
                     rational(rng.uniform(0, options.resolution), options.resolution);
-                s.delay.push_back(r.lo + (r.hi - r.lo) * step);
+                rational d = r.lo + (r.hi - r.lo) * step;
+                if (K > 0) {
+                    const rational& nominal = sg.arc(a).delay;
+                    for (std::size_t j = 0; j < K; ++j) {
+                        const rational& sens = options.model.sources[j].sensitivity[a];
+                        if (!sens.is_zero()) d += nominal * sens * global[j];
+                    }
+                    d = max(rational(0), d);
+                }
+                s.delay.push_back(d);
             }
         });
     return out;

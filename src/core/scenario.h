@@ -272,6 +272,30 @@ struct delay_range {
     rational hi;
 };
 
+/// Correlated (process-corner style) delay variation: K shared global
+/// variables g_1..g_K, each uniform on the exact grid {-R, ..., R} / R in
+/// [-1, 1], shift every arc together on top of the independent per-arc
+/// sampling:
+///
+///     delay[a] = max(0, independent_sample[a]
+///                       + nominal[a] * sum_j sensitivity_j[a] * g_j)
+///
+/// Everything stays on an exact rational grid, so correlated batches keep
+/// the fixed-point/rational dual-domain guarantee of the engine.  The g_j
+/// draw from their own (seed, sample)-keyed PRNG streams — independent of
+/// the per-arc streams — so a model with zero sensitivities (or no
+/// sources) reproduces the independent batch bit for bit.
+struct delay_model {
+    struct source {
+        std::string name;                  ///< display only ("Vdd", "T", ...)
+        std::vector<rational> sensitivity; ///< one per arc, relative to nominal
+    };
+    std::vector<source> sources;
+
+    /// Grid resolution R of the global variables.
+    std::int64_t resolution = 16;
+};
+
 struct monte_carlo_options {
     std::size_t samples = 100;
     std::uint64_t seed = 1; ///< explicit: the same seed replays the batch
@@ -286,18 +310,29 @@ struct monte_carlo_options {
     /// batches stay in the fixed-point domain.
     std::int64_t resolution = 16;
 
+    /// Correlated variation shared across arcs (empty sources = fully
+    /// independent sampling, the historical behaviour).
+    delay_model model;
+
+    /// Global index of the first generated sample: the batch covers stream
+    /// indices [first_sample, first_sample + samples).  Streaming consumers
+    /// (core/stats.h) generate rounds at increasing offsets; concatenating
+    /// any round partition is bit-identical to one big batch.
+    std::size_t first_sample = 0;
+
     /// Thread budget for sample generation (0 = hardware concurrency).
     /// Generation is deterministic regardless: sample k's delays depend
     /// only on (seed, k), never on the worker layout.
     unsigned max_threads = 0;
 };
 
-/// `samples` scenarios drawn independently per arc from the given ranges.
+/// `samples` scenarios drawn independently per arc from the given ranges,
+/// optionally shifted by the correlated delay_model.
 ///
 /// Sampling is lane-stable: each sample k derives its own PRNG stream from
-/// (seed, k), so serial, multi-threaded and lane-batched consumers all
-/// replay the identical batch from the same seed, and storage for the full
-/// batch is reserved up front.
+/// (seed, first_sample + k), so serial, multi-threaded and lane-batched
+/// consumers all replay the identical batch from the same seed, and
+/// storage for the full batch is reserved up front.
 [[nodiscard]] std::vector<scenario> monte_carlo_scenarios(
     const signal_graph& sg, const monte_carlo_options& options = {});
 

@@ -1,5 +1,7 @@
 #include "core/scenario_json.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/strings.h"
@@ -27,6 +29,28 @@ void append_number_array(std::ostringstream& os, const std::vector<T>& values)
     os << "]";
 }
 
+/// Finite doubles render as numbers; infinities (an unconverged CI on a
+/// one-sample run) as null — JSON has no inf literal.
+std::string json_double(double value, int decimals = 6)
+{
+    if (!std::isfinite(value)) return "null";
+    return format_double(value, decimals);
+}
+
+void append_model_header(std::ostringstream& os, const std::string& command,
+                         const std::string& solver, const signal_graph& sg,
+                         const rational& nominal)
+{
+    os << "  \"command\": " << json_quote(command) << ",\n";
+    os << "  \"solver\": " << json_quote(solver) << ",\n";
+    os << "  \"model\": {\"events\": " << sg.event_count()
+       << ", \"arcs\": " << sg.arc_count()
+       << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
+       << "},\n";
+    os << "  \"nominal_cycle_time\": {\"exact\": " << json_quote(nominal.str())
+       << ", \"value\": " << format_double(nominal.to_double(), 6) << "},\n";
+}
+
 } // namespace
 
 std::string scenario_batch_json(const std::string& command, const std::string& solver,
@@ -36,14 +60,7 @@ std::string scenario_batch_json(const std::string& command, const std::string& s
 {
     std::ostringstream os;
     os << "{\n";
-    os << "  \"command\": " << json_quote(command) << ",\n";
-    os << "  \"solver\": " << json_quote(solver) << ",\n";
-    os << "  \"model\": {\"events\": " << sg.event_count()
-       << ", \"arcs\": " << sg.arc_count()
-       << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
-       << "},\n";
-    os << "  \"nominal_cycle_time\": {\"exact\": " << json_quote(nominal.str())
-       << ", \"value\": " << format_double(nominal.to_double(), 6) << "},\n";
+    append_model_header(os, command, solver, sg, nominal);
     os << "  \"aggregate\": {\n";
     os << "    \"scenarios\": " << batch.outcomes.size() << ",\n";
     os << "    \"min\": {\"exact\": " << json_quote(batch.min_cycle_time.str())
@@ -87,6 +104,103 @@ std::string scenario_batch_json(const std::string& command, const std::string& s
         os << "}" << (i + 1 < batch.outcomes.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string statistics_json(const std::string& command, const std::string& solver,
+                            const signal_graph& sg, const stats_run_result& run,
+                            const stats_options& options)
+{
+    const stats_accumulator& st = run.stats;
+    const double z = options.confidence_z;
+
+    std::ostringstream os;
+    os << "{\n";
+    append_model_header(os, command, solver, sg, run.nominal_cycle_time);
+    os << "  \"statistics\": {\n";
+    os << "    \"samples\": " << st.count() << ",\n";
+    os << "    \"rounds\": " << run.rounds << ",\n";
+    os << "    \"adaptive\": " << (run.adaptive ? "true" : "false") << ",\n";
+    os << "    \"converged\": " << (run.converged ? "true" : "false") << ",\n";
+    std::string target = "mean";
+    if (options.quantile >= 0.0) {
+        target = "q";
+        target += format_double(options.quantile, 4);
+    }
+    os << "    \"target\": " << json_quote(target) << ",\n";
+    os << "    \"epsilon\": " << json_double(run.target_half_width) << ",\n";
+    os << "    \"ci_half_width\": " << json_double(run.achieved_half_width) << ",\n";
+    os << "    \"confidence_z\": " << json_double(z) << ",\n";
+    os << "    \"mean\": " << json_double(st.mean()) << ",\n";
+    os << "    \"stddev\": " << json_double(st.stddev()) << ",\n";
+    os << "    \"variance\": " << json_double(st.variance()) << ",\n";
+    os << "    \"mean_ci_half_width\": " << json_double(st.mean_ci_half_width(z)) << ",\n";
+    os << "    \"min\": {\"exact\": " << json_quote(st.min_cycle_time().str())
+       << ", \"value\": " << format_double(st.min_cycle_time().to_double(), 6)
+       << ", \"sample\": " << st.min_index() << "},\n";
+    os << "    \"max\": {\"exact\": " << json_quote(st.max_cycle_time().str())
+       << ", \"value\": " << format_double(st.max_cycle_time().to_double(), 6)
+       << ", \"sample\": " << st.max_index() << "},\n";
+    os << "    \"quantiles\": {\"p50\": " << json_double(st.quantile(0.50))
+       << ", \"p95\": " << json_double(st.quantile(0.95))
+       << ", \"p99\": " << json_double(st.quantile(0.99)) << "},\n";
+    os << "    \"histogram\": {\"lo\": " << json_quote(st.histogram_lo().str())
+       << ", \"hi\": " << json_quote(st.histogram_hi().str())
+       << ", \"bins\": " << st.histogram().size() << ", \"underflow\": " << st.underflow()
+       << ", \"overflow\": " << st.overflow() << ", \"counts\": ";
+    append_number_array(os, st.histogram());
+    os << "},\n";
+    os << "    \"rational_fallbacks\": " << st.fallback_count() << ",\n";
+    os << "    \"engine\": {\"lane_groups\": " << run.lane_groups
+       << ", \"lane_scenarios\": " << run.lane_scenarios
+       << ", \"lane_evictions\": " << run.lane_evictions
+       << ", \"scalar_scenarios\": " << run.scalar_scenarios << "}";
+
+    // Criticality: every arc that was ever critical, most probable first
+    // (ties: ascending arc id) — the probabilistic analogue of the batch
+    // criticality_count.
+    const std::vector<std::uint64_t>& crit = st.criticality_count();
+    std::vector<arc_id> critical;
+    for (arc_id a = 0; a < crit.size(); ++a)
+        if (crit[a] > 0) critical.push_back(a);
+    std::stable_sort(critical.begin(), critical.end(), [&](arc_id a, arc_id b) {
+        return crit[a] > crit[b];
+    });
+    if (!critical.empty()) {
+        os << ",\n    \"criticality\": [";
+        for (std::size_t k = 0; k < critical.size(); ++k) {
+            const arc_id a = critical[k];
+            os << (k ? ", " : "") << "{\"arc\": " << a << ", \"count\": " << crit[a]
+               << ", \"probability\": " << json_double(st.criticality_probability(a))
+               << ", \"ci_half_width\": " << json_double(st.criticality_ci_half_width(a, z))
+               << "}";
+        }
+        os << "]";
+    }
+
+    // Per-gate (per-signal) criticality, when the run grouped arcs.
+    const std::vector<std::string>& gates = st.group_names();
+    if (!gates.empty()) {
+        const std::vector<std::uint64_t>& counts = st.group_criticality_count();
+        std::vector<std::size_t> order(gates.size());
+        for (std::size_t g = 0; g < gates.size(); ++g) order[g] = g;
+        std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            if (counts[a] != counts[b]) return counts[a] > counts[b];
+            return gates[a] < gates[b];
+        });
+        os << ",\n    \"gates\": [";
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            const std::size_t g = order[k];
+            os << (k ? ", " : "") << "{\"gate\": " << json_quote(gates[g])
+               << ", \"count\": " << counts[g]
+               << ", \"probability\": " << json_double(st.group_criticality_probability(g))
+               << ", \"ci_half_width\": "
+               << json_double(st.group_criticality_ci_half_width(g, z)) << "}";
+        }
+        os << "]";
+    }
+
+    os << "\n  }\n}\n";
     return os.str();
 }
 

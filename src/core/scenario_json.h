@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "core/stats.h"
 #include "sg/signal_graph.h"
 
 namespace tsg {
@@ -24,6 +25,18 @@ namespace tsg {
                                               const signal_graph& sg, const rational& nominal,
                                               const std::vector<scenario>& scenarios,
                                               const scenario_batch_result& batch);
+
+/// Renders a statistics run (core/stats.h) as a JSON document with a
+/// `statistics` block: sample counts and convergence, mean/variance with
+/// the confidence interval, exact min/max, quantile estimates
+/// (p50/p95/p99), the histogram, and — when the run tracked them — per-arc
+/// and per-gate criticality probabilities with normal-approximation CIs.
+/// The machine-readable surface of `tsg_tool montecarlo --adaptive` and
+/// `tsg_tool criticality`.
+[[nodiscard]] std::string statistics_json(const std::string& command,
+                                          const std::string& solver, const signal_graph& sg,
+                                          const stats_run_result& run,
+                                          const stats_options& options);
 
 } // namespace tsg
 

@@ -27,6 +27,41 @@ TEST(Explorer, MullerRingIsSemimodular)
     EXPECT_TRUE(r.complete);
 }
 
+TEST(Explorer, GateCriticalityReportsProbabilitiesPerGate)
+{
+    // Extract-once Monte Carlo criticality on the demo oscillator: every
+    // sampled delay assignment has a witness critical cycle, so some gate
+    // must be critical with probability 1 relative to the samples, and all
+    // probabilities are well-formed with finite CIs.
+    const parsed_circuit c = c_oscillator_circuit();
+    gate_criticality_options opts;
+    opts.samples = 64;
+    opts.seed = 3;
+    const gate_criticality_result r = explore_gate_criticality(c.nl, c.initial, opts);
+
+    EXPECT_FALSE(r.run.nominal_cycle_time.is_zero());
+    EXPECT_EQ(r.run.stats.count(), 64u);
+
+    const stats_accumulator& st = r.run.stats;
+    ASSERT_FALSE(st.group_names().empty());
+    ASSERT_EQ(st.group_names().size(), st.group_criticality_count().size());
+    std::uint64_t best = 0;
+    for (std::size_t g = 0; g < st.group_names().size(); ++g) {
+        const std::uint64_t count = st.group_criticality_count()[g];
+        EXPECT_LE(count, st.count());
+        best = std::max(best, count);
+    }
+    EXPECT_EQ(best, st.count()); // the dominant cycle's gates are always critical
+
+    // The adaptive variant converges on the same model with a loose target.
+    gate_criticality_options adaptive = opts;
+    adaptive.epsilon = 1.0;
+    const gate_criticality_result a = explore_gate_criticality(c.nl, c.initial, adaptive);
+    EXPECT_TRUE(a.run.adaptive);
+    EXPECT_TRUE(a.run.converged);
+    EXPECT_LE(a.run.achieved_half_width, 1.0);
+}
+
 TEST(Explorer, DetectsHazard)
 {
     // Classic hazard: y = AND(e, x) with x = INV(e).  When e falls while

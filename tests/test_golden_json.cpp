@@ -24,6 +24,7 @@
 #include "core/compiled_graph.h"
 #include "core/scenario.h"
 #include "core/scenario_json.h"
+#include "core/stats.h"
 #include "gen/oscillator.h"
 #include "util/error.h"
 
@@ -230,6 +231,55 @@ TEST(GoldenJson, MonteCarloHowardSolver)
     compare_against_golden("montecarlo_howard.json",
                            demo_batch_json("montecarlo", "howard", cycle_time_solver::howard,
                                            monte_carlo_scenarios(sg, mc)));
+}
+
+TEST(GoldenJson, MonteCarloAdaptiveStatistics)
+{
+    // The statistics document of `tsg_tool montecarlo --adaptive`: adaptive
+    // sampling on the demo model, pinned to the border solver (witness
+    // choices are solver-specific, and goldens must not move under
+    // TSG_SOLVER).
+    const signal_graph sg = c_oscillator_sg();
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    monte_carlo_options mc;
+    mc.seed = 1;
+    mc.spread = rational(1, 10);
+
+    stats_options opts;
+    opts.solver = cycle_time_solver::border_sweep;
+    opts.round_samples = 32;
+    opts.epsilon = 0.05;
+    opts.min_samples = 32;
+    opts.max_samples = 128;
+    opts.max_threads = 1;
+    const stats_run_result run = monte_carlo_adaptive(engine, sg, mc, opts);
+    compare_against_golden("montecarlo_adaptive.json",
+                           statistics_json("montecarlo", "border", sg, run, opts));
+}
+
+TEST(GoldenJson, CriticalityStatistics)
+{
+    // The `tsg_tool criticality` surface: per-arc and per-gate criticality
+    // probabilities with confidence intervals.
+    const signal_graph sg = c_oscillator_sg();
+    const compiled_graph compiled(sg);
+    const scenario_engine engine(compiled);
+
+    monte_carlo_options mc;
+    mc.samples = 64;
+    mc.seed = 1;
+    mc.spread = rational(1, 10);
+
+    stats_options opts;
+    opts.solver = cycle_time_solver::border_sweep;
+    opts.criticality = true;
+    opts.group_by_signal = true;
+    opts.max_threads = 1;
+    const stats_run_result run = monte_carlo_statistics(engine, sg, mc, opts);
+    compare_against_golden("criticality_border.json",
+                           statistics_json("criticality", "border", sg, run, opts));
 }
 
 TEST(GoldenJson, NormalizerToleratesFormattingButNotValues)
