@@ -1,0 +1,242 @@
+// Incremental edit→re-analyze throughput vs full recompilation.
+//
+// The workload is the speculative edit/evaluate loop the incremental
+// kernel (core/incremental.h) exists for: one n-event random marked graph
+// and a long sequence of small edit batches (≤ 8 edits each — mostly
+// delay retunes, with structural add/remove batches mixed in), where each
+// batch is followed by a fresh cycle-time analysis.  Modes measured per
+// batch, over the same evolving graph:
+//
+//   incremental — engine.apply(batch) + analyze_warm(): in-place CSR
+//                 patching, Pearce–Kelly liveness repair, localized SCC
+//                 re-derivation, per-arc fixed-point patches, Howard warm
+//                 states kept across delay-only batches;
+//   cold        — engine.analyze() after the same apply: the cold solve
+//                 that is bit-identical to a from-scratch compile;
+//   recompile   — rebuild the signal graph from the current live arcs,
+//                 finalize(), compile, analyze: the pre-engine path every
+//                 structural edit used to pay.
+//
+// Every batch's incremental lambda is compared bit for bit against the
+// full-recompile lambda (lambda is exact, so warm vs cold makes no
+// difference); any mismatch fails the bench.  The engine's locality
+// counters land in the JSON artifact so "edits stay local" is itself a
+// regression-gated property.
+//
+//   bench_incremental [--events N] [--batches B] [--rounds R] [--seed S]
+//                     [--json out.json]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/cycle_time.h"
+#include "core/graph_edit.h"
+#include "core/incremental.h"
+#include "gen/random_sg.h"
+#include "sg/signal_graph.h"
+
+namespace {
+
+using namespace tsg;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start)
+{
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// The pre-engine path: rebuild the graph from its live arcs, re-finalize,
+/// recompile, analyze.  Faithful to what every structural edit cost before
+/// the incremental kernel existed.
+rational full_recompile(const signal_graph& sg)
+{
+    signal_graph rebuilt;
+    for (event_id e = 0; e < sg.event_count(); ++e) {
+        const event_info& info = sg.event(e);
+        rebuilt.add_event(info.name, info.signal, info.pol);
+    }
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
+        const arc_info& arc = sg.arc(a);
+        rebuilt.add_arc(arc.from, arc.to, arc.delay, arc.marked, arc.disengageable);
+    }
+    rebuilt.finalize();
+    const compiled_graph cg(rebuilt);
+    return analyze_cycle_time(cg).cycle_time;
+}
+
+/// One benchmark batch plus the bookkeeping needed to generate the next.
+struct edit_sequence {
+    std::vector<edit_batch> batches;
+    std::size_t edit_total = 0;
+    std::size_t structural_batches = 0;
+};
+
+/// Deterministic ≤8-edit batches: 3 in 4 are delay-only retunes (the warm
+/// Howard regime), the rest add a marked arc between repetitive events
+/// (always live — every new cycle carries its token) and, once enough
+/// bench arcs exist, remove one added earlier.
+edit_sequence make_edits(const signal_graph& sg, std::size_t count, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    const std::vector<event_id>& core = sg.repetitive_events();
+    const auto original_arcs = static_cast<std::uint32_t>(sg.arc_count());
+    std::vector<arc_id> added;     // bench-added arcs still present
+    std::uint32_t next_arc_id = original_arcs;
+
+    const auto random_delay = [&]() {
+        const std::int64_t den = 1 << (rng() % 3); // 1, 2 or 4
+        return rational(1 + static_cast<std::int64_t>(rng() % 16), den);
+    };
+
+    edit_sequence seq;
+    seq.batches.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        edit_batch batch;
+        const bool structural = (rng() % 4) == 0;
+        if (structural) {
+            const std::size_t fi = rng() % core.size();
+            std::size_t ti = rng() % (core.size() - 1);
+            if (ti >= fi) ++ti; // distinct endpoints, uniform over the rest
+            batch.push_back(
+                graph_edit::add(core[fi], core[ti], random_delay(), /*marked=*/true));
+            added.push_back(next_arc_id++);
+            if (added.size() > 8) {
+                const std::size_t victim = rng() % (added.size() - 1);
+                batch.push_back(graph_edit::remove(added[victim]));
+                added.erase(added.begin() + static_cast<std::ptrdiff_t>(victim));
+            }
+            ++seq.structural_batches;
+        }
+        const std::size_t retunes = 1 + rng() % (8 - batch.size());
+        for (std::size_t k = 0; k < retunes; ++k)
+            batch.push_back(
+                graph_edit::set_delay_of(rng() % original_arcs, random_delay()));
+        seq.edit_total += batch.size();
+        seq.batches.push_back(std::move(batch));
+    }
+    return seq;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    tsg_bench::bench_reporter reporter(argc, argv);
+
+    std::uint32_t events = 1024;
+    std::size_t batches = 96;
+    int rounds = 2;
+    std::uint32_t seed = 42;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--events" && i + 1 < argc)
+            events = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--batches" && i + 1 < argc)
+            batches = std::stoull(argv[++i]);
+        else if (arg == "--rounds" && i + 1 < argc)
+            rounds = std::stoi(argv[++i]);
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    }
+
+    random_sg_options gopts;
+    gopts.events = events;
+    gopts.extra_arcs = events; // m = 2n
+    gopts.seed = seed;
+    gopts.border_limit = 4;
+    const signal_graph sg = random_marked_graph(gopts);
+    const edit_sequence seq = make_edits(sg, batches, seed + 1);
+
+    std::cout << "model: n=" << sg.event_count() << " m=" << sg.arc_count()
+              << " b=" << sg.border_events().size() << ", batches=" << seq.batches.size()
+              << " (" << seq.edit_total << " edits, " << seq.structural_batches
+              << " structural)\n";
+
+    incremental_engine eng(sg);
+    (void)eng.analyze(); // prime the warm state like a serving loop would
+
+    double inc_seconds = 0;  // apply + warm re-analysis (the production loop)
+    double cold_seconds = 0; // the cold, witness-grade solve on the patched core
+    double full_seconds = 0; // rebuild + finalize + compile + analyze
+    std::size_t mismatches = 0;
+    for (int round = 0; round < std::max(1, rounds); ++round) {
+        double inc = 0;
+        double cold = 0;
+        double full = 0;
+        for (const edit_batch& batch : seq.batches) {
+            const auto inc_start = clock_type::now();
+            eng.apply(batch);
+            const rational warm_lambda = eng.analyze_warm().cycle_time;
+            inc += seconds_since(inc_start);
+
+            const auto cold_start = clock_type::now();
+            const rational cold_lambda = eng.analyze().cycle_time;
+            cold += seconds_since(cold_start);
+
+            const auto full_start = clock_type::now();
+            const rational full_lambda = full_recompile(eng.graph());
+            full += seconds_since(full_start);
+
+            if (warm_lambda != full_lambda || cold_lambda != full_lambda) ++mismatches;
+        }
+        if (round == 0 || inc < inc_seconds) inc_seconds = inc;
+        if (round == 0 || cold < cold_seconds) cold_seconds = cold;
+        if (round == 0 || full < full_seconds) full_seconds = full;
+        // Rewind for the next round: undo restores structure and arc ids
+        // exactly, so every round replays the identical edit sequence.
+        while (eng.undo_depth() > 0) eng.undo();
+    }
+
+    const auto count = static_cast<double>(seq.batches.size());
+    const double inc_rate = count / inc_seconds;
+    const double cold_rate = count / (inc_seconds + cold_seconds);
+    const double full_rate = count / full_seconds;
+    const double speedup = inc_rate / full_rate;
+    const incremental_counters& c = eng.counters();
+    const double window_per_batch =
+        static_cast<double>(c.topo_window + c.scc_window) /
+        static_cast<double>(c.batches_applied ? c.batches_applied : 1);
+
+    std::cout << "incremental  : " << inc_seconds << " s  (" << inc_rate
+              << " batches/s, warm re-analysis)\n";
+    std::cout << "  + cold     : " << inc_seconds + cold_seconds << " s  (" << cold_rate
+              << " batches/s, witness-grade solve)\n";
+    std::cout << "full recompile: " << full_seconds << " s  (" << full_rate
+              << " batches/s)\n";
+    std::cout << "speedup      : " << speedup << "x vs full recompile\n";
+    std::cout << "locality     : " << c.arcs_repaired << " arcs repaired, topo window "
+              << c.topo_window << ", scc window " << c.scc_window << " ("
+              << c.scc_runs_skipped << " scc runs skipped), "
+              << c.fixed_point_patches << " fp patches / " << c.fixed_point_recomputes
+              << " recomputes, warm " << c.warm_states_kept << " kept / "
+              << c.warm_states_dropped << " dropped\n";
+    std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
+              << mismatches << " mismatches)\n";
+
+    reporter.record("events", static_cast<double>(sg.event_count()), "count");
+    reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
+    reporter.record("batches", count, "count");
+    reporter.record("edits", static_cast<double>(seq.edit_total), "count");
+    reporter.record("structural_batches", static_cast<double>(seq.structural_batches),
+                    "count");
+    reporter.record("incremental_batches_per_second", inc_rate, "1/s");
+    reporter.record("incremental_cold_batches_per_second", cold_rate, "1/s");
+    reporter.record("recompile_batches_per_second", full_rate, "1/s");
+    reporter.record("speedup_vs_recompile", speedup, "x");
+    reporter.record("topo_scc_window_per_batch", window_per_batch, "count");
+    reporter.record("fixed_point_patches", static_cast<double>(c.fixed_point_patches),
+                    "count");
+    reporter.record("warm_states_kept", static_cast<double>(c.warm_states_kept), "count");
+    reporter.record("mismatches", static_cast<double>(mismatches), "count");
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: incremental analyses diverge from full recompilation\n";
+        return 1;
+    }
+    return 0;
+}

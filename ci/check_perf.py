@@ -12,7 +12,13 @@ deliberately loose because CI runner hardware varies — it exists to catch
         --current  BENCH_scenarios_pr5.json \
         --metric   batch_scenarios_per_second \
         --tolerance 0.30 \
-        --require-zero mismatches
+        --require-zero mismatches \
+        --min speedup_vs_recompile=10
+
+`--min METRIC=VALUE` gates a metric of the current run against an
+absolute floor rather than the baseline — used for contractual ratios
+(e.g. the incremental kernel's >=10x speedup over full recompilation)
+that must hold on any hardware, not merely track a recorded number.
 
 Exit status: 0 when every gated metric holds, 1 otherwise (with a
 per-metric report either way).
@@ -48,9 +54,22 @@ def main():
                         dest="require_zero", metavar="METRIC",
                         help="metric of the current run that must be exactly 0 "
                              "(e.g. mismatches; repeatable)")
+    parser.add_argument("--min", action="append", default=[],
+                        dest="minimums", metavar="METRIC=VALUE",
+                        help="absolute floor on a metric of the current run, "
+                             "independent of the baseline (repeatable)")
     args = parser.parse_args()
-    if not args.metric and not args.require_zero:
-        parser.error("nothing to gate: pass --metric and/or --require-zero")
+    if not args.metric and not args.require_zero and not args.minimums:
+        parser.error("nothing to gate: pass --metric, --require-zero and/or --min")
+    minimums = []
+    for spec in args.minimums:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            parser.error(f"--min needs METRIC=VALUE, got '{spec}'")
+        try:
+            minimums.append((name, float(value)))
+        except ValueError:
+            parser.error(f"--min {name}: '{value}' is not a number")
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must lie in [0, 1)")
 
@@ -67,6 +86,16 @@ def main():
             failed = True
         else:
             print(f"ok   {name} == 0")
+
+    for name, minimum in minimums:
+        if name not in current:
+            print(f"FAIL {name}: missing from {args.current}")
+            failed = True
+        elif current[name] < minimum:
+            print(f"FAIL {name}: {current[name]:.6g} below absolute floor {minimum:.6g}")
+            failed = True
+        else:
+            print(f"ok   {name}: {current[name]:.6g} >= {minimum:.6g}")
 
     floor = 1.0 - args.tolerance
     for name in args.metric:

@@ -28,13 +28,25 @@
 //                                 --epsilon D samples adaptively to that
 //                                 CI target (--samples caps the run);
 //                                 JSON on stdout
+//   tsg_tool edit [file] --script edits.json
+//                                 apply a JSON edit script through the
+//                                 incremental engine (core/incremental.h)
+//                                 and re-analyze after each atomic batch;
+//                                 JSON on stdout, including the engine's
+//                                 locality counters (see core/edit_json.h
+//                                 for the script format)
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "circuit/extraction.h"
 #include "circuit/netlist_io.h"
 #include "core/cycle_time.h"
+#include "core/edit_json.h"
+#include "core/incremental.h"
+#include "core/pert.h"
 #include "core/report.h"
 #include "core/scenario.h"
 #include "core/scenario_json.h"
@@ -242,12 +254,50 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     return 0;
 }
 
+int run_edit_command(std::vector<std::string> args)
+{
+    const std::string script_path = option_value(args, "--script", "");
+    if (script_path.empty()) {
+        std::cerr << "error: edit needs --script <edits.json>\n";
+        return 1;
+    }
+    if (args.size() > 1 || (args.size() == 1 && args[0].rfind("--", 0) == 0)) {
+        std::cerr << "error: unrecognized edit arguments:";
+        for (const std::string& a : args) std::cerr << " " << a;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    std::ifstream in(script_path);
+    if (!in.good()) {
+        std::cerr << "error: cannot read edit script '" << script_path << "'\n";
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    const signal_graph sg = load_model(args.empty() ? std::string() : args[0]);
+    const edit_script script = parse_edit_script(buffer.str(), sg);
+
+    incremental_engine engine(sg);
+    const bool nominal_cyclic = !sg.repetitive_events().empty();
+    const rational nominal = nominal_cyclic ? engine.analyze().cycle_time
+                                            : analyze_pert(engine.compiled()).makespan;
+    const std::vector<edit_batch_status> statuses = run_edit_script(engine, script);
+    std::cout << edit_run_json(engine, script, nominal, nominal_cyclic, statuses);
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     try {
         std::vector<std::string> args(argv + 1, argv + argc);
+        if (!args.empty() && args[0] == "edit") {
+            args.erase(args.begin());
+            return run_edit_command(std::move(args));
+        }
         if (!args.empty() &&
             (args[0] == "sweep" || args[0] == "montecarlo" || args[0] == "criticality")) {
             const std::string command = args[0];

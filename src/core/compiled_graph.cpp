@@ -203,6 +203,7 @@ void compiled_graph::compile_core(structural_state& state) const
 
     std::size_t core_arcs = 0;
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         if (core.event_node[arc.from] != invalid_node &&
             core.event_node[arc.to] != invalid_node)
@@ -215,6 +216,7 @@ void compiled_graph::compile_core(structural_state& state) const
     std::vector<bool> token_free;
     token_free.reserve(core_arcs);
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         const node_id u = core.event_node[arc.from];
         const node_id v = core.event_node[arc.to];

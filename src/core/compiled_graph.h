@@ -164,6 +164,16 @@ public:
 
     [[nodiscard]] bool has_core() const noexcept { return shared_->core.has_value(); }
 
+    /// Monotone counter bumped by every structural patch the incremental
+    /// edit layer applies to this snapshot's shared state.  Plain compiles
+    /// and rebinds sit at version 0 forever.  Consumers that cache derived
+    /// structure keyed on object identity (the lane sweep packs) must key on
+    /// (pointer, version): in-place patching reuses the allocation.
+    [[nodiscard]] std::uint64_t structure_version() const noexcept
+    {
+        return shared_->version;
+    }
+
     /// The compiled repetitive core; throws tsg::error on acyclic graphs.
     [[nodiscard]] core_view core() const
     {
@@ -196,12 +206,22 @@ private:
 
     /// Everything that depends only on the graph's *structure*.  Immutable
     /// once compiled and shared (shared_ptr) by every rebind, so a rebind
-    /// costs O(arcs) delay work and zero structure copies.
+    /// costs O(arcs) delay work and zero structure copies.  The incremental
+    /// edit layer is the one writer: it patches the state in place when it
+    /// holds the only reference (bumping `version`) and clones it first
+    /// when rebinds still share it (copy-on-write).
     struct structural_state {
         csr_graph structure;
         std::optional<std::vector<node_id>> acyclic_order;
         std::optional<core_structure> core;
+        std::uint64_t version = 0;
     };
+
+    /// The incremental edit layer patches the shared structural state and
+    /// the delay-derived members in place (core/incremental.h); it restores
+    /// every invariant a fresh compile would establish before handing the
+    /// snapshot to any analysis.
+    friend class incremental_engine;
 
     /// Uninitialized shell for rebind(): shares the structural state,
     /// recomputes the delay-derived members.

@@ -298,10 +298,14 @@ cycle_time_result analyze_with_domain(const compiled_graph& cg, const Domain& do
 /// lane_workspace): the token-free relaxation sequence flattened in sweep
 /// order — per topo position, that node's token-free out run — plus the
 /// token arcs' endpoints.  Rebuilt only when the workspace meets a new
-/// compiled core.
-void pack_sweep_structure(const core_view& core, lane_workspace& ws)
+/// compiled core — keyed on (identity, structure version), because the
+/// incremental edit layer patches cores in place: after a structural batch
+/// the object address is unchanged and only the version tells the packs
+/// apart.
+void pack_sweep_structure(const core_view& core, std::uint64_t version, lane_workspace& ws)
 {
-    if (ws.pack_of == static_cast<const void*>(&core.topo)) return;
+    if (ws.pack_of == static_cast<const void*>(&core.topo) && ws.pack_version == version)
+        return;
     ws.topo_pos.assign(core.graph.node_count(), 0);
     for (std::size_t p = 0; p < core.topo.size(); ++p)
         ws.topo_pos[core.topo[p]] = static_cast<std::uint32_t>(p);
@@ -328,6 +332,7 @@ void pack_sweep_structure(const core_view& core, lane_workspace& ws)
         ws.tok_arc.push_back(a);
     }
     ws.pack_of = static_cast<const void*>(&core.topo);
+    ws.pack_version = version;
 }
 
 /// Copies one lane group's SoA delays into sweep order (and token order) —
@@ -501,7 +506,7 @@ void analyze_cycle_time_lanes_impl(const compiled_graph& cg, const lane_domain& 
     ws.t_cur.resize(n * W);
     ws.origin_time.resize(b * rows * W);
     if (witness) ws.pred.resize(b * rows * n * W);
-    pack_sweep_structure(core, ws);
+    pack_sweep_structure(core, cg.structure_version(), ws);
     pack_sweep_delays<W>(dom, ws);
 
     // Phase A: one sweep per border origin, all lanes at once; when a

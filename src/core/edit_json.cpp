@@ -1,0 +1,374 @@
+#include "core/edit_json.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "core/cycle_time.h"
+#include "core/pert.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace tsg {
+
+namespace {
+
+// --- a minimal JSON value parser ---------------------------------------------
+// Scripts are small (a handful of edits); a straightforward recursive
+// descent over an in-memory string is all the tool needs.  Numbers keep
+// their raw spelling so integer arc ids and delays stay exact.
+
+struct jvalue {
+    enum class kind : std::uint8_t { null_v, bool_v, number_v, string_v, array_v, object_v };
+    kind k = kind::null_v;
+    bool boolean = false;
+    std::string text; ///< raw number spelling, or decoded string
+    std::vector<jvalue> items;
+    std::vector<std::pair<std::string, jvalue>> members;
+
+    [[nodiscard]] const jvalue* find(const std::string& key) const
+    {
+        for (const auto& [name, value] : members)
+            if (name == key) return &value;
+        return nullptr;
+    }
+};
+
+struct jcursor {
+    const std::string& text;
+    std::size_t pos = 0;
+
+    void skip_ws()
+    {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    char peek()
+    {
+        skip_ws();
+        require(pos < text.size(), "edit script: unexpected end of JSON");
+        return text[pos];
+    }
+    void expect(char c)
+    {
+        require(peek() == c,
+                std::string("edit script: expected '") + c + "' at offset " +
+                    std::to_string(pos));
+        ++pos;
+    }
+};
+
+std::string parse_jstring(jcursor& in)
+{
+    in.expect('"');
+    std::string out;
+    while (true) {
+        require(in.pos < in.text.size(), "edit script: unterminated string");
+        const char c = in.text[in.pos++];
+        if (c == '"') return out;
+        if (c == '\\') {
+            require(in.pos < in.text.size(), "edit script: dangling escape");
+            const char e = in.text[in.pos++];
+            switch (e) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            default: out += e; break; // \" \\ \/ and anything else literal
+            }
+        } else {
+            out += c;
+        }
+    }
+}
+
+jvalue parse_jvalue(jcursor& in)
+{
+    jvalue v;
+    const char c = in.peek();
+    if (c == '{') {
+        in.expect('{');
+        v.k = jvalue::kind::object_v;
+        if (in.peek() != '}') {
+            while (true) {
+                std::string key = parse_jstring(in);
+                in.expect(':');
+                v.members.emplace_back(std::move(key), parse_jvalue(in));
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect('}');
+        return v;
+    }
+    if (c == '[') {
+        in.expect('[');
+        v.k = jvalue::kind::array_v;
+        if (in.peek() != ']') {
+            while (true) {
+                v.items.push_back(parse_jvalue(in));
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect(']');
+        return v;
+    }
+    if (c == '"') {
+        v.k = jvalue::kind::string_v;
+        v.text = parse_jstring(in);
+        return v;
+    }
+    if (in.text.compare(in.pos, 4, "true") == 0) {
+        in.pos += 4;
+        v.k = jvalue::kind::bool_v;
+        v.boolean = true;
+        return v;
+    }
+    if (in.text.compare(in.pos, 5, "false") == 0) {
+        in.pos += 5;
+        v.k = jvalue::kind::bool_v;
+        return v;
+    }
+    if (in.text.compare(in.pos, 4, "null") == 0) {
+        in.pos += 4;
+        return v;
+    }
+    const std::size_t start = in.pos;
+    while (in.pos < in.text.size() &&
+           (std::isdigit(static_cast<unsigned char>(in.text[in.pos])) ||
+            std::string("+-.eE").find(in.text[in.pos]) != std::string::npos))
+        ++in.pos;
+    require(in.pos > start, "edit script: malformed JSON value");
+    v.k = jvalue::kind::number_v;
+    v.text = in.text.substr(start, in.pos - start);
+    return v;
+}
+
+// --- script field decoding ---------------------------------------------------
+
+std::uint32_t field_index(const jvalue& obj, const std::string& key)
+{
+    const jvalue* v = obj.find(key);
+    require(v != nullptr && v->k == jvalue::kind::number_v,
+            "edit script: edit needs a numeric \"" + key + "\"");
+    require(v->text.find_first_not_of("0123456789") == std::string::npos,
+            "edit script: \"" + key + "\" must be a non-negative integer");
+    return static_cast<std::uint32_t>(std::stoul(v->text));
+}
+
+event_id field_event(const jvalue& obj, const std::string& key, const signal_graph& sg)
+{
+    const jvalue* v = obj.find(key);
+    require(v != nullptr, "edit script: edit needs \"" + key + "\"");
+    if (v->k == jvalue::kind::string_v) return sg.event_by_name(v->text);
+    return field_index(obj, key);
+}
+
+rational field_delay(const jvalue& obj)
+{
+    const jvalue* v = obj.find("delay");
+    require(v != nullptr, "edit script: edit needs a \"delay\"");
+    if (v->k == jvalue::kind::string_v) return rational::parse(v->text);
+    require(v->k == jvalue::kind::number_v &&
+                v->text.find_first_of(".eE") == std::string::npos,
+            "edit script: \"delay\" must be an integer or a \"num/den\" string");
+    return rational::parse(v->text);
+}
+
+bool field_flag(const jvalue& obj, const std::string& key, bool fallback)
+{
+    const jvalue* v = obj.find(key);
+    if (v == nullptr) return fallback;
+    require(v->k == jvalue::kind::bool_v, "edit script: \"" + key + "\" must be a bool");
+    return v->boolean;
+}
+
+graph_edit parse_edit(const jvalue& obj, const signal_graph& sg)
+{
+    require(obj.k == jvalue::kind::object_v, "edit script: each edit must be an object");
+    const jvalue* op = obj.find("op");
+    require(op != nullptr && op->k == jvalue::kind::string_v,
+            "edit script: each edit needs a string \"op\"");
+    if (op->text == "add_arc")
+        return graph_edit::add(field_event(obj, "from", sg), field_event(obj, "to", sg),
+                               field_delay(obj), field_flag(obj, "marked", false),
+                               field_flag(obj, "disengageable", false));
+    if (op->text == "remove_arc") return graph_edit::remove(field_index(obj, "arc"));
+    if (op->text == "set_delay")
+        return graph_edit::set_delay_of(field_index(obj, "arc"), field_delay(obj));
+    if (op->text == "retarget")
+        return graph_edit::retarget_to(field_index(obj, "arc"), field_event(obj, "from", sg),
+                                       field_event(obj, "to", sg));
+    if (op->text == "set_marking")
+        return graph_edit::set_marking_of(field_index(obj, "arc"),
+                                          field_flag(obj, "marked", true));
+    throw error("edit script: unknown op '" + op->text +
+                "' (use add_arc, remove_arc, set_delay, retarget or set_marking)");
+}
+
+// --- rendering helpers -------------------------------------------------------
+
+std::string json_quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void append_exact(std::ostringstream& os, const rational& v)
+{
+    os << "{\"exact\": " << json_quote(v.str())
+       << ", \"value\": " << format_double(v.to_double(), 6) << "}";
+}
+
+} // namespace
+
+edit_script parse_edit_script(const std::string& text, const signal_graph& sg)
+{
+    jcursor in{text};
+    const jvalue root = parse_jvalue(in);
+    in.skip_ws();
+    require(in.pos == text.size(), "edit script: trailing garbage after the document");
+    require(root.k == jvalue::kind::object_v, "edit script: top level must be an object");
+
+    edit_script script;
+    const auto parse_batch = [&](const jvalue& batch, const std::string& fallback_label) {
+        const jvalue* edits = &batch;
+        std::string label = fallback_label;
+        if (batch.k == jvalue::kind::object_v) {
+            // {"label": ..., "edits": [...]} — a named batch.
+            const jvalue* named = batch.find("edits");
+            require(named != nullptr, "edit script: a batch object needs \"edits\"");
+            if (const jvalue* l = batch.find("label"); l != nullptr) {
+                require(l->k == jvalue::kind::string_v,
+                        "edit script: batch \"label\" must be a string");
+                label = l->text;
+            }
+            edits = named;
+        }
+        require(edits->k == jvalue::kind::array_v && !edits->items.empty(),
+                "edit script: each batch must be a non-empty array of edits");
+        edit_batch out;
+        out.reserve(edits->items.size());
+        for (const jvalue& e : edits->items) out.push_back(parse_edit(e, sg));
+        script.batches.push_back(std::move(out));
+        script.labels.push_back(std::move(label));
+    };
+
+    if (const jvalue* batches = root.find("batches"); batches != nullptr) {
+        require(batches->k == jvalue::kind::array_v && !batches->items.empty(),
+                "edit script: \"batches\" must be a non-empty array");
+        for (std::size_t i = 0; i < batches->items.size(); ++i)
+            parse_batch(batches->items[i], "batch " + std::to_string(i + 1));
+    } else if (const jvalue* edits = root.find("edits"); edits != nullptr) {
+        parse_batch(*edits, "batch 1");
+    } else {
+        throw error("edit script: top level needs \"batches\" or \"edits\"");
+    }
+    return script;
+}
+
+std::vector<edit_batch_status> run_edit_script(incremental_engine& eng,
+                                               const edit_script& script)
+{
+    std::vector<edit_batch_status> statuses(script.batches.size());
+    for (std::size_t i = 0; i < script.batches.size(); ++i) {
+        edit_batch_status& st = statuses[i];
+        try {
+            eng.apply(script.batches[i]);
+        } catch (const error& e) {
+            st.message = e.what(); // rejected: the engine rolled back
+            continue;
+        }
+        st.applied = true;
+        st.cyclic = !eng.graph().repetitive_events().empty();
+        st.cycle_time =
+            st.cyclic ? eng.analyze_warm().cycle_time : analyze_pert(eng.compiled()).makespan;
+    }
+    return statuses;
+}
+
+std::string edit_run_json(incremental_engine& eng, const edit_script& script,
+                          const rational& nominal, bool nominal_cyclic,
+                          const std::vector<edit_batch_status>& statuses)
+{
+    const signal_graph& sg = eng.graph();
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"command\": \"edit\",\n";
+    os << "  \"model\": {\"events\": " << sg.event_count()
+       << ", \"arcs\": " << sg.live_arc_count() << ", \"tokens\": " << sg.token_count()
+       << ", \"cyclic\": " << (sg.repetitive_events().empty() ? "false" : "true")
+       << "},\n";
+    os << "  \"nominal\": {\"cyclic\": " << (nominal_cyclic ? "true" : "false")
+       << ", \"cycle_time\": ";
+    append_exact(os, nominal);
+    os << "},\n";
+
+    os << "  \"batches\": [\n";
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+        const edit_batch_status& st = statuses[i];
+        os << "    {\"label\": " << json_quote(script.labels[i])
+           << ", \"edits\": " << script.batches[i].size()
+           << ", \"applied\": " << (st.applied ? "true" : "false");
+        if (st.applied) {
+            os << ", \"cyclic\": " << (st.cyclic ? "true" : "false")
+               << ", \"cycle_time\": ";
+            append_exact(os, st.cycle_time);
+        } else {
+            os << ", \"error\": " << json_quote(st.message);
+        }
+        os << "}" << (i + 1 < statuses.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    // Final analysis on the edited structure: a cold solve, bit-identical
+    // to a fresh finalize() + compile of the same graph.
+    os << "  \"final\": {";
+    if (sg.repetitive_events().empty()) {
+        const pert_result pert = analyze_pert(eng.compiled());
+        os << "\"cyclic\": false, \"makespan\": ";
+        append_exact(os, pert.makespan);
+        os << ", \"critical_path\": [";
+        for (std::size_t i = 0; i < pert.critical_path.size(); ++i)
+            os << (i ? ", " : "") << json_quote(sg.event(pert.critical_path[i]).name);
+        os << "]";
+    } else {
+        const cycle_time_result ct = eng.analyze();
+        os << "\"cyclic\": true, \"cycle_time\": ";
+        append_exact(os, ct.cycle_time);
+        os << ", \"critical_occurrence_period\": " << ct.critical_occurrence_period;
+        os << ", \"critical_cycle\": [";
+        for (std::size_t i = 0; i < ct.critical_cycle_events.size(); ++i)
+            os << (i ? ", " : "") << json_quote(sg.event(ct.critical_cycle_events[i]).name);
+        os << "], \"border_events\": [";
+        for (std::size_t i = 0; i < sg.border_events().size(); ++i)
+            os << (i ? ", " : "") << json_quote(sg.event(sg.border_events()[i]).name);
+        os << "]";
+    }
+    os << "},\n";
+
+    const incremental_counters& c = eng.counters();
+    os << "  \"engine\": {\"batches_applied\": " << c.batches_applied
+       << ", \"edits_applied\": " << c.edits_applied << ", \"undos\": " << c.undos
+       << ",\n    \"arcs_repaired\": " << c.arcs_repaired
+       << ", \"csr_compactions\": " << c.csr_compactions
+       << ", \"topo_window\": " << c.topo_window
+       << ",\n    \"sccs_recondensed\": " << c.sccs_recondensed
+       << ", \"scc_window\": " << c.scc_window
+       << ", \"scc_runs_skipped\": " << c.scc_runs_skipped
+       << ",\n    \"core_rebuilds\": " << c.core_rebuilds
+       << ", \"full_rebuilds\": " << c.full_rebuilds
+       << ",\n    \"fixed_point_patches\": " << c.fixed_point_patches
+       << ", \"fixed_point_recomputes\": " << c.fixed_point_recomputes
+       << ",\n    \"warm_states_kept\": " << c.warm_states_kept
+       << ", \"warm_states_dropped\": " << c.warm_states_dropped << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace tsg

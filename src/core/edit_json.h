@@ -1,0 +1,77 @@
+// JSON surface of the incremental edit layer — the machine-readable
+// pipeline behind `tsg_tool edit`: parse a JSON edit script into edit
+// batches, drive an incremental_engine through them, and render the
+// re-analysis (per-batch cycle times, the final analysis, and the engine's
+// locality counters) as a JSON document.
+//
+// Kept in the library (rather than the tool binary) so the golden-file
+// tests exercise the exact document the tool ships.
+//
+// Script format — one object per edit, grouped into atomic batches:
+//
+//   {"batches": [
+//     [{"op": "set_delay", "arc": 0, "delay": "3/2"},
+//      {"op": "add_arc", "from": "a", "to": "b", "delay": "5",
+//       "marked": true, "disengageable": false}],
+//     [{"op": "remove_arc", "arc": 2}],
+//     [{"op": "retarget", "arc": 1, "from": "b", "to": "c"}],
+//     [{"op": "set_marking", "arc": 3, "marked": true}]
+//   ]}
+//
+// or, for a single atomic batch, {"edits": [...]} with the same edit
+// objects.  Events are referenced by name (string) or id (number); arcs
+// by id — added arcs take the next free ids in script order, so later
+// edits can reference them.  Delays are exact: a "num/den" string or an
+// integer number.
+#ifndef TSG_CORE_EDIT_JSON_H
+#define TSG_CORE_EDIT_JSON_H
+
+#include <string>
+#include <vector>
+
+#include "core/graph_edit.h"
+#include "core/incremental.h"
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// A parsed edit script: a sequence of atomic batches with display labels
+/// ("batch N" unless the script names them).
+struct edit_script {
+    std::vector<edit_batch> batches;
+    std::vector<std::string> labels;
+};
+
+/// Parses the JSON text of an edit script.  Event names are resolved
+/// against `sg`; throws tsg::error on malformed JSON, unknown ops or
+/// events, or non-rational delays.
+[[nodiscard]] edit_script parse_edit_script(const std::string& text,
+                                            const signal_graph& sg);
+
+/// Per-batch application record of run_edit_script.
+struct edit_batch_status {
+    bool applied = false;
+    std::string message;   ///< rejection reason when !applied
+    bool cyclic = false;   ///< graph mode after this batch
+    rational cycle_time;   ///< lambda (cyclic) or PERT makespan (acyclic)
+};
+
+/// Applies every batch in order to `eng` (rejected batches roll back and
+/// the run continues) and re-analyzes after each one.  Cyclic re-analyses
+/// go through the warm-started Howard accelerator (analyze_warm()), so the
+/// engine's warm counters reflect the script's delay-only batches.
+[[nodiscard]] std::vector<edit_batch_status> run_edit_script(incremental_engine& eng,
+                                                             const edit_script& script);
+
+/// Renders the run as a JSON document: the model header, the nominal
+/// (pre-script) cycle time, per-batch status, the final analysis on the
+/// edited structure (a cold solve — witness included and bit-identical to
+/// a fresh compile), and the incremental engine's counters.
+[[nodiscard]] std::string edit_run_json(incremental_engine& eng, const edit_script& script,
+                                        const rational& nominal, bool nominal_cyclic,
+                                        const std::vector<edit_batch_status>& statuses);
+
+} // namespace tsg
+
+#endif // TSG_CORE_EDIT_JSON_H

@@ -1,0 +1,94 @@
+// Structural edit descriptions for the incremental timing kernel.
+//
+// A graph_edit names one primitive mutation of a finalized Timed Signal
+// Graph; an edit_batch is the unit of application (and of undo) for
+// core/incremental.h.  The type lives in its own header so batch layers
+// (core/scenario.h) can talk about edits without pulling in the engine.
+#ifndef TSG_CORE_GRAPH_EDIT_H
+#define TSG_CORE_GRAPH_EDIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+/// One primitive structural or delay edit.  Construct through the named
+/// factories; unused fields are ignored by the engine.
+struct graph_edit {
+    enum class op : std::uint8_t {
+        add_arc,    ///< append a new arc (id = current arc_count())
+        remove_arc, ///< tombstone an arc; its id is never reused
+        set_delay,  ///< replace an arc's delay
+        retarget,   ///< move an arc to new endpoints, keeping its id
+        set_marking,///< add or remove the arc's initial token
+    };
+
+    op kind = op::set_delay;
+    arc_id arc = invalid_arc;       ///< target arc (all ops except add_arc)
+    event_id from = invalid_node;   ///< add_arc / retarget
+    event_id to = invalid_node;     ///< add_arc / retarget
+    rational delay;                 ///< add_arc / set_delay
+    bool marked = false;            ///< add_arc / set_marking
+    bool disengageable = false;     ///< add_arc (the *user's* flag; the
+                                    ///< engine re-normalizes one-shot sources)
+
+    [[nodiscard]] static graph_edit add(event_id from, event_id to, rational delay,
+                                        bool marked = false, bool disengageable = false)
+    {
+        graph_edit e;
+        e.kind = op::add_arc;
+        e.from = from;
+        e.to = to;
+        e.delay = std::move(delay);
+        e.marked = marked;
+        e.disengageable = disengageable;
+        return e;
+    }
+
+    [[nodiscard]] static graph_edit remove(arc_id arc)
+    {
+        graph_edit e;
+        e.kind = op::remove_arc;
+        e.arc = arc;
+        return e;
+    }
+
+    [[nodiscard]] static graph_edit set_delay_of(arc_id arc, rational delay)
+    {
+        graph_edit e;
+        e.kind = op::set_delay;
+        e.arc = arc;
+        e.delay = std::move(delay);
+        return e;
+    }
+
+    [[nodiscard]] static graph_edit retarget_to(arc_id arc, event_id from, event_id to)
+    {
+        graph_edit e;
+        e.kind = op::retarget;
+        e.arc = arc;
+        e.from = from;
+        e.to = to;
+        return e;
+    }
+
+    [[nodiscard]] static graph_edit set_marking_of(arc_id arc, bool marked)
+    {
+        graph_edit e;
+        e.kind = op::set_marking;
+        e.arc = arc;
+        e.marked = marked;
+        return e;
+    }
+};
+
+/// The atomic unit of application: either every edit lands (and the graph
+/// revalidates) or none does.
+using edit_batch = std::vector<graph_edit>;
+
+} // namespace tsg
+
+#endif // TSG_CORE_GRAPH_EDIT_H

@@ -61,12 +61,16 @@ struct lane_workspace {
     // Sweep-order packing (cycle-time lanes): the token-free relaxation
     // sequence flattened in the exact order the sweep walks it, so the hot
     // loop streams delays and heads sequentially instead of gathering by
-    // arc id.  The structural arrays are built once per workspace (keyed
-    // on pack_of), the delay copies once per lane group.
+    // arc id.  The structural arrays are built once per workspace — keyed
+    // on (pack_of, pack_version), because the incremental edit layer
+    // patches compiled cores *in place*: the object address survives a
+    // structural batch, only structure_version() tells the packs apart —
+    // the delay copies once per lane group.
     // Value rows are indexed by *topo position*, not node id: the flat
     // in-period stream then reads its source rows in ascending memory
     // order (the prefetcher's favourite), and only head rows scatter.
     const void* pack_of = nullptr;          ///< identity of the packed core
+    std::uint64_t pack_version = 0;         ///< structure_version() at pack time
     std::vector<std::uint32_t> topo_pos;    ///< node -> topo position (row index)
     std::vector<std::uint32_t> sweep_src;   ///< per slot: source row
     std::vector<std::uint32_t> sweep_head;  ///< per slot: head row
@@ -99,6 +103,24 @@ public:
                       std::span<const std::vector<rational>* const> lanes,
                       std::uint32_t periods);
 
+    /// Delta-aware packing: `delta_hint[lane]`, when not invalid_arc,
+    /// promises that the lane's assignment equals base's bound delays at
+    /// every arc except that one (the scenario engine's delta_arc
+    /// contract, validated in debug builds).  A hinted lane skips the
+    /// per-lane LCM scan and rational rescale entirely: it adopts base's
+    /// fixed-point scale, its rows are streamed from base's already-scaled
+    /// delays, and only the dirty arc's row is recomputed.  Results stay
+    /// bit-identical to the dense rebind — the reused scale is a multiple
+    /// of the lane's minimal LCM and every analysis is scale-invariant —
+    /// and so does the evicted set: when the reuse preconditions fail
+    /// (base not in fixed point, denominator not dividing base's scale,
+    /// scaled value or period budget overflowing) the lane falls back to
+    /// the dense path below, which decides eviction exactly like the
+    /// scalar rebind.  An empty `delta_hint` means all-dense.
+    void rebind_lanes(const compiled_graph& base,
+                      std::span<const std::vector<rational>* const> lanes,
+                      std::uint32_t periods, std::span<const arc_id> delta_hint);
+
     /// Convenience overload for contiguous assignments.
     void rebind_lanes(const compiled_graph& base, std::span<const std::vector<rational>> lanes,
                       std::uint32_t periods);
@@ -121,6 +143,13 @@ public:
     /// The SoA delay array, delay[arc * width() + lane].
     [[nodiscard]] const std::int64_t* delay() const noexcept { return delay_.data(); }
 
+    // Cumulative packing accounting (since construction): rows whose
+    // scaled values were lifted straight from the base snapshot via a
+    // delta hint vs rows that went through the rational rescale.  The
+    // scenario engine surfaces these per batch.
+    [[nodiscard]] std::uint64_t rows_reused() const noexcept { return rows_reused_; }
+    [[nodiscard]] std::uint64_t rows_repacked() const noexcept { return rows_repacked_; }
+
 private:
     unsigned width_ = 0;
     std::size_t arcs_ = 0;
@@ -129,6 +158,16 @@ private:
     std::vector<std::uint8_t> evicted_;
     std::vector<std::int64_t> delay_;
     std::vector<fixed_point_domain> scratch_; ///< per-lane domains, storage reused
+    std::uint64_t rows_reused_ = 0;
+    std::uint64_t rows_repacked_ = 0;
+
+    // Inverse core projection (original arc -> core arc), built lazily for
+    // the dirty-row fix and cached on (identity, structure version) — the
+    // incremental edit layer patches compiled cores in place, so the
+    // address alone cannot key the cache.
+    const void* inverse_of_ = nullptr;
+    std::uint64_t inverse_version_ = 0;
+    std::vector<arc_id> core_row_;
 };
 
 } // namespace tsg

@@ -18,6 +18,7 @@ signal_graph with_delays(const signal_graph& sg, const std::vector<rational>& de
         out.add_event(info.name, info.signal, info.pol);
     }
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         out.add_arc(arc.from, arc.to, delay[a], arc.marked, arc.disengageable);
     }

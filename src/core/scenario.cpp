@@ -55,14 +55,12 @@ void finish_cyclic_outcome(scenario_outcome& out, const compiled_graph& bound,
     }
 }
 
-} // namespace
-
-scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
-                                           bool with_slack, unsigned analysis_threads,
-                                           cycle_time_solver solver, bool with_witness) const
+/// Full analysis of one bound snapshot — the scalar evaluation shared by
+/// the rebind path (evaluate) and the structural path (run_structural).
+scenario_outcome evaluate_bound(const compiled_graph& bound, bool with_slack,
+                                unsigned analysis_threads, cycle_time_solver solver,
+                                bool with_witness)
 {
-    const compiled_graph bound = base_->rebind(delay);
-
     scenario_outcome out;
     if (!bound.has_core()) {
         // Acyclic: the what-if quantity is the PERT makespan.
@@ -85,6 +83,63 @@ scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
                                           : bound.fixed_point();
     if (with_witness) out.critical_cycle = canonical_cycle(ct.critical_cycle_arcs);
     finish_cyclic_outcome(out, bound, with_slack, with_witness, ct.critical_cycle_arcs);
+    return out;
+}
+
+} // namespace
+
+scenario_outcome scenario_engine::evaluate(const std::vector<rational>& delay,
+                                           bool with_slack, unsigned analysis_threads,
+                                           cycle_time_solver solver, bool with_witness) const
+{
+    return evaluate_bound(base_->rebind(delay), with_slack, analysis_threads, solver,
+                          with_witness);
+}
+
+structural_batch_result scenario_engine::run_structural(
+    const std::vector<structural_scenario>& scenarios,
+    const scenario_batch_options& options) const
+{
+    require(!scenarios.empty(), "scenario_engine::run_structural: empty batch");
+
+    structural_batch_result out;
+    out.outcomes.resize(scenarios.size());
+
+    // One private incremental engine serves the whole batch: apply,
+    // analyze, undo.  Serial by design — every edit patches the shared
+    // structure in place, so the parallelism knob that remains is the
+    // per-analysis thread budget.
+    incremental_engine eng(base_->source());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const structural_scenario& s = scenarios[i];
+        structural_outcome& res = out.outcomes[i];
+        const bool edited = !s.edits.empty(); // delay-only what-ifs skip the engine
+        if (edited) {
+            try {
+                eng.apply(s.edits);
+            } catch (const error& e) {
+                res.message = e.what(); // rejected: engine already rolled back
+                continue;
+            }
+        }
+        try {
+            if (s.delay.empty()) {
+                res.outcome = evaluate_bound(eng.compiled(), options.with_slack,
+                                             options.max_threads, options.solver,
+                                             options.with_witness);
+            } else {
+                res.outcome = evaluate_bound(eng.compiled().rebind(s.delay),
+                                             options.with_slack, options.max_threads,
+                                             options.solver, options.with_witness);
+            }
+            res.accepted = true;
+        } catch (const error&) {
+            if (edited) eng.undo();
+            throw; // analysis/rebind failure is a caller bug, not a what-if result
+        }
+        if (edited) eng.undo();
+    }
+    out.counters = eng.counters();
     return out;
 }
 
@@ -133,6 +188,7 @@ struct lane_worker_state {
     std::vector<slack_result> slack;
     std::vector<rational> lambda;
     std::vector<const std::vector<rational>*> ptrs;
+    std::vector<arc_id> hints; ///< per-lane delta_arc (invalid_arc = dense)
     std::vector<std::uint8_t> mark; ///< arc bitmap for O(m) witness sorting
 };
 
@@ -163,9 +219,16 @@ std::size_t run_lane_group(const scenario_engine& engine, const compiled_graph& 
                            scenario_outcome* out)
 {
     st.ptrs.resize(width);
-    for (unsigned l = 0; l < width; ++l) st.ptrs[l] = &group[l].delay;
+    st.hints.resize(width);
+    for (unsigned l = 0; l < width; ++l) {
+        st.ptrs[l] = &group[l].delay;
+        st.hints[l] = group[l].delta_arc;
+    }
     const std::span<const std::vector<rational>* const> ptrs(st.ptrs);
-    st.dom.rebind_lanes(base, ptrs, periods);
+    // Scenarios carrying a delta_arc promise (corner sweeps, one-arc
+    // what-ifs) reuse the base snapshot's scaled rows and re-pack only the
+    // dirty row; lanes without one take the dense per-lane rescale.
+    st.dom.rebind_lanes(base, ptrs, periods, std::span<const arc_id>(st.hints));
 
     if (cyclic) {
         st.ct.resize(width);
@@ -795,6 +858,10 @@ scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenario
                         out.outcomes.data() + g * width);
                 });
                 for (const std::size_t e : evictions) out.lane_evictions += e;
+                for (const lane_worker_state& st : states) {
+                    out.lane_rows_reused += st.dom.rows_reused();
+                    out.lane_rows_repacked += st.dom.rows_repacked();
+                }
                 out.lane_groups = groups;
                 out.lane_scenarios = groups * width - out.lane_evictions;
                 for (std::size_t i = groups * width; i < scenarios.size(); ++i)
@@ -864,6 +931,7 @@ std::vector<scenario> corner_sweep_scenarios(const signal_graph& sg,
 
     std::vector<scenario> out;
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         if (core_only && !(sg.is_repetitive(arc.from) && sg.is_repetitive(arc.to)))
             continue;

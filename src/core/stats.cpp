@@ -16,6 +16,7 @@ arc_group_map signal_arc_groups(const signal_graph& sg)
     out.group_of_arc.assign(sg.arc_count(), arc_group_map::no_group);
     std::unordered_map<std::string, std::uint32_t> index;
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const std::string& signal = sg.event(sg.arc(a).to).signal;
         if (signal.empty()) continue; // abstract event: not attributable to a gate
         const auto [it, inserted] =

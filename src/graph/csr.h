@@ -15,9 +15,24 @@
 // tie-breaking in every argmax sweep is identical to digraph's — results
 // stay bit-for-bit the same after the swap.  Call freeze() before sharing
 // an instance across threads: the lazy rebuild mutates internal caches.
+//
+// In-place patching.  The incremental edit layer mutates a compiled CSR
+// without rebuilding it: patch_add_arc / patch_remove_arc / patch_retarget
+// / patch_restore_arc edit the adjacency index directly.  The first patch
+// switches the instance into *patched mode*, where each node's offset span
+// is a capacity and a separate live count marks how much of it is used —
+// the slack slots between count and capacity absorb insertions in O(degree)
+// without moving other nodes.  When a node's slack runs out the whole index
+// is rebuilt with fresh slack proportional to each node's degree (amortized
+// O(1) per insertion; reported via patch_compactions()).  Tombstoned arcs
+// keep their id — payload arrays stay index-stable — but both endpoints
+// read invalid_node and the arc leaves the adjacency index.  Within each
+// node's live span arcs stay sorted by ascending id, which preserves every
+// deterministic tie-break downstream.
 #ifndef TSG_GRAPH_CSR_H
 #define TSG_GRAPH_CSR_H
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,6 +47,7 @@ public:
     csr_graph() = default;
 
     /// Snapshots an existing digraph (same node/arc ids, same arc order).
+    /// Tombstoned arcs come across as tombstones.
     explicit csr_graph(const digraph& g)
     {
         nodes_ = g.node_count();
@@ -41,6 +57,7 @@ public:
             tail_.push_back(g.from(a));
             head_.push_back(g.to(a));
         }
+        dead_ = g.arc_count() - g.live_arc_count();
         build_index();
     }
 
@@ -59,6 +76,7 @@ public:
     arc_id add_arc(node_id from, node_id to)
     {
         require(from < nodes_ && to < nodes_, "csr_graph::add_arc: bad endpoint");
+        require(!patched_, "csr_graph::add_arc: use patch_add_arc in patched mode");
         indexed_ = false;
         tail_.push_back(from);
         head_.push_back(to);
@@ -98,18 +116,110 @@ public:
     {
         TSG_DCHECK(n < node_count(), "csr_graph::out_arcs: bad node id");
         freeze();
-        return {out_list_.data() + out_offset_[n], out_offset_[n + 1] - out_offset_[n]};
+        const std::size_t count =
+            patched_ ? out_count_[n] : out_offset_[n + 1] - out_offset_[n];
+        return {out_list_.data() + out_offset_[n], count};
     }
 
     [[nodiscard]] std::span<const arc_id> in_arcs(node_id n) const
     {
         TSG_DCHECK(n < node_count(), "csr_graph::in_arcs: bad node id");
         freeze();
-        return {in_list_.data() + in_offset_[n], in_offset_[n + 1] - in_offset_[n]};
+        const std::size_t count =
+            patched_ ? in_count_[n] : in_offset_[n + 1] - in_offset_[n];
+        return {in_list_.data() + in_offset_[n], count};
     }
 
     [[nodiscard]] std::size_t out_degree(node_id n) const { return out_arcs(n).size(); }
     [[nodiscard]] std::size_t in_degree(node_id n) const { return in_arcs(n).size(); }
+
+    // --- in-place patching (the incremental edit layer) -------------------
+
+    [[nodiscard]] bool live(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "csr_graph::live: bad arc id");
+        return tail_[a] != invalid_node;
+    }
+
+    [[nodiscard]] std::size_t live_arc_count() const noexcept { return tail_.size() - dead_; }
+
+    /// Index rebuilds forced by exhausted slack (amortized-compaction cost).
+    [[nodiscard]] std::uint64_t patch_compactions() const noexcept { return compactions_; }
+
+    /// Appends a live arc with a fresh (maximal) id, patching the adjacency
+    /// index in place.  O(1) amortized; a node whose slack is exhausted
+    /// triggers one index rebuild.
+    arc_id patch_add_arc(node_id from, node_id to)
+    {
+        require(from < nodes_ && to < nodes_, "csr_graph::patch_add_arc: bad endpoint");
+        enter_patch_mode();
+        const auto a = static_cast<arc_id>(tail_.size());
+        tail_.push_back(from);
+        head_.push_back(to);
+        // A rebuild inside the first insert already places the arc in both
+        // lists (it derives everything from tail_/head_); skip the second.
+        if (!slot_insert(out_offset_, out_count_, out_list_, from, a))
+            slot_insert(in_offset_, in_count_, in_list_, to, a);
+        return a;
+    }
+
+    /// Tombstones a live arc: it leaves the adjacency index, its endpoints
+    /// read invalid_node, its id survives.  O(degree).
+    void patch_remove_arc(arc_id a)
+    {
+        require(a < arc_count() && live(a), "csr_graph::patch_remove_arc: arc not live");
+        enter_patch_mode();
+        slot_erase(out_offset_, out_count_, out_list_, tail_[a], a);
+        slot_erase(in_offset_, in_count_, in_list_, head_[a], a);
+        tail_[a] = invalid_node;
+        head_[a] = invalid_node;
+        ++dead_;
+    }
+
+    /// Resurrects a tombstoned arc with the given endpoints, at its
+    /// id-sorted adjacency position (the edit layer's undo of remove).
+    void patch_restore_arc(arc_id a, node_id from, node_id to)
+    {
+        require(a < arc_count() && !live(a), "csr_graph::patch_restore_arc: arc is live");
+        require(from < nodes_ && to < nodes_, "csr_graph::patch_restore_arc: bad endpoint");
+        enter_patch_mode();
+        tail_[a] = from;
+        head_[a] = to;
+        if (!slot_insert(out_offset_, out_count_, out_list_, from, a))
+            slot_insert(in_offset_, in_count_, in_list_, to, a);
+        --dead_;
+    }
+
+    /// Moves a live arc to new endpoints, keeping its id.  O(degree).
+    void patch_retarget(arc_id a, node_id from, node_id to)
+    {
+        require(a < arc_count() && live(a), "csr_graph::patch_retarget: arc not live");
+        require(from < nodes_ && to < nodes_, "csr_graph::patch_retarget: bad endpoint");
+        enter_patch_mode();
+        slot_erase(out_offset_, out_count_, out_list_, tail_[a], a);
+        slot_erase(in_offset_, in_count_, in_list_, head_[a], a);
+        tail_[a] = from;
+        head_[a] = to;
+        if (!slot_insert(out_offset_, out_count_, out_list_, from, a))
+            slot_insert(in_offset_, in_count_, in_list_, to, a);
+    }
+
+    /// Removes the *last* arc entirely, shrinking arc_count() — the edit
+    /// layer's undo of patch_add_arc (no tombstone leak per speculation).
+    void patch_pop_arc()
+    {
+        require(arc_count() > 0, "csr_graph::patch_pop_arc: no arcs");
+        enter_patch_mode();
+        const auto a = static_cast<arc_id>(arc_count() - 1);
+        if (live(a)) {
+            slot_erase(out_offset_, out_count_, out_list_, tail_[a], a);
+            slot_erase(in_offset_, in_count_, in_list_, head_[a], a);
+        } else {
+            --dead_;
+        }
+        tail_.pop_back();
+        head_.pop_back();
+    }
 
 private:
     void build_index() const
@@ -119,6 +229,7 @@ private:
         out_offset_.assign(n + 1, 0);
         in_offset_.assign(n + 1, 0);
         for (std::size_t a = 0; a < m; ++a) {
+            if (tail_[a] == invalid_node) continue; // tombstone
             ++out_offset_[tail_[a] + 1];
             ++in_offset_[head_[a] + 1];
         }
@@ -126,28 +237,124 @@ private:
             out_offset_[v + 1] += out_offset_[v];
             in_offset_[v + 1] += in_offset_[v];
         }
-        out_list_.resize(m);
-        in_list_.resize(m);
+        out_list_.resize(out_offset_[n]);
+        in_list_.resize(in_offset_[n]);
         std::vector<std::uint32_t> out_cursor(out_offset_.begin(), out_offset_.end() - 1);
         std::vector<std::uint32_t> in_cursor(in_offset_.begin(), in_offset_.end() - 1);
         for (std::size_t a = 0; a < m; ++a) {
+            if (tail_[a] == invalid_node) continue;
             out_list_[out_cursor[tail_[a]]++] = static_cast<arc_id>(a);
             in_list_[in_cursor[head_[a]]++] = static_cast<arc_id>(a);
         }
+        if (patched_) {
+            // An exact rebuild leaves zero slack; refresh the live counts.
+            out_count_.resize(n);
+            in_count_.resize(n);
+            for (std::size_t v = 0; v < n; ++v) {
+                out_count_[v] = out_offset_[v + 1] - out_offset_[v];
+                in_count_[v] = in_offset_[v + 1] - in_offset_[v];
+            }
+        }
         indexed_ = true;
+    }
+
+    void enter_patch_mode()
+    {
+        if (patched_) return;
+        freeze();
+        const std::size_t n = nodes_;
+        out_count_.resize(n);
+        in_count_.resize(n);
+        for (std::size_t v = 0; v < n; ++v) {
+            out_count_[v] = out_offset_[v + 1] - out_offset_[v];
+            in_count_[v] = in_offset_[v + 1] - in_offset_[v];
+        }
+        patched_ = true;
+    }
+
+    /// Rebuilds both adjacency indexes from tail_/head_ with fresh slack:
+    /// each node's capacity is its live degree plus half again plus two, so
+    /// the next ~degree/2 insertions at that node are O(degree) shifts.
+    void rebuild_with_slack()
+    {
+        const std::size_t n = nodes_;
+        const std::size_t m = tail_.size();
+        out_count_.assign(n, 0);
+        in_count_.assign(n, 0);
+        for (std::size_t a = 0; a < m; ++a) {
+            if (tail_[a] == invalid_node) continue;
+            ++out_count_[tail_[a]];
+            ++in_count_[head_[a]];
+        }
+        out_offset_.assign(n + 1, 0);
+        in_offset_.assign(n + 1, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+            out_offset_[v + 1] = out_offset_[v] + out_count_[v] + out_count_[v] / 2 + 2;
+            in_offset_[v + 1] = in_offset_[v] + in_count_[v] + in_count_[v] / 2 + 2;
+        }
+        out_list_.assign(out_offset_[n], invalid_arc);
+        in_list_.assign(in_offset_[n], invalid_arc);
+        std::vector<std::uint32_t> out_cursor(out_offset_.begin(), out_offset_.end() - 1);
+        std::vector<std::uint32_t> in_cursor(in_offset_.begin(), in_offset_.end() - 1);
+        for (std::size_t a = 0; a < m; ++a) {
+            if (tail_[a] == invalid_node) continue;
+            out_list_[out_cursor[tail_[a]]++] = static_cast<arc_id>(a);
+            in_list_[in_cursor[head_[a]]++] = static_cast<arc_id>(a);
+        }
+        ++compactions_;
+        indexed_ = true;
+    }
+
+    /// Inserts arc `a` into node `n`'s live span at its id-sorted position.
+    /// Returns true when exhausted slack forced a full rebuild (which places
+    /// every live arc, including ones the caller has not inserted yet).
+    bool slot_insert(std::vector<std::uint32_t>& offset, std::vector<std::uint32_t>& count,
+                     std::vector<arc_id>& list, node_id n, arc_id a)
+    {
+        const std::uint32_t off = offset[n];
+        const std::uint32_t cnt = count[n];
+        if (off + cnt == offset[n + 1]) {
+            rebuild_with_slack();
+            return true;
+        }
+        arc_id* first = list.data() + off;
+        arc_id* last = first + cnt;
+        arc_id* pos = std::lower_bound(first, last, a);
+        std::copy_backward(pos, last, last + 1);
+        *pos = a;
+        ++count[n];
+        return false;
+    }
+
+    /// Erases arc `a` from node `n`'s live span.  Never rebuilds.
+    void slot_erase(std::vector<std::uint32_t>& offset, std::vector<std::uint32_t>& count,
+                    std::vector<arc_id>& list, node_id n, arc_id a)
+    {
+        arc_id* first = list.data() + offset[n];
+        arc_id* last = first + count[n];
+        arc_id* pos = std::lower_bound(first, last, a);
+        TSG_DCHECK(pos != last && *pos == a, "csr_graph: adjacency desynchronized");
+        std::copy(pos + 1, last, pos);
+        --count[n];
     }
 
     std::size_t nodes_ = 0;
     std::vector<node_id> tail_; // arc -> source node
     std::vector<node_id> head_; // arc -> target node
+    std::size_t dead_ = 0;      // tombstoned arcs
 
     // Lazily (re)built adjacency index; mutated under const, hence the
-    // freeze-before-sharing rule above.
+    // freeze-before-sharing rule above.  In patched mode the offsets are
+    // per-node *capacities* and out_count_/in_count_ give the live prefix.
     mutable std::vector<std::uint32_t> out_offset_; // node -> first out slot
     mutable std::vector<std::uint32_t> in_offset_;  // node -> first in slot
     mutable std::vector<arc_id> out_list_;
     mutable std::vector<arc_id> in_list_;
+    mutable std::vector<std::uint32_t> out_count_;  // patched mode: live out degree
+    mutable std::vector<std::uint32_t> in_count_;   // patched mode: live in degree
     mutable bool indexed_ = false;
+    bool patched_ = false;
+    std::uint64_t compactions_ = 0;
 };
 
 } // namespace tsg

@@ -7,6 +7,7 @@
 #ifndef TSG_GRAPH_DIGRAPH_H
 #define TSG_GRAPH_DIGRAPH_H
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -22,8 +23,19 @@ inline constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
 inline constexpr arc_id invalid_arc = std::numeric_limits<arc_id>::max();
 
 /// Directed multigraph with O(1) arc endpoint lookup and per-node in/out
-/// adjacency lists.  Nodes and arcs can only be added, never removed; the
-/// analysis algorithms all work on immutable snapshots.
+/// adjacency lists.  Nodes can only be added; arcs can additionally be
+/// removed (tombstoned), restored and retargeted by the incremental edit
+/// layer.  A removed arc keeps its id — arc ids are stable handles into the
+/// client models' parallel payload arrays — but both endpoints read as
+/// invalid_node and the arc disappears from every adjacency list, so
+/// adjacency-driven algorithms never see it.  Flat loops over arc ids must
+/// skip ids with from(a) == invalid_node.
+///
+/// Adjacency lists are kept sorted by ascending arc id across removals and
+/// retargets (add_arc appends the maximal id, so untouched graphs get the
+/// invariant for free).  The relative adjacency order is what every
+/// deterministic tie-break downstream keys on; keeping it canonical makes
+/// an edited graph bit-identical to a from-scratch rebuild of its live arcs.
 class digraph {
 public:
     digraph() = default;
@@ -67,8 +79,76 @@ public:
         return a;
     }
 
+    /// Tombstones an arc: removes it from both adjacency lists and marks the
+    /// endpoints invalid.  The arc id (and the arc_count() slot) survives so
+    /// client payload arrays keep their indexing; is_live(a) turns false.
+    void remove_arc(arc_id a)
+    {
+        require(is_live(a), "digraph::remove_arc: arc already removed");
+        adj_erase(out_[tail_[a]], a);
+        adj_erase(in_[head_[a]], a);
+        tail_[a] = invalid_node;
+        head_[a] = invalid_node;
+        ++dead_;
+    }
+
+    /// Resurrects a tombstoned arc with the given endpoints (the edit layer
+    /// logs them for undo).  The arc rejoins both adjacency lists at its
+    /// id-sorted position.
+    void restore_arc(arc_id a, node_id from, node_id to)
+    {
+        require(a < arc_count() && !is_live(a), "digraph::restore_arc: arc is live");
+        require(from < node_count() && to < node_count(),
+                "digraph::restore_arc: bad endpoint");
+        tail_[a] = from;
+        head_[a] = to;
+        adj_insert(out_[from], a);
+        adj_insert(in_[to], a);
+        --dead_;
+    }
+
+    /// Moves a live arc to new endpoints, keeping its id.
+    void retarget_arc(arc_id a, node_id from, node_id to)
+    {
+        require(is_live(a), "digraph::retarget_arc: arc is removed");
+        require(from < node_count() && to < node_count(),
+                "digraph::retarget_arc: bad endpoint");
+        adj_erase(out_[tail_[a]], a);
+        adj_erase(in_[head_[a]], a);
+        tail_[a] = from;
+        head_[a] = to;
+        adj_insert(out_[from], a);
+        adj_insert(in_[to], a);
+    }
+
+    /// Removes the *last* arc entirely, shrinking arc_count().  Used by the
+    /// edit layer to undo a speculative add without leaking a tombstone per
+    /// speculation.  The arc may be live or already tombstoned.
+    void pop_arc()
+    {
+        require(arc_count() > 0, "digraph::pop_arc: no arcs");
+        const auto a = static_cast<arc_id>(arc_count() - 1);
+        if (is_live(a)) {
+            adj_erase(out_[tail_[a]], a);
+            adj_erase(in_[head_[a]], a);
+        } else {
+            --dead_;
+        }
+        tail_.pop_back();
+        head_.pop_back();
+    }
+
+    [[nodiscard]] bool is_live(arc_id a) const
+    {
+        TSG_DCHECK(a < arc_count(), "digraph::is_live: bad arc id");
+        return tail_[a] != invalid_node;
+    }
+
     [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
     [[nodiscard]] std::size_t arc_count() const noexcept { return tail_.size(); }
+
+    /// Arcs minus tombstones.
+    [[nodiscard]] std::size_t live_arc_count() const noexcept { return tail_.size() - dead_; }
 
     [[nodiscard]] node_id from(arc_id a) const
     {
@@ -98,10 +178,23 @@ public:
     [[nodiscard]] std::size_t in_degree(node_id n) const { return in_arcs(n).size(); }
 
 private:
+    static void adj_insert(std::vector<arc_id>& list, arc_id a)
+    {
+        list.insert(std::lower_bound(list.begin(), list.end(), a), a);
+    }
+
+    static void adj_erase(std::vector<arc_id>& list, arc_id a)
+    {
+        const auto it = std::lower_bound(list.begin(), list.end(), a);
+        TSG_DCHECK(it != list.end() && *it == a, "digraph: adjacency desynchronized");
+        list.erase(it);
+    }
+
     std::vector<node_id> tail_; // arc -> source node
     std::vector<node_id> head_; // arc -> target node
     std::vector<std::vector<arc_id>> out_;
     std::vector<std::vector<arc_id>> in_;
+    std::size_t dead_ = 0; // tombstoned arcs
 };
 
 } // namespace tsg

@@ -118,7 +118,7 @@ template <typename Graph>
     for (node_id v = 0; v < g.node_count(); ++v)
         if (size[scc.component[v]] >= 2) cyclic[v] = true;
     for (arc_id a = 0; a < g.arc_count(); ++a)
-        if (g.from(a) == g.to(a)) cyclic[g.from(a)] = true;
+        if (g.from(a) != invalid_node && g.from(a) == g.to(a)) cyclic[g.from(a)] = true;
     return cyclic;
 }
 

@@ -159,6 +159,7 @@ std::string write_sg(const signal_graph& sg, const std::string& name)
     for (event_id e = 0; e < sg.event_count(); ++e)
         os << "  event " << sg.event(e).name << ";\n";
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         os << "  arc " << sg.event(arc.from).name << " -> " << sg.event(arc.to).name;
         if (!arc.delay.is_zero()) os << " delay " << arc.delay.str();

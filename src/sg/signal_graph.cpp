@@ -97,8 +97,10 @@ void signal_graph::classify_events()
     // Arcs out of one-shot events only constrain the first occurrence of
     // their target; the paper draws them crossed.  Normalize the flag so
     // clients need not set it by hand.
-    for (auto& arc : arcs_)
-        if (events_[arc.from].kind != event_kind::repetitive) arc.disengageable = true;
+    for (arc_id a = 0; a < arc_count(); ++a)
+        if (structure_.is_live(a) &&
+            events_[arcs_[a].from].kind != event_kind::repetitive)
+            arcs_[a].disengageable = true;
 
     border_.clear();
     for (const event_id e : repetitive_) {
@@ -114,7 +116,9 @@ void signal_graph::validate()
     // No repetitive event may precede a disengageable arc (well-formedness,
     // Section III.A), and arcs from repetitive to one-shot events would make
     // the graph unbounded (tokens accumulate on the arc forever).
-    for (const auto& arc : arcs_) {
+    for (arc_id id = 0; id < arc_count(); ++id) {
+        if (!structure_.is_live(id)) continue;
+        const arc_info& arc = arcs_[id];
         const bool from_repetitive = events_[arc.from].kind == event_kind::repetitive;
         const bool to_repetitive = events_[arc.to].kind == event_kind::repetitive;
         if (arc.disengageable)
@@ -194,8 +198,9 @@ signal_graph::core_view signal_graph::repetitive_core() const
     for (event_id e = 0; e < event_count(); ++e)
         if (cyclic[e]) ++core_nodes;
     std::size_t core_arcs = 0;
-    for (const auto& arc : arcs_)
-        if (cyclic[arc.from] && cyclic[arc.to]) ++core_arcs;
+    for (arc_id a = 0; a < arc_count(); ++a)
+        if (structure_.is_live(a) && cyclic[arcs_[a].from] && cyclic[arcs_[a].to])
+            ++core_arcs;
 
     core_view core;
     core.event_node.assign(event_count(), invalid_node);
@@ -209,6 +214,7 @@ signal_graph::core_view signal_graph::repetitive_core() const
         core.node_event.push_back(e);
     }
     for (arc_id a = 0; a < arc_count(); ++a) {
+        if (!structure_.is_live(a)) continue;
         const auto& arc = arcs_[a];
         const node_id u = core.event_node[arc.from];
         const node_id v = core.event_node[arc.to];

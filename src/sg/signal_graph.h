@@ -105,6 +105,18 @@ public:
     [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
     [[nodiscard]] std::size_t arc_count() const noexcept { return arcs_.size(); }
 
+    /// Arc-id slots minus tombstones.  Equal to arc_count() unless the
+    /// incremental edit layer removed arcs.
+    [[nodiscard]] std::size_t live_arc_count() const noexcept
+    {
+        return structure_.live_arc_count();
+    }
+
+    /// False for arcs tombstoned by the incremental edit layer.  Flat loops
+    /// over arc ids must skip dead arcs; dead arc_info slots read as
+    /// invalid endpoints, zero delay, no marking.
+    [[nodiscard]] bool arc_live(arc_id a) const { return structure_.is_live(a); }
+
     [[nodiscard]] const event_info& event(event_id e) const { return events_.at(e); }
     [[nodiscard]] const arc_info& arc(arc_id a) const { return arcs_.at(a); }
 
@@ -150,6 +162,12 @@ public:
     [[nodiscard]] core_view repetitive_core() const;
 
 private:
+    /// The incremental edit layer (core/incremental.h) is the one mutator
+    /// allowed past finalize(): it re-establishes the exact classification
+    /// and validation invariants finalize() proved, incrementally, after
+    /// every edit batch it applies.
+    friend class incremental_engine;
+
     void classify_events();
     void validate();
     void require_finalized() const;

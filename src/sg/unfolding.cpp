@@ -22,6 +22,7 @@ unfolding::unfolding(const signal_graph& sg, std::uint32_t periods) : sg_(sg), p
     // Instantiate arcs.  mu is the marking (0 or 1): the token shifts the
     // dependency one period forward.
     for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        if (!sg.arc_live(a)) continue;
         const arc_info& arc = sg.arc(a);
         const std::uint32_t mu = arc.marked ? 1 : 0;
         const bool from_repetitive = sg.event(arc.from).kind == event_kind::repetitive;

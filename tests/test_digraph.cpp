@@ -155,6 +155,108 @@ TEST(Reach, ForwardAndBackward)
     EXPECT_FALSE(bwd[3]);
 }
 
+TEST(Digraph, RemoveArcTombstonesButKeepsIds)
+{
+    digraph g(3);
+    const arc_id a01 = g.add_arc(0, 1);
+    const arc_id a02 = g.add_arc(0, 2);
+    const arc_id a12 = g.add_arc(1, 2);
+
+    g.remove_arc(a02);
+    EXPECT_EQ(g.arc_count(), 3u);       // the id slot survives
+    EXPECT_EQ(g.live_arc_count(), 2u);
+    EXPECT_FALSE(g.is_live(a02));
+    EXPECT_TRUE(g.is_live(a01));
+    EXPECT_EQ(g.from(a02), invalid_node);
+    EXPECT_EQ(g.to(a02), invalid_node);
+
+    // Adjacency no longer mentions the tombstone.
+    EXPECT_EQ(g.out_degree(0), 1u);
+    EXPECT_EQ(g.in_degree(2), 1u);
+    EXPECT_EQ(g.out_arcs(0), (std::vector<arc_id>{a01}));
+    EXPECT_EQ(g.in_arcs(2), (std::vector<arc_id>{a12}));
+
+    EXPECT_THROW(g.remove_arc(a02), error); // double removal
+}
+
+TEST(Digraph, RestoreArcRejoinsSorted)
+{
+    digraph g(3);
+    const arc_id a01 = g.add_arc(0, 1);
+    const arc_id a02 = g.add_arc(0, 2);
+    const arc_id a01b = g.add_arc(0, 1);
+
+    g.remove_arc(a02);
+    g.restore_arc(a02, 0, 2);
+    EXPECT_TRUE(g.is_live(a02));
+    EXPECT_EQ(g.live_arc_count(), 3u);
+    // Restored mid-id arc lands back at its id-sorted slot.
+    EXPECT_EQ(g.out_arcs(0), (std::vector<arc_id>{a01, a02, a01b}));
+    EXPECT_THROW(g.restore_arc(a01, 0, 1), error); // already live
+}
+
+TEST(Digraph, RetargetKeepsIdAndSortedAdjacency)
+{
+    digraph g(4);
+    const arc_id a = g.add_arc(0, 1);
+    const arc_id b = g.add_arc(2, 3);
+    g.retarget_arc(a, 2, 1); // move a's tail onto node 2
+    EXPECT_EQ(g.from(a), 2u);
+    EXPECT_EQ(g.to(a), 1u);
+    EXPECT_EQ(g.out_degree(0), 0u);
+    EXPECT_EQ(g.out_arcs(2), (std::vector<arc_id>{a, b})); // id order, not move order
+}
+
+TEST(Digraph, PopArcShrinksStorage)
+{
+    digraph g(2);
+    g.add_arc(0, 1);
+    const arc_id last = g.add_arc(1, 0);
+    g.pop_arc();
+    EXPECT_EQ(g.arc_count(), 1u);
+    EXPECT_EQ(g.live_arc_count(), 1u);
+    EXPECT_EQ(g.in_degree(0), 0u);
+    // Popping a tombstoned last arc also reclaims its dead count.
+    const arc_id again = g.add_arc(1, 0);
+    EXPECT_EQ(again, last);
+    g.remove_arc(again);
+    g.pop_arc();
+    EXPECT_EQ(g.arc_count(), 1u);
+    EXPECT_EQ(g.live_arc_count(), 1u);
+}
+
+TEST(Digraph, ReserveArcsAfterRemovalsKeepsState)
+{
+    digraph g(3);
+    const arc_id a = g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    g.remove_arc(a);
+    g.reserve_arcs(64); // reallocation must not disturb tombstones
+    EXPECT_EQ(g.arc_count(), 2u);
+    EXPECT_EQ(g.live_arc_count(), 1u);
+    EXPECT_FALSE(g.is_live(a));
+    const arc_id c = g.add_arc(2, 0);
+    EXPECT_EQ(c, 2u); // ids keep growing densely past tombstones
+    EXPECT_TRUE(g.is_live(c));
+}
+
+TEST(Digraph, AlgorithmsIgnoreTombstones)
+{
+    // 0 -> 1 -> 2 -> 0 triangle plus a chord; removing the back arc breaks
+    // the cycle for SCC/topo consumers without renumbering anything.
+    digraph g(3);
+    g.add_arc(0, 1);
+    g.add_arc(1, 2);
+    const arc_id back = g.add_arc(2, 0);
+    EXPECT_FALSE(is_acyclic(g));
+    g.remove_arc(back);
+    EXPECT_TRUE(is_acyclic(g));
+    const std::vector<bool> cyclic = nodes_on_cycles(g);
+    EXPECT_FALSE(cyclic[0]);
+    EXPECT_FALSE(cyclic[1]);
+    EXPECT_FALSE(cyclic[2]);
+}
+
 TEST(Dot, RendersLabels)
 {
     digraph g(2);

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/compiled_graph.h"
+#include "core/edit_json.h"
+#include "core/incremental.h"
 #include "core/scenario.h"
 #include "core/scenario_json.h"
 #include "core/stats.h"
@@ -280,6 +282,44 @@ TEST(GoldenJson, CriticalityStatistics)
     const stats_run_result run = monte_carlo_statistics(engine, sg, mc, opts);
     compare_against_golden("criticality_border.json",
                            statistics_json("criticality", "border", sg, run, opts));
+}
+
+TEST(GoldenJson, EditScriptIncrementalCounters)
+{
+    // The `tsg_tool edit` surface: a JSON edit script driven through the
+    // incremental engine, with per-batch re-analysis and the engine's
+    // locality counters (arcs repaired, topo/SCC window sizes, warm states
+    // kept) pinned in the golden.  The script exercises every interesting
+    // path: warm-kept delay edits, a structural add (arc id 11), a rejected
+    // batch (token-free cycle), and a marking flip.
+    const signal_graph sg = c_oscillator_sg();
+    const std::string script_text = R"({
+      "batches": [
+        {"label": "slow comparator",
+         "edits": [{"op": "set_delay", "arc": 6, "delay": "7/2"}]},
+        {"label": "tighten b loop",
+         "edits": [{"op": "set_delay", "arc": 4, "delay": 9}]},
+        {"label": "guard arc",
+         "edits": [{"op": "add_arc", "from": "c+", "to": "c-", "delay": 5,
+                    "marked": true}]},
+        {"label": "illegal short circuit",
+         "edits": [{"op": "add_arc", "from": "c+", "to": "a+", "delay": 1}]},
+        {"label": "engage the guard",
+         "edits": [{"op": "set_marking", "arc": 11, "marked": false},
+                   {"op": "set_delay", "arc": 11, "delay": "11/2"}]}
+      ]
+    })";
+    const edit_script script = parse_edit_script(script_text, sg);
+    incremental_engine engine(sg);
+    const rational nominal = engine.analyze().cycle_time;
+    ASSERT_EQ(nominal, rational(10));
+    const std::vector<edit_batch_status> statuses = run_edit_script(engine, script);
+    ASSERT_EQ(statuses.size(), 5u);
+    EXPECT_FALSE(statuses[3].applied) << "token-free cycle must be rejected";
+    EXPECT_EQ(statuses[4].cycle_time, rational(18));
+    compare_against_golden("edit_incremental.json",
+                           edit_run_json(engine, script, nominal,
+                                         /*nominal_cyclic=*/true, statuses));
 }
 
 TEST(GoldenJson, NormalizerToleratesFormattingButNotValues)

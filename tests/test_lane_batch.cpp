@@ -256,6 +256,51 @@ TEST(LaneBatch, SingleLaneOverflowEvictionLeavesSiblingsExact)
     EXPECT_EQ(batch.outcomes[2].cycle_time, rational(1, p1) + rational(10, p2));
 }
 
+TEST(LaneBatch, DeltaHintedLanesReuseBaseRowsAndMatchScalar)
+{
+    const signal_graph sg = random_fractional_graph(21, 24);
+    const compiled_graph base(sg);
+    ASSERT_TRUE(base.fixed_point());
+    const scenario_engine engine(base);
+
+    // Integer-multiplier corners (2d and 3d): the perturbed denominator
+    // equals the nominal one, so every hinted lane can adopt the base
+    // scale and reuse its scaled rows wholesale.
+    std::vector<scenario> corners;
+    for (arc_id a = 0; a < sg.arc_count(); ++a) {
+        for (const std::int64_t mult : {2, 3}) {
+            scenario s;
+            s.label = "arc" + std::to_string(a) + "x" + std::to_string(mult);
+            s.delay = base.delay();
+            s.delay[a] = s.delay[a] * rational(mult);
+            s.delta_arc = a;
+            corners.push_back(std::move(s));
+        }
+    }
+    ASSERT_FALSE(corners.empty());
+
+    for (const bool with_slack : {false, true}) {
+        scenario_batch_options scalar;
+        scalar.lane_width = 1;
+        scalar.with_slack = with_slack;
+        scalar.solver = cycle_time_solver::border_sweep;
+        scalar.delta = scenario_batch_options::delta_mode::dense;
+        const scenario_batch_result reference = engine.run(corners, scalar);
+        EXPECT_EQ(reference.lane_rows_reused, 0u);
+
+        scenario_batch_options lanes = scalar;
+        lanes.lane_width = 8;
+        const scenario_batch_result batch = engine.run(corners, lanes);
+        expect_outcomes_equal(reference, batch,
+                              with_slack ? "hinted+slack" : "hinted lanes");
+        EXPECT_EQ(batch.lane_evictions, 0u);
+        EXPECT_GT(batch.lane_rows_reused, 0u);
+        // Each hinted lane re-packs exactly its dirty row (when the swept
+        // arc is in the core); nothing else goes through the rescale.
+        EXPECT_LE(batch.lane_rows_repacked, batch.lane_groups * 8);
+    }
+}
+
 TEST(LaneBatch, SparseDeltaCornerSweepMatchesDenseRebinds)
 {
     for (const std::uint64_t seed : {1u, 9u}) {
