@@ -1,0 +1,272 @@
+// Mixed-traffic load generator for the analysis service (core/service.h):
+// coalesced serving vs one-at-a-time execution of the same request stream.
+//
+// The workload is the ISSUE's serving scenario: C concurrent clients fire
+// small Monte Carlo requests (<= 8 scenarios each — far below one SoA lane
+// group per engine batch) at one registered design.  Served one-at-a-time,
+// every request pays a whole engine dispatch for a batch too small to
+// parallelize; the coalescer merges queued requests into full lane-group
+// batches, so the same stream reaches the scenario kernel as a few large
+// runs that actually fan out across the pool.
+//
+// Modes measured over the identical request stream (same seeds, border
+// solver pinned so witness identity is layout-independent):
+//
+//   solo      — service with coalescing disabled: strict one-request-per-
+//               engine-batch execution, the pre-service behaviour;
+//   coalesced — the same service with the coalescer on.
+//
+// Every coalesced response is compared against its solo payload after
+// stripping the documented engine-accounting block (a merged run reports
+// the batch's physical lane/sparse counters); any byte difference — or any
+// failed request — counts as a mismatch and fails the bench.  Latency
+// quantiles come from the service's own dogfooded stats_accumulator.
+//
+//   bench_serve [--events N] [--clients C] [--requests R] [--burst B]
+//               [--workers W] [--rounds K] [--seed S] [--json out.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/api.h"
+#include "core/service.h"
+#include "gen/random_sg.h"
+#include "sg/signal_graph.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace tsg;
+using clock_type = std::chrono::steady_clock;
+
+/// Strips every "engine" member (any depth) and re-serializes — the one
+/// payload block a coalesced response reports from the merged run.
+void strip_engine(json_value& doc)
+{
+    doc.members.erase(std::remove_if(doc.members.begin(), doc.members.end(),
+                                     [](const auto& m) { return m.first == "engine"; }),
+                      doc.members.end());
+    for (auto& [key, value] : doc.members) strip_engine(value);
+    for (json_value& item : doc.items) strip_engine(item);
+}
+
+std::string without_engine_block(const std::string& payload)
+{
+    json_value doc = json_parse(payload, "payload");
+    strip_engine(doc);
+    return doc.write();
+}
+
+/// The full request stream, one vector per client.  Small Monte Carlo
+/// batches with per-request seeds: deterministic, all engine-compatible
+/// (border solver) but each with its own payload.
+std::vector<std::vector<analysis_request>> make_stream(std::size_t clients,
+                                                       std::size_t per_client)
+{
+    std::vector<std::vector<analysis_request>> stream(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        for (std::size_t i = 0; i < per_client; ++i) {
+            analysis_request request;
+            request.kind = request_kind::montecarlo;
+            request.id = "c" + std::to_string(c) + "-" + std::to_string(i);
+            request.design.id = "bench";
+            request.options.solver = cycle_time_solver::border_sweep;
+            request.options.samples = 4 + (c * per_client + i) % 5; // 4..8
+            request.options.seed = 1000 + c * 10000 + i;
+            // The SSTA-style throughput client: cycle-time statistics only
+            // (the engine's own guidance for Monte-Carlo-scale batches) —
+            // witness extraction would dominate the lane-batched hot path.
+            request.options.with_slack = false;
+            request.options.with_witness = false;
+            stream[c].push_back(request);
+        }
+    }
+    return stream;
+}
+
+struct mode_result {
+    double wall_seconds = 0.0;
+    std::size_t scenarios = 0;
+    std::size_t failures = 0;
+    std::map<std::string, std::string> payloads; ///< id -> raw payload
+    service_metrics metrics;
+};
+
+/// Runs the whole stream against a fresh service: C client threads, each
+/// submitting bursts of B requests and draining them (a pipelined client).
+mode_result run_mode(const signal_graph& sg,
+                     const std::vector<std::vector<analysis_request>>& stream,
+                     bool coalesce, unsigned workers, std::size_t burst)
+{
+    service_options options;
+    options.workers = workers;
+    options.coalesce = coalesce;
+    analysis_service service(options);
+    service.register_design("bench", sg);
+
+    const std::size_t clients = stream.size();
+    std::vector<std::vector<std::pair<std::string, std::string>>> collected(clients);
+    std::vector<std::size_t> scenario_counts(clients, 0);
+    std::vector<std::size_t> failure_counts(clients, 0);
+
+    const clock_type::time_point start = clock_type::now();
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            const std::vector<analysis_request>& requests = stream[c];
+            for (std::size_t done = 0; done < requests.size();) {
+                const std::size_t n = std::min(burst, requests.size() - done);
+                std::vector<std::future<analysis_response>> futures;
+                futures.reserve(n);
+                for (std::size_t k = 0; k < n; ++k)
+                    futures.push_back(service.submit(requests[done + k]));
+                for (std::size_t k = 0; k < n; ++k) {
+                    analysis_response response = futures[k].get();
+                    if (!response.ok) {
+                        ++failure_counts[c];
+                        continue;
+                    }
+                    scenario_counts[c] += response.scenarios;
+                    collected[c].emplace_back(std::move(response.id),
+                                              std::move(response.payload));
+                }
+                done += n;
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    mode_result result;
+    result.wall_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
+    for (std::size_t c = 0; c < clients; ++c) {
+        result.scenarios += scenario_counts[c];
+        result.failures += failure_counts[c];
+        for (auto& [id, payload] : collected[c]) result.payloads.emplace(id, payload);
+    }
+    result.metrics = service.metrics();
+    return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    tsg_bench::bench_reporter reporter(argc, argv);
+
+    std::uint32_t events = 256;
+    std::size_t clients = 4;
+    std::size_t per_client = 64;
+    std::size_t burst = 8;
+    unsigned workers = 2;
+    int rounds = 2;
+    std::uint32_t seed = 42;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--events" && i + 1 < argc)
+            events = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--clients" && i + 1 < argc)
+            clients = std::stoull(argv[++i]);
+        else if (arg == "--requests" && i + 1 < argc)
+            per_client = std::stoull(argv[++i]);
+        else if (arg == "--burst" && i + 1 < argc)
+            burst = std::stoull(argv[++i]);
+        else if (arg == "--workers" && i + 1 < argc)
+            workers = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--rounds" && i + 1 < argc)
+            rounds = std::stoi(argv[++i]);
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    }
+
+    random_sg_options gopts;
+    gopts.events = events;
+    gopts.extra_arcs = events; // m = 2n
+    gopts.seed = seed;
+    gopts.border_limit = 4;
+    const signal_graph sg = random_marked_graph(gopts);
+    const std::vector<std::vector<analysis_request>> stream =
+        make_stream(clients, per_client);
+    const std::size_t total_requests = clients * per_client;
+
+    std::cout << "model: n=" << sg.event_count() << " m=" << sg.arc_count() << ", "
+              << clients << " clients x " << per_client << " requests (burst " << burst
+              << ", " << workers << " workers)\n";
+
+    mode_result solo;
+    mode_result coalesced;
+    for (int round = 0; round < rounds; ++round) {
+        mode_result s = run_mode(sg, stream, /*coalesce=*/false, workers, burst);
+        mode_result m = run_mode(sg, stream, /*coalesce=*/true, workers, burst);
+        if (round == 0 || s.wall_seconds < solo.wall_seconds) solo = std::move(s);
+        if (round == 0 || m.wall_seconds < coalesced.wall_seconds)
+            coalesced = std::move(m);
+    }
+
+    // Bit-identity: every coalesced payload must equal its solo payload
+    // once the merged run's engine-accounting block is stripped.
+    std::size_t mismatches = solo.failures + coalesced.failures;
+    if (solo.payloads.size() != total_requests ||
+        coalesced.payloads.size() != total_requests)
+        ++mismatches;
+    for (const auto& [id, payload] : coalesced.payloads) {
+        const auto it = solo.payloads.find(id);
+        if (it == solo.payloads.end() ||
+            without_engine_block(payload) != without_engine_block(it->second))
+            ++mismatches;
+    }
+
+    const double solo_rate = static_cast<double>(solo.scenarios) / solo.wall_seconds;
+    const double serve_rate =
+        static_cast<double>(coalesced.scenarios) / coalesced.wall_seconds;
+    const double speedup = serve_rate / solo_rate;
+    const service_metrics& m = coalesced.metrics;
+
+    std::cout << "solo      : " << solo.wall_seconds << " s  (" << solo_rate
+              << " scenarios/s, " << solo.metrics.engine_batches << " engine batches)\n";
+    std::cout << "coalesced : " << coalesced.wall_seconds << " s  (" << serve_rate
+              << " scenarios/s, " << m.engine_batches << " engine batches, efficiency "
+              << m.coalescing_efficiency << " req/batch)\n";
+    std::cout << "speedup   : " << speedup << "x vs one-at-a-time\n";
+    std::cout << "latency   : p50 " << m.latency_p50_us << " us, p95 " << m.latency_p95_us
+              << " us, p99 " << m.latency_p99_us << " us (coalesced mode)\n";
+    std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
+              << mismatches << " mismatches)\n";
+
+    reporter.record("events", static_cast<double>(sg.event_count()), "count");
+    reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
+    reporter.record("clients", static_cast<double>(clients), "count");
+    reporter.record("requests", static_cast<double>(total_requests), "count");
+    reporter.record("scenarios", static_cast<double>(coalesced.scenarios), "count");
+    reporter.record("solo_scenarios_per_second", solo_rate, "1/s");
+    reporter.record("serve_scenarios_per_second", serve_rate, "1/s");
+    reporter.record("speedup_vs_solo", speedup, "x");
+    reporter.record("coalescing_efficiency", m.coalescing_efficiency, "req/batch");
+    reporter.record("engine_batches", static_cast<double>(m.engine_batches), "count");
+    reporter.record("coalesced_requests", static_cast<double>(m.coalesced_requests),
+                    "count");
+    reporter.record("latency_p50_us", m.latency_p50_us, "us");
+    reporter.record("latency_p95_us", m.latency_p95_us, "us");
+    reporter.record("latency_p99_us", m.latency_p99_us, "us");
+    // Inverse latencies are the gateable (higher-is-better) views of the
+    // same quantiles for ci/check_perf.py.
+    reporter.record("inverse_latency_p50_khz",
+                    m.latency_p50_us > 0 ? 1000.0 / m.latency_p50_us : 0.0, "1/ms");
+    reporter.record("inverse_latency_p95_khz",
+                    m.latency_p95_us > 0 ? 1000.0 / m.latency_p95_us : 0.0, "1/ms");
+    reporter.record("inverse_latency_p99_khz",
+                    m.latency_p99_us > 0 ? 1000.0 / m.latency_p99_us : 0.0, "1/ms");
+    reporter.record("mismatches", static_cast<double>(mismatches), "count");
+
+    if (mismatches != 0) {
+        std::cerr << "FAIL: coalesced payloads diverge from solo execution\n";
+        return 1;
+    }
+    return 0;
+}

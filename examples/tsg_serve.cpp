@@ -1,0 +1,215 @@
+// The analysis daemon: a persistent process serving the unified request
+// API (core/api.h) from a shared design registry (core/service.h).
+//
+// Clients speak newline-delimited JSON — one analysis_request document
+// per line, one analysis_response line back, in order per connection.
+// All connections share one analysis_service, so every client analyzes
+// the same compiled snapshots and small batch requests from different
+// clients coalesce into full lane-group engine batches.
+//
+// Usage:
+//   tsg_serve --pipe [options]            serve stdin/stdout (one client;
+//                                         the mode tests and scripts use)
+//   tsg_serve --port N [options]          listen on 127.0.0.1:N, one
+//                                         thread per connection
+// Options:
+//   --design name=path      register a .tsg model (repeatable)
+//   --demo name             register the built-in demo oscillator
+//   --workers N             dispatch threads (default 2)
+//   --no-coalesce           strict one-request-per-batch execution
+//   --max-batch N           scenario budget per merged batch (default 256)
+//   --window-us N           wait N microseconds for merge partners
+//   --max-versions N        versions kept per design chain (default 4)
+//
+// Example session (pipe mode):
+//   $ tsg_serve --pipe --demo osc
+//   {"api_version": 1, "kind": "sweep", "design": {"id": "osc"}}
+//   {"id": "", "ok": true, ...}
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/service.h"
+#include "gen/oscillator.h"
+#include "sg/sg_io.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace tsg;
+
+/// A minimal bidirectional streambuf over one socket fd, so the service's
+/// iostream transport (serve_stream) runs unchanged over TCP.
+class fd_streambuf : public std::streambuf {
+public:
+    explicit fd_streambuf(int fd) : fd_(fd)
+    {
+        setg(in_, in_, in_);
+        setp(out_, out_ + sizeof(out_));
+    }
+
+protected:
+    int_type underflow() override
+    {
+        const ssize_t n = ::read(fd_, in_, sizeof(in_));
+        if (n <= 0) return traits_type::eof();
+        setg(in_, in_, in_ + n);
+        return traits_type::to_int_type(in_[0]);
+    }
+
+    int_type overflow(int_type ch) override
+    {
+        if (flush_out() < 0) return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int sync() override { return flush_out(); }
+
+private:
+    int flush_out()
+    {
+        const char* p = pbase();
+        while (p < pptr()) {
+            const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+            if (n <= 0) return -1;
+            p += n;
+        }
+        setp(out_, out_ + sizeof(out_));
+        return 0;
+    }
+
+    int fd_;
+    char in_[4096];
+    char out_[4096];
+};
+
+void serve_connection(analysis_service& service, int fd)
+{
+    fd_streambuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    service.serve_stream(in, out);
+    ::close(fd);
+}
+
+int serve_socket(analysis_service& service, int port)
+{
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::cerr << "error: socket: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listener, 16) < 0) {
+        std::cerr << "error: bind/listen on port " << port << ": "
+                  << std::strerror(errno) << "\n";
+        ::close(listener);
+        return 1;
+    }
+    std::cerr << "tsg_serve: listening on 127.0.0.1:" << port << "\n";
+
+    std::vector<std::thread> connections;
+    for (;;) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) break;
+        connections.emplace_back(
+            [&service, fd] { serve_connection(service, fd); });
+    }
+    for (std::thread& t : connections) t.join();
+    ::close(listener);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        std::vector<std::string> args(argv + 1, argv + argc);
+
+        service_options options;
+        bool pipe = false;
+        int port = -1;
+        std::vector<std::pair<std::string, std::string>> designs; // name -> path
+        std::vector<std::string> demos;
+
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const std::string& arg = args[i];
+            const auto value = [&]() -> std::string {
+                require(i + 1 < args.size(), arg + " needs a value");
+                return args[++i];
+            };
+            if (arg == "--pipe") {
+                pipe = true;
+            } else if (arg == "--port") {
+                port = std::stoi(value());
+            } else if (arg == "--design") {
+                const std::string spec = value();
+                const std::size_t eq = spec.find('=');
+                require(eq != std::string::npos && eq > 0,
+                        "--design needs name=path, got '" + spec + "'");
+                designs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+            } else if (arg == "--demo") {
+                demos.push_back(value());
+            } else if (arg == "--workers") {
+                options.workers = static_cast<unsigned>(std::stoul(value()));
+            } else if (arg == "--no-coalesce") {
+                options.coalesce = false;
+            } else if (arg == "--max-batch") {
+                options.max_coalesce_scenarios = std::stoull(value());
+            } else if (arg == "--window-us") {
+                options.coalesce_window = std::chrono::microseconds(std::stoll(value()));
+            } else if (arg == "--max-versions") {
+                options.max_versions_per_design = std::stoull(value());
+            } else {
+                std::cerr << "error: unrecognized argument '" << arg << "'\n";
+                return 1;
+            }
+        }
+        if (pipe == (port >= 0)) {
+            std::cerr << "error: pick exactly one of --pipe or --port N\n";
+            return 1;
+        }
+        if (designs.empty() && demos.empty()) {
+            std::cerr << "error: register at least one design (--design name=path "
+                         "or --demo name)\n";
+            return 1;
+        }
+
+        analysis_service service(options);
+        for (const auto& [name, path] : designs) service.register_design(name, load_sg(path));
+        for (const std::string& name : demos) service.register_design(name, c_oscillator_sg());
+
+        if (pipe) {
+            service.serve_stream(std::cin, std::cout);
+            return 0;
+        }
+        return serve_socket(service, port);
+    } catch (const tsg::error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

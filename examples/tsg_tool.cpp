@@ -2,11 +2,21 @@
 // and print the full performance report — the shape of a tool a user of
 // this library would actually ship.
 //
+// Every machine-readable subcommand is a thin client of the unified
+// analysis API (core/api.h): the flags build one analysis_request, the
+// shared executors produce the payload document, and the same pipeline
+// serves the analysis daemon (examples/tsg_serve.cpp) — the tool and the
+// service cannot drift apart.
+//
 // Usage:
 //   tsg_tool                      analyze the built-in demo graph
 //   tsg_tool model.tsg            analyze a Timed Signal Graph file
 //   tsg_tool model.circuit        extract from a circuit, then analyze
 //   tsg_tool --report [file]      emit the full markdown report instead
+//   tsg_tool analyze [file] [--solver auto|border|howard]
+//                                 one nominal analysis (cycle time +
+//                                 critical cycle, or PERT makespan);
+//                                 JSON on stdout
 //   tsg_tool sweep [file] [--factor N/D] [--solver auto|border|howard]
 //                  [--lanes 0|1|2|4|8|16] [--delta auto|dense|sparse]
 //                                 per-arc +/- corner batch on the scenario
@@ -33,8 +43,8 @@
 //                                 incremental engine (core/incremental.h)
 //                                 and re-analyze after each atomic batch;
 //                                 JSON on stdout, including the engine's
-//                                 locality counters (see core/edit_json.h
-//                                 for the script format)
+//                                 locality counters (see core/api.h for
+//                                 the script format)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,14 +53,9 @@
 
 #include "circuit/extraction.h"
 #include "circuit/netlist_io.h"
+#include "core/api.h"
 #include "core/cycle_time.h"
-#include "core/edit_json.h"
-#include "core/incremental.h"
-#include "core/pert.h"
 #include "core/report.h"
-#include "core/scenario.h"
-#include "core/scenario_json.h"
-#include "core/stats.h"
 #include "gen/oscillator.h"
 #include "sg/sg_io.h"
 #include "util/strings.h"
@@ -157,101 +162,76 @@ scenario_batch_options::delta_mode parse_delta(const std::string& name)
     throw error("--delta: unknown mode '" + name + "' (use auto, dense or sparse)");
 }
 
-int run_batch_command(const std::string& command, std::vector<std::string> args)
+/// Everything consumed except (at most) the model path — a misspelled or
+/// value-less flag must not silently fall back to defaults.
+bool reject_unrecognized(const std::string& command, const std::vector<std::string>& args)
 {
-    const rational spread =
-        rational::parse(option_value(args, command == "sweep" ? "--factor" : "--spread",
-                                     "1/10"));
-    const std::size_t samples =
-        static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
-    const std::uint64_t seed = std::stoull(option_value(args, "--seed", "1"));
-    const std::string solver_name = option_value(args, "--solver", "auto");
-    const cycle_time_solver solver = parse_solver(solver_name);
-    const auto lanes =
-        static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
-    const scenario_batch_options::delta_mode delta =
-        parse_delta(option_value(args, "--delta", "auto"));
-    // The statistics flags only exist on the stats-capable subcommands, so
-    // e.g. `sweep --adaptive` fails the unrecognized-argument check below.
-    // An explicit --epsilon or --quantile implies the adaptive statistics
-    // path (matching explore_gate_criticality) — a CI-targeting flag must
-    // never be consumed and then silently ignored.
-    const bool statistics_capable = command == "montecarlo" || command == "criticality";
-    const double epsilon =
-        statistics_capable ? std::stod(option_value(args, "--epsilon", "-1")) : -1.0;
-    const double quantile =
-        statistics_capable ? std::stod(option_value(args, "--quantile", "-1")) : -1.0;
-    const bool adaptive = (statistics_capable && option_flag(args, "--adaptive")) ||
-                          epsilon > 0.0 || quantile >= 0.0;
-
-    // Everything consumed except (at most) the model path — a misspelled or
-    // value-less flag must not silently fall back to defaults.
     if (args.size() > 1 || (args.size() == 1 && args[0].rfind("--", 0) == 0)) {
         std::cerr << "error: unrecognized " << command << " arguments:";
         for (std::size_t i = args.size() > 1 ? 1 : 0; i < args.size(); ++i)
             std::cerr << " " << args[i];
         std::cerr << "\n";
+        return true;
+    }
+    return false;
+}
+
+/// Executes a fully built request against a loaded model and prints the
+/// payload — the one funnel every JSON subcommand exits through.
+int emit_request(const analysis_request& request, const signal_graph& sg)
+{
+    const analysis_response response = execute_request(request, sg);
+    if (!response.ok) {
+        std::cerr << "error: " << response.error.message << "\n";
         return 1;
     }
-
-    const signal_graph sg = load_model(args.empty() ? std::string() : args[0]);
-    const compiled_graph compiled(sg);
-    const scenario_engine engine(compiled);
-
-    // Statistics paths: criticality probabilities and adaptive Monte Carlo
-    // stream rounds through core/stats.h instead of materializing a batch.
-    if (command == "criticality" || adaptive) {
-        monte_carlo_options mc;
-        mc.seed = seed;
-        mc.spread = spread;
-        stats_options stats;
-        stats.solver = solver;
-        stats.lane_width = lanes;
-        stats.quantile = quantile;
-        if (command == "criticality") {
-            stats.criticality = true;
-            stats.group_by_signal = true;
-        }
-        stats_run_result run;
-        if (adaptive) {
-            stats.epsilon = epsilon > 0.0 ? epsilon : 0.05;
-            stats.max_samples = samples; // --samples caps the adaptive run
-            run = monte_carlo_adaptive(engine, sg, mc, stats);
-        } else {
-            mc.samples = samples;
-            run = monte_carlo_statistics(engine, sg, mc, stats);
-        }
-        std::cout << statistics_json(command, solver_name, sg, run, stats);
-        return 0;
-    }
-
-    std::vector<scenario> scenarios;
-    if (command == "sweep") {
-        corner_sweep_options opts;
-        opts.factor = spread;
-        scenarios = corner_sweep_scenarios(sg, opts);
-    } else {
-        monte_carlo_options opts;
-        opts.samples = samples;
-        opts.seed = seed;
-        opts.spread = spread;
-        scenarios = monte_carlo_scenarios(sg, opts);
-    }
-    if (scenarios.empty()) {
-        std::cerr << "error: no scenarios to evaluate (no perturbable arcs)\n";
-        return 1;
-    }
-
-    const rational nominal =
-        engine.evaluate(compiled.delay(), /*with_slack=*/false, /*analysis_threads=*/0, solver)
-            .cycle_time;
-    scenario_batch_options batch_opts;
-    batch_opts.solver = solver;
-    batch_opts.lane_width = lanes;
-    batch_opts.delta = delta;
-    const scenario_batch_result batch = engine.run(scenarios, batch_opts);
-    std::cout << scenario_batch_json(command, solver_name, sg, nominal, scenarios, batch);
+    std::cout << response.payload;
     return 0;
+}
+
+int run_batch_command(const std::string& command, std::vector<std::string> args)
+{
+    analysis_request request;
+    request.kind = parse_request_kind(command);
+    request_options& o = request.options;
+
+    const rational spread =
+        rational::parse(option_value(args, command == "sweep" ? "--factor" : "--spread",
+                                     "1/10"));
+    if (command == "sweep")
+        o.factor = spread;
+    else
+        o.spread = spread;
+    o.samples =
+        static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
+    o.seed = std::stoull(option_value(args, "--seed", "1"));
+    o.solver = parse_solver(option_value(args, "--solver", "auto"));
+    o.lane_width = static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
+    o.delta = parse_delta(option_value(args, "--delta", "auto"));
+    // The statistics flags only exist on the stats-capable subcommands, so
+    // e.g. `sweep --adaptive` fails the unrecognized-argument check below.
+    // An explicit --epsilon or --quantile implies the adaptive statistics
+    // path — a CI-targeting flag must never be consumed and then silently
+    // ignored.
+    const bool statistics_capable = command == "montecarlo" || command == "criticality";
+    o.epsilon =
+        statistics_capable ? std::stod(option_value(args, "--epsilon", "-1")) : -1.0;
+    o.quantile =
+        statistics_capable ? std::stod(option_value(args, "--quantile", "-1")) : -1.0;
+    o.adaptive = (statistics_capable && option_flag(args, "--adaptive")) ||
+                 o.epsilon > 0.0 || o.quantile >= 0.0;
+
+    if (reject_unrecognized(command, args)) return 1;
+    return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
+}
+
+int run_analyze_command(std::vector<std::string> args)
+{
+    analysis_request request;
+    request.kind = request_kind::analyze;
+    request.options.solver = parse_solver(option_value(args, "--solver", "auto"));
+    if (reject_unrecognized("analyze", args)) return 1;
+    return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
 }
 
 int run_edit_command(std::vector<std::string> args)
@@ -261,12 +241,7 @@ int run_edit_command(std::vector<std::string> args)
         std::cerr << "error: edit needs --script <edits.json>\n";
         return 1;
     }
-    if (args.size() > 1 || (args.size() == 1 && args[0].rfind("--", 0) == 0)) {
-        std::cerr << "error: unrecognized edit arguments:";
-        for (const std::string& a : args) std::cerr << " " << a;
-        std::cerr << "\n";
-        return 1;
-    }
+    if (reject_unrecognized("edit", args)) return 1;
 
     std::ifstream in(script_path);
     if (!in.good()) {
@@ -276,16 +251,10 @@ int run_edit_command(std::vector<std::string> args)
     std::stringstream buffer;
     buffer << in.rdbuf();
 
-    const signal_graph sg = load_model(args.empty() ? std::string() : args[0]);
-    const edit_script script = parse_edit_script(buffer.str(), sg);
-
-    incremental_engine engine(sg);
-    const bool nominal_cyclic = !sg.repetitive_events().empty();
-    const rational nominal = nominal_cyclic ? engine.analyze().cycle_time
-                                            : analyze_pert(engine.compiled()).makespan;
-    const std::vector<edit_batch_status> statuses = run_edit_script(engine, script);
-    std::cout << edit_run_json(engine, script, nominal, nominal_cyclic, statuses);
-    return 0;
+    analysis_request request;
+    request.kind = request_kind::edit;
+    request.edits = json_parse(buffer.str(), "edit script");
+    return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
 }
 
 } // namespace
@@ -297,6 +266,10 @@ int main(int argc, char** argv)
         if (!args.empty() && args[0] == "edit") {
             args.erase(args.begin());
             return run_edit_command(std::move(args));
+        }
+        if (!args.empty() && args[0] == "analyze") {
+            args.erase(args.begin());
+            return run_analyze_command(std::move(args));
         }
         if (!args.empty() &&
             (args[0] == "sweep" || args[0] == "montecarlo" || args[0] == "criticality")) {

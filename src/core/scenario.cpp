@@ -882,7 +882,15 @@ scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenario
 
     // Serial reduction in scenario order — the batch result is independent
     // of the thread schedule.
-    out.criticality_count.assign(base_->delay().size(), 0);
+    reduce_scenario_outcomes(out, base_->delay().size());
+    return out;
+}
+
+void reduce_scenario_outcomes(scenario_batch_result& out, std::size_t arc_count)
+{
+    out.criticality_count.assign(arc_count, 0);
+    out.fallback_count = 0;
+    out.critical_cycles.clear();
     std::map<std::vector<arc_id>, std::size_t> cycle_stat; // cycle -> stats slot
     double sum = 0.0;
     for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
@@ -913,7 +921,6 @@ scenario_batch_result scenario_engine::run(const std::vector<scenario>& scenario
                          if (a.count != b.count) return a.count > b.count;
                          return a.first_index < b.first_index;
                      });
-    return out;
 }
 
 std::vector<scenario> corner_sweep_scenarios(const signal_graph& sg,
@@ -966,28 +973,102 @@ std::uint64_t sample_stream_seed(std::uint64_t seed, std::uint64_t k)
 
 } // namespace
 
-std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
-                                            const monte_carlo_options& options)
+namespace {
+
+/// Validates the shared Monte Carlo preconditions (everything except the
+/// sample count, which table building does not need).
+void validate_mc_options(const signal_graph& sg, const monte_carlo_options& options)
 {
     require(sg.finalized(), "monte_carlo_scenarios: graph must be finalized");
-    require(options.samples > 0, "monte_carlo_scenarios: samples must be positive");
     require(options.resolution > 0, "monte_carlo_scenarios: resolution must be positive");
     require(options.model.resolution > 0,
             "monte_carlo_scenarios: delay_model resolution must be positive");
     for (const delay_model::source& src : options.model.sources)
         require(src.sensitivity.size() == sg.arc_count(),
                 "monte_carlo_scenarios: delay_model needs one sensitivity per arc");
+}
 
-    // Resolve the per-arc ranges once.
-    std::vector<delay_range> ranges;
+/// Resolved per-arc sampling description.  The sampled delay
+/// lo + (hi - lo) * u/res is a point on the arc's fixed grid, so it can be
+/// built as ONE normalized rational (base + step*u over a precomputed
+/// denominator) instead of a chain of rational ops, each paying its own
+/// gcd.  Generation is the dominant cost of small-request Monte Carlo
+/// serving, and this path cuts it several-fold; arcs whose grid components
+/// would overflow int64 fall back to the exact rational chain over
+/// `ranges` (identical values either way).
+struct mc_sampling {
+    struct sample_grid {
+        std::int64_t base = 0; ///< lo.num * span.den * resolution
+        std::int64_t step = 0; ///< span.num * lo.den
+        std::int64_t den = 1;  ///< lo.den * span.den * resolution
+        bool fast = false;
+    };
+    std::vector<sample_grid> grids;
+    std::vector<delay_range> ranges; ///< exact ranges, for the fallback path
+};
+
+mc_sampling resolve_mc_sampling(const signal_graph& sg,
+                                const monte_carlo_options& options)
+{
+    mc_sampling s;
+    s.grids.resize(sg.arc_count());
+    constexpr int128 lim = std::numeric_limits<std::int64_t>::max();
+
+    // Reduces one arc's grid from raw (possibly unnormalized) fraction
+    // components lo = ln/ld, span = sn/sd with sn >= 0 — the per-sample
+    // rational construction canonicalizes, so the grid itself need not be.
+    // Dividing out the common gcd once keeps the per-sample gcd running on
+    // small operands.  Returns false when the components overflow int64.
+    const auto install_grid = [&](arc_id a, int128 ln, int128 ld, int128 sn,
+                                  int128 sd) {
+        // Every component is non-negative and every denominator factor is
+        // >= 1, so each guarded product only grows: the moment a partial
+        // product exceeds int64, the full grid would too, and checking
+        // after each multiply also keeps the int128 intermediates exact.
+        if (ln > lim || ld > lim || sn > lim || sd > lim) return false;
+        const int128 num_hi = ln * sd;
+        const int128 den_lo = ld * sd;
+        const int128 step = sn * ld;
+        if (num_hi > lim || den_lo > lim || step > lim) return false;
+        const int128 base = num_hi * options.resolution;
+        const int128 den = den_lo * options.resolution;
+        // u ranges over [0, resolution], so base + step*resolution bounds
+        // the numerator.
+        if (den > lim || base + step * options.resolution > lim) return false;
+        mc_sampling::sample_grid& g = s.grids[a];
+        g.base = static_cast<std::int64_t>(base);
+        g.step = static_cast<std::int64_t>(step);
+        g.den = static_cast<std::int64_t>(den);
+        const std::int64_t common = std::gcd(std::gcd(g.base, g.step), g.den);
+        if (common > 1) {
+            g.base /= common;
+            g.step /= common;
+            g.den /= common;
+        }
+        g.fast = true;
+        return true;
+    };
+
     if (options.ranges.empty()) {
         require(!options.spread.is_negative(),
                 "monte_carlo_scenarios: spread must be non-negative");
-        ranges.reserve(sg.arc_count());
+        // lo = max(0, d * (1 - spread)), hi = d * (1 + spread).  For d >= 0
+        // the clamp distributes onto the loop-invariant factor, so each
+        // arc's grid is a handful of integer multiplies — no per-arc
+        // rational arithmetic at all.
+        const rational one_minus = rational(1) - options.spread;
+        const rational hi_f = rational(1) + options.spread;
+        const rational lo_f = one_minus.is_negative() ? rational(0) : one_minus;
+        const rational span_f = hi_f - lo_f;
+        s.ranges.resize(sg.arc_count()); // filled only for fallback arcs
         for (arc_id a = 0; a < sg.arc_count(); ++a) {
-            const rational d = sg.arc(a).delay;
-            ranges.push_back({max(rational(0), d * (rational(1) - options.spread)),
-                              d * (rational(1) + options.spread)});
+            const rational& d = sg.arc(a).delay;
+            if (d.is_negative() ||
+                !install_grid(a, static_cast<int128>(d.num()) * lo_f.num(),
+                              static_cast<int128>(d.den()) * lo_f.den(),
+                              static_cast<int128>(d.num()) * span_f.num(),
+                              static_cast<int128>(d.den()) * span_f.den()))
+                s.ranges[a] = {max(rational(0), d * one_minus), d * hi_f};
         }
     } else {
         require(options.ranges.size() == sg.arc_count(),
@@ -995,14 +1076,40 @@ std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
         for (const delay_range& r : options.ranges)
             require(!r.lo.is_negative() && r.lo <= r.hi,
                     "monte_carlo_scenarios: ranges must satisfy 0 <= lo <= hi");
-        ranges = options.ranges;
+        s.ranges = options.ranges;
+        for (arc_id a = 0; a < sg.arc_count(); ++a) {
+            const delay_range& r = s.ranges[a];
+            const rational span = r.hi - r.lo;
+            (void)install_grid(a, r.lo.num(), r.lo.den(), span.num(), span.den());
+        }
     }
+    return s;
+}
 
-    // Full batch storage up front, then per-worker generation: each worker
-    // fills disjoint slots from the sample's own PRNG stream.  Sample k of
-    // this call is global stream sample first_sample + k: the scenario is a
-    // pure function of (seed, global index), so round partitions and whole
-    // batches generate identical scenarios.
+/// Grid value of arc `a` at grid position `u` — one rational construction
+/// on the fast path, the exact chain on the fallback path.
+rational mc_value(const mc_sampling& s, const monte_carlo_options& options,
+                  arc_id a, std::int64_t u)
+{
+    const mc_sampling::sample_grid& g = s.grids[a];
+    if (g.fast) return rational(g.base + g.step * u, g.den);
+    const delay_range& r = s.ranges[a];
+    return r.lo + (r.hi - r.lo) * rational(u, options.resolution);
+}
+
+/// The shared generation loop: full batch storage up front, then
+/// per-worker generation — each worker fills disjoint slots from the
+/// sample's own PRNG stream.  Sample k of this call is global stream
+/// sample first_sample + k: the scenario is a pure function of
+/// (seed, global index), so round partitions and whole batches generate
+/// identical scenarios.  `value_at(a, u)` supplies the grid value — either
+/// computed (mc_value) or looked up (monte_carlo_table).
+template <class ValueAt>
+std::vector<scenario> mc_generate(const signal_graph& sg,
+                                  const monte_carlo_options& options,
+                                  ValueAt&& value_at)
+{
+    require(options.samples > 0, "monte_carlo_scenarios: samples must be positive");
     const std::size_t K = options.model.sources.size();
     std::vector<scenario> out(options.samples);
     const bool parallel_worthwhile =
@@ -1030,10 +1137,8 @@ std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
 
             s.delay.reserve(sg.arc_count());
             for (arc_id a = 0; a < sg.arc_count(); ++a) {
-                const delay_range& r = ranges[a];
-                const rational step =
-                    rational(rng.uniform(0, options.resolution), options.resolution);
-                rational d = r.lo + (r.hi - r.lo) * step;
+                const std::int64_t u = rng.uniform(0, options.resolution);
+                rational d = value_at(a, u);
                 if (K > 0) {
                     const rational& nominal = sg.arc(a).delay;
                     for (std::size_t j = 0; j < K; ++j) {
@@ -1046,6 +1151,49 @@ std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
             }
         });
     return out;
+}
+
+} // namespace
+
+std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
+                                            const monte_carlo_options& options)
+{
+    validate_mc_options(sg, options);
+    const mc_sampling sampling = resolve_mc_sampling(sg, options);
+    return mc_generate(sg, options, [&](arc_id a, std::int64_t u) {
+        return mc_value(sampling, options, a, u);
+    });
+}
+
+monte_carlo_table build_monte_carlo_table(const signal_graph& sg,
+                                          const monte_carlo_options& options)
+{
+    validate_mc_options(sg, options);
+    const mc_sampling sampling = resolve_mc_sampling(sg, options);
+    monte_carlo_table table;
+    table.resolution = options.resolution;
+    table.arc_count = sg.arc_count();
+    table.values.reserve(sg.arc_count() *
+                         static_cast<std::size_t>(options.resolution + 1));
+    for (arc_id a = 0; a < sg.arc_count(); ++a)
+        for (std::int64_t u = 0; u <= options.resolution; ++u)
+            table.values.push_back(mc_value(sampling, options, a, u));
+    return table;
+}
+
+std::vector<scenario> monte_carlo_scenarios(const signal_graph& sg,
+                                            const monte_carlo_options& options,
+                                            const monte_carlo_table& table)
+{
+    validate_mc_options(sg, options);
+    require(table.resolution == options.resolution &&
+                table.arc_count == sg.arc_count(),
+            "monte_carlo_scenarios: table was built for a different "
+            "graph/spread/resolution");
+    return mc_generate(sg, options,
+                       [&](arc_id a, std::int64_t u) -> const rational& {
+                           return table.at(a, u);
+                       });
 }
 
 } // namespace tsg

@@ -299,6 +299,15 @@ private:
     mutable std::unique_ptr<thread_pool> pool_;
 };
 
+/// Recomputes every aggregate of `inout` from its outcomes (in order):
+/// min/max with attaining indices, the double mean, per-arc criticality
+/// counts over `arc_count` original arcs, fallback tally and the
+/// critical-cycle identity table.  Exactly the serial reduction run()
+/// performs — exposed so a caller that slices a merged batch back into
+/// per-request outcome ranges (core/service.h) reproduces each range's
+/// solo aggregates bit-identically.  Requires a non-empty outcome list.
+void reduce_scenario_outcomes(scenario_batch_result& inout, std::size_t arc_count);
+
 // --- scenario generators -----------------------------------------------------
 
 struct corner_sweep_options {
@@ -388,6 +397,40 @@ struct monte_carlo_options {
 /// storage for the full batch is reserved up front.
 [[nodiscard]] std::vector<scenario> monte_carlo_scenarios(
     const signal_graph& sg, const monte_carlo_options& options = {});
+
+/// Precomputed sampling table for one (graph, ranges/spread, resolution)
+/// combination: the `resolution + 1` grid values of every arc, materialized
+/// as canonical rationals.  Sampling against a table replaces the per-delay
+/// rational construction (a gcd each) with an indexed copy, which is the
+/// dominant cost of generating many small Monte Carlo batches over the
+/// same immutable snapshot — exactly the analysis service's workload, which
+/// caches one table per (design version, spread, resolution).
+///
+/// Tables are immutable once built and safe to share across threads.
+struct monte_carlo_table {
+    std::int64_t resolution = 0; ///< must match the sampling options
+    std::size_t arc_count = 0;
+    std::vector<rational> values; ///< arc-major: values[a*(resolution+1) + u]
+
+    [[nodiscard]] const rational& at(arc_id a, std::int64_t u) const noexcept
+    {
+        return values[a * static_cast<std::size_t>(resolution + 1) +
+                      static_cast<std::size_t>(u)];
+    }
+};
+
+/// Materializes the sampling grid of `options` (ranges or spread) over the
+/// graph's arcs.  Validates exactly like monte_carlo_scenarios.
+[[nodiscard]] monte_carlo_table build_monte_carlo_table(
+    const signal_graph& sg, const monte_carlo_options& options = {});
+
+/// monte_carlo_scenarios drawing delays from a prebuilt table instead of
+/// evaluating the grid arithmetic per delay.  The table must have been
+/// built from the same graph, ranges/spread and resolution; the generated
+/// batch is bit-identical to the table-free overload.
+[[nodiscard]] std::vector<scenario> monte_carlo_scenarios(
+    const signal_graph& sg, const monte_carlo_options& options,
+    const monte_carlo_table& table);
 
 } // namespace tsg
 

@@ -1,0 +1,642 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/compiled_graph.h"
+#include "core/incremental.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace tsg {
+
+// --- internal structures -----------------------------------------------------
+
+/// One queued request with its completion channel.
+struct analysis_service::pending {
+    analysis_request request;
+    std::promise<analysis_response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+/// One immutable compiled snapshot of a design.  The graph lives on the
+/// heap behind a shared_ptr so its address is stable for the lifetime of
+/// every rebind, even after the version is evicted from the chain while a
+/// worker still analyzes it.
+struct analysis_service::design_version {
+    std::uint64_t version = 0;
+    std::shared_ptr<const signal_graph> graph;
+    std::unique_ptr<const compiled_graph> compiled;
+    std::unique_ptr<scenario_engine> engine;
+
+    std::mutex nominal_mutex;
+    bool nominal_ready = false;
+    rational nominal; ///< lambda/makespan at the snapshot's own delays
+
+    /// Monte Carlo sampling tables, keyed by the only request knobs that
+    /// shape the grid (spread, resolution).  Small serving requests
+    /// resample the same immutable snapshot over and over; sharing the
+    /// materialized grid turns per-delay rational arithmetic into indexed
+    /// copies (core/scenario.h: monte_carlo_table).
+    std::mutex mc_mutex;
+    std::map<std::pair<std::string, std::int64_t>,
+             std::shared_ptr<const monte_carlo_table>>
+        mc_tables;
+
+    std::uint64_t last_used = 0; ///< registry use tick, for LRU eviction
+};
+
+/// One design chain: ascending versions plus the edit serialization lock.
+struct analysis_service::design_entry {
+    std::string id;
+    std::vector<std::shared_ptr<design_version>> versions;
+    std::uint64_t next_version = 1;
+    std::mutex edit_mutex; ///< structural edits on a design are serial
+};
+
+namespace {
+
+/// Two batch requests may share one engine run only when every knob that
+/// shapes the run itself agrees; the per-request payload knobs (factor,
+/// samples, seed, spread, resolution) are free to differ.
+bool engine_compatible(const request_options& a, const request_options& b)
+{
+    return a.solver == b.solver && a.max_threads == b.max_threads &&
+           a.lane_width == b.lane_width && a.delta == b.delta &&
+           a.with_slack == b.with_slack && a.with_witness == b.with_witness;
+}
+
+/// A sliced response reports the merged run's physical engine accounting
+/// (the lane/sparse counters describe how the batch actually executed);
+/// every per-request aggregate is re-reduced from the outcome slice.
+void copy_engine_accounting(const scenario_batch_result& from, scenario_batch_result& to)
+{
+    to.lane_groups = from.lane_groups;
+    to.lane_scenarios = from.lane_scenarios;
+    to.lane_evictions = from.lane_evictions;
+    to.lane_rows_reused = from.lane_rows_reused;
+    to.lane_rows_repacked = from.lane_rows_repacked;
+    to.scalar_scenarios = from.scalar_scenarios;
+    to.sparse_scenarios = from.sparse_scenarios;
+    to.sparse_arcs_touched = from.sparse_arcs_touched;
+    to.dense_sweep_arcs = from.dense_sweep_arcs;
+}
+
+bool coalescable(const analysis_request& request)
+{
+    return request.kind == request_kind::sweep ||
+           (request.kind == request_kind::montecarlo && !request.options.adaptive);
+}
+
+} // namespace
+
+// --- lifecycle ---------------------------------------------------------------
+
+analysis_service::analysis_service(service_options options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()),
+      latency_(/*arc_count=*/0,
+               options_.latency_histogram_bins == 0 ? 64 : options_.latency_histogram_bins,
+               rational(0),
+               options_.latency_histogram_hi > rational(0) ? options_.latency_histogram_hi
+                                                           : rational(1000000))
+{
+    const unsigned n = std::max(1u, options_.workers);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back(&analysis_service::worker_loop, this);
+}
+
+analysis_service::~analysis_service()
+{
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    // Workers drain the queue before exiting, so every accepted request
+    // still receives its response.
+    for (std::thread& w : workers_) w.join();
+}
+
+// --- registry ----------------------------------------------------------------
+
+std::uint64_t analysis_service::register_design(const std::string& id,
+                                                const signal_graph& sg)
+{
+    require(!id.empty(), "bad_request: a design id must not be empty");
+    std::shared_ptr<design_entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(registry_mutex_);
+        std::shared_ptr<design_entry>& slot = designs_[id];
+        if (!slot) {
+            slot = std::make_shared<design_entry>();
+            slot->id = id;
+        }
+        entry = slot;
+    }
+    std::lock_guard<std::mutex> edit_lock(entry->edit_mutex);
+    return commit_version(*entry, std::make_shared<signal_graph>(sg));
+}
+
+std::shared_ptr<analysis_service::design_entry> analysis_service::entry_of(
+    const std::string& id)
+{
+    std::lock_guard<std::mutex> lk(registry_mutex_);
+    const auto it = designs_.find(id);
+    require(it != designs_.end(),
+            "unknown_design: no design named '" + id + "' is registered");
+    return it->second;
+}
+
+std::shared_ptr<analysis_service::design_version> analysis_service::resolve(
+    const design_ref& ref)
+{
+    require(!ref.id.empty(),
+            "bad_request: the analysis service serves registered designs — set "
+            "design.id (path/text references are the stand-alone tool's mode)");
+    const std::shared_ptr<design_entry> entry = entry_of(ref.id);
+
+    std::lock_guard<std::mutex> lk(registry_mutex_);
+    std::shared_ptr<design_version> hit;
+    if (ref.version == 0) {
+        hit = entry->versions.back();
+    } else {
+        for (const std::shared_ptr<design_version>& v : entry->versions)
+            if (v->version == ref.version) {
+                hit = v;
+                break;
+            }
+        if (!hit) {
+            const std::string latest =
+                std::to_string(entry->versions.back()->version);
+            const std::string wanted = std::to_string(ref.version);
+            if (ref.version < entry->next_version)
+                throw error("unknown_version: design '" + ref.id + "' version " +
+                            wanted + " was evicted (latest is " + latest + ")");
+            throw error("unknown_version: design '" + ref.id + "' has no version " +
+                        wanted + " (latest is " + latest + ")");
+        }
+    }
+    hit->last_used = ++use_tick_;
+    return hit;
+}
+
+std::uint64_t analysis_service::commit_version(design_entry& entry,
+                                               std::shared_ptr<const signal_graph> graph)
+{
+    // Compile outside the registry lock — it is the expensive step.
+    auto next = std::make_shared<design_version>();
+    next->graph = std::move(graph);
+    next->compiled = std::make_unique<compiled_graph>(*next->graph);
+    next->engine = std::make_unique<scenario_engine>(*next->compiled);
+
+    std::lock_guard<std::mutex> lk(registry_mutex_);
+    next->version = entry.next_version++;
+    next->last_used = ++use_tick_;
+    entry.versions.push_back(std::move(next));
+
+    const std::size_t keep = std::max<std::size_t>(1, options_.max_versions_per_design);
+    while (entry.versions.size() > keep) {
+        // Evict the least-recently-used version, never the latest.
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i + 1 < entry.versions.size(); ++i)
+            if (entry.versions[i]->last_used < entry.versions[victim]->last_used)
+                victim = i;
+        entry.versions.erase(entry.versions.begin() +
+                             static_cast<std::ptrdiff_t>(victim));
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return entry.versions.back()->version;
+}
+
+rational analysis_service::nominal_of(design_version& version,
+                                      const request_options& options)
+{
+    // The nominal lambda is solver- and thread-independent (exact
+    // rational), so one cached evaluation serves every request.
+    std::lock_guard<std::mutex> lk(version.nominal_mutex);
+    if (!version.nominal_ready) {
+        version.nominal = version.engine
+                              ->evaluate(version.compiled->delay(), /*with_slack=*/false,
+                                         options.max_threads, options.solver)
+                              .cycle_time;
+        version.nominal_ready = true;
+    }
+    return version.nominal;
+}
+
+std::vector<scenario> analysis_service::scenarios_for(design_version& version,
+                                                      const analysis_request& request)
+{
+    // Non-adaptive Monte Carlo — the bulk of serving traffic — samples a
+    // fixed per-arc grid of the immutable snapshot, so the grid values are
+    // materialized once per (version, spread, resolution) and shared by
+    // every subsequent request.  Oversized grids (huge resolution or arc
+    // count) skip the cache and generate directly.
+    if (request.kind == request_kind::montecarlo && !request.options.adaptive) {
+        const monte_carlo_options mo = request.options.to_monte_carlo_options();
+        const std::size_t cells =
+            version.graph->arc_count() * static_cast<std::size_t>(mo.resolution + 1);
+        if (mo.resolution <= 4096 && cells <= (std::size_t{1} << 22)) {
+            const auto key = std::make_pair(mo.spread.str(), mo.resolution);
+            std::shared_ptr<const monte_carlo_table> table;
+            {
+                std::lock_guard<std::mutex> lk(version.mc_mutex);
+                const auto it = version.mc_tables.find(key);
+                if (it != version.mc_tables.end()) table = it->second;
+            }
+            if (!table) {
+                auto built = std::make_shared<const monte_carlo_table>(
+                    build_monte_carlo_table(*version.graph, mo));
+                std::lock_guard<std::mutex> lk(version.mc_mutex);
+                // A concurrent builder may have won the race; keep its
+                // table.  The map stays tiny (one entry per distinct
+                // client grid), but cap it against pathological clients.
+                if (version.mc_tables.size() >= 16) version.mc_tables.clear();
+                table = version.mc_tables.emplace(key, std::move(built))
+                            .first->second;
+            }
+            return monte_carlo_scenarios(*version.graph, mo, *table);
+        }
+    }
+    return request_scenarios(request, *version.graph);
+}
+
+// --- submission --------------------------------------------------------------
+
+std::future<analysis_response> analysis_service::submit(analysis_request request)
+{
+    pending job;
+    job.request = std::move(request);
+    job.enqueued = std::chrono::steady_clock::now();
+    std::future<analysis_response> result = job.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        require(!stopping_, "internal: the analysis service is shutting down");
+        queue_.push_back(std::move(job));
+        queue_peak_ = std::max(queue_peak_, queue_.size());
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+    return result;
+}
+
+analysis_response analysis_service::execute(analysis_request request)
+{
+    return submit(std::move(request)).get();
+}
+
+void analysis_service::serve_stream(std::istream& in, std::ostream& out)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        analysis_response response;
+        try {
+            response = execute(parse_analysis_request(line));
+        } catch (const error& e) {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            response.error = classify_error(e.what(), "bad_request");
+        } catch (const std::exception& e) {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            response.error = {"internal", e.what()};
+        }
+        out << analysis_response_json(response) << "\n" << std::flush;
+    }
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void analysis_service::worker_loop()
+{
+    for (;;) {
+        pending job;
+        {
+            std::unique_lock<std::mutex> lk(queue_mutex_);
+            queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        handle(std::move(job));
+    }
+}
+
+analysis_response analysis_service::respond_error(const pending& job,
+                                                  const std::string& diagnostic)
+{
+    analysis_response response;
+    response.id = job.request.id;
+    response.ok = false;
+    response.error = classify_error(diagnostic);
+    return response;
+}
+
+void analysis_service::finish(pending& job, analysis_response response)
+{
+    const auto now = std::chrono::steady_clock::now();
+    response.elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - job.enqueued).count();
+    const std::int64_t us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - job.enqueued)
+            .count();
+    {
+        // Latency dogfoods the statistical layer: each request is one
+        // "scenario outcome" whose cycle time is its microsecond latency.
+        std::lock_guard<std::mutex> lk(latency_mutex_);
+        scenario_outcome sample;
+        sample.cycle_time = rational(us);
+        sample.fixed_point = true;
+        latency_.add(sample);
+    }
+    if (!response.ok) failures_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(response));
+}
+
+void analysis_service::handle(pending job)
+{
+    if (coalescable(job.request)) {
+        handle_batch(std::move(job));
+        return;
+    }
+
+    analysis_response response;
+    response.id = job.request.id;
+    try {
+        switch (job.request.kind) {
+        case request_kind::stats:
+            response.payload = stats_json();
+            break;
+        case request_kind::edit:
+            response.payload = edit_payload(job, response.design_version);
+            break;
+        default: {
+            // analyze, criticality and adaptive montecarlo run solo —
+            // their work does not decompose into mergeable scenarios.
+            const std::shared_ptr<design_version> version = resolve(job.request.design);
+            response.design_version = version->version;
+            response.payload = execute_analysis_payload(
+                job.request, *version->graph, *version->compiled, *version->engine);
+            break;
+        }
+        }
+        response.ok = true;
+    } catch (const error& e) {
+        response = respond_error(job, e.what());
+    } catch (const std::exception& e) {
+        response = respond_error(job, std::string("internal: ") + e.what());
+    }
+    finish(job, std::move(response));
+}
+
+std::string analysis_service::edit_payload(pending& job, std::uint64_t& out_version)
+{
+    const std::shared_ptr<design_entry> entry = entry_of(job.request.design.id);
+    std::lock_guard<std::mutex> edit_lock(entry->edit_mutex);
+
+    std::shared_ptr<design_version> latest;
+    {
+        std::lock_guard<std::mutex> lk(registry_mutex_);
+        latest = entry->versions.back();
+        latest->last_used = ++use_tick_;
+    }
+    if (job.request.design.version != 0 && job.request.design.version != latest->version)
+        throw error("bad_request: edits apply to the latest version of design '" +
+                    job.request.design.id + "' (latest is " +
+                    std::to_string(latest->version) + ", request pins " +
+                    std::to_string(job.request.design.version) + ")");
+
+    // Rejected batches roll back inside run_edit_script, so the engine
+    // always ends on a valid structure; commit it as the next version
+    // even when nothing changed (the version then snapshots "script ran").
+    incremental_engine engine(*latest->graph);
+    std::string payload = execute_edit_payload(job.request, engine);
+    out_version = commit_version(*entry, std::make_shared<signal_graph>(engine.graph()));
+    edits_.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
+// --- the coalescer -----------------------------------------------------------
+
+void analysis_service::handle_batch(pending first)
+{
+    std::shared_ptr<design_version> version;
+    std::vector<pending> jobs;
+    std::vector<std::vector<scenario>> parts;
+    try {
+        version = resolve(first.request.design);
+        parts.push_back(scenarios_for(*version, first.request));
+    } catch (const error& e) {
+        finish(first, respond_error(first, e.what()));
+        return;
+    } catch (const std::exception& e) {
+        finish(first, respond_error(first, std::string("internal: ") + e.what()));
+        return;
+    }
+    jobs.push_back(std::move(first));
+
+    // Admit queued partners: same kind, same design reference, identical
+    // engine knobs — served against this worker's resolved snapshot (the
+    // merged batch linearizes before any concurrently committed edit).
+    std::size_t total = parts[0].size();
+    if (options_.coalesce && total > 0 && total < options_.max_coalesce_scenarios) {
+        if (options_.coalesce_window.count() > 0)
+            std::this_thread::sleep_for(options_.coalesce_window);
+        std::vector<pending> partners;
+        {
+            std::lock_guard<std::mutex> lk(queue_mutex_);
+            const analysis_request& head = jobs[0].request;
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                const analysis_request& cand = it->request;
+                if (cand.kind != head.kind || !coalescable(cand) ||
+                    !(cand.design == head.design) ||
+                    !engine_compatible(cand.options, head.options)) {
+                    ++it;
+                    continue;
+                }
+                // Scenario counts are predictable before generation: a
+                // Monte Carlo request evaluates exactly `samples`, and a
+                // sweep on the same design sweeps the same arcs as the
+                // head request.
+                const std::size_t predicted = cand.kind == request_kind::montecarlo
+                                                  ? cand.options.samples
+                                                  : parts[0].size();
+                if (total + predicted > options_.max_coalesce_scenarios) {
+                    ++it;
+                    continue;
+                }
+                total += predicted;
+                partners.push_back(std::move(*it));
+                it = queue_.erase(it);
+            }
+        }
+        for (pending& partner : partners) {
+            try {
+                parts.push_back(scenarios_for(*version, partner.request));
+                jobs.push_back(std::move(partner));
+            } catch (const error& e) {
+                finish(partner, respond_error(partner, e.what()));
+            } catch (const std::exception& e) {
+                finish(partner,
+                       respond_error(partner, std::string("internal: ") + e.what()));
+            }
+        }
+    }
+
+    // Merge, dropping requests with nothing to evaluate (their solo run
+    // would fail the same way).
+    struct span {
+        std::size_t offset = 0;
+        std::size_t count = 0;
+    };
+    std::vector<scenario> merged;
+    merged.reserve(total);
+    std::vector<pending> live;
+    std::vector<std::vector<scenario>> live_parts;
+    std::vector<span> spans;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (parts[i].empty()) {
+            finish(jobs[i],
+                   respond_error(jobs[i],
+                                 "invalid_model: no scenarios to evaluate (no "
+                                 "perturbable arcs)"));
+            continue;
+        }
+        spans.push_back({merged.size(), parts[i].size()});
+        merged.insert(merged.end(), parts[i].begin(), parts[i].end());
+        live.push_back(std::move(jobs[i]));
+        live_parts.push_back(std::move(parts[i]));
+    }
+    if (live.empty()) return;
+
+    rational nominal;
+    scenario_batch_result batch;
+    try {
+        nominal = nominal_of(*version, live[0].request.options);
+        batch = version->engine->run(merged, live[0].request.options.to_batch_options());
+    } catch (const error& e) {
+        for (pending& job : live) finish(job, respond_error(job, e.what()));
+        return;
+    } catch (const std::exception& e) {
+        for (pending& job : live)
+            finish(job, respond_error(job, std::string("internal: ") + e.what()));
+        return;
+    }
+
+    engine_batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_requests_.fetch_add(live.size(), std::memory_order_relaxed);
+    scenarios_.fetch_add(merged.size(), std::memory_order_relaxed);
+    const bool coalesced = live.size() > 1;
+    if (coalesced) coalesced_requests_.fetch_add(live.size(), std::memory_order_relaxed);
+
+    // Demultiplex: re-reduce each request's outcome slice so every
+    // aggregate matches its solo run bit for bit.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        analysis_response response;
+        response.id = live[i].request.id;
+        try {
+            scenario_batch_result slice;
+            slice.outcomes.assign(
+                batch.outcomes.begin() + static_cast<std::ptrdiff_t>(spans[i].offset),
+                batch.outcomes.begin() +
+                    static_cast<std::ptrdiff_t>(spans[i].offset + spans[i].count));
+            copy_engine_accounting(batch, slice);
+            reduce_scenario_outcomes(slice, version->graph->arc_count());
+            response.payload = batch_payload_json(live[i].request, *version->graph,
+                                                  nominal, live_parts[i], slice);
+            response.ok = true;
+            response.design_version = version->version;
+            response.scenarios = spans[i].count;
+            response.coalesced = coalesced;
+        } catch (const error& e) {
+            response = respond_error(live[i], e.what());
+        } catch (const std::exception& e) {
+            response = respond_error(live[i], std::string("internal: ") + e.what());
+        }
+        finish(live[i], std::move(response));
+    }
+}
+
+// --- metrics -----------------------------------------------------------------
+
+service_metrics analysis_service::metrics() const
+{
+    service_metrics m;
+    m.requests = requests_.load(std::memory_order_relaxed);
+    m.failures = failures_.load(std::memory_order_relaxed);
+    m.engine_batches = engine_batches_.load(std::memory_order_relaxed);
+    m.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+    m.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
+    m.scenarios = scenarios_.load(std::memory_order_relaxed);
+    m.edits_committed = edits_.load(std::memory_order_relaxed);
+    m.versions_evicted = evictions_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(registry_mutex_);
+        m.designs = designs_.size();
+        for (const auto& [id, entry] : designs_) m.versions += entry->versions.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        m.queue_depth = queue_.size();
+        m.queue_peak = queue_peak_;
+    }
+    m.coalescing_efficiency =
+        m.engine_batches
+            ? static_cast<double>(m.batch_requests) / static_cast<double>(m.engine_batches)
+            : 1.0;
+    m.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    m.scenarios_per_second = m.uptime_seconds > 0.0
+                                 ? static_cast<double>(m.scenarios) / m.uptime_seconds
+                                 : 0.0;
+    {
+        std::lock_guard<std::mutex> lk(latency_mutex_);
+        m.latency_samples = latency_.count();
+        if (m.latency_samples > 0) {
+            m.latency_mean_us = latency_.mean();
+            m.latency_p50_us = latency_.quantile(0.50);
+            m.latency_p95_us = latency_.quantile(0.95);
+            m.latency_p99_us = latency_.quantile(0.99);
+        }
+    }
+    return m;
+}
+
+std::string analysis_service::stats_json() const
+{
+    const service_metrics m = metrics();
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"command\": \"stats\",\n";
+    out << "  \"requests\": {\"total\": " << m.requests << ", \"failed\": " << m.failures
+        << ", \"batch\": " << m.batch_requests
+        << ", \"coalesced\": " << m.coalesced_requests
+        << ", \"edits_committed\": " << m.edits_committed << "},\n";
+    out << "  \"designs\": {\"count\": " << m.designs << ", \"versions\": " << m.versions
+        << ", \"evicted\": " << m.versions_evicted << "},\n";
+    out << "  \"queue\": {\"depth\": " << m.queue_depth << ", \"peak\": " << m.queue_peak
+        << "},\n";
+    out << "  \"coalescing\": {\"engine_batches\": " << m.engine_batches
+        << ", \"efficiency\": " << format_double(m.coalescing_efficiency, 6) << "},\n";
+    out << "  \"throughput\": {\"scenarios\": " << m.scenarios
+        << ", \"uptime_seconds\": " << format_double(m.uptime_seconds, 6)
+        << ", \"scenarios_per_second\": " << format_double(m.scenarios_per_second, 6)
+        << "},\n";
+    out << "  \"latency_us\": {\"samples\": " << m.latency_samples
+        << ", \"mean\": " << format_double(m.latency_mean_us, 6)
+        << ", \"p50\": " << format_double(m.latency_p50_us, 6)
+        << ", \"p95\": " << format_double(m.latency_p95_us, 6)
+        << ", \"p99\": " << format_double(m.latency_p99_us, 6) << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace tsg

@@ -1,0 +1,219 @@
+// Persistent analysis service: concurrent clients, shared design
+// snapshots, coalesced lane batches.
+//
+// The scenario engine amortizes compilation across the scenarios of one
+// batch; this layer amortizes it across *clients*.  An analysis_service
+// owns a registry of versioned designs — design id -> a chain of immutable
+// compiled snapshots — and a worker pool draining one request queue, so
+// many clients analyze the same compiled structure without ever
+// recompiling it, and structural edits produce new versions instead of
+// invalidating anyone's in-flight work:
+//
+//   * register_design() compiles a signal graph into version 1 of a chain
+//     (registering the same id again appends the next version);
+//   * kind::edit requests run the JSON edit script through an
+//     incremental_engine seeded from the latest version and commit the
+//     edited structure as a new immutable version; older versions stay
+//     addressable (design_ref::version pins one) until LRU eviction
+//     trims the chain to service_options::max_versions_per_design;
+//   * batch requests (sweep, non-adaptive montecarlo) flow through the
+//     coalescer: a worker that pops one merges every queued compatible
+//     request for the same design into a single engine batch, so small
+//     requests from different clients fill whole SoA lane groups and the
+//     scenario fan-out actually parallelizes.  Results are demultiplexed
+//     per request: each response's outcome slice is re-reduced with
+//     reduce_scenario_outcomes(), so every aggregate (min/max/mean,
+//     criticality counts, critical-cycle table, fallback tally) is
+//     bit-identical to running that request alone.  Only the engine
+//     accounting block (lane groups, sparse counters) reports the merged
+//     batch's physical execution — the one documented difference.
+//
+// Serving metrics dogfood the statistical layer: per-request latencies
+// stream through a stats_accumulator (core/stats.h) in microseconds, so
+// the `stats` request kind reports p50/p95/p99 straight from the same
+// histogram quantile machinery the timing analyses use.
+//
+// Transport is the caller's problem: submit() is the in-process API
+// (thread-safe, returns a future), serve_stream() speaks newline-
+// delimited JSON over any iostream pair (the pipe mode tests and
+// examples/tsg_serve.cpp's socket loop both sit on it).  serve_stream
+// handles one request per line in order, so a stream replay is
+// byte-identical to running the tool once per request.
+#ifndef TSG_CORE_SERVICE_H
+#define TSG_CORE_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "core/stats.h"
+#include "sg/signal_graph.h"
+#include "util/rational.h"
+
+namespace tsg {
+
+struct service_options {
+    /// Dispatch threads draining the request queue.  Each worker runs one
+    /// request (or one coalesced batch) at a time; the scenario fan-out
+    /// inside a batch is the engine's own pool (request_options::
+    /// max_threads).  0 is clamped to 1.
+    unsigned workers = 2;
+
+    /// Merge compatible queued batch requests into one engine run.  Off
+    /// reproduces strict one-request-per-batch execution (the solo
+    /// baseline the benchmark compares against).
+    bool coalesce = true;
+
+    /// Scenario budget per merged batch: the coalescer stops admitting
+    /// partners when the merged batch would exceed this many scenarios.
+    std::size_t max_coalesce_scenarios = 256;
+
+    /// Extra time a worker waits for merge partners after popping a batch
+    /// request, before scanning the queue.  0 (the default) coalesces
+    /// only what is already queued — natural batching under load.
+    std::chrono::microseconds coalesce_window{0};
+
+    /// Versions kept per design chain.  Committing an edit beyond this
+    /// evicts the least-recently-used non-latest version; pinned requests
+    /// for an evicted version fail with code "unknown_version".
+    std::size_t max_versions_per_design = 4;
+
+    /// Latency histogram: bin count and support [0, hi] in microseconds
+    /// (quantiles clamp to the observed exact extremes regardless).
+    std::size_t latency_histogram_bins = 64;
+    rational latency_histogram_hi = rational(1000000);
+};
+
+/// One consistent snapshot of the serving counters.
+struct service_metrics {
+    std::uint64_t requests = 0;           ///< accepted by submit()/serve_stream()
+    std::uint64_t failures = 0;           ///< responses with ok == false
+    std::uint64_t engine_batches = 0;     ///< scenario_engine::run invocations
+    std::uint64_t batch_requests = 0;     ///< batch-kind requests served
+    std::uint64_t coalesced_requests = 0; ///< of those, served from merged runs
+    std::uint64_t scenarios = 0;          ///< scenarios evaluated in batches
+    std::uint64_t edits_committed = 0;    ///< edit requests that committed a version
+    std::uint64_t versions_evicted = 0;
+
+    std::size_t queue_depth = 0; ///< requests waiting right now
+    std::size_t queue_peak = 0;  ///< high-water mark since construction
+    std::size_t designs = 0;
+    std::size_t versions = 0; ///< live snapshots across every chain
+
+    /// batch_requests / engine_batches — how many requests each engine
+    /// run served on average (1.0 = no merging happened).
+    double coalescing_efficiency = 1.0;
+
+    double uptime_seconds = 0.0;
+    double scenarios_per_second = 0.0;
+
+    /// Latency distribution (microseconds, submit to completion), from
+    /// the dogfooded stats_accumulator.
+    std::size_t latency_samples = 0;
+    double latency_mean_us = 0.0;
+    double latency_p50_us = 0.0;
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
+};
+
+/// The persistent analysis daemon core.  Construction starts the worker
+/// pool; destruction drains every queued request (each still receives its
+/// response) and joins.  All public methods are thread-safe.
+class analysis_service {
+public:
+    explicit analysis_service(service_options options = {});
+    ~analysis_service();
+
+    analysis_service(const analysis_service&) = delete;
+    analysis_service& operator=(const analysis_service&) = delete;
+
+    /// Compiles a copy of `sg` and appends it to `id`'s version chain
+    /// (creating the chain at version 1).  Returns the new version.
+    std::uint64_t register_design(const std::string& id, const signal_graph& sg);
+
+    /// Enqueues one request; the future completes when a worker (or a
+    /// coalesced batch) has served it.  Requests must reference a
+    /// registered design by id — path/text/demo references are the
+    /// tool's stand-alone mode, not the service's.
+    [[nodiscard]] std::future<analysis_response> submit(analysis_request request);
+
+    /// submit() + get(): the synchronous convenience.
+    [[nodiscard]] analysis_response execute(analysis_request request);
+
+    /// Newline-delimited JSON transport: one request document per input
+    /// line, one response line flushed per request, in order.  Blank
+    /// lines are skipped; malformed lines produce a structured-error
+    /// response line and the stream continues.
+    void serve_stream(std::istream& in, std::ostream& out);
+
+    [[nodiscard]] service_metrics metrics() const;
+
+    /// The `stats` request payload: the metrics snapshot as a JSON
+    /// document (also callable directly).
+    [[nodiscard]] std::string stats_json() const;
+
+private:
+    struct design_version;
+    struct design_entry;
+    struct pending;
+
+    void worker_loop();
+    void handle(pending job);
+    void handle_batch(pending first);
+    void finish(pending& job, analysis_response response);
+    [[nodiscard]] analysis_response respond_error(const pending& job,
+                                                  const std::string& diagnostic);
+
+    [[nodiscard]] std::shared_ptr<design_version> resolve(const design_ref& ref);
+    [[nodiscard]] std::shared_ptr<design_entry> entry_of(const std::string& id);
+    std::uint64_t commit_version(design_entry& entry,
+                                 std::shared_ptr<const signal_graph> graph);
+    [[nodiscard]] rational nominal_of(design_version& version,
+                                      const request_options& options);
+    [[nodiscard]] std::vector<scenario> scenarios_for(design_version& version,
+                                                      const analysis_request& request);
+
+    [[nodiscard]] std::string edit_payload(pending& job, std::uint64_t& out_version);
+
+    service_options options_;
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex registry_mutex_;
+    std::map<std::string, std::shared_ptr<design_entry>> designs_;
+    std::uint64_t use_tick_ = 0;
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<pending> queue_;
+    std::size_t queue_peak_ = 0;
+    bool stopping_ = false;
+
+    std::vector<std::thread> workers_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> failures_{0};
+    std::atomic<std::uint64_t> engine_batches_{0};
+    std::atomic<std::uint64_t> batch_requests_{0};
+    std::atomic<std::uint64_t> coalesced_requests_{0};
+    std::atomic<std::uint64_t> scenarios_{0};
+    std::atomic<std::uint64_t> edits_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+
+    mutable std::mutex latency_mutex_;
+    stats_accumulator latency_; ///< microseconds as exact cycle times
+};
+
+} // namespace tsg
+
+#endif // TSG_CORE_SERVICE_H

@@ -1,0 +1,263 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace tsg {
+
+namespace {
+
+struct cursor {
+    const std::string& text;
+    const std::string& context;
+    std::size_t pos = 0;
+
+    void skip_ws()
+    {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    char peek()
+    {
+        skip_ws();
+        require(pos < text.size(), context + ": unexpected end of JSON");
+        return text[pos];
+    }
+    void expect(char c)
+    {
+        require(peek() == c, context + ": expected '" + std::string(1, c) + "' at offset " +
+                                 std::to_string(pos));
+        ++pos;
+    }
+};
+
+std::string parse_string(cursor& in)
+{
+    in.expect('"');
+    std::string out;
+    while (true) {
+        require(in.pos < in.text.size(), in.context + ": unterminated string");
+        const char c = in.text[in.pos++];
+        if (c == '"') return out;
+        if (c == '\\') {
+            require(in.pos < in.text.size(), in.context + ": dangling escape");
+            const char e = in.text[in.pos++];
+            switch (e) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            default: out += e; break; // \" \\ \/ and anything else literal
+            }
+        } else {
+            out += c;
+        }
+    }
+}
+
+json_value parse_value(cursor& in)
+{
+    json_value v;
+    const char c = in.peek();
+    if (c == '{') {
+        in.expect('{');
+        v.k = json_value::kind::object_v;
+        if (in.peek() != '}') {
+            while (true) {
+                std::string key = parse_string(in);
+                in.expect(':');
+                v.members.emplace_back(std::move(key), parse_value(in));
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect('}');
+        return v;
+    }
+    if (c == '[') {
+        in.expect('[');
+        v.k = json_value::kind::array_v;
+        if (in.peek() != ']') {
+            while (true) {
+                v.items.push_back(parse_value(in));
+                if (in.peek() != ',') break;
+                in.expect(',');
+            }
+        }
+        in.expect(']');
+        return v;
+    }
+    if (c == '"') {
+        v.k = json_value::kind::string_v;
+        v.text = parse_string(in);
+        return v;
+    }
+    if (in.text.compare(in.pos, 4, "true") == 0) {
+        in.pos += 4;
+        v.k = json_value::kind::bool_v;
+        v.boolean = true;
+        return v;
+    }
+    if (in.text.compare(in.pos, 5, "false") == 0) {
+        in.pos += 5;
+        v.k = json_value::kind::bool_v;
+        return v;
+    }
+    if (in.text.compare(in.pos, 4, "null") == 0) {
+        in.pos += 4;
+        return v;
+    }
+    const std::size_t start = in.pos;
+    while (in.pos < in.text.size() &&
+           (std::isdigit(static_cast<unsigned char>(in.text[in.pos])) ||
+            std::string("+-.eE").find(in.text[in.pos]) != std::string::npos))
+        ++in.pos;
+    require(in.pos > start, in.context + ": malformed JSON value");
+    v.k = json_value::kind::number_v;
+    v.text = in.text.substr(start, in.pos - start);
+    return v;
+}
+
+} // namespace
+
+const json_value* json_value::find(const std::string& key) const
+{
+    for (const auto& [name, value] : members)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+json_value json_value::null() { return {}; }
+
+json_value json_value::boolean_value(bool b)
+{
+    json_value v;
+    v.k = kind::bool_v;
+    v.boolean = b;
+    return v;
+}
+
+json_value json_value::number(std::int64_t v) { return raw_number(std::to_string(v)); }
+
+json_value json_value::number(std::uint64_t v) { return raw_number(std::to_string(v)); }
+
+json_value json_value::number(double v, int decimals)
+{
+    if (!std::isfinite(v)) return null(); // JSON has no inf/nan literal
+    return raw_number(format_double(v, decimals));
+}
+
+json_value json_value::raw_number(std::string spelling)
+{
+    json_value v;
+    v.k = kind::number_v;
+    v.text = std::move(spelling);
+    return v;
+}
+
+json_value json_value::string(std::string s)
+{
+    json_value v;
+    v.k = kind::string_v;
+    v.text = std::move(s);
+    return v;
+}
+
+json_value json_value::array()
+{
+    json_value v;
+    v.k = kind::array_v;
+    return v;
+}
+
+json_value json_value::object()
+{
+    json_value v;
+    v.k = kind::object_v;
+    return v;
+}
+
+json_value& json_value::set(std::string key, json_value v)
+{
+    members.emplace_back(std::move(key), std::move(v));
+    return members.back().second;
+}
+
+json_value& json_value::push(json_value v)
+{
+    items.push_back(std::move(v));
+    return items.back();
+}
+
+bool json_value::operator==(const json_value& other) const
+{
+    if (k != other.k) return false;
+    switch (k) {
+    case kind::null_v: return true;
+    case kind::bool_v: return boolean == other.boolean;
+    case kind::number_v:
+    case kind::string_v: return text == other.text;
+    case kind::array_v: return items == other.items;
+    case kind::object_v: return members == other.members;
+    }
+    return false;
+}
+
+std::string json_value::write() const
+{
+    std::ostringstream os;
+    switch (k) {
+    case kind::null_v: os << "null"; break;
+    case kind::bool_v: os << (boolean ? "true" : "false"); break;
+    case kind::number_v: os << text; break;
+    case kind::string_v: os << json_quote(text); break;
+    case kind::array_v: {
+        os << '[';
+        for (std::size_t i = 0; i < items.size(); ++i)
+            os << (i ? ", " : "") << items[i].write();
+        os << ']';
+        break;
+    }
+    case kind::object_v: {
+        os << '{';
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            os << (i ? ", " : "") << json_quote(members[i].first) << ": "
+               << members[i].second.write();
+        }
+        os << '}';
+        break;
+    }
+    }
+    return os.str();
+}
+
+json_value json_parse(const std::string& text, const std::string& context)
+{
+    cursor in{text, context};
+    json_value v = parse_value(in);
+    in.skip_ws();
+    require(in.pos == text.size(), context + ": trailing garbage after the document");
+    return v;
+}
+
+std::string json_quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out += c; break;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tsg

@@ -1,7 +1,7 @@
-// Golden-file tests for the tsg_tool JSON surface (sweep / montecarlo /
-// --solver): the documents are rendered through the same library routine
-// the tool ships (core/scenario_json.h) and compared against committed
-// goldens under tests/golden/.
+// Golden-file tests for the tsg_tool JSON surface (analyze / sweep /
+// montecarlo / criticality / edit): the documents are rendered through the
+// same unified-API executors the tool and the analysis service ship
+// (core/api.h) and compared against committed goldens under tests/golden/.
 //
 // The comparison normalizes both sides through a minimal JSON parser —
 // object keys are sorted and numbers round-trip through double — so key
@@ -21,11 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "core/api.h"
 #include "core/compiled_graph.h"
-#include "core/edit_json.h"
 #include "core/incremental.h"
 #include "core/scenario.h"
-#include "core/scenario_json.h"
 #include "core/stats.h"
 #include "gen/oscillator.h"
 #include "util/error.h"
@@ -180,59 +179,63 @@ void compare_against_golden(const std::string& name, const std::string& actual)
         << actual;
 }
 
-/// Mirrors tsg_tool's batch pipeline for the built-in demo model.
-std::string demo_batch_json(const std::string& command, const std::string& solver_name,
-                            cycle_time_solver solver, std::vector<scenario> scenarios)
+/// Executes one API request against the built-in demo model — exactly the
+/// pipeline `tsg_tool` and the analysis service run.
+std::string demo_payload(const analysis_request& request)
 {
     const signal_graph sg = c_oscillator_sg();
     const compiled_graph compiled(sg);
     const scenario_engine engine(compiled);
-    const rational nominal =
-        engine.evaluate(compiled.delay(), /*with_slack=*/false, /*analysis_threads=*/1, solver)
-            .cycle_time;
-    scenario_batch_options opts;
-    opts.solver = solver;
-    opts.max_threads = 1; // deterministic howard witnesses in the fixture
-    const scenario_batch_result batch = engine.run(scenarios, opts);
-    return scenario_batch_json(command, solver_name, sg, nominal, scenarios, batch);
+    return execute_analysis_payload(request, sg, compiled, engine);
+}
+
+/// A request with the fixture thread pin (deterministic howard witnesses).
+analysis_request demo_request(request_kind kind, cycle_time_solver solver)
+{
+    analysis_request request;
+    request.kind = kind;
+    request.options.solver = solver;
+    request.options.max_threads = 1;
+    return request;
+}
+
+TEST(GoldenJson, AnalyzeBorderSolver)
+{
+    // The `tsg_tool analyze` surface: one nominal analysis with the
+    // critical cycle and the border cut set.
+    compare_against_golden(
+        "analyze_border.json",
+        demo_payload(demo_request(request_kind::analyze, cycle_time_solver::border_sweep)));
 }
 
 TEST(GoldenJson, SweepBorderSolver)
 {
-    const signal_graph sg = c_oscillator_sg();
-    corner_sweep_options opts;
-    opts.factor = rational(1, 10);
-    compare_against_golden("sweep_border.json",
-                           demo_batch_json("sweep", "border",
-                                           cycle_time_solver::border_sweep,
-                                           corner_sweep_scenarios(sg, opts)));
+    analysis_request request =
+        demo_request(request_kind::sweep, cycle_time_solver::border_sweep);
+    request.options.factor = rational(1, 10);
+    compare_against_golden("sweep_border.json", demo_payload(request));
 }
 
 TEST(GoldenJson, MonteCarloBorderSolver)
 {
-    const signal_graph sg = c_oscillator_sg();
-    monte_carlo_options mc;
-    mc.samples = 5;
-    mc.seed = 1;
-    mc.spread = rational(1, 10);
-    compare_against_golden("montecarlo_border.json",
-                           demo_batch_json("montecarlo", "border",
-                                           cycle_time_solver::border_sweep,
-                                           monte_carlo_scenarios(sg, mc)));
+    analysis_request request =
+        demo_request(request_kind::montecarlo, cycle_time_solver::border_sweep);
+    request.options.samples = 5;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    compare_against_golden("montecarlo_border.json", demo_payload(request));
 }
 
 TEST(GoldenJson, MonteCarloHowardSolver)
 {
     // The --solver howard surface: same document shape, same cycle times,
     // solver echoed.
-    const signal_graph sg = c_oscillator_sg();
-    monte_carlo_options mc;
-    mc.samples = 5;
-    mc.seed = 1;
-    mc.spread = rational(1, 10);
-    compare_against_golden("montecarlo_howard.json",
-                           demo_batch_json("montecarlo", "howard", cycle_time_solver::howard,
-                                           monte_carlo_scenarios(sg, mc)));
+    analysis_request request =
+        demo_request(request_kind::montecarlo, cycle_time_solver::howard);
+    request.options.samples = 5;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    compare_against_golden("montecarlo_howard.json", demo_payload(request));
 }
 
 TEST(GoldenJson, MonteCarloAdaptiveStatistics)
@@ -240,48 +243,58 @@ TEST(GoldenJson, MonteCarloAdaptiveStatistics)
     // The statistics document of `tsg_tool montecarlo --adaptive`: adaptive
     // sampling on the demo model, pinned to the border solver (witness
     // choices are solver-specific, and goldens must not move under
-    // TSG_SOLVER).
-    const signal_graph sg = c_oscillator_sg();
-    const compiled_graph compiled(sg);
-    const scenario_engine engine(compiled);
-
-    monte_carlo_options mc;
-    mc.seed = 1;
-    mc.spread = rational(1, 10);
-
-    stats_options opts;
-    opts.solver = cycle_time_solver::border_sweep;
-    opts.round_samples = 32;
-    opts.epsilon = 0.05;
-    opts.min_samples = 32;
-    opts.max_samples = 128;
-    opts.max_threads = 1;
-    const stats_run_result run = monte_carlo_adaptive(engine, sg, mc, opts);
-    compare_against_golden("montecarlo_adaptive.json",
-                           statistics_json("montecarlo", "border", sg, run, opts));
+    // TSG_SOLVER).  --samples caps the adaptive run (max_samples = 128).
+    analysis_request request =
+        demo_request(request_kind::montecarlo, cycle_time_solver::border_sweep);
+    request.options.adaptive = true;
+    request.options.epsilon = 0.05;
+    request.options.round_samples = 32;
+    request.options.min_samples = 32;
+    request.options.samples = 128;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    compare_against_golden("montecarlo_adaptive.json", demo_payload(request));
 }
 
 TEST(GoldenJson, CriticalityStatistics)
 {
     // The `tsg_tool criticality` surface: per-arc and per-gate criticality
     // probabilities with confidence intervals.
-    const signal_graph sg = c_oscillator_sg();
-    const compiled_graph compiled(sg);
-    const scenario_engine engine(compiled);
+    analysis_request request =
+        demo_request(request_kind::criticality, cycle_time_solver::border_sweep);
+    request.options.samples = 64;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    compare_against_golden("criticality_border.json", demo_payload(request));
+}
 
-    monte_carlo_options mc;
-    mc.samples = 64;
-    mc.seed = 1;
-    mc.spread = rational(1, 10);
-
-    stats_options opts;
-    opts.solver = cycle_time_solver::border_sweep;
-    opts.criticality = true;
-    opts.group_by_signal = true;
-    opts.max_threads = 1;
-    const stats_run_result run = monte_carlo_statistics(engine, sg, mc, opts);
-    compare_against_golden("criticality_border.json",
-                           statistics_json("criticality", "border", sg, run, opts));
+TEST(GoldenJson, StructuredErrorShapes)
+{
+    // The normalized error surface: every failing path — codec rejection,
+    // version mismatch, analysis failure — reports the same structured
+    // {"error": {"code", "message"}} object.  Pinned so the shape (and the
+    // stable code set) cannot drift silently.
+    const auto classify = [](const std::string& request_text) {
+        try {
+            (void)parse_analysis_request(request_text);
+            ADD_FAILURE() << "request unexpectedly accepted: " << request_text;
+            return std::string();
+        } catch (const error& e) {
+            return api_error_json(classify_error(e.what()));
+        }
+    };
+    std::string doc = "[";
+    doc += classify("{\"api_version\": 1, \"kind\": \"sweep\", \"turbo\": true}");
+    doc += ",\n";
+    doc += classify("{\"api_version\": 99, \"kind\": \"sweep\"}");
+    doc += ",\n";
+    doc += classify("{\"api_version\": 1, \"kind\": \"frobnicate\"}");
+    doc += ",\n";
+    doc += api_error_json(classify_error("unknown_design: no design named 'x'"));
+    doc += ",\n";
+    doc += api_error_json(classify_error("no scenarios to evaluate"));
+    doc += "]\n";
+    compare_against_golden("error_shapes.json", doc);
 }
 
 TEST(GoldenJson, EditScriptIncrementalCounters)

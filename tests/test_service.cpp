@@ -1,0 +1,407 @@
+// Tests for the persistent analysis service (core/service.h):
+//
+//   * differential — every request kind served through the service yields
+//     the byte-identical payload document the stand-alone tool renders;
+//   * coalescing — requests merged into one engine batch demultiplex to
+//     the exact solo payloads (modulo the documented engine-accounting
+//     block, which reports the merged run's physical execution);
+//   * concurrency — N client threads with a randomized request mix all
+//     receive their solo payloads bit for bit;
+//   * versioning — edits commit immutable snapshots, pinned versions stay
+//     addressable, LRU eviction trims chains with structured errors;
+//   * transport — serve_stream answers NDJSON lines in order and solo
+//     stream replays are byte-identical to the tool, engine block included.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "core/service.h"
+#include "gen/oscillator.h"
+#include "util/json.h"
+#include "util/prng.h"
+
+namespace tsg {
+namespace {
+
+/// Removes every "engine" member (any depth): the one payload block a
+/// coalesced response reports from the merged run instead of per request.
+void strip_engine(json_value& doc)
+{
+    doc.members.erase(std::remove_if(doc.members.begin(), doc.members.end(),
+                                     [](const auto& m) { return m.first == "engine"; }),
+                      doc.members.end());
+    for (auto& [key, value] : doc.members) strip_engine(value);
+    for (json_value& item : doc.items) strip_engine(item);
+}
+
+std::string without_engine_block(const std::string& payload)
+{
+    json_value doc = json_parse(payload, "payload");
+    strip_engine(doc);
+    return doc.write();
+}
+
+analysis_request make_request(request_kind kind, const std::string& id)
+{
+    analysis_request request;
+    request.kind = kind;
+    request.id = id;
+    request.design.id = "chip";
+    return request;
+}
+
+TEST(Service, EveryKindMatchesTheToolByteForByte)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 1;
+    options.coalesce = false;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    std::vector<analysis_request> requests;
+    requests.push_back(make_request(request_kind::analyze, "a"));
+    {
+        analysis_request r = make_request(request_kind::sweep, "s");
+        r.options.factor = rational(1, 10);
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::montecarlo, "m-border");
+        r.options.samples = 5;
+        r.options.solver = cycle_time_solver::border_sweep;
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::montecarlo, "m-howard");
+        r.options.samples = 5;
+        r.options.solver = cycle_time_solver::howard;
+        r.options.max_threads = 1; // deterministic warm-start witness chains
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::montecarlo, "m-adaptive");
+        r.options.adaptive = true;
+        r.options.epsilon = 0.05;
+        r.options.samples = 128;
+        r.options.round_samples = 32;
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::criticality, "c");
+        r.options.samples = 64;
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::edit, "e");
+        r.edits = json_parse(
+            R"({"edits": [{"op": "set_delay", "arc": 0, "delay": "3/2"}]})");
+        requests.push_back(r);
+    }
+
+    for (const analysis_request& request : requests) {
+        const analysis_response expected = execute_request(request, sg);
+        ASSERT_TRUE(expected.ok) << request.id << ": " << expected.error.message;
+        const analysis_response served = service.execute(request);
+        ASSERT_TRUE(served.ok) << request.id << ": " << served.error.message;
+        EXPECT_EQ(served.payload, expected.payload) << request.id;
+        EXPECT_EQ(served.id, request.id);
+        EXPECT_FALSE(served.coalesced) << request.id;
+    }
+}
+
+/// A mixed pool of small, engine-compatible batch requests (the coalescer
+/// merges them; their payload knobs differ per request).
+std::vector<analysis_request> small_batch_mix(std::size_t count)
+{
+    std::vector<analysis_request> requests;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i % 2 == 0) {
+            analysis_request r =
+                make_request(request_kind::sweep, "sweep-" + std::to_string(i));
+            r.options.factor = rational(1 + static_cast<std::int64_t>(i % 9), 10);
+            r.options.solver = cycle_time_solver::border_sweep;
+            r.options.max_threads = 1;
+            requests.push_back(r);
+        } else {
+            analysis_request r =
+                make_request(request_kind::montecarlo, "mc-" + std::to_string(i));
+            r.options.samples = 4 + i % 5;
+            r.options.seed = 100 + i;
+            r.options.spread = rational(1 + static_cast<std::int64_t>(i) % 3, 10);
+            r.options.solver = cycle_time_solver::border_sweep;
+            r.options.max_threads = 1;
+            requests.push_back(r);
+        }
+    }
+    return requests;
+}
+
+TEST(Service, CoalescedBatchesMatchSoloBitForBit)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 1; // one worker: queued requests pile up and merge
+    options.coalesce = true;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    // Solo ground truth through the tool pipeline.
+    const std::vector<analysis_request> requests = small_batch_mix(12);
+    std::vector<std::string> expected;
+    for (const analysis_request& request : requests) {
+        const analysis_response solo = execute_request(request, sg);
+        ASSERT_TRUE(solo.ok) << solo.error.message;
+        expected.push_back(without_engine_block(solo.payload));
+    }
+
+    // Occupy the single worker so the batch requests queue behind it and
+    // the first popped one finds the rest waiting to merge.
+    analysis_request plug = make_request(request_kind::montecarlo, "plug");
+    plug.options.adaptive = true;
+    plug.options.epsilon = 1e-9; // never converges: runs to the cap
+    plug.options.samples = 4096;
+    plug.options.min_samples = 4096;
+    plug.options.with_witness = false;
+    std::future<analysis_response> plug_done = service.submit(plug);
+
+    std::vector<std::future<analysis_response>> futures;
+    for (const analysis_request& request : requests)
+        futures.push_back(service.submit(request));
+
+    ASSERT_TRUE(plug_done.get().ok);
+    std::size_t coalesced = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const analysis_response response = futures[i].get();
+        ASSERT_TRUE(response.ok) << requests[i].id << ": " << response.error.message;
+        EXPECT_EQ(without_engine_block(response.payload), expected[i]) << requests[i].id;
+        if (response.coalesced) ++coalesced;
+    }
+    EXPECT_GT(coalesced, 0u) << "no request was served from a merged batch";
+
+    const service_metrics m = service.metrics();
+    EXPECT_EQ(m.batch_requests, requests.size());
+    EXPECT_GT(m.coalesced_requests, 0u);
+    EXPECT_LT(m.engine_batches, requests.size()); // merging actually happened
+    EXPECT_GT(m.coalescing_efficiency, 1.0);
+}
+
+TEST(Service, ConcurrentClientsReceiveSoloPayloads)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 4;
+    options.coalesce = true;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    // A fixed request pool with precomputed solo payloads.
+    const std::vector<analysis_request> pool = small_batch_mix(8);
+    std::vector<std::string> expected;
+    for (const analysis_request& request : pool) {
+        const analysis_response solo = execute_request(request, sg);
+        ASSERT_TRUE(solo.ok) << solo.error.message;
+        expected.push_back(without_engine_block(solo.payload));
+    }
+
+    constexpr std::size_t clients = 4;
+    constexpr std::size_t per_client = 10;
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> errors{0};
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            prng rng(1000 + c);
+            for (std::size_t i = 0; i < per_client; ++i) {
+                const std::size_t pick = rng.index(pool.size());
+                const analysis_response response = service.execute(pool[pick]);
+                if (!response.ok) {
+                    ++errors;
+                    continue;
+                }
+                if (without_engine_block(response.payload) != expected[pick])
+                    ++mismatches;
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(errors.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(service.metrics().requests, clients * per_client);
+}
+
+TEST(Service, EditsCommitVersionsAndPinsStayAddressable)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 1;
+    analysis_service service(options);
+    EXPECT_EQ(service.register_design("chip", sg), 1u);
+
+    // Arc 5 (a+ -> c+) sits on the demo's critical cycle, so the edit
+    // provably moves the cycle time between versions.
+    analysis_request edit = make_request(request_kind::edit, "e1");
+    edit.edits =
+        json_parse(R"({"edits": [{"op": "set_delay", "arc": 5, "delay": "50"}]})");
+    const analysis_response committed = service.execute(edit);
+    ASSERT_TRUE(committed.ok) << committed.error.message;
+    EXPECT_EQ(committed.design_version, 2u);
+
+    analysis_request pin1 = make_request(request_kind::analyze, "v1");
+    pin1.design.version = 1;
+    analysis_request pin2 = make_request(request_kind::analyze, "v2");
+    pin2.design.version = 2;
+    const analysis_response at1 = service.execute(pin1);
+    const analysis_response at2 = service.execute(pin2);
+    ASSERT_TRUE(at1.ok);
+    ASSERT_TRUE(at2.ok);
+    EXPECT_EQ(at1.design_version, 1u);
+    EXPECT_EQ(at2.design_version, 2u);
+    EXPECT_NE(at1.payload, at2.payload); // the edit moved the cycle time
+
+    // Version 1 still serves exactly what the pre-edit tool run produced.
+    const analysis_response tool = execute_request(pin1, sg);
+    EXPECT_EQ(at1.payload, tool.payload);
+
+    analysis_request missing = make_request(request_kind::analyze, "v99");
+    missing.design.version = 99;
+    const analysis_response not_there = service.execute(missing);
+    EXPECT_FALSE(not_there.ok);
+    EXPECT_EQ(not_there.error.code, "unknown_version");
+    EXPECT_NE(not_there.error.message.find("has no version"), std::string::npos);
+
+    analysis_request unknown = make_request(request_kind::analyze, "u");
+    unknown.design.id = "nope";
+    const analysis_response no_design = service.execute(unknown);
+    EXPECT_FALSE(no_design.ok);
+    EXPECT_EQ(no_design.error.code, "unknown_design");
+
+    analysis_request unregistered = make_request(request_kind::analyze, "r");
+    unregistered.design.id.clear();
+    const analysis_response no_id = service.execute(unregistered);
+    EXPECT_FALSE(no_id.ok);
+    EXPECT_EQ(no_id.error.code, "bad_request");
+
+    analysis_request stale_edit = make_request(request_kind::edit, "e-old");
+    stale_edit.design.version = 1;
+    stale_edit.edits =
+        json_parse(R"({"edits": [{"op": "set_delay", "arc": 0, "delay": "2"}]})");
+    const analysis_response stale = service.execute(stale_edit);
+    EXPECT_FALSE(stale.ok);
+    EXPECT_EQ(stale.error.code, "bad_request");
+}
+
+TEST(Service, LruEvictionTrimsChainsWithStructuredErrors)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 1;
+    options.max_versions_per_design = 2;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    for (int i = 0; i < 3; ++i) {
+        analysis_request edit = make_request(request_kind::edit, "e" + std::to_string(i));
+        edit.edits = json_parse(R"({"edits": [{"op": "set_delay", "arc": 0, "delay": ")" +
+                                std::to_string(10 + i) + R"("}]})");
+        ASSERT_TRUE(service.execute(edit).ok);
+    }
+    // Chain is at versions {3, 4}; 1 and 2 were evicted.
+    analysis_request pin1 = make_request(request_kind::analyze, "v1");
+    pin1.design.version = 1;
+    const analysis_response evicted = service.execute(pin1);
+    EXPECT_FALSE(evicted.ok);
+    EXPECT_EQ(evicted.error.code, "unknown_version");
+    EXPECT_NE(evicted.error.message.find("was evicted"), std::string::npos);
+
+    const service_metrics m = service.metrics();
+    EXPECT_EQ(m.versions, 2u);
+    EXPECT_EQ(m.versions_evicted, 2u);
+    EXPECT_EQ(m.edits_committed, 3u);
+}
+
+TEST(Service, ServeStreamAnswersInOrderAndMatchesTheTool)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 2;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    analysis_request sweep = make_request(request_kind::sweep, "line2");
+    sweep.options.factor = rational(1, 10);
+
+    std::ostringstream script;
+    script << analysis_request_json(make_request(request_kind::analyze, "line1")).write()
+           << "\n";
+    script << analysis_request_json(sweep).write() << "\n";
+    script << "this is not json\n";
+    script << "\n"; // blank lines are skipped
+    script << analysis_request_json(make_request(request_kind::stats, "line4")).write()
+           << "\n";
+
+    std::istringstream in(script.str());
+    std::ostringstream out;
+    service.serve_stream(in, out);
+
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+
+    const json_value r1 = json_parse(lines[0]);
+    const json_value r2 = json_parse(lines[1]);
+    const json_value r3 = json_parse(lines[2]);
+    const json_value r4 = json_parse(lines[3]);
+    EXPECT_EQ(r1.find("id")->text, "line1");
+    EXPECT_EQ(r2.find("id")->text, "line2");
+    EXPECT_EQ(r4.find("id")->text, "line4");
+    EXPECT_EQ(r3.find("ok")->k, json_value::kind::bool_v);
+    EXPECT_FALSE(r3.find("ok")->boolean);
+    ASSERT_NE(r3.find("error"), nullptr);
+    EXPECT_EQ(r3.find("error")->find("code")->text, "bad_request");
+
+    // A sequential stream serves every request solo, so the embedded
+    // payload is the tool's document verbatim — engine block included.
+    const analysis_response tool = execute_request(sweep, sg);
+    EXPECT_EQ(*r2.find("payload"), json_parse(tool.payload));
+}
+
+TEST(Service, StatsPayloadReflectsTraffic)
+{
+    const signal_graph sg = c_oscillator_sg();
+    analysis_service service;
+    service.register_design("chip", sg);
+
+    for (const analysis_request& request : small_batch_mix(6))
+        ASSERT_TRUE(service.execute(request).ok);
+
+    const analysis_response stats =
+        service.execute(make_request(request_kind::stats, "st"));
+    ASSERT_TRUE(stats.ok) << stats.error.message;
+    const json_value doc = json_parse(stats.payload, "stats payload");
+    EXPECT_EQ(doc.find("command")->text, "stats");
+    ASSERT_NE(doc.find("requests"), nullptr);
+    EXPECT_GE(std::stoull(doc.find("requests")->find("total")->text), 6u);
+    ASSERT_NE(doc.find("latency_us"), nullptr);
+    EXPECT_GE(std::stoull(doc.find("latency_us")->find("samples")->text), 6u);
+
+    const service_metrics m = service.metrics();
+    EXPECT_GE(m.latency_samples, 6u);
+    EXPECT_LE(m.latency_p50_us, m.latency_p95_us);
+    EXPECT_LE(m.latency_p95_us, m.latency_p99_us);
+    EXPECT_GT(m.scenarios, 0u);
+    EXPECT_EQ(m.failures, 0u);
+    EXPECT_EQ(m.queue_depth, 0u);
+}
+
+} // namespace
+} // namespace tsg
