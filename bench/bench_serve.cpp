@@ -22,8 +22,19 @@
 // failed request — counts as a mismatch and fails the bench.  Latency
 // quantiles come from the service's own dogfooded stats_accumulator.
 //
+// A third round drives the admission-control path: an overload fleet
+// (>= 64 clients by default) bursts the same small-request traffic at a
+// service whose queue bound is far below the offered load.  Measured
+// there: the shed rate (how much of the burst was refused), the
+// client-observed p99 of shed responses (shedding must be prompt — a
+// refusal that waits on the worker pool is not backpressure) and the p99
+// of the requests that were served.  Every refusal must carry the
+// structured "overloaded" code; anything else counts as a failure.
+//
 //   bench_serve [--events N] [--clients C] [--requests R] [--burst B]
 //               [--workers W] [--rounds K] [--seed S] [--json out.json]
+//               [--overload-clients C2] [--overload-requests R2]
+//               [--overload-queue D]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -154,6 +165,92 @@ mode_result run_mode(const signal_graph& sg,
     return result;
 }
 
+struct overload_result {
+    double wall_seconds = 0.0;
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    std::size_t other_failures = 0; ///< anything not ok and not "overloaded"
+    double shed_p99_us = 0.0;
+    double served_p99_us = 0.0;
+};
+
+double p99(std::vector<double>& samples)
+{
+    if (samples.empty()) return 0.0;
+    const std::size_t k = (samples.size() * 99) / 100;
+    std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(k),
+                     samples.end());
+    return samples[k];
+}
+
+/// The overload fleet: every client fire-hoses its whole request list at
+/// once against a deliberately tiny queue bound, then waits.  Client-side
+/// submit-to-ready latency is recorded per response class.
+overload_result run_overload(const signal_graph& sg,
+                             const std::vector<std::vector<analysis_request>>& stream,
+                             unsigned workers, std::size_t queue_depth)
+{
+    service_options options;
+    options.workers = workers;
+    options.coalesce = true;
+    options.max_queue_depth = queue_depth;
+    analysis_service service(options);
+    service.register_design("bench", sg);
+
+    const std::size_t clients = stream.size();
+    std::vector<overload_result> per_client(clients);
+    std::vector<std::vector<double>> shed_latencies(clients);
+    std::vector<std::vector<double>> served_latencies(clients);
+
+    const clock_type::time_point start = clock_type::now();
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            const std::vector<analysis_request>& requests = stream[c];
+            std::vector<std::future<analysis_response>> futures;
+            std::vector<clock_type::time_point> submitted;
+            futures.reserve(requests.size());
+            submitted.reserve(requests.size());
+            for (const analysis_request& request : requests) {
+                submitted.push_back(clock_type::now());
+                futures.push_back(service.submit(request));
+            }
+            for (std::size_t k = 0; k < futures.size(); ++k) {
+                const analysis_response response = futures[k].get();
+                const double us = std::chrono::duration<double, std::micro>(
+                                      clock_type::now() - submitted[k])
+                                      .count();
+                if (response.ok) {
+                    ++per_client[c].served;
+                    served_latencies[c].push_back(us);
+                } else if (response.error.code == "overloaded") {
+                    ++per_client[c].shed;
+                    shed_latencies[c].push_back(us);
+                } else {
+                    ++per_client[c].other_failures;
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    overload_result result;
+    result.wall_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
+    std::vector<double> shed_all;
+    std::vector<double> served_all;
+    for (std::size_t c = 0; c < clients; ++c) {
+        result.served += per_client[c].served;
+        result.shed += per_client[c].shed;
+        result.other_failures += per_client[c].other_failures;
+        shed_all.insert(shed_all.end(), shed_latencies[c].begin(), shed_latencies[c].end());
+        served_all.insert(served_all.end(), served_latencies[c].begin(),
+                          served_latencies[c].end());
+    }
+    result.shed_p99_us = p99(shed_all);
+    result.served_p99_us = p99(served_all);
+    return result;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -167,6 +264,9 @@ int main(int argc, char** argv)
     unsigned workers = 2;
     int rounds = 2;
     std::uint32_t seed = 42;
+    std::size_t overload_clients = 64;
+    std::size_t overload_requests = 16;
+    std::size_t overload_queue = 64;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--events" && i + 1 < argc)
@@ -183,6 +283,12 @@ int main(int argc, char** argv)
             rounds = std::stoi(argv[++i]);
         else if (arg == "--seed" && i + 1 < argc)
             seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--overload-clients" && i + 1 < argc)
+            overload_clients = std::stoull(argv[++i]);
+        else if (arg == "--overload-requests" && i + 1 < argc)
+            overload_requests = std::stoull(argv[++i]);
+        else if (arg == "--overload-queue" && i + 1 < argc)
+            overload_queue = std::stoull(argv[++i]);
     }
 
     random_sg_options gopts;
@@ -222,6 +328,20 @@ int main(int argc, char** argv)
             ++mismatches;
     }
 
+    // The overload round: a fleet far beyond the queue bound.  Best shed
+    // p99 across rounds (the admission fast path is what is being gated,
+    // not the scheduler's worst hiccup).
+    const std::vector<std::vector<analysis_request>> overload_stream =
+        make_stream(overload_clients, overload_requests);
+    overload_result overload;
+    for (int round = 0; round < rounds; ++round) {
+        overload_result o = run_overload(sg, overload_stream, workers, overload_queue);
+        if (round == 0 || o.shed_p99_us < overload.shed_p99_us) overload = std::move(o);
+    }
+    const std::size_t overload_total = overload_clients * overload_requests;
+    const double shed_rate =
+        static_cast<double>(overload.shed) / static_cast<double>(overload_total);
+
     const double solo_rate = static_cast<double>(solo.scenarios) / solo.wall_seconds;
     const double serve_rate =
         static_cast<double>(coalesced.scenarios) / coalesced.wall_seconds;
@@ -238,6 +358,12 @@ int main(int argc, char** argv)
               << " us, p99 " << m.latency_p99_us << " us (coalesced mode)\n";
     std::cout << "bit-identical: " << (mismatches == 0 ? "yes" : "NO") << " ("
               << mismatches << " mismatches)\n";
+    std::cout << "overload  : " << overload_clients << " clients x " << overload_requests
+              << " requests vs queue " << overload_queue << ": " << overload.served
+              << " served, " << overload.shed << " shed (" << (shed_rate * 100.0)
+              << "%), shed p99 " << overload.shed_p99_us << " us, served p99 "
+              << overload.served_p99_us << " us, " << overload.other_failures
+              << " unexpected failures\n";
 
     reporter.record("events", static_cast<double>(sg.event_count()), "count");
     reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
@@ -264,6 +390,31 @@ int main(int argc, char** argv)
                     m.latency_p99_us > 0 ? 1000.0 / m.latency_p99_us : 0.0, "1/ms");
     reporter.record("mismatches", static_cast<double>(mismatches), "count");
 
+    // Overload metrics.  The gateable views: the shed rate must show the
+    // queue bound actually refusing load, shed responses must come back
+    // promptly (inverse kHz, higher is better), and nothing may fail with
+    // anything other than the structured "overloaded" code.
+    reporter.record("overload_clients", static_cast<double>(overload_clients), "count");
+    reporter.record("overload_requests", static_cast<double>(overload_total), "count");
+    reporter.record("overload_served", static_cast<double>(overload.served), "count");
+    reporter.record("overload_shed", static_cast<double>(overload.shed), "count");
+    reporter.record("overload_shed_rate", shed_rate, "fraction");
+    reporter.record("overload_shed_p99_us", overload.shed_p99_us, "us");
+    reporter.record("overload_served_p99_us", overload.served_p99_us, "us");
+    reporter.record("inverse_overload_shed_p99_khz",
+                    overload.shed_p99_us > 0 ? 1000.0 / overload.shed_p99_us : 0.0,
+                    "1/ms");
+    reporter.record("inverse_overload_served_p99_khz",
+                    overload.served_p99_us > 0 ? 1000.0 / overload.served_p99_us : 0.0,
+                    "1/ms");
+    reporter.record("overload_unexpected_failures",
+                    static_cast<double>(overload.other_failures), "count");
+
+    if (overload.other_failures != 0) {
+        std::cerr << "FAIL: overload produced failures without the structured "
+                     "\"overloaded\" code\n";
+        return 1;
+    }
     if (mismatches != 0) {
         std::cerr << "FAIL: coalesced payloads diverge from solo execution\n";
         return 1;

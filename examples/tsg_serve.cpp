@@ -7,11 +7,18 @@
 // the same compiled snapshots and small batch requests from different
 // clients coalesce into full lane-group engine batches.
 //
+// The TCP transport is the single-threaded epoll event loop
+// (net/event_loop.h): non-blocking sockets, batched sends, bounded
+// per-connection buffers, admission control and slow-client/idle
+// disconnects.  --legacy-threads restores PR 7's thread-per-connection
+// loop (now on the hardened net::fd_streambuf, so a client hanging up
+// mid-response no longer SIGPIPEs the process).
+//
 // Usage:
 //   tsg_serve --pipe [options]            serve stdin/stdout (one client;
 //                                         the mode tests and scripts use)
-//   tsg_serve --port N [options]          listen on 127.0.0.1:N, one
-//                                         thread per connection
+//   tsg_serve --port N [options]          listen on 127.0.0.1:N on the
+//                                         event loop (0 = ephemeral)
 // Options:
 //   --design name=path      register a .tsg model (repeatable)
 //   --demo name             register the built-in demo oscillator
@@ -19,16 +26,28 @@
 //   --no-coalesce           strict one-request-per-batch execution
 //   --max-batch N           scenario budget per merged batch (default 256)
 //   --window-us N           wait N microseconds for merge partners
+//                           (0 = adaptive from the arrival rate)
 //   --max-versions N        versions kept per design chain (default 4)
+//   --queue-depth N         admission bound; 0 disables shedding
+//                           (default 1024)
+//   --no-cache              disable the cross-request payload cache
+//   --max-conn N            concurrent connections (default 256)
+//   --max-inflight N        unanswered requests per connection (default 64)
+//   --max-line BYTES        request line bound (default 1 MiB)
+//   --write-cap BYTES       pending response bytes per connection
+//                           (default 8 MiB)
+//   --idle-timeout-ms N     disconnect silent clients; 0 disables
+//                           (default 30000)
+//   --legacy-threads        thread-per-connection transport instead of
+//                           the event loop
 //
 // Example session (pipe mode):
 //   $ tsg_serve --pipe --demo osc
 //   {"api_version": 1, "kind": "sweep", "design": {"id": "osc"}}
 //   {"id": "", "ok": true, ...}
+#include <csignal>
 #include <cstring>
 #include <iostream>
-#include <memory>
-#include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +59,8 @@
 
 #include "core/service.h"
 #include "gen/oscillator.h"
+#include "net/event_loop.h"
+#include "net/fd_stream.h"
 #include "sg/sg_io.h"
 #include "util/error.h"
 
@@ -47,65 +68,18 @@ namespace {
 
 using namespace tsg;
 
-/// A minimal bidirectional streambuf over one socket fd, so the service's
-/// iostream transport (serve_stream) runs unchanged over TCP.
-class fd_streambuf : public std::streambuf {
-public:
-    explicit fd_streambuf(int fd) : fd_(fd)
-    {
-        setg(in_, in_, in_);
-        setp(out_, out_ + sizeof(out_));
-    }
-
-protected:
-    int_type underflow() override
-    {
-        const ssize_t n = ::read(fd_, in_, sizeof(in_));
-        if (n <= 0) return traits_type::eof();
-        setg(in_, in_, in_ + n);
-        return traits_type::to_int_type(in_[0]);
-    }
-
-    int_type overflow(int_type ch) override
-    {
-        if (flush_out() < 0) return traits_type::eof();
-        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-            *pptr() = traits_type::to_char_type(ch);
-            pbump(1);
-        }
-        return traits_type::not_eof(ch);
-    }
-
-    int sync() override { return flush_out(); }
-
-private:
-    int flush_out()
-    {
-        const char* p = pbase();
-        while (p < pptr()) {
-            const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-            if (n <= 0) return -1;
-            p += n;
-        }
-        setp(out_, out_ + sizeof(out_));
-        return 0;
-    }
-
-    int fd_;
-    char in_[4096];
-    char out_[4096];
-};
-
 void serve_connection(analysis_service& service, int fd)
 {
-    fd_streambuf buf(fd);
+    net::fd_streambuf buf(fd);
     std::istream in(&buf);
     std::ostream out(&buf);
     service.serve_stream(in, out);
     ::close(fd);
 }
 
-int serve_socket(analysis_service& service, int port)
+/// PR 7's transport, kept behind --legacy-threads: one blocking thread
+/// per connection over the iostream interface.
+int serve_threads(analysis_service& service, int port)
 {
     const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listener < 0) {
@@ -126,7 +100,8 @@ int serve_socket(analysis_service& service, int port)
         ::close(listener);
         return 1;
     }
-    std::cerr << "tsg_serve: listening on 127.0.0.1:" << port << "\n";
+    std::cerr << "tsg_serve: listening on 127.0.0.1:" << port
+              << " (thread per connection)\n";
 
     std::vector<std::thread> connections;
     for (;;) {
@@ -145,10 +120,16 @@ int serve_socket(analysis_service& service, int port)
 int main(int argc, char** argv)
 {
     try {
+        // The legacy path writes through fd_streambuf, which uses plain
+        // write() on non-socket fds; keep the process alive either way.
+        std::signal(SIGPIPE, SIG_IGN);
+
         std::vector<std::string> args(argv + 1, argv + argc);
 
         service_options options;
+        net::event_loop_options loop_options;
         bool pipe = false;
+        bool legacy_threads = false;
         int port = -1;
         std::vector<std::pair<std::string, std::string>> designs; // name -> path
         std::vector<std::string> demos;
@@ -181,6 +162,22 @@ int main(int argc, char** argv)
                 options.coalesce_window = std::chrono::microseconds(std::stoll(value()));
             } else if (arg == "--max-versions") {
                 options.max_versions_per_design = std::stoull(value());
+            } else if (arg == "--queue-depth") {
+                options.max_queue_depth = std::stoull(value());
+            } else if (arg == "--no-cache") {
+                options.payload_cache = false;
+            } else if (arg == "--max-conn") {
+                loop_options.max_connections = std::stoull(value());
+            } else if (arg == "--max-inflight") {
+                loop_options.limits.max_inflight = std::stoull(value());
+            } else if (arg == "--max-line") {
+                loop_options.limits.max_line_bytes = std::stoull(value());
+            } else if (arg == "--write-cap") {
+                loop_options.limits.write_buffer_cap = std::stoull(value());
+            } else if (arg == "--idle-timeout-ms") {
+                loop_options.idle_timeout = std::chrono::milliseconds(std::stoll(value()));
+            } else if (arg == "--legacy-threads") {
+                legacy_threads = true;
             } else {
                 std::cerr << "error: unrecognized argument '" << arg << "'\n";
                 return 1;
@@ -204,7 +201,14 @@ int main(int argc, char** argv)
             service.serve_stream(std::cin, std::cout);
             return 0;
         }
-        return serve_socket(service, port);
+        if (legacy_threads) return serve_threads(service, port);
+
+        loop_options.port = static_cast<std::uint16_t>(port);
+        net::event_loop_server server(service, loop_options);
+        std::cerr << "tsg_serve: listening on 127.0.0.1:" << server.port()
+                  << " (event loop)\n";
+        server.run();
+        return 0;
     } catch (const tsg::error& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -375,7 +375,8 @@ api_error classify_error(const std::string& diagnostic, const std::string& fallb
 {
     static const char* const codes[] = {"bad_request",     "unsupported_version",
                                         "unknown_design",  "unknown_version",
-                                        "invalid_model",   "internal"};
+                                        "invalid_model",   "overloaded",
+                                        "internal"};
     for (const char* code : codes) {
         const std::string prefix = std::string(code) + ": ";
         if (starts_with(diagnostic, prefix))

@@ -155,6 +155,8 @@ struct analysis_request {
 ///   unknown_design       design id not registered
 ///   unknown_version      design version evicted or never existed
 ///   invalid_model        the model/options reject the analysis
+///   overloaded           admission control shed the request (queue full /
+///                        connection limit); retry later — nothing ran
 ///   internal             anything else
 struct api_error {
     std::string code;

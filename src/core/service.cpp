@@ -15,11 +15,21 @@ namespace tsg {
 
 // --- internal structures -----------------------------------------------------
 
-/// One queued request with its completion channel.
+/// One queued request with its completion channel: a promise (submit)
+/// or a callback (submit_async — the epoll transport's path).
 struct analysis_service::pending {
     analysis_request request;
     std::promise<analysis_response> promise;
+    std::function<void(analysis_response)> callback;
     std::chrono::steady_clock::time_point enqueued;
+
+    void deliver(analysis_response response)
+    {
+        if (callback)
+            callback(std::move(response));
+        else
+            promise.set_value(std::move(response));
+    }
 };
 
 /// One immutable compiled snapshot of a design.  The graph lives on the
@@ -45,6 +55,14 @@ struct analysis_service::design_version {
     std::map<std::pair<std::string, std::int64_t>,
              std::shared_ptr<const monte_carlo_table>>
         mc_tables;
+
+    /// Cross-request payload cache: canonical request body (id stripped)
+    /// -> (payload bytes, scenario count) of the first execution.  The
+    /// cached bytes are returned verbatim, so a payload first rendered
+    /// from a merged run keeps that run's engine-accounting block — the
+    /// same documented exception the coalescer already carries.
+    std::mutex cache_mutex;
+    std::map<std::string, std::pair<std::string, std::size_t>> payload_cache;
 
     std::uint64_t last_used = 0; ///< registry use tick, for LRU eviction
 };
@@ -89,6 +107,18 @@ bool coalescable(const analysis_request& request)
 {
     return request.kind == request_kind::sweep ||
            (request.kind == request_kind::montecarlo && !request.options.adaptive);
+}
+
+/// Canonical cache key: the full request document with the client
+/// correlation id and the version pin stripped (the cache already lives
+/// inside one resolved design_version, so "latest" and an explicit pin of
+/// the same snapshot share entries).
+std::string payload_cache_key(const analysis_request& request)
+{
+    analysis_request canonical = request;
+    canonical.id.clear();
+    canonical.design.version = 0;
+    return analysis_request_json(canonical).write();
 }
 
 } // namespace
@@ -267,21 +297,78 @@ std::vector<scenario> analysis_service::scenarios_for(design_version& version,
 
 // --- submission --------------------------------------------------------------
 
+std::optional<api_error> analysis_service::admit(pending job)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::optional<api_error> refusal;
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        // Arrival-rate EWMA for the adaptive coalescing window: smoothed
+        // inter-arrival time in microseconds of the recent request stream.
+        if (arrival_seen_) {
+            const double us =
+                std::chrono::duration<double, std::micro>(now - last_arrival_).count();
+            arrival_ewma_us_ =
+                arrival_ewma_us_ <= 0.0 ? us : 0.8 * arrival_ewma_us_ + 0.2 * us;
+        }
+        arrival_seen_ = true;
+        last_arrival_ = now;
+
+        if (stopping_) {
+            refusal = api_error{"internal", "the analysis service is shutting down"};
+        } else if (options_.max_queue_depth != 0 &&
+                   queue_.size() >= options_.max_queue_depth) {
+            refusal = api_error{
+                "overloaded", "request queue is full (depth " +
+                                  std::to_string(options_.max_queue_depth) +
+                                  "); the request was shed, retry later"};
+        } else {
+            queue_.push_back(std::move(job));
+            queue_peak_ = std::max(queue_peak_, queue_.size());
+        }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!refusal) {
+        queue_cv_.notify_one();
+        return std::nullopt;
+    }
+    if (refusal->code == "overloaded") shed_.fetch_add(1, std::memory_order_relaxed);
+    bump_fleet(job.request.design.id, [&](design_traffic& t) {
+        ++t.requests;
+        ++t.failures;
+        if (refusal->code == "overloaded") ++t.shed;
+    });
+    // Promise-channel jobs receive the refusal as an immediately-ready
+    // response; callback-channel jobs never run their callback — the
+    // transport answers from the returned error without a thread handoff.
+    if (!job.callback) {
+        analysis_response response;
+        response.id = job.request.id;
+        response.ok = false;
+        response.error = *refusal;
+        job.promise.set_value(std::move(response));
+    }
+    return refusal;
+}
+
 std::future<analysis_response> analysis_service::submit(analysis_request request)
 {
     pending job;
     job.request = std::move(request);
     job.enqueued = std::chrono::steady_clock::now();
     std::future<analysis_response> result = job.promise.get_future();
-    {
-        std::lock_guard<std::mutex> lk(queue_mutex_);
-        require(!stopping_, "internal: the analysis service is shutting down");
-        queue_.push_back(std::move(job));
-        queue_peak_ = std::max(queue_peak_, queue_.size());
-    }
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    queue_cv_.notify_one();
+    (void)admit(std::move(job)); // a refusal is already delivered into the future
     return result;
+}
+
+std::optional<api_error> analysis_service::submit_async(
+    analysis_request request, std::function<void(analysis_response)> done)
+{
+    pending job;
+    job.request = std::move(request);
+    job.callback = std::move(done);
+    job.enqueued = std::chrono::steady_clock::now();
+    return admit(std::move(job));
 }
 
 analysis_response analysis_service::execute(analysis_request request)
@@ -307,6 +394,10 @@ void analysis_service::serve_stream(std::istream& in, std::ostream& out)
             response.error = {"internal", e.what()};
         }
         out << analysis_response_json(response) << "\n" << std::flush;
+        // A dead transport (EPIPE'd socket, closed pipe) puts the stream
+        // in a failed state; executing the rest of the input would burn
+        // engine time on responses nobody can receive.
+        if (!out) break;
     }
 }
 
@@ -358,7 +449,39 @@ void analysis_service::finish(pending& job, analysis_response response)
         latency_.add(sample);
     }
     if (!response.ok) failures_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(std::move(response));
+    bump_fleet(job.request.design.id, [&](design_traffic& t) {
+        ++t.requests;
+        if (!response.ok) ++t.failures;
+        // A cached payload re-reports its original run's scenario count.
+        t.scenarios += response.scenarios;
+    });
+    job.deliver(std::move(response));
+}
+
+std::chrono::microseconds analysis_service::adaptive_coalesce_window(
+    double arrival_ewma_us, std::chrono::microseconds cap)
+{
+    // An isolated request must not wait for partners that are not coming:
+    // above a 200us mean inter-arrival time (< 5k requests/s) the window
+    // stays 0.  Denser streams wait ~4 inter-arrival times, enough for a
+    // handful of partners to land, clamped to the configured cap.
+    if (arrival_ewma_us <= 0.0 || arrival_ewma_us > 200.0)
+        return std::chrono::microseconds{0};
+    const auto window =
+        std::chrono::microseconds(static_cast<std::int64_t>(4.0 * arrival_ewma_us));
+    return std::min(cap, window);
+}
+
+std::chrono::microseconds analysis_service::coalesce_wait() const
+{
+    if (options_.coalesce_window.count() > 0) return options_.coalesce_window;
+    if (!options_.adaptive_window) return std::chrono::microseconds{0};
+    double ewma = 0.0;
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        ewma = arrival_ewma_us_;
+    }
+    return adaptive_coalesce_window(ewma, options_.adaptive_window_cap);
 }
 
 void analysis_service::handle(pending job)
@@ -433,6 +556,32 @@ void analysis_service::handle_batch(pending first)
     std::vector<std::vector<scenario>> parts;
     try {
         version = resolve(first.request.design);
+        if (options_.payload_cache) {
+            const std::string key = payload_cache_key(first.request);
+            std::pair<std::string, std::size_t> hit;
+            bool found = false;
+            {
+                std::lock_guard<std::mutex> lk(version->cache_mutex);
+                const auto it = version->payload_cache.find(key);
+                if (it != version->payload_cache.end()) {
+                    hit = it->second;
+                    found = true;
+                }
+            }
+            if (found) {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                bump_fleet(first.request.design.id,
+                           [](design_traffic& t) { ++t.cache_hits; });
+                analysis_response response;
+                response.id = first.request.id;
+                response.ok = true;
+                response.payload = std::move(hit.first);
+                response.scenarios = hit.second;
+                response.design_version = version->version;
+                finish(first, std::move(response));
+                return;
+            }
+        }
         parts.push_back(scenarios_for(*version, first.request));
     } catch (const error& e) {
         finish(first, respond_error(first, e.what()));
@@ -448,8 +597,8 @@ void analysis_service::handle_batch(pending first)
     // merged batch linearizes before any concurrently committed edit).
     std::size_t total = parts[0].size();
     if (options_.coalesce && total > 0 && total < options_.max_coalesce_scenarios) {
-        if (options_.coalesce_window.count() > 0)
-            std::this_thread::sleep_for(options_.coalesce_window);
+        const std::chrono::microseconds window = coalesce_wait();
+        if (window.count() > 0) std::this_thread::sleep_for(window);
         std::vector<pending> partners;
         {
             std::lock_guard<std::mutex> lk(queue_mutex_);
@@ -556,6 +705,16 @@ void analysis_service::handle_batch(pending first)
             response.design_version = version->version;
             response.scenarios = spans[i].count;
             response.coalesced = coalesced;
+            if (options_.payload_cache) {
+                std::lock_guard<std::mutex> lk(version->cache_mutex);
+                // Bounded like the MC-table cache: clear-all on overflow
+                // beats tracking recency for a cache this cheap to refill.
+                if (version->payload_cache.size() >= options_.max_cached_payloads)
+                    version->payload_cache.clear();
+                version->payload_cache.emplace(
+                    payload_cache_key(live[i].request),
+                    std::make_pair(response.payload, spans[i].count));
+            }
         } catch (const error& e) {
             response = respond_error(live[i], e.what());
         } catch (const std::exception& e) {
@@ -572,6 +731,9 @@ service_metrics analysis_service::metrics() const
     service_metrics m;
     m.requests = requests_.load(std::memory_order_relaxed);
     m.failures = failures_.load(std::memory_order_relaxed);
+    m.requests_shed = shed_.load(std::memory_order_relaxed);
+    m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    m.queue_limit = options_.max_queue_depth;
     m.engine_batches = engine_batches_.load(std::memory_order_relaxed);
     m.batch_requests = batch_requests_.load(std::memory_order_relaxed);
     m.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
@@ -587,6 +749,11 @@ service_metrics analysis_service::metrics() const
         std::lock_guard<std::mutex> lk(queue_mutex_);
         m.queue_depth = queue_.size();
         m.queue_peak = queue_peak_;
+        m.arrival_ewma_us = arrival_ewma_us_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(fleet_mutex_);
+        m.fleet.assign(fleet_.begin(), fleet_.end());
     }
     m.coalescing_efficiency =
         m.engine_batches
@@ -624,6 +791,19 @@ std::string analysis_service::stats_json() const
         << ", \"evicted\": " << m.versions_evicted << "},\n";
     out << "  \"queue\": {\"depth\": " << m.queue_depth << ", \"peak\": " << m.queue_peak
         << "},\n";
+    out << "  \"admission\": {\"queue_limit\": " << m.queue_limit
+        << ", \"shed\": " << m.requests_shed
+        << ", \"arrival_ewma_us\": " << format_double(m.arrival_ewma_us, 6) << "},\n";
+    out << "  \"cache\": {\"hits\": " << m.cache_hits << "},\n";
+    out << "  \"fleet\": {";
+    for (std::size_t i = 0; i < m.fleet.size(); ++i) {
+        const auto& [id, t] = m.fleet[i];
+        out << (i ? ", " : "") << json_quote(id) << ": {\"requests\": " << t.requests
+            << ", \"failed\": " << t.failures << ", \"shed\": " << t.shed
+            << ", \"scenarios\": " << t.scenarios
+            << ", \"cache_hits\": " << t.cache_hits << "}";
+    }
+    out << "},\n";
     out << "  \"coalescing\": {\"engine_batches\": " << m.engine_batches
         << ", \"efficiency\": " << format_double(m.coalescing_efficiency, 6) << "},\n";
     out << "  \"throughput\": {\"scenarios\": " << m.scenarios

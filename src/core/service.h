@@ -33,12 +33,23 @@
 // the `stats` request kind reports p50/p95/p99 straight from the same
 // histogram quantile machinery the timing analyses use.
 //
+// Admission control keeps the daemon responsive under bursty traffic:
+// the request queue is bounded (service_options::max_queue_depth), and
+// arrivals beyond the bound are shed immediately with a structured
+// "overloaded" response instead of growing the deque without limit — a
+// client sees either its result or a prompt, retryable error, never an
+// unbounded wait.  Deterministic batch payloads are additionally cached
+// across requests (keyed on design version + canonical request body),
+// and per-design fleet counters break the serving traffic down in the
+// `stats` payload.
+//
 // Transport is the caller's problem: submit() is the in-process API
-// (thread-safe, returns a future), serve_stream() speaks newline-
-// delimited JSON over any iostream pair (the pipe mode tests and
-// examples/tsg_serve.cpp's socket loop both sit on it).  serve_stream
-// handles one request per line in order, so a stream replay is
-// byte-identical to running the tool once per request.
+// (thread-safe, returns a future), submit_async() the callback flavour
+// the epoll transport (net/event_loop.h) drives, and serve_stream()
+// speaks newline-delimited JSON over any iostream pair (the pipe mode
+// tests and examples/tsg_serve.cpp's legacy socket loop both sit on
+// it).  serve_stream handles one request per line in order, so a stream
+// replay is byte-identical to running the tool once per request.
 #ifndef TSG_CORE_SERVICE_H
 #define TSG_CORE_SERVICE_H
 
@@ -47,11 +58,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,27 +102,68 @@ struct service_options {
     /// for an evicted version fail with code "unknown_version".
     std::size_t max_versions_per_design = 4;
 
+    /// Admission control: requests queued beyond this depth are shed with
+    /// a structured "overloaded" response instead of growing the deque
+    /// without bound.  Shed responses complete immediately (the future is
+    /// ready when submit() returns).  0 disables shedding (the pre-
+    /// admission-control behaviour).
+    std::size_t max_queue_depth = 1024;
+
+    /// When coalesce_window is 0, scale a waiting window from the recent
+    /// request arrival rate: under bursty traffic a worker briefly waits
+    /// for merge partners (up to adaptive_window_cap), at low rates it
+    /// never waits — latency is only spent where coalescing can pay.
+    bool adaptive_window = true;
+    std::chrono::microseconds adaptive_window_cap{400};
+
+    /// Cross-request payload cache: deterministic batch requests (sweep,
+    /// seeded non-adaptive Monte Carlo) with an identical body hitting the
+    /// same design version are served the first response's payload bytes
+    /// without touching the engine.  Keyed on (design version, canonical
+    /// request document minus the client correlation id).
+    bool payload_cache = true;
+    std::size_t max_cached_payloads = 128; ///< per design version
+
     /// Latency histogram: bin count and support [0, hi] in microseconds
     /// (quantiles clamp to the observed exact extremes regardless).
     std::size_t latency_histogram_bins = 64;
     rational latency_histogram_hi = rational(1000000);
 };
 
+/// Per-design serving counters — the fleet view of one registered design.
+struct design_traffic {
+    std::uint64_t requests = 0;   ///< requests naming this design, shed included
+    std::uint64_t failures = 0;   ///< of those, responses with ok == false
+    std::uint64_t shed = 0;       ///< of those, shed by admission control
+    std::uint64_t scenarios = 0;  ///< scenarios evaluated for this design
+    std::uint64_t cache_hits = 0; ///< payloads served from the cross-request cache
+};
+
 /// One consistent snapshot of the serving counters.
 struct service_metrics {
     std::uint64_t requests = 0;           ///< accepted by submit()/serve_stream()
     std::uint64_t failures = 0;           ///< responses with ok == false
+    std::uint64_t requests_shed = 0;      ///< shed with "overloaded" at admission
     std::uint64_t engine_batches = 0;     ///< scenario_engine::run invocations
     std::uint64_t batch_requests = 0;     ///< batch-kind requests served
     std::uint64_t coalesced_requests = 0; ///< of those, served from merged runs
+    std::uint64_t cache_hits = 0;         ///< served from the payload cache
     std::uint64_t scenarios = 0;          ///< scenarios evaluated in batches
     std::uint64_t edits_committed = 0;    ///< edit requests that committed a version
     std::uint64_t versions_evicted = 0;
 
     std::size_t queue_depth = 0; ///< requests waiting right now
     std::size_t queue_peak = 0;  ///< high-water mark since construction
+    std::size_t queue_limit = 0; ///< admission depth (0 = unbounded)
     std::size_t designs = 0;
     std::size_t versions = 0; ///< live snapshots across every chain
+
+    /// Smoothed inter-arrival time of recent requests (microseconds; 0
+    /// until two requests have arrived) — the adaptive window's input.
+    double arrival_ewma_us = 0.0;
+
+    /// Per-design traffic breakdown, sorted by design id.
+    std::vector<std::pair<std::string, design_traffic>> fleet;
 
     /// batch_requests / engine_batches — how many requests each engine
     /// run served on average (1.0 = no merging happened).
@@ -145,8 +199,19 @@ public:
     /// Enqueues one request; the future completes when a worker (or a
     /// coalesced batch) has served it.  Requests must reference a
     /// registered design by id — path/text/demo references are the
-    /// tool's stand-alone mode, not the service's.
+    /// tool's stand-alone mode, not the service's.  When admission
+    /// control sheds the request the future is ready immediately with an
+    /// "overloaded" error response.
     [[nodiscard]] std::future<analysis_response> submit(analysis_request request);
+
+    /// The transport-facing submission path: `done` runs exactly once, on
+    /// the worker thread that completes the request.  Returns nullopt on
+    /// acceptance; otherwise the structured error to hand the client
+    /// (queue full, service stopping) — `done` then never runs, so a
+    /// non-blocking caller (the epoll loop) can respond synchronously
+    /// without parking a thread on a future.
+    [[nodiscard]] std::optional<api_error> submit_async(
+        analysis_request request, std::function<void(analysis_response)> done);
 
     /// submit() + get(): the synchronous convenience.
     [[nodiscard]] analysis_response execute(analysis_request request);
@@ -163,6 +228,14 @@ public:
     /// document (also callable directly).
     [[nodiscard]] std::string stats_json() const;
 
+    /// The arrival-rate-adaptive coalescing window: 0 at low rates (an
+    /// isolated request should not wait for partners that are not
+    /// coming), then a few inter-arrival times — clamped to `cap` — once
+    /// arrivals are dense enough that a short wait fills a lane group.
+    /// Pure; exposed for the backpressure tests.
+    [[nodiscard]] static std::chrono::microseconds adaptive_coalesce_window(
+        double arrival_ewma_us, std::chrono::microseconds cap);
+
 private:
     struct design_version;
     struct design_entry;
@@ -174,6 +247,20 @@ private:
     void finish(pending& job, analysis_response response);
     [[nodiscard]] analysis_response respond_error(const pending& job,
                                                   const std::string& diagnostic);
+
+    /// Enqueues `job` unless admission control sheds it; on shedding the
+    /// returned error is also delivered through the job's channel.
+    [[nodiscard]] std::optional<api_error> admit(pending job);
+    [[nodiscard]] std::chrono::microseconds coalesce_wait() const;
+
+    /// Applies `f` to the named design's fleet counters (no-op on an
+    /// empty id — requests that never resolved a design).
+    template <typename F> void bump_fleet(const std::string& design_id, F&& f)
+    {
+        if (design_id.empty()) return;
+        std::lock_guard<std::mutex> lk(fleet_mutex_);
+        f(fleet_[design_id]);
+    }
 
     [[nodiscard]] std::shared_ptr<design_version> resolve(const design_ref& ref);
     [[nodiscard]] std::shared_ptr<design_entry> entry_of(const std::string& id);
@@ -198,11 +285,17 @@ private:
     std::deque<pending> queue_;
     std::size_t queue_peak_ = 0;
     bool stopping_ = false;
+    /// Arrival-rate tracking for the adaptive window (under queue_mutex_).
+    bool arrival_seen_ = false;
+    std::chrono::steady_clock::time_point last_arrival_;
+    double arrival_ewma_us_ = 0.0;
 
     std::vector<std::thread> workers_;
 
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> failures_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
     std::atomic<std::uint64_t> engine_batches_{0};
     std::atomic<std::uint64_t> batch_requests_{0};
     std::atomic<std::uint64_t> coalesced_requests_{0};
@@ -212,6 +305,9 @@ private:
 
     mutable std::mutex latency_mutex_;
     stats_accumulator latency_; ///< microseconds as exact cycle times
+
+    mutable std::mutex fleet_mutex_;
+    std::map<std::string, design_traffic> fleet_;
 };
 
 } // namespace tsg

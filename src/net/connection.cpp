@@ -1,0 +1,31 @@
+#include "net/connection.h"
+
+#include <cstring>
+
+namespace tsg::net {
+
+bool line_splitter::feed(const char* data, std::size_t n, std::vector<std::string>& out)
+{
+    if (oversized_) return false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] != '\n') continue;
+        buffer_.append(data + start, i - start);
+        start = i + 1;
+        if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+        if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+            oversized_ = true;
+            return false;
+        }
+        out.push_back(std::move(buffer_));
+        buffer_.clear();
+    }
+    buffer_.append(data + start, n - start);
+    if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+        oversized_ = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace tsg::net

@@ -1,0 +1,88 @@
+// A bidirectional std::streambuf over one file descriptor, so the
+// service's iostream transport (core/service.h: serve_stream) runs
+// unchanged over a socket or pipe.
+//
+// This is the legacy thread-per-connection transport's buffer (the epoll
+// loop in net/event_loop.h manages its own buffers), hardened against the
+// failure modes a real peer produces:
+//
+//   * writes go through send(MSG_NOSIGNAL) on sockets — a peer that
+//     closed mid-response yields EPIPE instead of a process-killing
+//     SIGPIPE (plain write() is the fallback for non-socket fds, where
+//     the caller is expected to ignore SIGPIPE);
+//   * short writes are completed in a loop, EINTR retries transparently;
+//   * a dead peer (EPIPE/ECONNRESET/any write error) fails the streambuf,
+//     which fails the ostream, which stops serve_stream — the connection
+//     thread unwinds instead of spinning on a corpse.
+#ifndef TSG_NET_FD_STREAM_H
+#define TSG_NET_FD_STREAM_H
+
+#include <cerrno>
+#include <cstddef>
+#include <streambuf>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tsg::net {
+
+class fd_streambuf : public std::streambuf {
+public:
+    explicit fd_streambuf(int fd) : fd_(fd)
+    {
+        setg(in_, in_, in_);
+        setp(out_, out_ + sizeof(out_));
+        struct stat st{};
+        socket_ = ::fstat(fd, &st) == 0 && S_ISSOCK(st.st_mode);
+    }
+
+protected:
+    int_type underflow() override
+    {
+        ssize_t n;
+        do {
+            n = ::read(fd_, in_, sizeof(in_));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) return traits_type::eof();
+        setg(in_, in_, in_ + n);
+        return traits_type::to_int_type(in_[0]);
+    }
+
+    int_type overflow(int_type ch) override
+    {
+        if (flush_out() < 0) return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int sync() override { return flush_out(); }
+
+private:
+    int flush_out()
+    {
+        const char* p = pbase();
+        while (p < pptr()) {
+            const std::size_t remaining = static_cast<std::size_t>(pptr() - p);
+            const ssize_t n = socket_ ? ::send(fd_, p, remaining, MSG_NOSIGNAL)
+                                      : ::write(fd_, p, remaining);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) return -1; // EPIPE/ECONNRESET/...: the peer is gone
+            p += n;
+        }
+        setp(out_, out_ + sizeof(out_));
+        return 0;
+    }
+
+    int fd_;
+    bool socket_ = false;
+    char in_[4096];
+    char out_[4096];
+};
+
+} // namespace tsg::net
+
+#endif // TSG_NET_FD_STREAM_H

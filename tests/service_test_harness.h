@@ -1,0 +1,283 @@
+// Deterministic fault-injection harness for the serving stack: a real
+// analysis_service behind a real event_loop_server on an ephemeral
+// loopback port, plus a scripted raw-socket client that can misbehave on
+// purpose — partial frames, malformed bytes, oversized payloads,
+// mid-request stalls, mid-response disconnects, bursts past the
+// admission limit.
+//
+// The client works at the byte level (no framing library between the
+// test and the wire), so every failure mode is injected exactly where a
+// real faulty peer would produce it.  All waits are bounded polls: tests
+// time out with a readable assertion instead of hanging.
+#ifndef TSG_TESTS_SERVICE_TEST_HARNESS_H
+#define TSG_TESTS_SERVICE_TEST_HARNESS_H
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/api.h"
+#include "core/service.h"
+#include "gen/oscillator.h"
+#include "net/event_loop.h"
+#include "util/json.h"
+
+namespace tsg::testing {
+
+/// Service + event loop on 127.0.0.1:<ephemeral>, ready after the
+/// constructor returns.  The demo oscillator is registered as "chip".
+class serve_harness {
+public:
+    explicit serve_harness(service_options service_opts = default_service_options(),
+                           net::event_loop_options loop_opts = {})
+        : service_(service_opts), server_(service_, loop_opts)
+    {
+        service_.register_design("chip", c_oscillator_sg());
+        server_.start();
+    }
+
+    ~serve_harness() { server_.stop(); }
+
+    [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+    [[nodiscard]] analysis_service& service() { return service_; }
+    [[nodiscard]] net::event_loop_server& server() { return server_; }
+
+    static service_options default_service_options()
+    {
+        service_options options;
+        options.workers = 2;
+        return options;
+    }
+
+private:
+    analysis_service service_;
+    net::event_loop_server server_;
+};
+
+/// A scripted raw client.  Sends are full blocking writes (loopback
+/// never short-writes the sizes tests use); reads are poll()-bounded.
+class script_client {
+public:
+    /// `rcvbuf` (when nonzero) shrinks the client's kernel receive buffer
+    /// before connecting — the slow-reader tests use it so loopback can't
+    /// absorb the server's responses for free.
+    explicit script_client(std::uint16_t port, int rcvbuf = 0)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ >= 0 && rcvbuf > 0)
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+        addr.sin_port = ::htons(port);
+        connected_ =
+            fd_ >= 0 &&
+            ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    }
+
+    ~script_client() { close(); }
+
+    script_client(const script_client&) = delete;
+    script_client& operator=(const script_client&) = delete;
+
+    [[nodiscard]] bool connected() const { return connected_; }
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Writes all bytes (EINTR-safe).  Returns false when the peer
+    /// already reset the connection.
+    bool send_raw(const std::string& bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+    /// The partial-frame injector: ships `bytes` in `chunk`-sized pieces
+    /// with a stall between them, so the server sees every reassembly
+    /// boundary the chunking can produce.
+    bool send_chunked(const std::string& bytes, std::size_t chunk,
+                      std::chrono::milliseconds stall = std::chrono::milliseconds(1))
+    {
+        for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+            if (!send_raw(bytes.substr(off, chunk))) return false;
+            if (stall.count() > 0) std::this_thread::sleep_for(stall);
+        }
+        return true;
+    }
+
+    /// One complete '\n'-terminated line, or nullopt on timeout/EOF
+    /// before a line completes.
+    std::optional<std::string> read_line(
+        std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+    {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        for (;;) {
+            const std::size_t nl = rx_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = rx_.substr(0, nl);
+                rx_.erase(0, nl + 1);
+                return line;
+            }
+            if (eof_) return std::nullopt;
+            if (!poll_in(deadline)) return std::nullopt;
+            char buf[4096];
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n > 0) {
+                rx_.append(buf, static_cast<std::size_t>(n));
+            } else if (n == 0) {
+                eof_ = true;
+            } else if (errno != EINTR) {
+                eof_ = true;
+            }
+        }
+    }
+
+    /// Drains until the server closes its end.  True when EOF arrived
+    /// within the timeout (buffered lines are kept readable afterwards).
+    bool wait_closed(std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+    {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        while (!eof_) {
+            if (!poll_in(deadline)) return false;
+            char buf[4096];
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n > 0)
+                rx_.append(buf, static_cast<std::size_t>(n));
+            else if (n == 0 || errno != EINTR)
+                eof_ = true;
+        }
+        return true;
+    }
+
+    /// Half-close: no more requests, responses still readable.
+    void shutdown_write()
+    {
+        if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+    }
+
+    /// The rudest disconnect a peer can produce: SO_LINGER(0) turns
+    /// close() into an immediate RST, so the server sees a reset — not a
+    /// polite FIN — while work may still be in flight.
+    void reset()
+    {
+        if (fd_ >= 0) {
+            const linger hard{1, 0};
+            ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        }
+        close();
+    }
+
+    /// The mid-response disconnect: tears the socket down outright.
+    void close()
+    {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+private:
+    bool poll_in(std::chrono::steady_clock::time_point deadline)
+    {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        pollfd pfd{fd_, POLLIN, 0};
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        const int r = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+        return r > 0;
+    }
+
+    int fd_ = -1;
+    bool connected_ = false;
+    bool eof_ = false;
+    std::string rx_;
+};
+
+// --- request builders --------------------------------------------------------
+
+inline analysis_request make_request(request_kind kind, const std::string& id,
+                                     const std::string& design = "chip")
+{
+    analysis_request request;
+    request.kind = kind;
+    request.id = id;
+    request.design.id = design;
+    return request;
+}
+
+inline std::string request_line(const analysis_request& request)
+{
+    return analysis_request_json(request).write();
+}
+
+/// A request that parks a worker: an adaptive Monte Carlo run whose CI
+/// target is unreachable before its sample cap, so it runs for the full
+/// cap — long enough for a test to fill the queue behind it, short
+/// enough to finish promptly afterwards.
+inline analysis_request plug_request(const std::string& id,
+                                     std::size_t samples = 4096)
+{
+    analysis_request request = make_request(request_kind::montecarlo, id);
+    request.options.adaptive = true;
+    request.options.epsilon = 1e-9;
+    request.options.samples = samples;
+    request.options.min_samples = samples;
+    return request;
+}
+
+/// Bounded poll for an asynchronous condition.
+inline bool wait_until(const std::function<bool()>& done,
+                       std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+{
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (done()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return done();
+}
+
+/// Parses a response line into its JSON document.
+inline json_value response_doc(const std::string& line)
+{
+    return json_parse(line, "response");
+}
+
+inline std::string response_error_code(const json_value& doc)
+{
+    const json_value* err = doc.find("error");
+    const json_value* code = err ? err->find("code") : nullptr;
+    return code ? code->text : "";
+}
+
+inline bool response_ok(const json_value& doc)
+{
+    const json_value* ok = doc.find("ok");
+    return ok != nullptr && ok->boolean;
+}
+
+inline std::string response_id(const json_value& doc)
+{
+    const json_value* id = doc.find("id");
+    return id ? id->text : "";
+}
+
+} // namespace tsg::testing
+
+#endif // TSG_TESTS_SERVICE_TEST_HARNESS_H

@@ -206,6 +206,7 @@ TEST(ApiCodec, ClassifyErrorKeepsKnownCodesAndFallsBack)
     EXPECT_EQ(classify_error("unknown_design: x").code, "unknown_design");
     EXPECT_EQ(classify_error("unknown_version: x").code, "unknown_version");
     EXPECT_EQ(classify_error("invalid_model: x").code, "invalid_model");
+    EXPECT_EQ(classify_error("overloaded: queue full").code, "overloaded");
     EXPECT_EQ(classify_error("internal: x").code, "internal");
     EXPECT_EQ(classify_error("anything else").code, "invalid_model");
     EXPECT_EQ(classify_error("anything else").message, "anything else");

@@ -1,0 +1,121 @@
+// Regression tests for the legacy transport's failure modes
+// (net/fd_stream.h + analysis_service::serve_stream): before the epoll
+// rework, tsg_serve's per-connection streambuf wrote with plain
+// write(), so a client hanging up mid-response killed the whole daemon
+// with SIGPIPE, and serve_stream kept pumping requests into a dead
+// ostream.  These tests run the real serving path over a socketpair and
+// pin the fixed behaviour: the write fails structurally, the stream
+// fails, the serving loop stops — the process never dies.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/api.h"
+#include "core/service.h"
+#include "gen/oscillator.h"
+#include "net/fd_stream.h"
+#include "service_test_harness.h"
+
+namespace tsg {
+namespace {
+
+using testing::make_request;
+using testing::request_line;
+
+struct socket_pair {
+    int fds[2] = {-1, -1};
+    socket_pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+    ~socket_pair()
+    {
+        if (fds[0] >= 0) ::close(fds[0]);
+        if (fds[1] >= 0) ::close(fds[1]);
+    }
+    void close_peer()
+    {
+        ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+TEST(FdStream, RoundTripsTheServingProtocolOverASocket)
+{
+    socket_pair pair;
+    service_options options;
+    options.workers = 1;
+    analysis_service service(options);
+    service.register_design("chip", c_oscillator_sg());
+
+    auto served = std::async(std::launch::async, [&] {
+        net::fd_streambuf buf(pair.fds[0]);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        service.serve_stream(in, out);
+    });
+
+    const std::string wire = request_line(make_request(request_kind::analyze, "rt")) + "\n";
+    ASSERT_EQ(::send(pair.fds[1], wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    ::shutdown(pair.fds[1], SHUT_WR);
+
+    std::string response;
+    char c;
+    while (::recv(pair.fds[1], &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+    EXPECT_NE(response.find("\"id\": \"rt\""), std::string::npos);
+    EXPECT_NE(response.find("\"ok\": true"), std::string::npos);
+    served.get(); // EOF on the request side ends the loop
+}
+
+TEST(FdStream, PeerDisconnectFailsTheStreamInsteadOfKillingTheProcess)
+{
+    socket_pair pair;
+    pair.close_peer(); // the "client" is already gone
+
+    net::fd_streambuf buf(pair.fds[0]);
+    std::ostream out(&buf);
+
+    // Push well past every buffer: with plain write() this raises SIGPIPE
+    // and kills the test binary; with send(MSG_NOSIGNAL) the write fails
+    // with EPIPE and the stream goes bad.
+    const std::string junk(1 << 16, 'x');
+    for (int i = 0; i < 8 && out; ++i) out << junk << std::flush;
+    EXPECT_FALSE(out.good());
+}
+
+TEST(FdStream, ServeStreamStopsWhenTheClientDisappearsMidResponse)
+{
+    socket_pair pair;
+    service_options options;
+    options.workers = 1;
+    analysis_service service(options);
+    service.register_design("chip", c_oscillator_sg());
+
+    // Queue several requests, then vanish without reading a byte.  The
+    // responses (~3 KB each) overflow what a dead socketpair accepts, so
+    // serving hits the write failure with requests still pending — the
+    // old loop would SIGPIPE (or spin); the fixed one breaks out.
+    std::string wire;
+    for (int i = 0; i < 64; ++i)
+        wire += request_line(make_request(request_kind::sweep, "g" + std::to_string(i))) + "\n";
+    ASSERT_EQ(::send(pair.fds[1], wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    pair.close_peer();
+
+    auto served = std::async(std::launch::async, [&] {
+        net::fd_streambuf buf(pair.fds[0]);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        service.serve_stream(in, out);
+    });
+    ASSERT_EQ(served.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "serve_stream did not stop after the client disappeared";
+    served.get();
+}
+
+} // namespace
+} // namespace tsg
