@@ -31,10 +31,22 @@
 // of the requests that were served.  Every refusal must carry the
 // structured "overloaded" code; anything else counts as a failure.
 //
+// A fourth round drives the whole resilience stack end to end: the same
+// small-request traffic flows through a real event_loop_server over TCP,
+// issued by net::client fleets against a deliberately tight per-design
+// quota.  The quota sheds a large fraction of the offered burst with
+// structured rate_limited hints; the retrying client absorbs them and
+// must converge every request to completion (retry_convergence == 1.0,
+// zero unexpected failures — both CI-gated).  Also measured: how many
+// sheds/retries the convergence cost and the latency the retry loop
+// added over first-try requests.
+//
 //   bench_serve [--events N] [--clients C] [--requests R] [--burst B]
 //               [--workers W] [--rounds K] [--seed S] [--json out.json]
 //               [--overload-clients C2] [--overload-requests R2]
 //               [--overload-queue D]
+//               [--retry-clients C3] [--retry-requests R3]
+//               [--retry-quota-rps X] [--retry-quota-burst Y]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -49,6 +61,8 @@
 #include "core/api.h"
 #include "core/service.h"
 #include "gen/random_sg.h"
+#include "net/client.h"
+#include "net/event_loop.h"
 #include "sg/signal_graph.h"
 #include "util/json.h"
 
@@ -251,6 +265,91 @@ overload_result run_overload(const signal_graph& sg,
     return result;
 }
 
+struct retry_result {
+    double wall_seconds = 0.0;
+    std::size_t completed = 0;            ///< outcomes that ended ok
+    std::size_t unexpected_failures = 0;  ///< outcomes that did not
+    std::uint64_t sheds = 0;              ///< structured retryable sheds absorbed
+    std::uint64_t retries = 0;            ///< re-submissions the clients made
+    std::uint64_t reconnects = 0;         ///< connection (re)dials after the first
+    double mean_attempts = 0.0;
+    double added_latency_ms = 0.0; ///< mean latency of retried vs first-try requests
+};
+
+/// The retry-convergence fleet: C net::client threads push their whole
+/// request list through a real event_loop_server whose per-design quota
+/// is far below the offered burst.  Everything must converge to ok via
+/// the structured rate_limited + retry_after_ms path.
+retry_result run_retry(const signal_graph& sg,
+                       const std::vector<std::vector<analysis_request>>& stream,
+                       unsigned workers, double quota_rps, double quota_burst)
+{
+    service_options options;
+    options.workers = workers;
+    options.coalesce = true;
+    options.design_quota_rps = quota_rps;
+    options.design_quota_burst = quota_burst;
+    analysis_service service(options);
+    service.register_design("bench", sg);
+
+    tsg::net::event_loop_options loop_options; // port 0: ephemeral
+    tsg::net::event_loop_server server(service, loop_options);
+    server.start();
+
+    const std::size_t clients = stream.size();
+    std::vector<std::vector<tsg::net::call_outcome>> outcomes(clients);
+    std::vector<tsg::net::client_metrics> metrics(clients);
+
+    const clock_type::time_point start = clock_type::now();
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            tsg::net::client_options copts;
+            copts.port = server.port();
+            copts.max_attempts = 40;
+            copts.jitter_seed = 0xb0b0 + c;
+            tsg::net::client client(copts);
+            outcomes[c] = client.call_many(stream[c]);
+            metrics[c] = client.metrics();
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    retry_result result;
+    result.wall_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
+    std::uint64_t attempts = 0;
+    std::size_t total = 0;
+    double first_try_ms = 0.0, retried_ms = 0.0;
+    std::size_t first_try = 0, retried = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+        result.sheds += metrics[c].sheds_seen;
+        result.retries += metrics[c].retries;
+        result.reconnects += metrics[c].reconnects;
+        for (const tsg::net::call_outcome& outcome : outcomes[c]) {
+            ++total;
+            attempts += outcome.attempts;
+            if (outcome.response.ok)
+                ++result.completed;
+            else
+                ++result.unexpected_failures;
+            if (outcome.attempts > 1) {
+                retried_ms += outcome.latency_ms;
+                ++retried;
+            } else {
+                first_try_ms += outcome.latency_ms;
+                ++first_try;
+            }
+        }
+    }
+    result.mean_attempts =
+        total > 0 ? static_cast<double>(attempts) / static_cast<double>(total) : 0.0;
+    if (retried > 0 && first_try > 0)
+        result.added_latency_ms = retried_ms / static_cast<double>(retried) -
+                                  first_try_ms / static_cast<double>(first_try);
+    server.stop();
+    return result;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -267,6 +366,10 @@ int main(int argc, char** argv)
     std::size_t overload_clients = 64;
     std::size_t overload_requests = 16;
     std::size_t overload_queue = 64;
+    std::size_t retry_clients = 8;
+    std::size_t retry_requests = 16;
+    double retry_quota_rps = 500.0;
+    double retry_quota_burst = 8.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--events" && i + 1 < argc)
@@ -289,6 +392,14 @@ int main(int argc, char** argv)
             overload_requests = std::stoull(argv[++i]);
         else if (arg == "--overload-queue" && i + 1 < argc)
             overload_queue = std::stoull(argv[++i]);
+        else if (arg == "--retry-clients" && i + 1 < argc)
+            retry_clients = std::stoull(argv[++i]);
+        else if (arg == "--retry-requests" && i + 1 < argc)
+            retry_requests = std::stoull(argv[++i]);
+        else if (arg == "--retry-quota-rps" && i + 1 < argc)
+            retry_quota_rps = std::stod(argv[++i]);
+        else if (arg == "--retry-quota-burst" && i + 1 < argc)
+            retry_quota_burst = std::stod(argv[++i]);
     }
 
     random_sg_options gopts;
@@ -342,6 +453,18 @@ int main(int argc, char** argv)
     const double shed_rate =
         static_cast<double>(overload.shed) / static_cast<double>(overload_total);
 
+    // The retry-convergence round: TCP clients vs a tight per-design
+    // quota.  One run — retries are a correctness drill, not a perf race.
+    const std::vector<std::vector<analysis_request>> retry_stream =
+        make_stream(retry_clients, retry_requests);
+    const retry_result retry =
+        run_retry(sg, retry_stream, workers, retry_quota_rps, retry_quota_burst);
+    const std::size_t retry_total = retry_clients * retry_requests;
+    const double retry_convergence =
+        retry_total > 0
+            ? static_cast<double>(retry.completed) / static_cast<double>(retry_total)
+            : 1.0;
+
     const double solo_rate = static_cast<double>(solo.scenarios) / solo.wall_seconds;
     const double serve_rate =
         static_cast<double>(coalesced.scenarios) / coalesced.wall_seconds;
@@ -364,6 +487,14 @@ int main(int argc, char** argv)
               << "%), shed p99 " << overload.shed_p99_us << " us, served p99 "
               << overload.served_p99_us << " us, " << overload.other_failures
               << " unexpected failures\n";
+    std::cout << "retry     : " << retry_clients << " clients x " << retry_requests
+              << " requests vs quota " << retry_quota_rps << " rps (burst "
+              << retry_quota_burst << "): " << retry.completed << "/" << retry_total
+              << " converged (" << (retry_convergence * 100.0) << "%), " << retry.sheds
+              << " sheds, " << retry.retries << " retries, " << retry.reconnects
+              << " reconnects, mean " << retry.mean_attempts << " attempts, +"
+              << retry.added_latency_ms << " ms retried latency, "
+              << retry.unexpected_failures << " unexpected failures\n";
 
     reporter.record("events", static_cast<double>(sg.event_count()), "count");
     reporter.record("arcs", static_cast<double>(sg.arc_count()), "count");
@@ -410,6 +541,25 @@ int main(int argc, char** argv)
     reporter.record("overload_unexpected_failures",
                     static_cast<double>(overload.other_failures), "count");
 
+    // Retry-convergence metrics.  The gateable views: convergence must be
+    // exactly 1.0 (every quota shed retried to completion over real TCP)
+    // and nothing may end in an unstructured failure.
+    reporter.record("retry_clients", static_cast<double>(retry_clients), "count");
+    reporter.record("retry_requests", static_cast<double>(retry_total), "count");
+    reporter.record("retry_convergence", retry_convergence, "fraction");
+    reporter.record("retry_sheds", static_cast<double>(retry.sheds), "count");
+    reporter.record("retry_retries", static_cast<double>(retry.retries), "count");
+    reporter.record("retry_reconnects", static_cast<double>(retry.reconnects), "count");
+    reporter.record("retry_mean_attempts", retry.mean_attempts, "count");
+    reporter.record("retry_added_latency_ms", retry.added_latency_ms, "ms");
+    reporter.record("retry_unexpected_failures",
+                    static_cast<double>(retry.unexpected_failures), "count");
+
+    if (retry.unexpected_failures != 0) {
+        std::cerr << "FAIL: the retrying client failed to converge "
+                  << retry.unexpected_failures << " requests\n";
+        return 1;
+    }
     if (overload.other_failures != 0) {
         std::cerr << "FAIL: overload produced failures without the structured "
                      "\"overloaded\" code\n";

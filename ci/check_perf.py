@@ -39,6 +39,20 @@ def load_results(path):
         raise SystemExit(f"{path}: not a bench_reporter document ({err})")
 
 
+def explain_missing(name, missing_path, baseline_path, baseline, current_path, current):
+    """One readable failure for a metric absent from a bench document.
+
+    A missing metric is almost always a renamed or not-yet-recorded one,
+    so the report lists what IS present in both files — the fix (pick the
+    right name, or refresh the baseline) should not require opening them.
+    """
+    print(f"FAIL {name}: missing from {missing_path}")
+    print(f"     metrics in baseline {baseline_path}: "
+          f"{', '.join(sorted(baseline)) or '<none>'}")
+    print(f"     metrics in current {current_path}: "
+          f"{', '.join(sorted(current)) or '<none>'}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -79,7 +93,8 @@ def main():
     failed = False
     for name in args.require_zero:
         if name not in current:
-            print(f"FAIL {name}: missing from {args.current}")
+            explain_missing(name, args.current, args.baseline, baseline,
+                            args.current, current)
             failed = True
         elif current[name] != 0:
             print(f"FAIL {name}: expected 0, got {current[name]}")
@@ -89,7 +104,8 @@ def main():
 
     for name, minimum in minimums:
         if name not in current:
-            print(f"FAIL {name}: missing from {args.current}")
+            explain_missing(name, args.current, args.baseline, baseline,
+                            args.current, current)
             failed = True
         elif current[name] < minimum:
             print(f"FAIL {name}: {current[name]:.6g} below absolute floor {minimum:.6g}")
@@ -100,11 +116,13 @@ def main():
     floor = 1.0 - args.tolerance
     for name in args.metric:
         if name not in baseline:
-            print(f"FAIL {name}: missing from baseline {args.baseline}")
+            explain_missing(name, args.baseline, args.baseline, baseline,
+                            args.current, current)
             failed = True
             continue
         if name not in current:
-            print(f"FAIL {name}: missing from {args.current}")
+            explain_missing(name, args.current, args.baseline, baseline,
+                            args.current, current)
             failed = True
             continue
         old, new = baseline[name], current[name]

@@ -38,13 +38,28 @@
 //                           (default 8 MiB)
 //   --idle-timeout-ms N     disconnect silent clients; 0 disables
 //                           (default 30000)
+//   --drain-timeout-ms N    graceful-drain budget after SIGTERM/SIGINT
+//                           (default 5000)
+//   --quota-rps X           per-design admission quota in requests/s;
+//                           0 disables (default)
+//   --quota-burst X         per-design quota bucket capacity
+//                           (default: max(1, ceil(rps)))
+//   --conn-rps X            per-connection request-rate limit in
+//                           requests/s; 0 disables (default)
+//   --conn-burst X          per-connection rate bucket capacity
 //   --legacy-threads        thread-per-connection transport instead of
 //                           the event loop
+//
+// Lifecycle: SIGTERM or SIGINT triggers a bounded graceful drain on the
+// event-loop transport — the daemon stops taking new work (structured
+// "draining" errors), finishes and flushes everything in flight, prints
+// a final stats snapshot to stderr and exits 0 before the drain budget.
 //
 // Example session (pipe mode):
 //   $ tsg_serve --pipe --demo osc
 //   {"api_version": 1, "kind": "sweep", "design": {"id": "osc"}}
 //   {"id": "", "ok": true, ...}
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -67,6 +82,27 @@
 namespace {
 
 using namespace tsg;
+
+/// The drain hook: signal handlers may only touch async-signal-safe
+/// state, and event_loop_server::begin_drain() is exactly that (an atomic
+/// store plus an eventfd write) — the loop thread does the actual work.
+std::atomic<net::event_loop_server*> g_server{nullptr};
+
+extern "C" void drain_signal_handler(int)
+{
+    net::event_loop_server* server = g_server.load(std::memory_order_acquire);
+    if (server != nullptr) server->begin_drain();
+}
+
+void install_drain_handlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = drain_signal_handler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: epoll_wait returning EINTR is handled
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
 
 void serve_connection(analysis_service& service, int fd)
 {
@@ -176,6 +212,16 @@ int main(int argc, char** argv)
                 loop_options.limits.write_buffer_cap = std::stoull(value());
             } else if (arg == "--idle-timeout-ms") {
                 loop_options.idle_timeout = std::chrono::milliseconds(std::stoll(value()));
+            } else if (arg == "--drain-timeout-ms") {
+                loop_options.drain_timeout = std::chrono::milliseconds(std::stoll(value()));
+            } else if (arg == "--quota-rps") {
+                options.design_quota_rps = std::stod(value());
+            } else if (arg == "--quota-burst") {
+                options.design_quota_burst = std::stod(value());
+            } else if (arg == "--conn-rps") {
+                loop_options.limits.max_requests_per_second = std::stod(value());
+            } else if (arg == "--conn-burst") {
+                loop_options.limits.rate_burst = std::stod(value());
             } else if (arg == "--legacy-threads") {
                 legacy_threads = true;
             } else {
@@ -205,9 +251,17 @@ int main(int argc, char** argv)
 
         loop_options.port = static_cast<std::uint16_t>(port);
         net::event_loop_server server(service, loop_options);
+        g_server.store(&server, std::memory_order_release);
+        install_drain_handlers();
         std::cerr << "tsg_serve: listening on 127.0.0.1:" << server.port()
                   << " (event loop)\n";
         server.run();
+        g_server.store(nullptr, std::memory_order_release);
+        if (server.draining()) {
+            // The drain's final act: one stats snapshot so the fleet's
+            // log collector sees what this instance served before exit.
+            std::cerr << "tsg_serve: drained, final stats:\n" << service.stats_json();
+        }
         return 0;
     } catch (const tsg::error& e) {
         std::cerr << "error: " << e.what() << "\n";

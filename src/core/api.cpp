@@ -162,6 +162,8 @@ request_options parse_options(const json_value& doc)
             options.criticality = field_bool(value, key);
         else if (key == "group_by_signal")
             options.group_by_signal = field_bool(value, key);
+        else if (key == "deadline_ms")
+            options.deadline_ms = field_u64(value, key);
         else
             bad("unknown option \"" + key + "\"");
     }
@@ -179,6 +181,7 @@ const char* request_kind_name(request_kind kind)
     case request_kind::criticality: return "criticality";
     case request_kind::edit: return "edit";
     case request_kind::stats: return "stats";
+    case request_kind::health: return "health";
     }
     return "analyze";
 }
@@ -191,8 +194,9 @@ request_kind parse_request_kind(const std::string& name)
     if (name == "criticality") return request_kind::criticality;
     if (name == "edit") return request_kind::edit;
     if (name == "stats") return request_kind::stats;
+    if (name == "health") return request_kind::health;
     bad("unknown request kind '" + name +
-        "' (use analyze, sweep, montecarlo, criticality, edit or stats)");
+        "' (use analyze, sweep, montecarlo, criticality, edit, stats or health)");
 }
 
 // --- request_options views ---------------------------------------------------
@@ -335,6 +339,7 @@ json_value analysis_request_json(const analysis_request& request)
     options.set("min_samples", json_value::number(std::uint64_t{o.min_samples}));
     options.set("criticality", json_value::boolean_value(o.criticality));
     options.set("group_by_signal", json_value::boolean_value(o.group_by_signal));
+    options.set("deadline_ms", json_value::number(std::uint64_t{o.deadline_ms}));
     doc.set("options", std::move(options));
 
     if (request.kind == request_kind::edit) doc.set("edits", request.edits);
@@ -357,6 +362,9 @@ std::string analysis_response_json(const analysis_response& response)
         json_value err = json_value::object();
         err.set("code", json_value::string(response.error.code));
         err.set("message", json_value::string(response.error.message));
+        if (response.error.retry_after_ms > 0)
+            err.set("retry_after_ms",
+                    json_value::number(std::uint64_t{response.error.retry_after_ms}));
         doc.set("error", std::move(err));
     }
     return doc.write();
@@ -368,15 +376,18 @@ std::string api_error_json(const api_error& error)
     json_value& err = doc.set("error", json_value::object());
     err.set("code", json_value::string(error.code));
     err.set("message", json_value::string(error.message));
+    if (error.retry_after_ms > 0)
+        err.set("retry_after_ms", json_value::number(std::uint64_t{error.retry_after_ms}));
     return doc.write();
 }
 
 api_error classify_error(const std::string& diagnostic, const std::string& fallback)
 {
-    static const char* const codes[] = {"bad_request",     "unsupported_version",
-                                        "unknown_design",  "unknown_version",
-                                        "invalid_model",   "overloaded",
-                                        "internal"};
+    static const char* const codes[] = {"bad_request",       "unsupported_version",
+                                        "unknown_design",    "unknown_version",
+                                        "invalid_model",     "overloaded",
+                                        "rate_limited",      "draining",
+                                        "deadline_exceeded", "internal"};
     for (const char* code : codes) {
         const std::string prefix = std::string(code) + ": ";
         if (starts_with(diagnostic, prefix))
@@ -867,7 +878,8 @@ std::string batch_payload_json(const analysis_request& request, const signal_gra
 
 std::string execute_analysis_payload(const analysis_request& request, const signal_graph& sg,
                                      const compiled_graph& compiled,
-                                     const scenario_engine& engine)
+                                     const scenario_engine& engine,
+                                     std::chrono::steady_clock::time_point deadline)
 {
     const request_options& o = request.options;
     if (request.kind == request_kind::analyze) return analyze_payload(request, sg, compiled);
@@ -883,7 +895,8 @@ std::string execute_analysis_payload(const analysis_request& request, const sign
     // stream rounds through core/stats.h instead of materializing a batch.
     if (request.kind == request_kind::criticality || o.adaptive) {
         monte_carlo_options mc = o.to_monte_carlo_options();
-        const stats_options stats = o.to_stats_options(request.kind);
+        stats_options stats = o.to_stats_options(request.kind);
+        stats.deadline = deadline;
         stats_run_result run;
         if (o.adaptive) {
             run = monte_carlo_adaptive(engine, sg, mc, stats);
@@ -925,8 +938,11 @@ analysis_response execute_request(const analysis_request& request, const signal_
         if (request.kind == request_kind::edit) {
             incremental_engine engine(sg);
             response.payload = execute_edit_payload(request, engine);
-        } else if (request.kind == request_kind::stats) {
-            throw error("bad_request: stats requests need the analysis service");
+        } else if (request.kind == request_kind::stats ||
+                   request.kind == request_kind::health) {
+            throw error("bad_request: " +
+                        std::string(request_kind_name(request.kind)) +
+                        " requests need the analysis service");
         } else {
             const compiled_graph compiled(sg);
             const scenario_engine engine(compiled);

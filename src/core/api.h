@@ -56,6 +56,7 @@ enum class request_kind : std::uint8_t {
     criticality, ///< per-arc / per-gate criticality probabilities
     edit,        ///< JSON edit script through the incremental engine
     stats,       ///< service-side serving metrics (core/service.h)
+    health,      ///< readiness / draining probe (core/service.h)
 };
 
 [[nodiscard]] const char* request_kind_name(request_kind kind);
@@ -124,6 +125,13 @@ struct request_options {
     /// Fold arc criticality into per-gate groups (implies criticality).
     bool group_by_signal = false;
 
+    // --- serving -----------------------------------------------------------
+    /// Per-request deadline, relative to admission, in milliseconds.  0
+    /// means none.  The analysis service sheds work whose deadline has
+    /// passed — before execution from the queue, and between adaptive
+    /// Monte Carlo rounds — with the structured "deadline_exceeded" code.
+    std::uint64_t deadline_ms = 0;
+
     [[nodiscard]] bool operator==(const request_options&) const = default;
 
     // --- derived per-layer views -------------------------------------------
@@ -157,10 +165,19 @@ struct analysis_request {
 ///   invalid_model        the model/options reject the analysis
 ///   overloaded           admission control shed the request (queue full /
 ///                        connection limit); retry later — nothing ran
+///   rate_limited         a per-design quota or per-connection rate limit
+///                        shed the request; retry after retry_after_ms
+///   draining             the daemon is shutting down gracefully; retry
+///                        against another instance (or after a restart)
+///   deadline_exceeded    the request's deadline_ms passed before (or
+///                        while) the work ran; the result was discarded
 ///   internal             anything else
 struct api_error {
     std::string code;
     std::string message;
+    /// Backoff hint in milliseconds (rate_limited sheds).  0 = no hint;
+    /// serialized on the wire only when nonzero.
+    std::uint64_t retry_after_ms = 0;
 };
 
 /// One response on the wire.  `payload` holds the analysis document
@@ -301,11 +318,14 @@ struct edit_batch_status {
 /// compiled design and returns the payload document.  Mirrors the tool's
 /// pipelines exactly (nominal evaluation, statistics routing, option
 /// mapping), so payloads are byte-identical to the pre-API subcommands.
-/// Throws tsg::error on invalid requests or models.
-[[nodiscard]] std::string execute_analysis_payload(const analysis_request& request,
-                                                   const signal_graph& sg,
-                                                   const compiled_graph& compiled,
-                                                   const scenario_engine& engine);
+/// Throws tsg::error on invalid requests or models.  `deadline` (if not
+/// the epoch default) bounds adaptive Monte Carlo streaming: the run
+/// checks it between rounds and throws a deadline_exceeded error once it
+/// passes.  Deadlines never change the payload of work that completes.
+[[nodiscard]] std::string execute_analysis_payload(
+    const analysis_request& request, const signal_graph& sg,
+    const compiled_graph& compiled, const scenario_engine& engine,
+    std::chrono::steady_clock::time_point deadline = {});
 
 /// Executes an edit request: drives `engine` through the request's script
 /// and returns the edit-run document.  The engine is left on the edited

@@ -1,6 +1,7 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -22,6 +23,15 @@ struct analysis_service::pending {
     std::promise<analysis_response> promise;
     std::function<void(analysis_response)> callback;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline computed at admission from options.deadline_ms
+    /// (epoch default: none).  Expired jobs are shed before execution and
+    /// adaptive runs check it between rounds.
+    std::chrono::steady_clock::time_point deadline{};
+
+    [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const
+    {
+        return deadline.time_since_epoch().count() != 0 && now >= deadline;
+    }
 
     void deliver(analysis_response response)
     {
@@ -118,6 +128,9 @@ std::string payload_cache_key(const analysis_request& request)
     analysis_request canonical = request;
     canonical.id.clear();
     canonical.design.version = 0;
+    // Deadlines bound *when* work may run, never what it computes — two
+    // requests differing only in deadline_ms share one payload.
+    canonical.options.deadline_ms = 0;
     return analysis_request_json(canonical).write();
 }
 
@@ -297,10 +310,54 @@ std::vector<scenario> analysis_service::scenarios_for(design_version& version,
 
 // --- submission --------------------------------------------------------------
 
+std::uint64_t analysis_service::take_quota_token(const std::string& id)
+{
+    const double rate = options_.design_quota_rps;
+    if (rate <= 0.0 || id.empty()) return 0;
+    const double burst = options_.design_quota_burst > 0.0
+                             ? options_.design_quota_burst
+                             : std::max(1.0, std::ceil(rate));
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk(quota_mutex_);
+    token_bucket& bucket = quotas_[id];
+    if (!bucket.primed) {
+        bucket.tokens = burst;
+        bucket.primed = true;
+    } else {
+        const double dt = std::chrono::duration<double>(now - bucket.last).count();
+        bucket.tokens = std::min(burst, bucket.tokens + rate * dt);
+    }
+    bucket.last = now;
+    if (bucket.tokens >= 1.0) {
+        bucket.tokens -= 1.0;
+        return 0;
+    }
+    const double wait_ms = (1.0 - bucket.tokens) / rate * 1000.0;
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(wait_ms)));
+}
+
 std::optional<api_error> analysis_service::admit(pending job)
 {
     const auto now = std::chrono::steady_clock::now();
+    if (job.request.options.deadline_ms > 0)
+        job.deadline = now + std::chrono::milliseconds(job.request.options.deadline_ms);
+
+    // Probe kinds (health, stats) are exempt from quotas, and health is
+    // answerable while draining — a load balancer must be able to observe
+    // the drain it is routing around.
+    const bool probe = job.request.kind == request_kind::health ||
+                       job.request.kind == request_kind::stats;
     std::optional<api_error> refusal;
+    if (!probe) {
+        const std::uint64_t retry_ms = take_quota_token(job.request.design.id);
+        if (retry_ms > 0)
+            refusal = api_error{"rate_limited",
+                                "design '" + job.request.design.id +
+                                    "' is over its admission quota (" +
+                                    format_double(options_.design_quota_rps, 6) +
+                                    " requests/s); retry after the hinted backoff",
+                                retry_ms};
+    }
     {
         std::lock_guard<std::mutex> lk(queue_mutex_);
         // Arrival-rate EWMA for the adaptive coalescing window: smoothed
@@ -314,8 +371,13 @@ std::optional<api_error> analysis_service::admit(pending job)
         arrival_seen_ = true;
         last_arrival_ = now;
 
-        if (stopping_) {
-            refusal = api_error{"internal", "the analysis service is shutting down"};
+        const bool drain = stopping_ || draining_.load(std::memory_order_acquire);
+        if (drain && !(probe && !stopping_)) {
+            refusal = api_error{"draining",
+                                "the analysis service is draining for shutdown; "
+                                "retry against another instance"};
+        } else if (refusal) {
+            // rate_limited, decided above — nothing to enqueue.
         } else if (options_.max_queue_depth != 0 &&
                    queue_.size() >= options_.max_queue_depth) {
             refusal = api_error{
@@ -333,10 +395,15 @@ std::optional<api_error> analysis_service::admit(pending job)
         return std::nullopt;
     }
     if (refusal->code == "overloaded") shed_.fetch_add(1, std::memory_order_relaxed);
+    if (refusal->code == "rate_limited")
+        rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    if (refusal->code == "draining")
+        drain_rejected_.fetch_add(1, std::memory_order_relaxed);
     bump_fleet(job.request.design.id, [&](design_traffic& t) {
         ++t.requests;
         ++t.failures;
         if (refusal->code == "overloaded") ++t.shed;
+        if (refusal->code == "rate_limited") ++t.rate_limited;
     });
     // Promise-channel jobs receive the refusal as an immediately-ready
     // response; callback-channel jobs never run their callback — the
@@ -416,9 +483,31 @@ void analysis_service::worker_loop()
             }
             job = std::move(queue_.front());
             queue_.pop_front();
+            ++busy_workers_;
         }
         handle(std::move(job));
+        {
+            std::lock_guard<std::mutex> lk(queue_mutex_);
+            --busy_workers_;
+            if (queue_.empty() && busy_workers_ == 0) idle_cv_.notify_all();
+        }
     }
+}
+
+void analysis_service::begin_drain()
+{
+    draining_.store(true, std::memory_order_release);
+    // Wake idle waiters so a drain of an already-idle service returns
+    // promptly; workers need no nudge — the flag only gates admission.
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    idle_cv_.notify_all();
+}
+
+bool analysis_service::wait_idle(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lk(queue_mutex_);
+    return idle_cv_.wait_for(lk, timeout,
+                             [&] { return queue_.empty() && busy_workers_ == 0; });
 }
 
 analysis_response analysis_service::respond_error(const pending& job,
@@ -484,8 +573,30 @@ std::chrono::microseconds analysis_service::coalesce_wait() const
     return adaptive_coalesce_window(ewma, options_.adaptive_window_cap);
 }
 
+void analysis_service::shed_expired(pending& job)
+{
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    bump_fleet(job.request.design.id, [](design_traffic& t) { ++t.deadline_expired; });
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count();
+    finish(job, respond_error(job, "deadline_exceeded: deadline_ms " +
+                                       std::to_string(job.request.options.deadline_ms) +
+                                       " passed while queued (" +
+                                       std::to_string(waited) +
+                                       " ms since admission); the work was shed"));
+}
+
 void analysis_service::handle(pending job)
 {
+    // Pre-execution deadline check: work whose deadline passed while it
+    // waited in the queue is shed instead of burning a worker.
+    if (job.expired(std::chrono::steady_clock::now())) {
+        shed_expired(job);
+        return;
+    }
+
     if (coalescable(job.request)) {
         handle_batch(std::move(job));
         return;
@@ -498,6 +609,9 @@ void analysis_service::handle(pending job)
         case request_kind::stats:
             response.payload = stats_json();
             break;
+        case request_kind::health:
+            response.payload = health_json();
+            break;
         case request_kind::edit:
             response.payload = edit_payload(job, response.design_version);
             break;
@@ -506,14 +620,20 @@ void analysis_service::handle(pending job)
             // their work does not decompose into mergeable scenarios.
             const std::shared_ptr<design_version> version = resolve(job.request.design);
             response.design_version = version->version;
-            response.payload = execute_analysis_payload(
-                job.request, *version->graph, *version->compiled, *version->engine);
+            response.payload =
+                execute_analysis_payload(job.request, *version->graph, *version->compiled,
+                                         *version->engine, job.deadline);
             break;
         }
         }
         response.ok = true;
     } catch (const error& e) {
         response = respond_error(job, e.what());
+        if (response.error.code == "deadline_exceeded") {
+            deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+            bump_fleet(job.request.design.id,
+                       [](design_traffic& t) { ++t.deadline_expired; });
+        }
     } catch (const std::exception& e) {
         response = respond_error(job, std::string("internal: ") + e.what());
     }
@@ -628,6 +748,10 @@ void analysis_service::handle_batch(pending first)
             }
         }
         for (pending& partner : partners) {
+            if (partner.expired(std::chrono::steady_clock::now())) {
+                shed_expired(partner);
+                continue;
+            }
             try {
                 parts.push_back(scenarios_for(*version, partner.request));
                 jobs.push_back(std::move(partner));
@@ -732,6 +856,10 @@ service_metrics analysis_service::metrics() const
     m.requests = requests_.load(std::memory_order_relaxed);
     m.failures = failures_.load(std::memory_order_relaxed);
     m.requests_shed = shed_.load(std::memory_order_relaxed);
+    m.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+    m.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+    m.drain_rejected = drain_rejected_.load(std::memory_order_relaxed);
+    m.draining = draining_.load(std::memory_order_acquire);
     m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     m.queue_limit = options_.max_queue_depth;
     m.engine_batches = engine_batches_.load(std::memory_order_relaxed);
@@ -792,7 +920,10 @@ std::string analysis_service::stats_json() const
     out << "  \"queue\": {\"depth\": " << m.queue_depth << ", \"peak\": " << m.queue_peak
         << "},\n";
     out << "  \"admission\": {\"queue_limit\": " << m.queue_limit
-        << ", \"shed\": " << m.requests_shed
+        << ", \"shed\": " << m.requests_shed << ", \"rate_limited\": " << m.rate_limited
+        << ", \"deadline_expired\": " << m.deadline_expired
+        << ", \"drain_rejected\": " << m.drain_rejected
+        << ", \"draining\": " << (m.draining ? "true" : "false")
         << ", \"arrival_ewma_us\": " << format_double(m.arrival_ewma_us, 6) << "},\n";
     out << "  \"cache\": {\"hits\": " << m.cache_hits << "},\n";
     out << "  \"fleet\": {";
@@ -800,6 +931,8 @@ std::string analysis_service::stats_json() const
         const auto& [id, t] = m.fleet[i];
         out << (i ? ", " : "") << json_quote(id) << ": {\"requests\": " << t.requests
             << ", \"failed\": " << t.failures << ", \"shed\": " << t.shed
+            << ", \"rate_limited\": " << t.rate_limited
+            << ", \"deadline_expired\": " << t.deadline_expired
             << ", \"scenarios\": " << t.scenarios
             << ", \"cache_hits\": " << t.cache_hits << "}";
     }
@@ -815,6 +948,40 @@ std::string analysis_service::stats_json() const
         << ", \"p50\": " << format_double(m.latency_p50_us, 6)
         << ", \"p95\": " << format_double(m.latency_p95_us, 6)
         << ", \"p99\": " << format_double(m.latency_p99_us, 6) << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string analysis_service::health_json() const
+{
+    const bool drain = draining_.load(std::memory_order_acquire);
+    std::size_t depth = 0;
+    std::size_t busy = 0;
+    {
+        std::lock_guard<std::mutex> lk(queue_mutex_);
+        depth = queue_.size();
+        busy = busy_workers_;
+    }
+    std::size_t designs = 0;
+    {
+        std::lock_guard<std::mutex> lk(registry_mutex_);
+        designs = designs_.size();
+    }
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"command\": \"health\",\n";
+    out << "  \"status\": " << (drain ? "\"draining\"" : "\"ok\"") << ",\n";
+    out << "  \"draining\": " << (drain ? "true" : "false") << ",\n";
+    out << "  \"queue_depth\": " << depth << ",\n";
+    out << "  \"busy_workers\": " << busy << ",\n";
+    out << "  \"workers\": " << workers_.size() << ",\n";
+    out << "  \"designs\": " << designs << ",\n";
+    out << "  \"uptime_seconds\": "
+        << format_double(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                       start_)
+                             .count(),
+                         6)
+        << "\n";
     out << "}\n";
     return out.str();
 }

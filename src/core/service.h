@@ -128,6 +128,15 @@ struct service_options {
     /// (quantiles clamp to the observed exact extremes regardless).
     std::size_t latency_histogram_bins = 64;
     rational latency_histogram_hi = rational(1000000);
+
+    /// Per-design admission quota: a token bucket per design id refilled
+    /// at `design_quota_rps` requests/second with capacity
+    /// `design_quota_burst` (0 burst derives max(1, ceil(rps))).  Requests
+    /// beyond the quota are shed with a structured "rate_limited" error
+    /// carrying a retry_after_ms hint.  rps 0 disables quotas.  stats and
+    /// health probes are exempt (they never name a design's work).
+    double design_quota_rps = 0.0;
+    double design_quota_burst = 0.0;
 };
 
 /// Per-design serving counters — the fleet view of one registered design.
@@ -137,6 +146,8 @@ struct design_traffic {
     std::uint64_t shed = 0;       ///< of those, shed by admission control
     std::uint64_t scenarios = 0;  ///< scenarios evaluated for this design
     std::uint64_t cache_hits = 0; ///< payloads served from the cross-request cache
+    std::uint64_t rate_limited = 0;      ///< shed by the per-design quota
+    std::uint64_t deadline_expired = 0;  ///< shed because deadline_ms passed
 };
 
 /// One consistent snapshot of the serving counters.
@@ -144,6 +155,10 @@ struct service_metrics {
     std::uint64_t requests = 0;           ///< accepted by submit()/serve_stream()
     std::uint64_t failures = 0;           ///< responses with ok == false
     std::uint64_t requests_shed = 0;      ///< shed with "overloaded" at admission
+    std::uint64_t rate_limited = 0;       ///< shed with "rate_limited" (quota)
+    std::uint64_t deadline_expired = 0;   ///< shed with "deadline_exceeded"
+    std::uint64_t drain_rejected = 0;     ///< refused with "draining"
+    bool draining = false;                ///< begin_drain() has been called
     std::uint64_t engine_batches = 0;     ///< scenario_engine::run invocations
     std::uint64_t batch_requests = 0;     ///< batch-kind requests served
     std::uint64_t coalesced_requests = 0; ///< of those, served from merged runs
@@ -228,6 +243,23 @@ public:
     /// document (also callable directly).
     [[nodiscard]] std::string stats_json() const;
 
+    /// The `health` request payload: readiness plus drain state, cheap
+    /// enough for load-balancer probes ({"status": "ok" | "draining"}).
+    [[nodiscard]] std::string health_json() const;
+
+    /// Graceful-drain entry point.  After this, new work is refused with
+    /// a structured "draining" error (health probes still answer, and
+    /// report status "draining"); everything already queued keeps running
+    /// to completion.  Idempotent and thread-safe.
+    void begin_drain();
+    [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+    /// Blocks until every queued and in-flight request has been served,
+    /// or `timeout` passes.  Returns true when the service fell idle in
+    /// time.  Usually preceded by begin_drain() so the queue only ever
+    /// shrinks; without it new submissions can extend the wait.
+    [[nodiscard]] bool wait_idle(std::chrono::milliseconds timeout);
+
     /// The arrival-rate-adaptive coalescing window: 0 at low rates (an
     /// isolated request should not wait for partners that are not
     /// coming), then a few inter-arrival times — clamped to `cap` — once
@@ -245,6 +277,8 @@ private:
     void handle(pending job);
     void handle_batch(pending first);
     void finish(pending& job, analysis_response response);
+    /// Sheds `job` with a deadline_exceeded response and bumps counters.
+    void shed_expired(pending& job);
     [[nodiscard]] analysis_response respond_error(const pending& job,
                                                   const std::string& diagnostic);
 
@@ -282,9 +316,12 @@ private:
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
+    std::condition_variable idle_cv_; ///< signalled when queue + workers fall idle
     std::deque<pending> queue_;
     std::size_t queue_peak_ = 0;
+    std::size_t busy_workers_ = 0; ///< workers currently serving a job
     bool stopping_ = false;
+    std::atomic<bool> draining_{false};
     /// Arrival-rate tracking for the adaptive window (under queue_mutex_).
     bool arrival_seen_ = false;
     std::chrono::steady_clock::time_point last_arrival_;
@@ -295,6 +332,9 @@ private:
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> failures_{0};
     std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> rate_limited_{0};
+    std::atomic<std::uint64_t> deadline_expired_{0};
+    std::atomic<std::uint64_t> drain_rejected_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
     std::atomic<std::uint64_t> engine_batches_{0};
     std::atomic<std::uint64_t> batch_requests_{0};
@@ -308,6 +348,20 @@ private:
 
     mutable std::mutex fleet_mutex_;
     std::map<std::string, design_traffic> fleet_;
+
+    /// Per-design token buckets (design_quota_rps > 0).  tokens refills
+    /// continuously at design_quota_rps up to the burst capacity; an
+    /// admission takes one token or sheds with a retry_after_ms hint.
+    struct token_bucket {
+        double tokens = 0.0;
+        std::chrono::steady_clock::time_point last{};
+        bool primed = false;
+    };
+    /// Takes one token from `id`'s bucket.  Returns 0 on admission, else
+    /// the suggested retry delay in milliseconds (>= 1).
+    [[nodiscard]] std::uint64_t take_quota_token(const std::string& id);
+    mutable std::mutex quota_mutex_;
+    std::map<std::string, token_bucket> quotas_;
 };
 
 } // namespace tsg

@@ -367,8 +367,13 @@ stats_run_result run_monte_carlo(const scenario_engine& engine, const signal_gra
                                                       options.confidence_z);
     };
 
+    const bool bounded = options.deadline.time_since_epoch().count() != 0;
     monte_carlo_options round_mc = mc;
     while (out.stats.count() < cap) {
+        if (bounded && std::chrono::steady_clock::now() >= options.deadline)
+            throw error("deadline_exceeded: deadline passed after " +
+                        std::to_string(out.stats.count()) + " of " +
+                        std::to_string(cap) + " samples");
         const std::size_t have = out.stats.count();
         round_mc.first_sample = mc.first_sample + have;
         round_mc.samples = std::min(round, cap - have);

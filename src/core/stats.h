@@ -42,6 +42,7 @@
 #ifndef TSG_CORE_STATS_H
 #define TSG_CORE_STATS_H
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -101,6 +102,12 @@ struct stats_options {
     unsigned max_threads = 0;
     unsigned lane_width = 0;
     cycle_time_solver solver = cycle_time_solver::auto_select;
+
+    /// Optional wall-clock deadline for streaming runs.  The epoch default
+    /// means "none".  Checked between rounds (never inside one, so results
+    /// that complete stay bit-identical); a run that passes it throws a
+    /// deadline_exceeded tsg::error instead of burning further rounds.
+    std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Maps arcs to named groups for group-level criticality (an arc belongs

@@ -23,6 +23,7 @@
 #ifndef TSG_NET_CONNECTION_H
 #define TSG_NET_CONNECTION_H
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -67,6 +68,14 @@ struct connection_limits {
     std::size_t max_line_bytes = 1 << 20;     ///< one request line
     std::size_t write_buffer_cap = 8u << 20;  ///< pending response bytes
     std::size_t max_inflight = 64;            ///< unanswered requests
+
+    /// Per-connection request-rate limit: a token bucket refilled at
+    /// `max_requests_per_second` with capacity `rate_burst` (0 burst
+    /// derives max(1, ceil(rate))).  Requests over the rate are answered
+    /// with a structured "rate_limited" error carrying a retry_after_ms
+    /// hint — the connection itself stays up.  0 disables the limit.
+    double max_requests_per_second = 0.0;
+    double rate_burst = 0.0;
 };
 
 /// One client connection of the event loop.  Plain state plus the
@@ -178,6 +187,35 @@ public:
     }
     void touch() { last_activity_ = std::chrono::steady_clock::now(); }
 
+    // --- request-rate limiting ---------------------------------------------
+
+    /// Takes one token from the connection's rate bucket.  Returns 0 when
+    /// the request is admitted, else the suggested retry delay in whole
+    /// milliseconds (>= 1).  No-op (always 0) when the limit is off.
+    [[nodiscard]] std::uint64_t take_rate_token()
+    {
+        const double rate = limits_.max_requests_per_second;
+        if (rate <= 0.0) return 0;
+        const double burst =
+            limits_.rate_burst > 0.0 ? limits_.rate_burst : (rate < 1.0 ? 1.0 : rate);
+        const auto now = std::chrono::steady_clock::now();
+        if (!rate_primed_) {
+            rate_tokens_ = burst;
+            rate_primed_ = true;
+        } else {
+            const double dt = std::chrono::duration<double>(now - rate_last_).count();
+            rate_tokens_ = std::min(burst, rate_tokens_ + rate * dt);
+        }
+        rate_last_ = now;
+        if (rate_tokens_ >= 1.0) {
+            rate_tokens_ -= 1.0;
+            return 0;
+        }
+        const double wait_ms = (1.0 - rate_tokens_) / rate * 1000.0;
+        const auto hinted = static_cast<std::uint64_t>(wait_ms) + 1;
+        return hinted;
+    }
+
 private:
     struct slot {
         bool ready = false;
@@ -194,6 +232,9 @@ private:
     std::size_t write_pos_ = 0;
     std::deque<std::string> backlog_;
     std::chrono::steady_clock::time_point last_activity_;
+    double rate_tokens_ = 0.0;
+    std::chrono::steady_clock::time_point rate_last_{};
+    bool rate_primed_ = false;
 };
 
 } // namespace tsg::net

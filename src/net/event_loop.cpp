@@ -23,19 +23,44 @@ namespace {
 
 constexpr std::uint64_t k_listener_tag = 0;
 constexpr std::uint64_t k_bus_tag = 1;
+constexpr std::uint64_t k_drain_tag = 2;
 
 void throw_errno(const char* what)
 {
     throw error(std::string(what) + ": " + std::strerror(errno));
 }
 
-std::string overloaded_line(const std::string& id, const std::string& message)
+std::string shed_line(const char* code, const std::string& id, const std::string& message)
 {
     analysis_response response;
     response.id = id;
     response.ok = false;
-    response.error = {"overloaded", message};
+    response.error = {code, message};
     return analysis_response_json(response);
+}
+
+std::string overloaded_line(const std::string& id, const std::string& message)
+{
+    return shed_line("overloaded", id, message);
+}
+
+/// eventfd writes are 8 bytes and atomic, but a signal can still
+/// interrupt before any byte moves — retry instead of dropping the wake.
+/// Async-signal-safe (write(2) plus errno only).
+void eventfd_signal(int fd)
+{
+    const std::uint64_t one = 1;
+    for (;;) {
+        const ssize_t n = ::write(fd, &one, sizeof(one));
+        if (n >= 0 || errno != EINTR) return; // EAGAIN: the counter is already hot
+    }
+}
+
+void eventfd_drain(int fd)
+{
+    std::uint64_t value = 0;
+    while (::read(fd, &value, sizeof(value)) < 0 && errno == EINTR) {
+    }
 }
 
 } // namespace
@@ -67,16 +92,14 @@ struct event_loop_server::completion_bus {
         std::lock_guard<std::mutex> lock(mutex);
         if (!open) return;
         items.push_back({conn_id, seq, std::move(line)});
-        const std::uint64_t one = 1;
-        [[maybe_unused]] ssize_t n = ::write(efd, &one, sizeof(one));
+        eventfd_signal(efd);
     }
 
     void wake()
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (!open) return;
-        const std::uint64_t one = 1;
-        [[maybe_unused]] ssize_t n = ::write(efd, &one, sizeof(one));
+        eventfd_signal(efd);
     }
 
     void close_bus()
@@ -90,6 +113,7 @@ struct event_loop_server::completion_bus {
 struct event_loop_server::counters {
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> drain_rejected{0};
     std::atomic<std::uint64_t> closed{0};
     std::atomic<std::size_t> active{0};
     std::atomic<std::uint64_t> idle{0};
@@ -148,11 +172,13 @@ event_loop_server::event_loop_server(analysis_service& service, event_loop_optio
 
     bus_ = std::make_shared<completion_bus>();
     bus_->efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (bus_->efd < 0) {
+    drain_efd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (bus_->efd < 0 || drain_efd_ < 0) {
         const int saved = errno;
         ::close(listen_fd_);
         ::close(epoll_fd_);
-        listen_fd_ = epoll_fd_ = -1;
+        if (drain_efd_ >= 0) ::close(drain_efd_);
+        listen_fd_ = epoll_fd_ = drain_efd_ = -1;
         errno = saved;
         throw_errno("eventfd");
     }
@@ -163,6 +189,8 @@ event_loop_server::event_loop_server(analysis_service& service, event_loop_optio
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) throw_errno("epoll_ctl");
     ev.data.u64 = k_bus_tag;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, bus_->efd, &ev) != 0) throw_errno("epoll_ctl");
+    ev.data.u64 = k_drain_tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, drain_efd_, &ev) != 0) throw_errno("epoll_ctl");
 }
 
 event_loop_server::~event_loop_server()
@@ -173,6 +201,13 @@ event_loop_server::~event_loop_server()
     conns_.clear();
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (drain_efd_ >= 0) ::close(drain_efd_);
+}
+
+void event_loop_server::begin_drain()
+{
+    draining_.store(true, std::memory_order_release);
+    if (drain_efd_ >= 0) eventfd_signal(drain_efd_);
 }
 
 void event_loop_server::start()
@@ -192,9 +227,11 @@ void event_loop_server::run()
     epoll_event events[64];
     while (!stop_.load(std::memory_order_acquire)) {
         // A finite wait keeps the idle/slow sweep running even when the
-        // sockets are silent; an empty server can sleep longer.
+        // sockets are silent; an empty server can sleep longer.  A drain
+        // in progress polls fast so completion is observed promptly.
         const int timeout_ms =
-            conns_.empty() || options_.idle_timeout.count() <= 0 ? 200 : 50;
+            drain_armed_ ? 10
+                         : (conns_.empty() || options_.idle_timeout.count() <= 0 ? 200 : 50);
         const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
         if (n < 0) {
             if (errno == EINTR) continue;
@@ -205,14 +242,26 @@ void event_loop_server::run()
             if (tag == k_listener_tag) {
                 accept_ready();
             } else if (tag == k_bus_tag) {
-                std::uint64_t drain = 0;
-                [[maybe_unused]] ssize_t r = ::read(bus_->efd, &drain, sizeof(drain));
+                eventfd_drain(bus_->efd);
                 drain_completions();
+            } else if (tag == k_drain_tag) {
+                eventfd_drain(drain_efd_);
+                if (!drain_armed_) {
+                    drain_armed_ = true;
+                    drain_deadline_ =
+                        std::chrono::steady_clock::now() + options_.drain_timeout;
+                    // The service refuses new work with "draining" from
+                    // here on; everything already queued keeps running.
+                    service_.begin_drain();
+                }
             } else {
                 handle_io(tag, events[i].events);
             }
         }
         sweep_timeouts();
+        if (drain_armed_ &&
+            (drain_complete() || std::chrono::steady_clock::now() >= drain_deadline_))
+            break;
     }
 
     // Teardown on the loop thread: close the bus first so worker
@@ -222,6 +271,31 @@ void event_loop_server::run()
     for (auto& [id, conn] : conns_) ::close(conn->fd());
     conns_.clear();
     counters_->active.store(0, std::memory_order_relaxed);
+    finished_.store(true, std::memory_order_release);
+}
+
+bool event_loop_server::drain_complete()
+{
+    const auto busy = [](connection& conn) {
+        return conn.has_pending_slots() || !conn.backlog().empty() || conn.unsent() > 0;
+    };
+    for (const auto& [id, conn] : conns_)
+        if (busy(*conn)) return false;
+
+    // Quiet sockets may still hide request bytes in kernel buffers that
+    // epoll has reported but this iteration has not read.  Pull them now:
+    // any line surfaced gets its structured "draining" answer before the
+    // loop is allowed to exit.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) read_some(*it->second);
+    }
+    for (const auto& [id, conn] : conns_)
+        if (busy(*conn)) return false;
+    return true;
 }
 
 void event_loop_server::accept_ready()
@@ -231,6 +305,20 @@ void event_loop_server::accept_ready()
         if (fd < 0) {
             if (errno == EINTR) continue;
             return; // EAGAIN or a transient accept error: back to the loop
+        }
+        if (drain_armed_) {
+            // A draining daemon still answers the door — with a structured
+            // refusal a retrying client can act on, not a silent RST.
+            const std::string line =
+                shed_line("draining", "",
+                          "the analysis service is draining for shutdown; retry "
+                          "against another instance") +
+                "\n";
+            [[maybe_unused]] ssize_t n =
+                ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+            ::close(fd);
+            counters_->drain_rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
         }
         if (conns_.size() >= options_.max_connections) {
             // Best effort: tell the client why before hanging up.
@@ -354,6 +442,25 @@ void event_loop_server::process_backlog(connection& conn)
         if (!parsed) {
             conn.complete_slot(seq, analysis_response_json(err_response));
             continue;
+        }
+
+        // Per-connection request-rate limit.  Probe kinds are exempt: a
+        // load balancer's health checks must not compete with the client
+        // traffic they supervise.
+        if (request.kind != request_kind::health && request.kind != request_kind::stats) {
+            const std::uint64_t retry_ms = conn.take_rate_token();
+            if (retry_ms > 0) {
+                analysis_response limited;
+                limited.id = request.id;
+                limited.ok = false;
+                limited.error = {"rate_limited",
+                                 "connection request rate exceeds " +
+                                     std::to_string(conn.limits().max_requests_per_second) +
+                                     " requests/s; retry after the hinted backoff",
+                                 retry_ms};
+                conn.complete_slot(seq, analysis_response_json(limited));
+                continue;
+            }
         }
 
         const std::string request_id = request.id;
@@ -529,6 +636,8 @@ event_loop_metrics event_loop_server::metrics() const
     event_loop_metrics m;
     m.connections_accepted = counters_->accepted.load(std::memory_order_relaxed);
     m.connections_rejected = counters_->rejected.load(std::memory_order_relaxed);
+    m.connections_drain_rejected =
+        counters_->drain_rejected.load(std::memory_order_relaxed);
     m.connections_closed = counters_->closed.load(std::memory_order_relaxed);
     m.connections_active = counters_->active.load(std::memory_order_relaxed);
     m.disconnects_idle = counters_->idle.load(std::memory_order_relaxed);

@@ -72,12 +72,18 @@ struct event_loop_options {
     /// for this long while nothing is owed to it (or while it refuses to
     /// read what it is owed).  0 disables the sweep.
     std::chrono::milliseconds idle_timeout{30000};
+
+    /// Graceful-drain budget: after begin_drain() the loop keeps serving
+    /// until every connection's in-flight work has flushed, but no longer
+    /// than this before it exits anyway.
+    std::chrono::milliseconds drain_timeout{5000};
 };
 
 /// One consistent snapshot of the transport counters.
 struct event_loop_metrics {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_rejected = 0; ///< over max_connections
+    std::uint64_t connections_drain_rejected = 0; ///< refused while draining
     std::uint64_t connections_closed = 0;
     std::size_t connections_active = 0;
 
@@ -122,6 +128,19 @@ public:
     /// Idempotent; safe from any thread.
     void stop();
 
+    /// Graceful drain: flips the service into its draining state, keeps
+    /// answering new lines with structured "draining" errors, finishes
+    /// and flushes all in-flight work, then exits run() — no later than
+    /// options.drain_timeout after the call.  Async-signal-safe (an
+    /// atomic store plus an eventfd write), so SIGTERM handlers may call
+    /// it directly.  Idempotent.
+    void begin_drain();
+    [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+    /// True once run() has returned (the drain completed or stop() was
+    /// honoured) — the harness's "the daemon is gone" observation point.
+    [[nodiscard]] bool finished() const { return finished_.load(std::memory_order_acquire); }
+
     [[nodiscard]] event_loop_metrics metrics() const;
 
 private:
@@ -142,19 +161,30 @@ private:
     void close_conn(std::uint64_t conn_id);
     void fail_conn(connection& conn, const char* code, const std::string& message);
     void sweep_timeouts();
+    /// True when, with the drain armed, no connection holds in-flight
+    /// slots, unparsed backlog or unsent bytes — including bytes still
+    /// sitting unread in kernel buffers (a final read sweep pulls them).
+    [[nodiscard]] bool drain_complete();
 
     analysis_service& service_;
     event_loop_options options_;
 
     int epoll_fd_ = -1;
     int listen_fd_ = -1;
+    int drain_efd_ = -1;
     std::uint16_t port_ = 0;
 
     std::shared_ptr<completion_bus> bus_;
     std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns_;
-    std::uint64_t next_conn_id_ = 2; ///< 0/1 tag the listener and the bus
+    std::uint64_t next_conn_id_ = 3; ///< 0/1/2 tag listener, bus and drain fd
 
     std::atomic<bool> stop_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> finished_{false};
+    /// Loop-thread drain state: armed on the first drain event, after
+    /// which the loop winds down toward the deadline.
+    bool drain_armed_ = false;
+    std::chrono::steady_clock::time_point drain_deadline_{};
     std::thread thread_;
 
     std::unique_ptr<counters> counters_;

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,21 +36,55 @@ namespace tsg::testing {
 
 /// Service + event loop on 127.0.0.1:<ephemeral>, ready after the
 /// constructor returns.  The demo oscillator is registered as "chip".
+///
+/// The harness is restartable for the chaos drills: restart() tears the
+/// whole instance down (service and server) and brings a fresh one up on
+/// the SAME port, exactly like a fleet's rolling restart replaces a
+/// process behind a stable address.  SO_REUSEADDR on the listener makes
+/// the rebind race-free.
 class serve_harness {
 public:
     explicit serve_harness(service_options service_opts = default_service_options(),
                            net::event_loop_options loop_opts = {})
-        : service_(service_opts), server_(service_, loop_opts)
+        : service_opts_(service_opts), loop_opts_(loop_opts)
     {
-        service_.register_design("chip", c_oscillator_sg());
-        server_.start();
+        boot();
+        port_ = server_->port(); // first boot may have asked for 0 (ephemeral)
     }
 
-    ~serve_harness() { server_.stop(); }
+    ~serve_harness() { shutdown(); }
 
-    [[nodiscard]] std::uint16_t port() const { return server_.port(); }
-    [[nodiscard]] analysis_service& service() { return service_; }
-    [[nodiscard]] net::event_loop_server& server() { return server_; }
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+    [[nodiscard]] analysis_service& service() { return *service_; }
+    [[nodiscard]] net::event_loop_server& server() { return *server_; }
+
+    /// Asks the current instance to drain (what SIGTERM does in
+    /// tsg_serve) and waits for its loop to finish.  True when the drain
+    /// completed within `timeout`.
+    bool drain(std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+    {
+        server_->begin_drain();
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        while (!server_->finished()) {
+            if (std::chrono::steady_clock::now() >= deadline) return false;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        server_->stop();
+        return true;
+    }
+
+    /// One rolling-restart step: drain (or hard-stop) the live instance,
+    /// destroy it, and boot a replacement on the same port.
+    void restart(bool graceful = true)
+    {
+        if (graceful)
+            drain();
+        else
+            shutdown();
+        server_.reset();
+        service_.reset();
+        boot();
+    }
 
     static service_options default_service_options()
     {
@@ -59,8 +94,26 @@ public:
     }
 
 private:
-    analysis_service service_;
-    net::event_loop_server server_;
+    void boot()
+    {
+        net::event_loop_options opts = loop_opts_;
+        if (port_ != 0) opts.port = port_;
+        service_ = std::make_unique<analysis_service>(service_opts_);
+        service_->register_design("chip", c_oscillator_sg());
+        server_ = std::make_unique<net::event_loop_server>(*service_, opts);
+        server_->start();
+    }
+
+    void shutdown()
+    {
+        if (server_) server_->stop();
+    }
+
+    service_options service_opts_;
+    net::event_loop_options loop_opts_;
+    std::uint16_t port_ = 0;
+    std::unique_ptr<analysis_service> service_;
+    std::unique_ptr<net::event_loop_server> server_;
 };
 
 /// A scripted raw client.  Sends are full blocking writes (loopback

@@ -321,16 +321,18 @@ TEST(EventLoop, HalfCloseDrainsPipelinedResponsesThenCloses)
 
 TEST(EventLoop, BatchedSendsShipMultipleResponseLinesTogether)
 {
-    // A plug occupies the single worker while three fast requests queue
-    // behind it; when the plug finishes, their responses (completed while
-    // the plug's slot blocked the head) flush as one batch.
+    // A plug parks one of two workers while three fast requests run on
+    // the other: their responses complete while the plug's slot still
+    // blocks the head of the FIFO, so once the plug finishes all four
+    // lines flush as one batch.  Structural, not timing-based — the
+    // sanitizer jobs run this too.
     service_options options = serve_harness::default_service_options();
-    options.workers = 1;
+    options.workers = 2;
     serve_harness harness(options);
 
     script_client client(harness.port());
     ASSERT_TRUE(client.connected());
-    std::string wire = request_line(plug_request("plug")) + "\n";
+    std::string wire = request_line(plug_request("plug", 30000)) + "\n";
     for (int i = 0; i < 3; ++i)
         wire += request_line(make_request(request_kind::analyze, "q" + std::to_string(i))) + "\n";
     ASSERT_TRUE(client.send_raw(wire));

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <future>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -326,6 +327,84 @@ TEST(Service, LruEvictionTrimsChainsWithStructuredErrors)
     EXPECT_EQ(m.versions, 2u);
     EXPECT_EQ(m.versions_evicted, 2u);
     EXPECT_EQ(m.edits_committed, 3u);
+}
+
+/// The eviction race the LRU cap creates: version-pinned reads running
+/// concurrently with edit commits that advance the chain and evict its
+/// tail.  Every read must end in exactly one of two shapes — an ok
+/// response whose payload is byte-stable for that (immutable) version,
+/// or a structured unknown_version error.  Nothing in between: no torn
+/// payloads, no internal errors, no crash.  The ASan/UBSan CI job runs
+/// this test, so a latent use-after-free in the snapshot chain fails
+/// loudly instead of silently.
+TEST(Service, LruEvictionRacingPinnedReadsStaysStructured)
+{
+    const signal_graph sg = c_oscillator_sg();
+    service_options options;
+    options.workers = 4;
+    options.max_versions_per_design = 2;
+    analysis_service service(options);
+    service.register_design("chip", sg);
+
+    constexpr std::size_t edits = 20;
+    std::atomic<std::uint64_t> latest{1};
+    std::atomic<bool> writer_failed{false};
+
+    std::mutex seen_mutex;
+    std::map<std::uint64_t, std::string> seen; // version -> first ok payload
+    std::atomic<std::size_t> violations{0};
+
+    std::thread writer([&] {
+        for (std::size_t i = 0; i < edits; ++i) {
+            analysis_request edit =
+                make_request(request_kind::edit, "e" + std::to_string(i));
+            edit.edits =
+                json_parse(R"({"edits": [{"op": "set_delay", "arc": 0, "delay": ")" +
+                           std::to_string(10 + i) + R"("}]})");
+            const analysis_response committed = service.execute(edit);
+            if (!committed.ok) {
+                writer_failed.store(true);
+                return;
+            }
+            latest.store(committed.design_version, std::memory_order_release);
+        }
+    });
+
+    std::vector<std::thread> readers;
+    for (std::size_t t = 0; t < 3; ++t) {
+        readers.emplace_back([&, t] {
+            prng rng(7000 + t);
+            for (std::size_t i = 0; i < 40; ++i) {
+                analysis_request pin = make_request(request_kind::analyze, "pin");
+                pin.design.version =
+                    1 + rng.next() % latest.load(std::memory_order_acquire);
+                const analysis_response response = service.execute(pin);
+                if (response.ok) {
+                    std::lock_guard<std::mutex> lock(seen_mutex);
+                    const auto [it, inserted] =
+                        seen.emplace(response.design_version, response.payload);
+                    if (!inserted && it->second != response.payload) ++violations;
+                } else if (response.error.code != "unknown_version") {
+                    ++violations;
+                }
+            }
+        });
+    }
+    writer.join();
+    for (std::thread& t : readers) t.join();
+
+    EXPECT_FALSE(writer_failed.load());
+    EXPECT_EQ(violations.load(), 0u);
+
+    const service_metrics m = service.metrics();
+    EXPECT_EQ(m.versions, 2u);
+    EXPECT_EQ(m.edits_committed, edits);
+    EXPECT_EQ(m.versions_evicted, edits - 1);
+
+    // The head of the chain survives the storm and still serves.
+    analysis_request head = make_request(request_kind::analyze, "head");
+    head.design.version = latest.load();
+    EXPECT_TRUE(service.execute(head).ok);
 }
 
 TEST(Service, ServeStreamAnswersInOrderAndMatchesTheTool)
