@@ -38,6 +38,27 @@
 //                                 --epsilon D samples adaptively to that
 //                                 CI target (--samples caps the run);
 //                                 JSON on stdout
+//   tsg_tool optimize [file] --budget N/D [--step N/D] [--target N/D]
+//                     [--floor N/D] [--mode deterministic|statistical]
+//                     [--samples N] [--seed S] [--spread N/D] [--epsilon D]
+//                     [--solver auto|border|howard] [--lanes 0|1|2|4|8|16]
+//                                 allocate a delay-reduction budget across
+//                                 the critical arcs (core/optimize.h):
+//                                 deterministic mode minimizes the nominal
+//                                 cycle time exactly; statistical mode
+//                                 maximizes P(lambda <= --target) under the
+//                                 Monte Carlo delay model, ranking
+//                                 candidates by criticality probability;
+//                                 JSON on stdout, including the plan as a
+//                                 set_delay edit batch
+//   tsg_tool topk [file] [--k N] [--mode deterministic|statistical]
+//                 [--samples N] [--seed S] [--spread N/D]
+//                 [--solver auto|border|howard] [--lanes 0|1|2|4|8|16]
+//                                 the K most critical cycles, ranked: exact
+//                                 ratio order (deterministic) or witness
+//                                 probability with CIs (statistical), each
+//                                 with slack and per-arc contributions;
+//                                 JSON on stdout
 //   tsg_tool edit [file] --script edits.json
 //                                 apply a JSON edit script through the
 //                                 incremental engine (core/incremental.h)
@@ -225,6 +246,52 @@ int run_batch_command(const std::string& command, std::vector<std::string> args)
     return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
 }
 
+optimize_mode parse_mode(const std::string& name)
+{
+    if (name == "deterministic") return optimize_mode::deterministic;
+    if (name == "statistical") return optimize_mode::statistical;
+    throw error("--mode: unknown mode '" + name +
+                "' (use deterministic or statistical)");
+}
+
+int run_optimize_command(std::vector<std::string> args)
+{
+    analysis_request request;
+    request.kind = request_kind::optimize;
+    request_options& o = request.options;
+    o.mode = parse_mode(option_value(args, "--mode", "deterministic"));
+    o.budget = rational::parse(option_value(args, "--budget", "0"));
+    o.step = rational::parse(option_value(args, "--step", "0"));
+    o.target = rational::parse(option_value(args, "--target", "0"));
+    o.min_delay = rational::parse(option_value(args, "--floor", "0"));
+    o.samples =
+        static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
+    o.seed = std::stoull(option_value(args, "--seed", "1"));
+    o.spread = rational::parse(option_value(args, "--spread", "1/10"));
+    o.epsilon = std::stod(option_value(args, "--epsilon", "-1"));
+    o.solver = parse_solver(option_value(args, "--solver", "auto"));
+    o.lane_width = static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
+    if (reject_unrecognized("optimize", args)) return 1;
+    return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
+}
+
+int run_topk_command(std::vector<std::string> args)
+{
+    analysis_request request;
+    request.kind = request_kind::report_topk;
+    request_options& o = request.options;
+    o.mode = parse_mode(option_value(args, "--mode", "deterministic"));
+    o.k = static_cast<std::size_t>(std::stoull(option_value(args, "--k", "3")));
+    o.samples =
+        static_cast<std::size_t>(std::stoull(option_value(args, "--samples", "100")));
+    o.seed = std::stoull(option_value(args, "--seed", "1"));
+    o.spread = rational::parse(option_value(args, "--spread", "1/10"));
+    o.solver = parse_solver(option_value(args, "--solver", "auto"));
+    o.lane_width = static_cast<unsigned>(std::stoul(option_value(args, "--lanes", "0")));
+    if (reject_unrecognized("topk", args)) return 1;
+    return emit_request(request, load_model(args.empty() ? std::string() : args[0]));
+}
+
 int run_analyze_command(std::vector<std::string> args)
 {
     analysis_request request;
@@ -270,6 +337,14 @@ int main(int argc, char** argv)
         if (!args.empty() && args[0] == "analyze") {
             args.erase(args.begin());
             return run_analyze_command(std::move(args));
+        }
+        if (!args.empty() && args[0] == "optimize") {
+            args.erase(args.begin());
+            return run_optimize_command(std::move(args));
+        }
+        if (!args.empty() && args[0] == "topk") {
+            args.erase(args.begin());
+            return run_topk_command(std::move(args));
         }
         if (!args.empty() &&
             (args[0] == "sweep" || args[0] == "montecarlo" || args[0] == "criticality")) {

@@ -33,13 +33,21 @@ std::uint64_t field_u64(const json_value& v, const std::string& key)
     if (v.k != json_value::kind::number_v ||
         v.text.find_first_not_of("0123456789") != std::string::npos)
         bad("\"" + key + "\" must be a non-negative integer");
-    return std::stoull(v.text);
+    try {
+        return std::stoull(v.text);
+    } catch (const std::exception&) {
+        bad("\"" + key + "\" is out of range");
+    }
 }
 
 double field_double(const json_value& v, const std::string& key)
 {
     if (v.k != json_value::kind::number_v) bad("\"" + key + "\" must be a number");
-    return std::stod(v.text);
+    try {
+        return std::stod(v.text);
+    } catch (const std::exception&) {
+        bad("\"" + key + "\" is out of range");
+    }
 }
 
 bool field_bool(const json_value& v, const std::string& key)
@@ -79,6 +87,22 @@ cycle_time_solver parse_solver_name(const std::string& name)
     if (name == "border") return cycle_time_solver::border_sweep;
     if (name == "howard") return cycle_time_solver::howard;
     bad("unknown solver '" + name + "' (use auto, border or howard)");
+}
+
+const char* mode_spelling(optimize_mode mode)
+{
+    switch (mode) {
+    case optimize_mode::deterministic: return "deterministic";
+    case optimize_mode::statistical: return "statistical";
+    }
+    return "deterministic";
+}
+
+optimize_mode parse_mode_name(const std::string& name)
+{
+    if (name == "deterministic") return optimize_mode::deterministic;
+    if (name == "statistical") return optimize_mode::statistical;
+    bad("unknown mode '" + name + "' (use deterministic or statistical)");
 }
 
 const char* delta_spelling(scenario_batch_options::delta_mode delta)
@@ -162,6 +186,18 @@ request_options parse_options(const json_value& doc)
             options.criticality = field_bool(value, key);
         else if (key == "group_by_signal")
             options.group_by_signal = field_bool(value, key);
+        else if (key == "mode")
+            options.mode = parse_mode_name(field_string(value, key));
+        else if (key == "budget")
+            options.budget = field_rational(value, key);
+        else if (key == "step")
+            options.step = field_rational(value, key);
+        else if (key == "target")
+            options.target = field_rational(value, key);
+        else if (key == "min_delay")
+            options.min_delay = field_rational(value, key);
+        else if (key == "k")
+            options.k = field_u64(value, key);
         else if (key == "deadline_ms")
             options.deadline_ms = field_u64(value, key);
         else
@@ -179,6 +215,8 @@ const char* request_kind_name(request_kind kind)
     case request_kind::sweep: return "sweep";
     case request_kind::montecarlo: return "montecarlo";
     case request_kind::criticality: return "criticality";
+    case request_kind::optimize: return "optimize";
+    case request_kind::report_topk: return "report_topk";
     case request_kind::edit: return "edit";
     case request_kind::stats: return "stats";
     case request_kind::health: return "health";
@@ -192,11 +230,14 @@ request_kind parse_request_kind(const std::string& name)
     if (name == "sweep") return request_kind::sweep;
     if (name == "montecarlo") return request_kind::montecarlo;
     if (name == "criticality") return request_kind::criticality;
+    if (name == "optimize") return request_kind::optimize;
+    if (name == "report_topk") return request_kind::report_topk;
     if (name == "edit") return request_kind::edit;
     if (name == "stats") return request_kind::stats;
     if (name == "health") return request_kind::health;
     bad("unknown request kind '" + name +
-        "' (use analyze, sweep, montecarlo, criticality, edit, stats or health)");
+        "' (use analyze, sweep, montecarlo, criticality, optimize, report_topk, "
+        "edit, stats or health)");
 }
 
 // --- request_options views ---------------------------------------------------
@@ -254,6 +295,40 @@ analysis_options request_options::to_analysis_options() const
     analysis.solver = solver;
     analysis.max_threads = max_threads;
     return analysis;
+}
+
+optimize_options request_options::to_optimize_options() const
+{
+    optimize_options opt;
+    opt.mode = mode;
+    opt.budget = budget;
+    opt.step = step;
+    opt.target = target;
+    opt.min_delay = min_delay;
+    opt.solver = solver;
+    opt.max_threads = max_threads;
+    opt.mc = to_monte_carlo_options();
+    opt.stats.solver = solver;
+    opt.stats.lane_width = lane_width;
+    opt.stats.max_threads = max_threads;
+    opt.stats.epsilon = epsilon > 0.0 ? epsilon : 0.05;
+    opt.stats.max_samples = samples; // the tool contract: --samples caps each run
+    opt.stats.min_samples = min_samples;
+    opt.stats.round_samples = round_samples;
+    return opt;
+}
+
+topk_options request_options::to_topk_options() const
+{
+    topk_options topk;
+    topk.mode = mode;
+    topk.k = k;
+    topk.samples = samples;
+    topk.mc = to_monte_carlo_options();
+    topk.solver = solver;
+    topk.max_threads = max_threads;
+    topk.lane_width = lane_width;
+    return topk;
 }
 
 // --- codec -------------------------------------------------------------------
@@ -339,6 +414,12 @@ json_value analysis_request_json(const analysis_request& request)
     options.set("min_samples", json_value::number(std::uint64_t{o.min_samples}));
     options.set("criticality", json_value::boolean_value(o.criticality));
     options.set("group_by_signal", json_value::boolean_value(o.group_by_signal));
+    options.set("mode", json_value::string(mode_spelling(o.mode)));
+    options.set("budget", json_value::string(o.budget.str()));
+    options.set("step", json_value::string(o.step.str()));
+    options.set("target", json_value::string(o.target.str()));
+    options.set("min_delay", json_value::string(o.min_delay.str()));
+    options.set("k", json_value::number(std::uint64_t{o.k}));
     options.set("deadline_ms", json_value::number(std::uint64_t{o.deadline_ms}));
     doc.set("options", std::move(options));
 
@@ -385,7 +466,8 @@ api_error classify_error(const std::string& diagnostic, const std::string& fallb
 {
     static const char* const codes[] = {"bad_request",       "unsupported_version",
                                         "unknown_design",    "unknown_version",
-                                        "invalid_model",     "overloaded",
+                                        "invalid_model",     "invalid_request",
+                                        "unsupported",       "overloaded",
                                         "rate_limited",      "draining",
                                         "deadline_exceeded", "internal"};
     for (const char* code : codes) {
@@ -808,6 +890,127 @@ std::string edit_run_json(incremental_engine& eng, const edit_script& script,
     return os.str();
 }
 
+// --- optimize / report_topk --------------------------------------------------
+
+std::string optimize_json(const std::string& command, const std::string& solver,
+                          const signal_graph& sg, const optimize_options& options,
+                          const optimize_result& result)
+{
+    const bool statistical = result.mode == optimize_mode::statistical;
+    std::ostringstream os;
+    os << "{\n";
+    append_model_header(os, command, solver, sg, result.initial_cycle_time);
+    os << "  \"optimize\": {\n";
+    os << "    \"mode\": " << json_quote(mode_spelling(result.mode)) << ",\n";
+    os << "    \"budget\": ";
+    append_exact(os, options.budget);
+    os << ",\n    \"step\": ";
+    append_exact(os, options.step);
+    os << ",\n    \"target\": ";
+    append_exact(os, options.target);
+    os << ",\n    \"min_delay\": ";
+    append_exact(os, options.min_delay);
+    os << ",\n    \"budget_spent\": ";
+    append_exact(os, result.budget_spent);
+    os << ",\n    \"final_cycle_time\": ";
+    append_exact(os, result.final_cycle_time);
+    os << ",\n    \"target_reached\": " << (result.target_reached ? "true" : "false")
+       << ",\n    \"exact\": " << (result.exact ? "true" : "false")
+       << ",\n    \"evaluations\": " << result.evaluations
+       << ",\n    \"candidates\": " << result.candidates << ",\n";
+    if (statistical) {
+        os << "    \"seed\": " << options.mc.seed << ",\n";
+        os << "    \"samples\": " << result.samples << ",\n";
+        os << "    \"initial_yield\": " << json_double(result.initial_yield)
+           << ",\n    \"initial_yield_ci_half_width\": "
+           << json_double(result.initial_yield_ci_half_width)
+           << ",\n    \"final_yield\": " << json_double(result.final_yield)
+           << ",\n    \"final_yield_ci_half_width\": "
+           << json_double(result.final_yield_ci_half_width) << ",\n";
+        os << "    \"steps\": [";
+        for (std::size_t i = 0; i < result.steps.size(); ++i) {
+            const optimize_step& step = result.steps[i];
+            os << (i ? ", " : "") << "{\"arc\": " << step.arc << ", \"reduction\": "
+               << json_quote(step.reduction.str()) << ", \"cycle_time_after\": ";
+            append_exact(os, step.cycle_time_after);
+            os << ", \"yield\": " << json_double(step.yield_after)
+               << ", \"ci_half_width\": " << json_double(step.yield_ci_half_width)
+               << ", \"samples\": " << step.samples << "}";
+        }
+        os << "],\n";
+    }
+    os << "    \"allocations\": [\n";
+    for (std::size_t i = 0; i < result.allocations.size(); ++i) {
+        const optimize_allocation& a = result.allocations[i];
+        os << "      {\"arc\": " << a.arc
+           << ", \"from\": " << json_quote(sg.event(sg.arc(a.arc).from).name)
+           << ", \"to\": " << json_quote(sg.event(sg.arc(a.arc).to).name)
+           << ", \"old_delay\": " << json_quote(a.old_delay.str())
+           << ", \"new_delay\": " << json_quote(a.new_delay.str())
+           << ", \"reduction\": " << json_quote(a.reduction.str()) << "}"
+           << (i + 1 < result.allocations.size() ? "," : "") << "\n";
+    }
+    os << "    ],\n";
+    // The same plan as an edit script body: apply via `tsg_tool edit` or an
+    // edit request to commit it as a new design version.
+    os << "    \"edits\": [";
+    for (std::size_t i = 0; i < result.edits.size(); ++i) {
+        const graph_edit& e = result.edits[i];
+        os << (i ? ", " : "") << "{\"op\": \"set_delay\", \"arc\": " << e.arc
+           << ", \"delay\": " << json_quote(e.delay.str()) << "}";
+    }
+    os << "]\n  }\n}\n";
+    return os.str();
+}
+
+std::string topk_json(const std::string& command, const std::string& solver,
+                      const signal_graph& sg, const topk_options& options,
+                      const topk_result& result)
+{
+    const bool statistical = result.mode == optimize_mode::statistical;
+    std::ostringstream os;
+    os << "{\n";
+    append_model_header(os, command, solver, sg, result.cycle_time);
+    os << "  \"topk\": {\n";
+    os << "    \"mode\": " << json_quote(mode_spelling(result.mode)) << ",\n";
+    os << "    \"k\": " << options.k << ",\n";
+    os << "    \"returned\": " << result.cycles.size() << ",\n";
+    os << "    \"truncated\": " << (result.truncated ? "true" : "false") << ",\n";
+    if (statistical)
+        os << "    \"samples\": " << result.samples << ",\n";
+    else
+        os << "    \"solves\": " << result.solves << ",\n";
+    os << "    \"cycles\": [\n";
+    for (std::size_t i = 0; i < result.cycles.size(); ++i) {
+        const topk_cycle& cycle = result.cycles[i];
+        os << "      {\"rank\": " << (i + 1) << ",\n       \"ratio\": ";
+        append_exact(os, cycle.ratio);
+        os << ",\n       \"delay\": ";
+        append_exact(os, cycle.delay);
+        os << ",\n       \"tokens\": " << cycle.tokens << ",\n       \"slack\": ";
+        append_exact(os, cycle.slack);
+        os << ",\n       \"events\": [";
+        for (std::size_t j = 0; j < cycle.events.size(); ++j)
+            os << (j ? ", " : "") << json_quote(sg.event(cycle.events[j]).name);
+        os << "],\n       \"arcs\": [";
+        for (std::size_t j = 0; j < cycle.contributions.size(); ++j) {
+            const topk_arc_contribution& c = cycle.contributions[j];
+            os << (j ? ", " : "") << "{\"arc\": " << c.arc
+               << ", \"delay\": " << json_quote(c.delay.str())
+               << ", \"share\": " << json_double(c.share) << "}";
+        }
+        os << "]";
+        if (statistical) {
+            os << ",\n       \"count\": " << cycle.count
+               << ", \"probability\": " << json_double(cycle.probability)
+               << ", \"ci_half_width\": " << json_double(cycle.ci_half_width);
+        }
+        os << "}" << (i + 1 < result.cycles.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n  }\n}\n";
+    return os.str();
+}
+
 // --- executors ---------------------------------------------------------------
 
 namespace {
@@ -886,10 +1089,24 @@ std::string execute_analysis_payload(const analysis_request& request, const sign
 
     require(request.kind == request_kind::sweep ||
                 request.kind == request_kind::montecarlo ||
-                request.kind == request_kind::criticality,
+                request.kind == request_kind::criticality ||
+                request.kind == request_kind::optimize ||
+                request.kind == request_kind::report_topk,
             "bad_request: request kind '" +
                 std::string(request_kind_name(request.kind)) +
                 "' is not an analysis request");
+
+    if (request.kind == request_kind::optimize) {
+        optimize_options opt = o.to_optimize_options();
+        opt.stats.deadline = deadline;
+        const optimize_result result = run_optimize(sg, engine, opt);
+        return optimize_json("optimize", solver_spelling(o.solver), sg, opt, result);
+    }
+    if (request.kind == request_kind::report_topk) {
+        const topk_options topk = o.to_topk_options();
+        const topk_result result = report_topk(sg, compiled, engine, topk);
+        return topk_json("report_topk", solver_spelling(o.solver), sg, topk, result);
+    }
 
     // Statistics paths: criticality probabilities and adaptive Monte Carlo
     // stream rounds through core/stats.h instead of materializing a batch.

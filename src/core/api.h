@@ -36,6 +36,7 @@
 
 #include "core/graph_edit.h"
 #include "core/incremental.h"
+#include "core/optimize.h"
 #include "core/scenario.h"
 #include "core/stats.h"
 #include "sg/signal_graph.h"
@@ -54,6 +55,8 @@ enum class request_kind : std::uint8_t {
     sweep,       ///< per-arc +/- corner batch (corner_sweep_scenarios)
     montecarlo,  ///< Monte Carlo delay batch; adaptive streams via core/stats
     criticality, ///< per-arc / per-gate criticality probabilities
+    optimize,    ///< criticality-driven budget allocation (core/optimize.h)
+    report_topk, ///< ranked top-K critical-cycle report (core/optimize.h)
     edit,        ///< JSON edit script through the incremental engine
     stats,       ///< service-side serving metrics (core/service.h)
     health,      ///< readiness / draining probe (core/service.h)
@@ -125,6 +128,22 @@ struct request_options {
     /// Fold arc criticality into per-gate groups (implies criticality).
     bool group_by_signal = false;
 
+    // --- optimize / report_topk --------------------------------------------
+    /// Deterministic (exact nominal search / exact ratio ranking) or
+    /// statistical (Monte Carlo yield / witness probability) mode.
+    optimize_mode mode = optimize_mode::deterministic;
+    /// optimize: total delay reduction to distribute (must be > 0).
+    rational budget = rational(0);
+    /// optimize: allocation quantum (non-positive picks budget / 8).
+    rational step = rational(0);
+    /// optimize: cycle-time target; statistical mode's yield threshold
+    /// P(lambda <= target) — required > 0 there.
+    rational target = rational(0);
+    /// optimize: per-arc delay floor (no delay drops below it).
+    rational min_delay = rational(0);
+    /// report_topk: cycles requested (must be >= 1).
+    std::size_t k = 3;
+
     // --- serving -----------------------------------------------------------
     /// Per-request deadline, relative to admission, in milliseconds.  0
     /// means none.  The analysis service sheds work whose deadline has
@@ -143,6 +162,13 @@ struct request_options {
     /// `samples` (the tool contract: --samples caps the adaptive run).
     [[nodiscard]] stats_options to_stats_options(request_kind kind) const;
     [[nodiscard]] analysis_options to_analysis_options() const;
+    /// optimize requests: mode, budget, quantum, target and floor plus the
+    /// engine knobs; statistical runs inherit the Monte Carlo model
+    /// (seed/spread/resolution) and adaptive-CI controls (epsilon,
+    /// samples cap, min_samples, round_samples).
+    [[nodiscard]] optimize_options to_optimize_options() const;
+    /// report_topk requests: k, mode, sample count and engine knobs.
+    [[nodiscard]] topk_options to_topk_options() const;
 };
 
 /// One request on the wire.
@@ -163,6 +189,11 @@ struct analysis_request {
 ///   unknown_design       design id not registered
 ///   unknown_version      design version evicted or never existed
 ///   invalid_model        the model/options reject the analysis
+///   invalid_request      well-formed but nonsensical parameters (a
+///                        non-positive optimize budget, report_topk k = 0,
+///                        a missing statistical target, an acyclic graph)
+///   unsupported          a valid request this build cannot serve (e.g.
+///                        statistical mode without a delay model)
 ///   overloaded           admission control shed the request (queue full /
 ///                        connection limit); retry later — nothing ran
 ///   rate_limited         a per-design quota or per-connection rate limit
@@ -244,6 +275,22 @@ struct analysis_response {
                                           const stats_run_result& run,
                                           const stats_options& options);
 
+/// Renders an optimization plan (core/optimize.h) as a JSON document: the
+/// model header, the budget accounting, the per-arc allocations, the
+/// equivalent set_delay edit batch, and — in statistical mode — the yield
+/// trajectory with its commit trace.
+[[nodiscard]] std::string optimize_json(const std::string& command,
+                                        const std::string& solver, const signal_graph& sg,
+                                        const optimize_options& options,
+                                        const optimize_result& result);
+
+/// Renders a top-K critical-cycle report (core/optimize.h) as a JSON
+/// document: ranked cycles with exact ratio, slack, tokens, events and
+/// per-arc delay contributions, plus witness tallies in statistical mode.
+[[nodiscard]] std::string topk_json(const std::string& command, const std::string& solver,
+                                    const signal_graph& sg, const topk_options& options,
+                                    const topk_result& result);
+
 // --- edit scripts ------------------------------------------------------------
 //
 // Script format — one object per edit, grouped into atomic batches:
@@ -314,8 +361,8 @@ struct edit_batch_status {
                                              const std::vector<scenario>& scenarios,
                                              const scenario_batch_result& batch);
 
-/// Executes an analyze/sweep/montecarlo/criticality request against a
-/// compiled design and returns the payload document.  Mirrors the tool's
+/// Executes an analyze/sweep/montecarlo/criticality/optimize/report_topk
+/// request against a compiled design and returns the payload document.  Mirrors the tool's
 /// pipelines exactly (nominal evaluation, statistics routing, option
 /// mapping), so payloads are byte-identical to the pre-API subcommands.
 /// Throws tsg::error on invalid requests or models.  `deadline` (if not

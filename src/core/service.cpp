@@ -616,8 +616,9 @@ void analysis_service::handle(pending job)
             response.payload = edit_payload(job, response.design_version);
             break;
         default: {
-            // analyze, criticality and adaptive montecarlo run solo —
-            // their work does not decompose into mergeable scenarios.
+            // analyze, criticality, adaptive montecarlo, optimize and
+            // report_topk run solo — their work does not decompose into
+            // mergeable scenarios.
             const std::shared_ptr<design_version> version = resolve(job.request.design);
             response.design_version = version->version;
             response.payload =

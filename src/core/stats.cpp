@@ -64,6 +64,14 @@ void stats_accumulator::set_groups(const arc_group_map& groups)
     group_epoch_ = 0;
 }
 
+void stats_accumulator::set_yield_target(const rational& target)
+{
+    require(count_ == 0, "stats_accumulator::set_yield_target: call before the first sample");
+    require(rational(0) < target, "stats_accumulator::set_yield_target: target must be positive");
+    track_yield_ = true;
+    yield_target_ = target;
+}
+
 stats_accumulator::moment_block stats_accumulator::merge_moments(const moment_block& a,
                                                                  const moment_block& b)
 {
@@ -141,6 +149,8 @@ void stats_accumulator::add_tallies(const scenario_outcome& outcome)
         ++hist_[bin];
     }
 
+    if (track_yield_ && !(yield_target_ < x)) ++yield_count_; // exact x <= target
+
     if (!outcome.fixed_point) ++fallback_;
     for (const arc_id a : outcome.critical_arcs) ++crit_[a];
     if (!group_crit_.empty() && !outcome.critical_arcs.empty()) {
@@ -198,7 +208,9 @@ void stats_accumulator::merge(const stats_accumulator& tail)
     require(count_ % block_size == 0 && tail_.n == 0,
             "stats_accumulator::merge: left side must end on a block boundary");
     require(hist_.size() == tail.hist_.size() && lo_ == tail.lo_ && hi_ == tail.hi_ &&
-                crit_.size() == tail.crit_.size() && group_names_ == tail.group_names_,
+                crit_.size() == tail.crit_.size() && group_names_ == tail.group_names_ &&
+                track_yield_ == tail.track_yield_ &&
+                (!track_yield_ || yield_target_ == tail.yield_target_),
             "stats_accumulator::merge: mismatched accumulator configurations");
 
     blocks_.insert(blocks_.end(), tail.blocks_.begin(), tail.blocks_.end());
@@ -217,6 +229,7 @@ void stats_accumulator::merge(const stats_accumulator& tail)
     for (std::size_t b = 0; b < hist_.size(); ++b) hist_[b] += tail.hist_[b];
     underflow_ += tail.underflow_;
     overflow_ += tail.overflow_;
+    yield_count_ += tail.yield_count_;
     for (std::size_t a = 0; a < crit_.size(); ++a) crit_[a] += tail.crit_[a];
     for (std::size_t g = 0; g < group_crit_.size(); ++g) group_crit_[g] += tail.group_crit_[g];
     fallback_ += tail.fallback_;
@@ -299,6 +312,19 @@ double stats_accumulator::criticality_ci_half_width(arc_id a, double z) const
     return z * std::sqrt(p * (1.0 - p) / static_cast<double>(count_));
 }
 
+double stats_accumulator::yield_probability() const
+{
+    if (count_ == 0) return 0.0;
+    return static_cast<double>(yield_count_) / static_cast<double>(count_);
+}
+
+double stats_accumulator::yield_ci_half_width(double z) const
+{
+    if (count_ == 0) return std::numeric_limits<double>::infinity();
+    const double p = yield_probability();
+    return z * std::sqrt(p * (1.0 - p) / static_cast<double>(count_));
+}
+
 double stats_accumulator::group_criticality_probability(std::size_t group) const
 {
     if (count_ == 0) return 0.0;
@@ -322,6 +348,8 @@ stats_run_result run_monte_carlo(const scenario_engine& engine, const signal_gra
 {
     require(options.histogram_bins > 0, "stats: histogram_bins must be positive");
     require(options.quantile <= 1.0, "stats: quantile must lie in [0, 1] (negative: mean)");
+    require(!options.yield_objective || rational(0) < options.yield_target,
+            "stats: yield_objective requires a positive yield_target");
     if (adaptive) {
         require(options.epsilon > 0.0, "monte_carlo_adaptive: epsilon must be positive");
         require(options.max_samples > 0, "monte_carlo_adaptive: max_samples must be positive");
@@ -346,6 +374,7 @@ stats_run_result run_monte_carlo(const scenario_engine& engine, const signal_gra
     }
     out.stats = stats_accumulator(base.delay().size(), options.histogram_bins, lo, hi);
     if (options.group_by_signal) out.stats.set_groups(signal_arc_groups(sg));
+    if (rational(0) < options.yield_target) out.stats.set_yield_target(options.yield_target);
 
     scenario_batch_options bopts;
     bopts.max_threads = options.max_threads;
@@ -361,6 +390,8 @@ stats_run_result run_monte_carlo(const scenario_engine& engine, const signal_gra
     require(cap > 0, "stats: no samples requested");
 
     const auto target_half_width = [&]() {
+        if (options.yield_objective)
+            return out.stats.yield_ci_half_width(options.confidence_z);
         return options.quantile < 0.0
                    ? out.stats.mean_ci_half_width(options.confidence_z)
                    : out.stats.quantile_ci_half_width(options.quantile,

@@ -94,6 +94,18 @@ struct stats_options {
     /// runs are faster with it off (the engine's statistics mode).
     bool criticality = false;
 
+    /// Exact timing-yield threshold: a positive value tallies
+    /// P(cycle_time <= yield_target) per sample (exact rational compare,
+    /// so the tally is bit-deterministic for every round partition) with a
+    /// binomial normal-approximation CI.  Non-positive disables the tally.
+    rational yield_target = rational(0);
+
+    /// Adaptive target override: converge on the *yield* CI half-width
+    /// instead of the mean/quantile CI.  Requires a positive yield_target.
+    /// The optimizer (core/optimize.h) drives its accept/reject decisions
+    /// off this objective.
+    bool yield_objective = false;
+
     /// Additionally fold arc criticality into per-signal (per-gate) groups
     /// via signal_arc_groups().  Implies criticality.
     bool group_by_signal = false;
@@ -222,6 +234,20 @@ public:
     [[nodiscard]] double group_criticality_probability(std::size_t group) const;
     [[nodiscard]] double group_criticality_ci_half_width(std::size_t group, double z) const;
 
+    // --- timing yield ------------------------------------------------------
+
+    /// Enables the exact yield tally P(cycle_time <= target) (call before
+    /// the first add(); requires target > 0).
+    void set_yield_target(const rational& target);
+
+    [[nodiscard]] bool tracks_yield() const noexcept { return track_yield_; }
+    [[nodiscard]] const rational& yield_target() const noexcept { return yield_target_; }
+    /// Samples with cycle_time <= yield_target (exact rational compare).
+    [[nodiscard]] std::uint64_t yield_count() const noexcept { return yield_count_; }
+    [[nodiscard]] double yield_probability() const;
+    /// Binomial normal-approximation CI: z * sqrt(p * (1 - p) / n).
+    [[nodiscard]] double yield_ci_half_width(double z) const;
+
     /// Samples whose rebind fell back to exact rational arithmetic.
     [[nodiscard]] std::size_t fallback_count() const noexcept { return fallback_; }
 
@@ -260,6 +286,10 @@ private:
     std::vector<std::uint64_t> hist_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
+
+    bool track_yield_ = false;
+    rational yield_target_ = rational(0);
+    std::uint64_t yield_count_ = 0;
 
     std::vector<std::uint64_t> crit_;
     std::vector<std::uint32_t> group_of_arc_;

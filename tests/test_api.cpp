@@ -31,7 +31,8 @@ TEST(ApiCodec, EveryKindRoundTrips)
 {
     for (const request_kind kind :
          {request_kind::analyze, request_kind::sweep, request_kind::montecarlo,
-          request_kind::criticality, request_kind::edit, request_kind::stats}) {
+          request_kind::criticality, request_kind::optimize, request_kind::report_topk,
+          request_kind::edit, request_kind::stats}) {
         analysis_request request;
         request.kind = kind;
         request.id = "req-" + std::string(request_kind_name(kind));
@@ -66,6 +67,12 @@ TEST(ApiCodec, LoadedOptionsRoundTrip)
     request.options.min_samples = 64;
     request.options.criticality = true;
     request.options.group_by_signal = true;
+    request.options.mode = optimize_mode::statistical;
+    request.options.budget = rational(7, 2);
+    request.options.step = rational(1, 4);
+    request.options.target = rational(19, 3);
+    request.options.min_delay = rational(1, 8);
+    request.options.k = 11;
     EXPECT_EQ(round_trip(request), request);
 }
 
@@ -89,8 +96,9 @@ TEST(ApiCodec, FuzzedRequestsRoundTrip)
         scenario_batch_options::delta_mode::auto_detect,
         scenario_batch_options::delta_mode::dense,
         scenario_batch_options::delta_mode::sparse};
-    const request_kind kinds[] = {request_kind::analyze, request_kind::sweep,
+    const request_kind kinds[] = {request_kind::analyze,  request_kind::sweep,
                                   request_kind::montecarlo, request_kind::criticality,
+                                  request_kind::optimize, request_kind::report_topk,
                                   request_kind::stats};
     for (int i = 0; i < 300; ++i) {
         analysis_request request;
@@ -121,6 +129,13 @@ TEST(ApiCodec, FuzzedRequestsRoundTrip)
         o.min_samples = static_cast<std::size_t>(rng.uniform(0, 1024));
         o.criticality = rng.chance(0.3);
         o.group_by_signal = rng.chance(0.3);
+        o.mode = rng.chance(0.5) ? optimize_mode::deterministic
+                                 : optimize_mode::statistical;
+        o.budget = rational(rng.uniform(0, 99), rng.uniform(1, 99));
+        o.step = rational(rng.uniform(0, 9), rng.uniform(1, 9));
+        o.target = rational(rng.uniform(0, 99), rng.uniform(1, 99));
+        o.min_delay = rational(rng.uniform(0, 9), rng.uniform(1, 9));
+        o.k = static_cast<std::size_t>(rng.uniform(0, 64));
         EXPECT_EQ(round_trip(request), request) << "iteration " << i;
     }
 }
@@ -154,6 +169,24 @@ TEST(ApiCodec, MalformedDocumentsRejectWithStableCodes)
     expect_rejected(R"({"api_version": 1, "kind": "edit"})", "bad_request"); // no edits
     expect_rejected(
         R"({"api_version": 1, "kind": "sweep", "options": {"solver": "quantum"}})",
+        "bad_request");
+    expect_rejected(
+        R"({"api_version": 1, "kind": "optimize", "options": {"mode": "psychic"}})",
+        "bad_request");
+    expect_rejected(
+        R"({"api_version": 1, "kind": "optimize", "options": {"budget": 1.5}})",
+        "bad_request");
+    expect_rejected(
+        R"({"api_version": 1, "kind": "report_topk", "options": {"k": -3}})",
+        "bad_request");
+    // Out-of-range numerics must reject structurally, not leak std::stod /
+    // std::stoull exceptions (found by the protocol fuzzer).
+    expect_rejected(
+        R"({"api_version": 1, "kind": "montecarlo", "options": {"epsilon": 1e309}})",
+        "bad_request");
+    expect_rejected(
+        R"({"api_version": 1, "kind": "montecarlo",)"
+        R"( "options": {"samples": 99999999999999999999}})",
         "bad_request");
 }
 
@@ -206,6 +239,12 @@ TEST(ApiCodec, ClassifyErrorKeepsKnownCodesAndFallsBack)
     EXPECT_EQ(classify_error("unknown_design: x").code, "unknown_design");
     EXPECT_EQ(classify_error("unknown_version: x").code, "unknown_version");
     EXPECT_EQ(classify_error("invalid_model: x").code, "invalid_model");
+    EXPECT_EQ(classify_error("invalid_request: optimize needs a positive budget").code,
+              "invalid_request");
+    EXPECT_EQ(classify_error("unsupported: no delay model").code, "unsupported");
+    // "unsupported" must not swallow "unsupported_version" (prefix match
+    // includes the ": " separator).
+    EXPECT_EQ(classify_error("unsupported_version: v9").message, "v9");
     EXPECT_EQ(classify_error("overloaded: queue full").code, "overloaded");
     EXPECT_EQ(classify_error("internal: x").code, "internal");
     EXPECT_EQ(classify_error("anything else").code, "invalid_model");

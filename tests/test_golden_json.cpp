@@ -268,6 +268,60 @@ TEST(GoldenJson, CriticalityStatistics)
     compare_against_golden("criticality_border.json", demo_payload(request));
 }
 
+TEST(GoldenJson, OptimizeDeterministic)
+{
+    // The `tsg_tool optimize` surface: exact branch-and-bound allocation of
+    // a delay-reduction budget, with the plan as a set_delay edit batch.
+    analysis_request request =
+        demo_request(request_kind::optimize, cycle_time_solver::border_sweep);
+    request.options.budget = rational(2);
+    request.options.step = rational(1);
+    request.options.min_delay = rational(1);
+    request.options.target = rational(8);
+    compare_against_golden("optimize_deterministic.json", demo_payload(request));
+}
+
+TEST(GoldenJson, OptimizeStatistical)
+{
+    // The statistical optimizer: criticality-ranked yield maximization with
+    // adaptive Monte Carlo, pinned to the border solver and one thread so
+    // the sampled trajectory is reproducible.
+    analysis_request request =
+        demo_request(request_kind::optimize, cycle_time_solver::border_sweep);
+    request.options.mode = optimize_mode::statistical;
+    request.options.budget = rational(2);
+    request.options.step = rational(1);
+    request.options.target = rational(9);
+    request.options.samples = 256;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    request.options.epsilon = 0.05;
+    compare_against_golden("optimize_statistical.json", demo_payload(request));
+}
+
+TEST(GoldenJson, TopKDeterministic)
+{
+    // The `tsg_tool topk` surface: exact ratio-ranked cycle report with
+    // slack and per-arc contributions.
+    analysis_request request =
+        demo_request(request_kind::report_topk, cycle_time_solver::border_sweep);
+    request.options.k = 3;
+    compare_against_golden("topk_deterministic.json", demo_payload(request));
+}
+
+TEST(GoldenJson, TopKStatistical)
+{
+    // Witness-probability ranking across a seeded Monte Carlo batch.
+    analysis_request request =
+        demo_request(request_kind::report_topk, cycle_time_solver::border_sweep);
+    request.options.mode = optimize_mode::statistical;
+    request.options.k = 3;
+    request.options.samples = 64;
+    request.options.seed = 1;
+    request.options.spread = rational(1, 10);
+    compare_against_golden("topk_statistical.json", demo_payload(request));
+}
+
 TEST(GoldenJson, StructuredErrorShapes)
 {
     // The normalized error surface: every failing path — codec rejection,
@@ -293,6 +347,34 @@ TEST(GoldenJson, StructuredErrorShapes)
     doc += api_error_json(classify_error("unknown_design: no design named 'x'"));
     doc += ",\n";
     doc += api_error_json(classify_error("no scenarios to evaluate"));
+    doc += ",\n";
+    // The optimize/report_topk taxonomy entries, raised by the real
+    // executors: invalid_request (nonsensical parameters) and unsupported
+    // (statistical mode without a delay model).
+    const auto execute_error = [](analysis_request request) {
+        try {
+            (void)demo_payload(request);
+            ADD_FAILURE() << "request unexpectedly succeeded";
+            return std::string();
+        } catch (const error& e) {
+            return api_error_json(classify_error(e.what()));
+        }
+    };
+    doc += execute_error(demo_request(request_kind::optimize,
+                                      cycle_time_solver::border_sweep)); // no budget
+    doc += ",\n";
+    analysis_request zero_k =
+        demo_request(request_kind::report_topk, cycle_time_solver::border_sweep);
+    zero_k.options.k = 0;
+    doc += execute_error(zero_k);
+    doc += ",\n";
+    analysis_request no_model =
+        demo_request(request_kind::optimize, cycle_time_solver::border_sweep);
+    no_model.options.mode = optimize_mode::statistical;
+    no_model.options.budget = rational(1);
+    no_model.options.target = rational(9);
+    no_model.options.spread = rational(0);
+    doc += execute_error(no_model);
     doc += "]\n";
     compare_against_golden("error_shapes.json", doc);
 }

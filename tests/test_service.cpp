@@ -102,6 +102,40 @@ TEST(Service, EveryKindMatchesTheToolByteForByte)
         requests.push_back(r);
     }
     {
+        analysis_request r = make_request(request_kind::optimize, "opt-det");
+        r.options.budget = rational(2);
+        r.options.step = rational(1);
+        r.options.min_delay = rational(1);
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::optimize, "opt-stat");
+        r.options.mode = optimize_mode::statistical;
+        r.options.budget = rational(2);
+        r.options.step = rational(1);
+        r.options.target = rational(9);
+        r.options.samples = 128;
+        r.options.seed = 42;
+        r.options.spread = rational(1, 10);
+        r.options.max_threads = 1;
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::report_topk, "topk-det");
+        r.options.k = 3;
+        requests.push_back(r);
+    }
+    {
+        analysis_request r = make_request(request_kind::report_topk, "topk-stat");
+        r.options.mode = optimize_mode::statistical;
+        r.options.k = 2;
+        r.options.samples = 64;
+        r.options.seed = 7;
+        r.options.spread = rational(1, 10);
+        r.options.max_threads = 1;
+        requests.push_back(r);
+    }
+    {
         analysis_request r = make_request(request_kind::edit, "e");
         r.edits = json_parse(
             R"({"edits": [{"op": "set_delay", "arc": 0, "delay": "3/2"}]})");
